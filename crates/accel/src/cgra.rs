@@ -1,0 +1,247 @@
+//! The statically-mapped CGRA substrate (paper Section VI, Dist-DA-F /
+//! Mono-DA-F).
+//!
+//! Substitutes for CGRA-Mapper/OpenCGRA: a modulo-scheduling resource model
+//! that computes the initiation interval (II) of a partition's microcode on
+//! a heterogeneous tile grid. The II is the steady-state cycles per
+//! iteration the [`PartitionEngine`](crate::engine::PartitionEngine) is
+//! paced at via [`IssueModel::Cgra`](crate::engine::IssueModel).
+
+use distda_compiler::plan::{PNode, PartitionDef};
+
+/// A heterogeneous CGRA fabric description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CgraConfig {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Integer/logic ALU tiles.
+    pub int_alus: usize,
+    /// Complex (multiply/divide/sqrt, incl. FP) tiles.
+    pub complex_alus: usize,
+    /// Memory/buffer port tiles (element accesses per cycle).
+    pub mem_ports: usize,
+    /// Channel (produce/consume) port tiles.
+    pub chan_ports: usize,
+}
+
+impl CgraConfig {
+    /// The paper's per-cluster 5x5 provisioning: fifteen integer ALUs,
+    /// four float plus four complex units, and I/O tiles.
+    pub fn dist_da_5x5() -> Self {
+        Self {
+            rows: 5,
+            cols: 5,
+            int_alus: 15,
+            complex_alus: 8,
+            mem_ports: 2,
+            chan_ports: 2,
+        }
+    }
+
+    /// The Mono-DA-F 8x8 fabric for larger monolithic offloads.
+    pub fn mono_da_8x8() -> Self {
+        Self {
+            rows: 8,
+            cols: 8,
+            int_alus: 40,
+            complex_alus: 16,
+            mem_ports: 4,
+            chan_ports: 4,
+        }
+    }
+
+    /// Total tiles.
+    pub fn tiles(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// The result of mapping a partition onto a fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CgraMapping {
+    /// Initiation interval in fabric cycles.
+    pub ii: u64,
+    /// Resource-constrained II component.
+    pub res_ii: u64,
+    /// Recurrence-constrained II component (carry cycles).
+    pub rec_ii: u64,
+    /// Ops mapped.
+    pub ops: usize,
+}
+
+/// Counts a partition's demand per resource class.
+fn demand(def: &PartitionDef) -> (u64, u64, u64, u64) {
+    let (mut int_ops, mut complex_ops, mut mem_ops, mut chan_ops) = (0u64, 0, 0, 0);
+    for n in &def.nodes {
+        match n {
+            PNode::Bin { .. } | PNode::Un { .. } | PNode::Select { .. } => {
+                if n.is_complex() {
+                    complex_ops += 1;
+                } else {
+                    int_ops += 1;
+                }
+            }
+            PNode::LoadStream { .. }
+            | PNode::LoadIndirect { .. }
+            | PNode::StoreStream { .. }
+            | PNode::StoreIndirect { .. } => mem_ops += 1,
+            PNode::Send { .. } | PNode::Recv { .. } => chan_ops += 1,
+            PNode::Carry(_) | PNode::SetCarry { .. } => int_ops += 1,
+            PNode::Const(_) | PNode::Param(_) | PNode::IndVar => {}
+        }
+    }
+    (int_ops, complex_ops, mem_ops, chan_ops)
+}
+
+/// Latency of the longest carry-to-carry recurrence path.
+fn recurrence_ii(def: &PartitionDef) -> u64 {
+    // Longest-latency path from any Carry to the SetCarry of any register,
+    // over the (acyclic within an iteration) operand edges.
+    let n = def.nodes.len();
+    let mut dist = vec![0u64; n]; // longest path ending at node i, from a Carry
+    let mut reaches_carry = vec![false; n];
+    let mut best = 0;
+    for i in 0..n {
+        let node = &def.nodes[i];
+        let ops: Vec<u16> = match node {
+            PNode::Bin { a, b, .. } => vec![*a, *b],
+            PNode::Un { a, .. } => vec![*a],
+            PNode::Select { c, t, f } => vec![*c, *t, *f],
+            PNode::SetCarry { src, .. } => vec![*src],
+            PNode::Send { src, .. } => vec![*src],
+            PNode::LoadIndirect { addr, .. } => vec![*addr],
+            PNode::StoreStream { val, .. } => vec![*val],
+            PNode::StoreIndirect { addr, val, .. } => vec![*addr, *val],
+            _ => vec![],
+        };
+        if matches!(node, PNode::Carry(_)) {
+            reaches_carry[i] = true;
+            dist[i] = 0;
+        }
+        for o in ops {
+            let o = o as usize;
+            if reaches_carry[o] {
+                reaches_carry[i] = true;
+                let lat = def.nodes[i].latency().max(1);
+                dist[i] = dist[i].max(dist[o] + lat);
+            }
+        }
+        if let PNode::SetCarry { .. } = node {
+            if reaches_carry[i] {
+                best = best.max(dist[i]);
+            }
+        }
+    }
+    best.max(1)
+}
+
+/// Maps a partition onto a fabric, returning the achieved II.
+pub fn map(def: &PartitionDef, cfg: &CgraConfig) -> CgraMapping {
+    let (int_ops, complex_ops, mem_ops, chan_ops) = demand(def);
+    let ops = (int_ops + complex_ops + mem_ops + chan_ops) as usize;
+    let div_ceil = |a: u64, b: usize| a.div_ceil(b.max(1) as u64).max(1);
+    let res_ii = [
+        div_ceil(int_ops, cfg.int_alus),
+        div_ceil(complex_ops, cfg.complex_alus),
+        div_ceil(mem_ops, cfg.mem_ports),
+        div_ceil(chan_ops, cfg.chan_ports),
+        div_ceil(ops as u64, cfg.tiles()),
+    ]
+    .into_iter()
+    .max()
+    .expect("nonempty");
+    let rec_ii = if def.carry_scalars.is_empty() {
+        1
+    } else {
+        recurrence_ii(def)
+    };
+    CgraMapping {
+        ii: res_ii.max(rec_ii),
+        res_ii,
+        rec_ii,
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distda_compiler::{compile, PartitionMode};
+    use distda_ir::prelude::*;
+
+    fn mono_plan(build: impl FnOnce(&mut ProgramBuilder)) -> distda_compiler::OffloadPlan {
+        let mut b = ProgramBuilder::new("t");
+        build(&mut b);
+        compile(&b.build(), PartitionMode::Monolithic).offloads[0].clone()
+    }
+
+    #[test]
+    fn small_kernel_achieves_ii_one_or_two(){
+        let plan = mono_plan(|b| {
+            let x = b.array_f64("x", 8);
+            let y = b.array_f64("y", 8);
+            b.for_(0, 8, 1, |b, i| {
+                b.store(y, i.clone(), Expr::load(x, i) + Expr::cf(1.0));
+            });
+        });
+        let m = map(&plan.partitions[0], &CgraConfig::dist_da_5x5());
+        assert!(m.ii <= 2, "tiny kernel II {}", m.ii);
+    }
+
+    #[test]
+    fn mem_heavy_kernel_limited_by_ports() {
+        // Six streams on a 2-port fabric: II >= 3.
+        let plan = mono_plan(|b| {
+            let arrays: Vec<_> = (0..6).map(|k| b.array_f64(format!("a{k}"), 8)).collect();
+            let out = b.array_f64("out", 8);
+            b.for_(0, 8, 1, |b, i| {
+                let mut acc = Expr::load(arrays[0], i.clone());
+                for &a in &arrays[1..] {
+                    acc = acc + Expr::load(a, i.clone());
+                }
+                b.store(out, i, acc);
+            });
+        });
+        let m = map(&plan.partitions[0], &CgraConfig::dist_da_5x5());
+        assert!(m.res_ii >= 3, "7 mem ops / 2 ports -> II>=4, got {}", m.res_ii);
+    }
+
+    #[test]
+    fn reduction_recurrence_bounds_ii() {
+        let plan = mono_plan(|b| {
+            let x = b.array_f64("x", 8);
+            let acc = b.scalar("acc", 0.0f64);
+            b.for_(0, 8, 1, |b, i| {
+                // Multiply in the recurrence: rec II >= mul latency.
+                b.set(acc, Expr::Scalar(acc) * Expr::load(x, i));
+            });
+        });
+        let m = map(&plan.partitions[0], &CgraConfig::dist_da_5x5());
+        assert!(m.rec_ii >= 3, "mul-latency recurrence, got {}", m.rec_ii);
+        assert!(m.ii >= m.rec_ii);
+    }
+
+    #[test]
+    fn bigger_fabric_never_hurts() {
+        let plan = mono_plan(|b| {
+            let x = b.array_f64("x", 8);
+            let y = b.array_f64("y", 8);
+            let z = b.array_f64("z", 8);
+            b.for_(0, 8, 1, |b, i| {
+                let v = Expr::load(x, i.clone()) * Expr::load(y, i.clone()) + Expr::cf(2.0);
+                b.store(z, i, v.sqrt());
+            });
+        });
+        let small = map(&plan.partitions[0], &CgraConfig::dist_da_5x5());
+        let big = map(&plan.partitions[0], &CgraConfig::mono_da_8x8());
+        assert!(big.ii <= small.ii);
+    }
+
+    #[test]
+    fn configs_match_paper_shapes() {
+        assert_eq!(CgraConfig::dist_da_5x5().tiles(), 25);
+        assert_eq!(CgraConfig::mono_da_8x8().tiles(), 64);
+    }
+}

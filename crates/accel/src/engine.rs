@@ -1,0 +1,942 @@
+//! The accelerator engine: executes one distributed accelerator definition
+//! ([`PartitionDef`]) with decoupled access units.
+//!
+//! The same engine body serves both substrates the paper evaluates — a
+//! single-issue in-order core at 2 GHz and a statically-mapped CGRA tile at
+//! 1 GHz — differing only in the [`IssueModel`] that paces microcode
+//! execution. Streams are prefetched into the line buffer by the access
+//! FSM (Figure 2c); channel operands block on credit back-pressure, which
+//! is what lets partitions run ahead of each other (Section IV-B).
+
+use crate::buffer::ObjectBuffer;
+use crate::ctx::EngineCtx;
+use distda_compiler::affine::Sym;
+use distda_compiler::plan::{AccessPattern, PNode, PartitionDef};
+use distda_ir::value::Value;
+use distda_sim::time::{ClockDomain, Tick};
+use std::collections::{HashMap, HashSet};
+
+/// Bytes per cache line (matches the memory hierarchy).
+const LINE_BYTES: u64 = 64;
+/// Lines the stream FSM runs ahead of the consumer.
+const PF_AHEAD_LINES: u64 = 4;
+/// Outstanding read limit per access unit.
+const MAX_READS: u32 = 8;
+/// Outstanding write limit per access unit.
+const MAX_WRITES: u32 = 16;
+
+/// How microcode issue is paced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueModel {
+    /// In-order core issuing `width` single-cycle ops per cycle.
+    InOrder {
+        /// Issue width (1 in the paper's base Dist-DA-IO; 4 for +SW).
+        width: u32,
+    },
+    /// Statically-mapped CGRA executing one iteration per initiation
+    /// interval once the pipeline is primed.
+    Cgra {
+        /// Initiation interval in accelerator cycles.
+        ii: u64,
+    },
+}
+
+/// Counters for Figures 9/10/11.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Inner iterations retired.
+    pub iterations: u64,
+    /// Cycles in which at least one microcode op issued.
+    pub busy_cycles: u64,
+    /// Cycles stalled on memory (buffer miss in flight).
+    pub stall_mem: u64,
+    /// Cycles stalled on channel credit/emptiness.
+    pub stall_chan: u64,
+    /// ALU ops executed.
+    pub alu_ops: u64,
+    /// Memory element ops executed (loads + stores).
+    pub mem_ops: u64,
+    /// Bytes served from the local buffer (Figure 9 "intra").
+    pub intra_bytes: u64,
+    /// Bytes moved between the access unit and the cache hierarchy
+    /// (Figure 9 "D-A"): line fills + drains.
+    pub da_bytes: u64,
+    /// Operand bytes produced onto channels (Figure 9 "A-A").
+    pub aa_bytes: u64,
+    /// MMIO configuration words received (`cp_set_rf`, `cp_run`).
+    pub mmio_words: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wait {
+    /// Waiting for a line fill; resume the node at `pc` with element `elem`.
+    Line { line_addr: u64, pc: usize, elem: i64 },
+    /// Waiting for channel space/data.
+    Chan { pc: usize },
+    /// Waiting for outstanding writes to drop below the cap.
+    WriteCap { pc: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Idle,
+    Running,
+    Draining,
+    Done,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    Fill { line_addr: u64 },
+    WriteAck,
+}
+
+/// Executes one accelerator definition. See the module docs.
+#[derive(Debug)]
+pub struct PartitionEngine {
+    def: PartitionDef,
+    param_syms: Vec<Sym>,
+    model: IssueModel,
+    clock: ClockDomain,
+    buffer: ObjectBuffer,
+
+    params: Vec<Value>,
+    carry: Vec<Value>,
+    access_base: Vec<i64>,
+    stream_pf: Vec<i64>,
+    /// Last line written per access (eager drain when the stream advances).
+    write_line: Vec<Option<u64>>,
+    start: i64,
+    end: i64,
+    step: i64,
+    inner: i64,
+
+    state: State,
+    pc: usize,
+    vals: Vec<Value>,
+    /// Tick each node's result becomes available (pipelined FUs).
+    ready: Vec<Tick>,
+    wait: Option<Wait>,
+    busy_until: Tick,
+    iter_start: Tick,
+
+    pending: HashMap<u64, Pending>,
+    pending_lines: HashSet<u64>,
+    pf_ahead: u64,
+    max_reads: u32,
+    max_writes: u32,
+    next_req: u64,
+    outstanding_reads: u32,
+    outstanding_writes: u32,
+    wb_retry: Vec<u64>,
+
+    stats: EngineStats,
+}
+
+impl PartitionEngine {
+    /// Creates an engine for a definition.
+    ///
+    /// `param_syms` is the plan-wide parameter table
+    /// ([`distda_compiler::OffloadPlan::params`]); `buffer_lines` sizes the
+    /// access-unit SRAM (64 lines = the paper's 4 KB default).
+    pub fn new(
+        def: PartitionDef,
+        param_syms: Vec<Sym>,
+        model: IssueModel,
+        clock: ClockDomain,
+        buffer_lines: usize,
+    ) -> Self {
+        let n_access = def.accesses.len();
+        let n_carry = def.carry_scalars.len();
+        let n_nodes = def.nodes.len();
+        Self {
+            def,
+            param_syms,
+            model,
+            clock,
+            buffer: ObjectBuffer::new(buffer_lines.max(1)),
+            params: Vec::new(),
+            carry: vec![Value::I(0); n_carry],
+            access_base: vec![0; n_access],
+            stream_pf: vec![0; n_access],
+            write_line: vec![None; n_access],
+            start: 0,
+            end: 0,
+            step: 1,
+            inner: 0,
+            state: State::Idle,
+            pc: 0,
+            vals: vec![Value::I(0); n_nodes],
+            ready: vec![0; n_nodes],
+            wait: None,
+            busy_until: 0,
+            iter_start: 0,
+            pending: HashMap::new(),
+            pending_lines: HashSet::new(),
+            pf_ahead: PF_AHEAD_LINES,
+            max_reads: MAX_READS,
+            max_writes: MAX_WRITES,
+            next_req: 0,
+            outstanding_reads: 0,
+            outstanding_writes: 0,
+            wb_retry: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The executed definition.
+    pub fn def(&self) -> &PartitionDef {
+        &self.def
+    }
+
+    /// The engine's clock domain.
+    pub fn clock(&self) -> ClockDomain {
+        self.clock
+    }
+
+    /// Tunes the access unit: prefetch distance (lines ahead) and
+    /// outstanding request limits. Used by the paper's software-prefetch
+    /// study (Figure 14, Dist-DA-IO+SW).
+    pub fn set_tuning(&mut self, pf_ahead: u64, max_reads: u32, max_writes: u32) {
+        self.pf_ahead = pf_ahead.max(1);
+        self.max_reads = max_reads.max(1);
+        self.max_writes = max_writes.max(1);
+    }
+
+    /// `cp_set_rf` + `cp_run`: configures one invocation of the offload.
+    ///
+    /// `params` must match the plan's parameter table; `carry_init` the
+    /// definition's carry registers; `(start, end, step)` are the evaluated
+    /// inner-loop bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is mid-run or argument lengths mismatch.
+    pub fn run(
+        &mut self,
+        now: Tick,
+        params: &[Value],
+        carry_init: &[Value],
+        start: i64,
+        end: i64,
+        step: i64,
+    ) {
+        assert!(
+            matches!(self.state, State::Idle | State::Done),
+            "engine re-run while busy"
+        );
+        assert_eq!(params.len(), self.param_syms.len(), "param count");
+        assert_eq!(carry_init.len(), self.carry.len(), "carry count");
+        assert!(step != 0, "zero step");
+        self.params = params.to_vec();
+        self.carry.copy_from_slice(carry_init);
+        self.stats.mmio_words += params.len() as u64 + carry_init.len() as u64 + 2;
+        // Evaluate access bases with the new parameter environment.
+        let env = |sym: Sym| -> i64 {
+            match self
+                .param_syms
+                .iter()
+                .position(|&s| s == sym)
+            {
+                Some(i) => self.params[i].as_i64(),
+                None => 0,
+            }
+        };
+        for (i, a) in self.def.accesses.iter().enumerate() {
+            self.access_base[i] = match &a.pattern {
+                AccessPattern::Stream { base, .. } => base.eval(&env),
+                AccessPattern::Indirect => 0,
+            };
+        }
+        self.start = start;
+        self.end = end;
+        self.step = step;
+        self.inner = start;
+        self.stream_pf = vec![start; self.def.accesses.len()];
+        self.write_line = vec![None; self.def.accesses.len()];
+        self.pc = 0;
+        self.wait = None;
+        self.iter_start = now;
+        self.state = if (step > 0 && start >= end) || (step < 0 && start <= end) {
+            State::Draining
+        } else {
+            State::Running
+        };
+    }
+
+    /// Whether the engine has completed its invocation (including drains).
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, State::Done)
+    }
+
+    /// Whether the engine has no invocation at all yet.
+    pub fn is_idle(&self) -> bool {
+        matches!(self.state, State::Idle)
+    }
+
+    /// Reads a carry register (`cp_load_rf` after completion).
+    pub fn carry_value(&self, reg: u16) -> Value {
+        self.carry[reg as usize]
+    }
+
+    /// Statistics so far (cumulative across invocations).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Buffer statistics.
+    pub fn buffer(&self) -> &ObjectBuffer {
+        &self.buffer
+    }
+
+    fn stride_of(&self, access: usize) -> i64 {
+        match &self.def.accesses[access].pattern {
+            AccessPattern::Stream { stride, .. } => *stride,
+            AccessPattern::Indirect => 0,
+        }
+    }
+
+    fn elem_of_stream(&self, access: usize, inner_val: i64) -> i64 {
+        self.access_base[access] + inner_val * self.stride_of(access)
+    }
+
+    fn issue_read(&mut self, ctx: &mut dyn EngineCtx, line_addr: u64) -> bool {
+        if self.outstanding_reads >= self.max_reads || self.pending_lines.contains(&line_addr) {
+            return self.pending_lines.contains(&line_addr);
+        }
+        let id = self.next_req;
+        if ctx.mem_read(id, line_addr) {
+            self.next_req += 1;
+            self.outstanding_reads += 1;
+            self.pending.insert(id, Pending::Fill { line_addr });
+            self.pending_lines.insert(line_addr);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn issue_write(&mut self, ctx: &mut dyn EngineCtx, line_addr: u64) {
+        if self.outstanding_writes >= self.max_writes {
+            self.wb_retry.push(line_addr);
+            return;
+        }
+        let id = self.next_req;
+        if ctx.mem_write(id, line_addr) {
+            self.next_req += 1;
+            self.outstanding_writes += 1;
+            self.pending.insert(id, Pending::WriteAck);
+            self.stats.da_bytes += LINE_BYTES;
+        } else {
+            self.wb_retry.push(line_addr);
+        }
+    }
+
+    fn handle_completions(&mut self, ctx: &mut dyn EngineCtx) {
+        while let Some(id) = ctx.poll_mem() {
+            match self.pending.remove(&id) {
+                Some(Pending::Fill { line_addr }) => {
+                    self.outstanding_reads -= 1;
+                    self.pending_lines.remove(&line_addr);
+                    self.stats.da_bytes += LINE_BYTES;
+                    if let Some(victim) = self.buffer.install(line_addr / LINE_BYTES) {
+                        self.issue_write(ctx, victim * LINE_BYTES);
+                    }
+                }
+                Some(Pending::WriteAck) => {
+                    self.outstanding_writes -= 1;
+                }
+                None => {}
+            }
+        }
+        // Retry deferred writebacks.
+        while self.outstanding_writes < self.max_writes {
+            let Some(line) = self.wb_retry.pop() else { break };
+            self.issue_write(ctx, line);
+        }
+    }
+
+    fn prefetch_streams(&mut self, ctx: &mut dyn EngineCtx) {
+        if !matches!(self.state, State::Running) {
+            return;
+        }
+        for a in 0..self.def.accesses.len() {
+            let def = &self.def.accesses[a];
+            if def.write || !matches!(def.pattern, AccessPattern::Stream { .. }) {
+                continue;
+            }
+            let stride = self.stride_of(a);
+            if stride == 0 {
+                // Loop-invariant element: fetch its line once.
+                let elem = self.elem_of_stream(a, self.inner);
+                let line = ctx.addr_of(def.array, elem) / LINE_BYTES;
+                if !self.buffer.present(line) && !self.pending_lines.contains(&(line * LINE_BYTES))
+                {
+                    let _ = self.issue_read(ctx, line * LINE_BYTES);
+                }
+                continue;
+            }
+            let cur_elem = self.elem_of_stream(a, self.inner);
+            let cur_line = ctx.addr_of(def.array, cur_elem) / LINE_BYTES;
+            let mut budget = 32;
+            while budget > 0 && self.outstanding_reads < self.max_reads {
+                budget -= 1;
+                let v = self.stream_pf[a];
+                let in_range = (self.step > 0 && v < self.end) || (self.step < 0 && v > self.end);
+                if !in_range {
+                    break;
+                }
+                let elem = self.elem_of_stream(a, v);
+                let addr = ctx.addr_of(self.def.accesses[a].array, elem);
+                let line = addr / LINE_BYTES;
+                if line.abs_diff(cur_line) > self.pf_ahead {
+                    break;
+                }
+                if !self.buffer.present(line) {
+                    if !self.issue_read(ctx, line * LINE_BYTES) {
+                        break;
+                    }
+                }
+                self.stream_pf[a] = v + self.step;
+            }
+        }
+    }
+
+    /// Advances the engine by one base tick.
+    pub fn tick(&mut self, now: Tick, ctx: &mut dyn EngineCtx) {
+        if !self.clock.fires_at(now) {
+            return;
+        }
+        self.handle_completions(ctx);
+        self.prefetch_streams(ctx);
+        match self.state {
+            State::Idle | State::Done => {}
+            State::Draining => {
+                if self.outstanding_writes == 0 && self.wb_retry.is_empty() {
+                    self.state = State::Done;
+                }
+            }
+            State::Running => {
+                if now < self.busy_until {
+                    return;
+                }
+                self.execute(now, ctx);
+            }
+        }
+    }
+
+    fn execute(&mut self, now: Tick, ctx: &mut dyn EngineCtx) {
+        let width = match self.model {
+            IssueModel::InOrder { width } => width.max(1),
+            IssueModel::Cgra { .. } => u32::MAX, // iteration paced by II
+        };
+        let mut issued = 0u32;
+        while issued < width {
+            if self.pc >= self.def.nodes.len() {
+                self.finish_iteration(now);
+                return;
+            }
+            // Pipelined functional units: issue is in order at one node
+            // per slot, but a multi-cycle result only stalls consumers
+            // that need it before it is ready.
+            if matches!(self.model, IssueModel::InOrder { .. }) {
+                let dep_ready = self.operands_ready(self.pc);
+                if dep_ready > now {
+                    self.busy_until = dep_ready;
+                    if issued > 0 {
+                        self.stats.busy_cycles += 1;
+                    }
+                    return;
+                }
+            }
+            match self.step_node(now, ctx) {
+                Ok(lat) => {
+                    issued += 1;
+                    self.ready[self.pc] = now + self.clock.ticks_for_cycles(lat.max(1));
+                    self.pc += 1;
+                }
+                Err(wait) => {
+                    match wait {
+                        Wait::Line { .. } | Wait::WriteCap { .. } => self.stats.stall_mem += 1,
+                        Wait::Chan { .. } => self.stats.stall_chan += 1,
+                    }
+                    self.wait = Some(wait);
+                    if issued > 0 {
+                        self.stats.busy_cycles += 1;
+                    }
+                    return;
+                }
+            }
+        }
+        if issued > 0 {
+            self.stats.busy_cycles += 1;
+        }
+    }
+
+    /// Latest readiness tick among the operands of the node at `pc`.
+    fn operands_ready(&self, pc: usize) -> Tick {
+        let ops: [Option<u16>; 3] = match &self.def.nodes[pc] {
+            PNode::Bin { a, b, .. } => [Some(*a), Some(*b), None],
+            PNode::Un { a, .. } => [Some(*a), None, None],
+            PNode::Select { c, t, f } => [Some(*c), Some(*t), Some(*f)],
+            PNode::Send { src, .. } => [Some(*src), None, None],
+            PNode::SetCarry { src, .. } => [Some(*src), None, None],
+            PNode::LoadIndirect { addr, .. } => [Some(*addr), None, None],
+            PNode::StoreStream { val, pred, .. } => [Some(*val), *pred, None],
+            PNode::StoreIndirect { addr, val, pred, .. } => [Some(*addr), Some(*val), *pred],
+            _ => [None, None, None],
+        };
+        ops.iter()
+            .flatten()
+            .map(|&o| self.ready[o as usize])
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn finish_iteration(&mut self, now: Tick) {
+        self.stats.iterations += 1;
+        self.pc = 0;
+        self.inner += self.step;
+        if let IssueModel::Cgra { ii } = self.model {
+            let ii_ticks = self.clock.ticks_for_cycles(ii);
+            let next = (self.iter_start + ii_ticks).max(now);
+            self.busy_until = next;
+            self.iter_start = next;
+        }
+        let still = (self.step > 0 && self.inner < self.end)
+            || (self.step < 0 && self.inner > self.end);
+        if !still {
+            // Drain dirty buffer lines before reporting completion.
+            let dirty = self.buffer.drain_dirty();
+            self.state = State::Draining;
+            self.wait = None;
+            // Issue drains now (ctx unavailable here; defer via retry list).
+            self.wb_retry.extend(dirty);
+        }
+    }
+
+    /// Executes the node at `self.pc`; returns its extra latency or a wait.
+    fn step_node(&mut self, _now: Tick, ctx: &mut dyn EngineCtx) -> Result<u64, Wait> {
+        let pc = self.pc;
+        // If we were waiting on this node, fast-path the resume.
+        let resumed = match self.wait {
+            Some(Wait::Line { line_addr, pc: wpc, elem }) if wpc == pc => {
+                if self.buffer.present(line_addr / LINE_BYTES) {
+                    self.wait = None;
+                    Some(elem)
+                } else {
+                    // The fill may have been installed and evicted by a
+                    // competing stream before we resumed: re-issue the
+                    // demand fetch or we wait forever.
+                    if !self.pending_lines.contains(&line_addr) {
+                        let _ = self.issue_read(ctx, line_addr);
+                    }
+                    return Err(Wait::Line { line_addr, pc, elem });
+                }
+            }
+            Some(Wait::WriteCap { pc: wpc }) if wpc == pc => {
+                if self.outstanding_writes < self.max_writes {
+                    self.wait = None;
+                    None
+                } else {
+                    return Err(Wait::WriteCap { pc });
+                }
+            }
+            _ => None,
+        };
+        let node = self.def.nodes[pc].clone();
+        let v: Value = match node {
+            PNode::Const(v) => v,
+            PNode::IndVar => Value::I(self.inner),
+            PNode::Param(ix) => self.params[ix as usize],
+            PNode::Carry(r) => self.carry[r as usize],
+            PNode::SetCarry { reg, src } => {
+                self.carry[reg as usize] = self.vals[src as usize];
+                self.vals[src as usize]
+            }
+            PNode::LoadStream { access } => {
+                let a = access as usize;
+                let array = self.def.accesses[a].array;
+                let elem = match resumed {
+                    Some(e) => e,
+                    None => {
+                        let elem = self.elem_of_stream(a, self.inner);
+                        let addr = ctx.addr_of(array, elem);
+                        let line = addr / LINE_BYTES;
+                        if !self.buffer.access(line) {
+                            // Demand fetch (prefetcher may be behind).
+                            let _ = self.issue_read(ctx, line * LINE_BYTES);
+                            return Err(Wait::Line {
+                                line_addr: line * LINE_BYTES,
+                                pc,
+                                elem,
+                            });
+                        }
+                        self.stats.intra_bytes += 8;
+                        elem
+                    }
+                };
+                if resumed.is_some() {
+                    self.stats.intra_bytes += 8;
+                }
+                self.stats.mem_ops += 1;
+                ctx.func_load(array, elem)
+            }
+            PNode::LoadIndirect { access, addr } => {
+                let a = access as usize;
+                let array = self.def.accesses[a].array;
+                let elem = match resumed {
+                    Some(e) => e,
+                    None => {
+                        let elem = self.vals[addr as usize].as_i64();
+                        let byte = ctx.addr_of(array, elem);
+                        let line = byte / LINE_BYTES;
+                        if !self.buffer.access(line) {
+                            let _ = self.issue_read(ctx, line * LINE_BYTES);
+                            return Err(Wait::Line {
+                                line_addr: line * LINE_BYTES,
+                                pc,
+                                elem,
+                            });
+                        }
+                        self.stats.intra_bytes += 8;
+                        elem
+                    }
+                };
+                if resumed.is_some() {
+                    self.stats.intra_bytes += 8;
+                }
+                self.stats.mem_ops += 1;
+                ctx.func_load(array, elem)
+            }
+            PNode::Bin { op, a, b } => {
+                self.stats.alu_ops += 1;
+                let r = op.apply(self.vals[a as usize], self.vals[b as usize]);
+                self.vals[pc] = r;
+                return Ok(op.latency());
+            }
+            PNode::Un { op, a } => {
+                self.stats.alu_ops += 1;
+                let r = op.apply(self.vals[a as usize]);
+                self.vals[pc] = r;
+                return Ok(op.latency());
+            }
+            PNode::Select { c, t, f } => {
+                self.stats.alu_ops += 1;
+                if self.vals[c as usize].truthy() {
+                    self.vals[t as usize]
+                } else {
+                    self.vals[f as usize]
+                }
+            }
+            PNode::Recv { chan } => match ctx.try_recv(chan) {
+                Some(v) => v,
+                None => return Err(Wait::Chan { pc }),
+            },
+            PNode::Send { chan, src } => {
+                let v = self.vals[src as usize];
+                if !ctx.try_send(chan, v) {
+                    return Err(Wait::Chan { pc });
+                }
+                self.stats.aa_bytes += 8;
+                v
+            }
+            PNode::StoreStream { access, val, pred } => {
+                let executed = pred.map_or(true, |p| self.vals[p as usize].truthy());
+                if executed {
+                    if self.outstanding_writes >= self.max_writes && resumed.is_none() {
+                        return Err(Wait::WriteCap { pc });
+                    }
+                    let a = access as usize;
+                    let array = self.def.accesses[a].array;
+                    let elem = self.elem_of_stream(a, self.inner);
+                    let v = self.vals[val as usize];
+                    ctx.func_store(array, elem, v);
+                    let line = ctx.addr_of(array, elem) / LINE_BYTES;
+                    self.stats.mem_ops += 1;
+                    self.stats.intra_bytes += 8;
+                    if let Some(victim) = self.buffer.write(line) {
+                        self.issue_write(ctx, victim * LINE_BYTES);
+                    }
+                    // Stream stores advance monotonically: once the write
+                    // pointer leaves a line, drain it eagerly so dirty
+                    // lines never pile up in the buffer (Figure 2c's drain
+                    // FSM).
+                    if let Some(prev) = self.write_line[a] {
+                        if prev != line {
+                            self.buffer.mark_clean(prev);
+                            self.issue_write(ctx, prev * LINE_BYTES);
+                        }
+                    }
+                    self.write_line[a] = Some(line);
+                }
+                Value::I(0)
+            }
+            PNode::StoreIndirect {
+                access,
+                addr,
+                val,
+                pred,
+            } => {
+                let executed = pred.map_or(true, |p| self.vals[p as usize].truthy());
+                if executed {
+                    if self.outstanding_writes >= self.max_writes && resumed.is_none() {
+                        return Err(Wait::WriteCap { pc });
+                    }
+                    let a = access as usize;
+                    let array = self.def.accesses[a].array;
+                    let elem = self.vals[addr as usize].as_i64();
+                    let v = self.vals[val as usize];
+                    ctx.func_store(array, elem, v);
+                    let line = ctx.addr_of(array, elem) / LINE_BYTES;
+                    self.stats.mem_ops += 1;
+                    self.stats.intra_bytes += 8;
+                    if let Some(victim) = self.buffer.write(line) {
+                        self.issue_write(ctx, victim * LINE_BYTES);
+                    }
+                }
+                Value::I(0)
+            }
+        };
+        self.vals[pc] = v;
+        Ok(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::MockCtx;
+    use distda_compiler::{compile, PartitionMode};
+    use distda_ir::prelude::*;
+
+    fn axpy_plan() -> (Program, distda_compiler::OffloadPlan) {
+        let mut b = ProgramBuilder::new("axpy");
+        let x = b.array_f64("x", 32);
+        let y = b.array_f64("y", 32);
+        b.for_(0, 32, 1, |b, i| {
+            let v = Expr::cf(2.0) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+            b.store(y, i, v);
+        });
+        let p = b.build();
+        let ck = compile(&p, PartitionMode::Monolithic);
+        (p, ck.offloads[0].clone())
+    }
+
+    fn run_to_done(e: &mut PartitionEngine, ctx: &mut MockCtx, budget: u64) -> u64 {
+        let mut t = 0;
+        while !e.is_done() {
+            e.tick(t, ctx);
+            t += 1;
+            assert!(t < budget, "engine hung");
+        }
+        t
+    }
+
+    #[test]
+    fn monolithic_axpy_computes_correct_values() {
+        let (_, plan) = axpy_plan();
+        let mut eng = PartitionEngine::new(
+            plan.partitions[0].clone(),
+            plan.params.clone(),
+            IssueModel::InOrder { width: 1 },
+            ClockDomain::from_ghz(2.0),
+            64,
+        );
+        let mut ctx = MockCtx::new(3);
+        let x = ArrayId(0);
+        let y = ArrayId(1);
+        for i in 0..32 {
+            ctx.set(x, i, Value::F(i as f64));
+            ctx.set(y, i, Value::F(1.0));
+        }
+        eng.run(0, &[], &[], 0, 32, 1);
+        run_to_done(&mut eng, &mut ctx, 1_000_000);
+        for i in 0..32 {
+            assert_eq!(ctx.func_load(y, i), Value::F(2.0 * i as f64 + 1.0));
+        }
+        assert_eq!(eng.stats().iterations, 32);
+        assert!(eng.stats().intra_bytes > 0, "no buffer reuse on unit stride");
+    }
+
+    #[test]
+    fn reduction_carry_produces_sum() {
+        let mut b = ProgramBuilder::new("sum");
+        let x = b.array_i64("x", 16);
+        let acc = b.scalar("acc", 0i64);
+        b.for_(0, 16, 1, |b, i| {
+            b.set(acc, Expr::Scalar(acc) + Expr::load(x, i));
+        });
+        let p = b.build();
+        let plan = compile(&p, PartitionMode::Monolithic).offloads[0].clone();
+        let mut eng = PartitionEngine::new(
+            plan.partitions[0].clone(),
+            plan.params.clone(),
+            IssueModel::InOrder { width: 1 },
+            ClockDomain::from_ghz(2.0),
+            64,
+        );
+        let mut ctx = MockCtx::new(2);
+        for i in 0..16 {
+            ctx.set(ArrayId(0), i, Value::I(i + 1));
+        }
+        eng.run(0, &[], &[Value::I(0)], 0, 16, 1);
+        run_to_done(&mut eng, &mut ctx, 1_000_000);
+        let (_, _, reg) = plan.liveouts[0];
+        assert_eq!(eng.carry_value(reg), Value::I(136));
+    }
+
+    #[test]
+    fn empty_trip_completes_immediately() {
+        let (_, plan) = axpy_plan();
+        let mut eng = PartitionEngine::new(
+            plan.partitions[0].clone(),
+            plan.params.clone(),
+            IssueModel::InOrder { width: 1 },
+            ClockDomain::from_ghz(2.0),
+            8,
+        );
+        let mut ctx = MockCtx::new(1);
+        eng.run(0, &[], &[], 5, 5, 1);
+        run_to_done(&mut eng, &mut ctx, 100);
+        assert_eq!(eng.stats().iterations, 0);
+    }
+
+    #[test]
+    fn recv_blocks_until_data_arrives() {
+        // Distributed two-partition pipeline over MockCtx channels.
+        let mut b = ProgramBuilder::new("pipe");
+        let x = b.array_f64("x", 8);
+        let y = b.array_f64("y", 8);
+        b.for_(0, 8, 1, |b, i| {
+            b.store(y, i.clone(), Expr::load(x, i) * Expr::cf(3.0));
+        });
+        let p = b.build();
+        let plan = compile(&p, PartitionMode::Distributed).offloads[0].clone();
+        assert_eq!(plan.partitions.len(), 2);
+        let mk = |d: &distda_compiler::PartitionDef| {
+            PartitionEngine::new(
+                d.clone(),
+                plan.params.clone(),
+                IssueModel::InOrder { width: 1 },
+                ClockDomain::from_ghz(2.0),
+                16,
+            )
+        };
+        let mut e0 = mk(&plan.partitions[0]);
+        let mut e1 = mk(&plan.partitions[1]);
+        let mut ctx = MockCtx::new(2);
+        for i in 0..8 {
+            ctx.set(ArrayId(0), i, Value::F(i as f64));
+        }
+        e0.run(0, &[], &[], 0, 8, 1);
+        e1.run(0, &[], &[], 0, 8, 1);
+        let mut t = 0;
+        while !(e0.is_done() && e1.is_done()) {
+            e0.tick(t, &mut ctx);
+            e1.tick(t, &mut ctx);
+            t += 1;
+            assert!(t < 1_000_000, "pipeline hung");
+        }
+        for i in 0..8 {
+            assert_eq!(ctx.func_load(ArrayId(1), i), Value::F(3.0 * i as f64));
+        }
+        let total_aa: u64 = e0.stats().aa_bytes + e1.stats().aa_bytes;
+        assert_eq!(total_aa, 8 * 8, "one 8-byte operand per iteration");
+    }
+
+    #[test]
+    fn cgra_ii_paces_iterations() {
+        let (_, plan) = axpy_plan();
+        let mk = |model| {
+            PartitionEngine::new(
+                plan.partitions[0].clone(),
+                plan.params.clone(),
+                model,
+                ClockDomain::from_ghz(1.0),
+                64,
+            )
+        };
+        let mut fast = mk(IssueModel::Cgra { ii: 1 });
+        let mut slow = mk(IssueModel::Cgra { ii: 16 });
+        let mut c1 = MockCtx::new(1);
+        let mut c2 = MockCtx::new(1);
+        fast.run(0, &[], &[], 0, 32, 1);
+        slow.run(0, &[], &[], 0, 32, 1);
+        let t_fast = run_to_done(&mut fast, &mut c1, 1_000_000);
+        let t_slow = run_to_done(&mut slow, &mut c2, 1_000_000);
+        assert!(
+            t_slow > t_fast * 2,
+            "II=16 ({t_slow}) should be much slower than II=1 ({t_fast})"
+        );
+    }
+
+    #[test]
+    fn predicated_store_skips_memory() {
+        let mut b = ProgramBuilder::new("pred");
+        let x = b.array_i64("x", 8);
+        let y = b.array_i64("y", 8);
+        b.for_(0, 8, 1, |b, i| {
+            b.when(Expr::load(x, i.clone()).lt(Expr::c(0)), |b| {
+                b.store(y, i.clone(), Expr::c(1));
+            });
+        });
+        let p = b.build();
+        let plan = compile(&p, PartitionMode::Monolithic).offloads[0].clone();
+        let mut eng = PartitionEngine::new(
+            plan.partitions[0].clone(),
+            plan.params.clone(),
+            IssueModel::InOrder { width: 1 },
+            ClockDomain::from_ghz(2.0),
+            16,
+        );
+        let mut ctx = MockCtx::new(1);
+        // x all non-negative: predicate always false.
+        eng.run(0, &[], &[], 0, 8, 1);
+        run_to_done(&mut eng, &mut ctx, 1_000_000);
+        for i in 0..8 {
+            assert_eq!(ctx.func_load(ArrayId(1), i), Value::I(0));
+        }
+    }
+
+    #[test]
+    fn wider_issue_is_faster() {
+        let (_, plan) = axpy_plan();
+        let mk = |w| {
+            PartitionEngine::new(
+                plan.partitions[0].clone(),
+                plan.params.clone(),
+                IssueModel::InOrder { width: w },
+                ClockDomain::from_ghz(2.0),
+                64,
+            )
+        };
+        let mut narrow = mk(1);
+        let mut wide = mk(4);
+        let mut c1 = MockCtx::new(1);
+        let mut c2 = MockCtx::new(1);
+        narrow.run(0, &[], &[], 0, 32, 1);
+        wide.run(0, &[], &[], 0, 32, 1);
+        let tn = run_to_done(&mut narrow, &mut c1, 1_000_000);
+        let tw = run_to_done(&mut wide, &mut c2, 1_000_000);
+        assert!(tw < tn, "4-wide {tw} should beat 1-wide {tn}");
+    }
+
+    #[test]
+    fn stats_count_memory_and_alu_ops() {
+        let (_, plan) = axpy_plan();
+        let mut eng = PartitionEngine::new(
+            plan.partitions[0].clone(),
+            plan.params.clone(),
+            IssueModel::InOrder { width: 1 },
+            ClockDomain::from_ghz(2.0),
+            64,
+        );
+        let mut ctx = MockCtx::new(1);
+        eng.run(0, &[], &[], 0, 32, 1);
+        run_to_done(&mut eng, &mut ctx, 1_000_000);
+        assert_eq!(eng.stats().mem_ops, 32 * 3);
+        assert_eq!(eng.stats().alu_ops, 32 * 2);
+        assert!(eng.stats().da_bytes > 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks of the simulator's hot components plus a
+//! small end-to-end simulation, so `cargo bench` exercises the substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use distda_ir::prelude::*;
+use distda_mem::cache::Cache;
+use distda_mem::params::CacheParams;
+use distda_noc::{Mesh, NocConfig, Packet, TrafficClass};
+use distda_sim::time::ClockDomain;
+use distda_system::{ConfigKind, RunConfig};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/streaming_access", |b| {
+        let mut cache = Cache::new(CacheParams {
+            size_bytes: 32 * 1024,
+            assoc: 8,
+            latency: 2,
+            mshrs: 8,
+        });
+        let mut line = 0u64;
+        b.iter(|| {
+            if cache.access(black_box(line), false) == distda_mem::cache::Lookup::Miss {
+                cache.fill(line, false);
+            }
+            line = (line + 1) % 4096;
+        });
+    });
+}
+
+fn bench_noc(c: &mut Criterion) {
+    c.bench_function("noc/inject_route_deliver", |b| {
+        let mut mesh: Mesh<u64> = Mesh::new(4, 2, NocConfig::default(), ClockDomain::from_ghz(2.0));
+        let mut t = 0u64;
+        b.iter(|| {
+            let _ = mesh.try_inject(t, Packet::new(0, 7, 64, TrafficClass::AccData, t));
+            mesh.tick(t);
+            for n in 0..8 {
+                black_box(mesh.drain_inbox(n));
+            }
+            t += 1;
+        });
+    });
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut b = ProgramBuilder::new("stencil");
+    let a = b.array_f64("a", 4096);
+    let o = b.array_f64("o", 4096);
+    b.for_(1, 4095, 1, |b, i| {
+        let v = Expr::load(a, i.clone() - Expr::c(1))
+            + Expr::load(a, i.clone())
+            + Expr::load(a, i.clone() + Expr::c(1));
+        b.store(o, i, v * Expr::cf(1.0 / 3.0));
+    });
+    let prog = b.build();
+    c.bench_function("compiler/compile_distributed", |bch| {
+        bch.iter(|| {
+            black_box(distda_compiler::compile(
+                black_box(&prog),
+                distda_compiler::PartitionMode::Distributed,
+            ))
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let n = 1024usize;
+    let mut b = ProgramBuilder::new("axpy");
+    let x = b.array_f64("x", n);
+    let y = b.array_f64("y", n);
+    b.for_(0, n as i64, 1, |b, i| {
+        let v = Expr::cf(2.0) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+        b.store(y, i, v);
+    });
+    let prog = b.build();
+    let init = move |mem: &mut Memory| {
+        for i in 0..n {
+            mem.array_mut(x)[i] = Value::F(i as f64);
+        }
+    };
+    let mut g = c.benchmark_group("end_to_end");
+    g.sample_size(10);
+    for kind in [ConfigKind::OoO, ConfigKind::DistDAF] {
+        g.bench_function(format!("axpy_1k/{:?}", kind), |bch| {
+            bch.iter(|| {
+                black_box(distda_system::simulate(
+                    &prog,
+                    &init,
+                    &RunConfig::named(kind),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_noc, bench_compiler, bench_end_to_end);
+criterion_main!(benches);

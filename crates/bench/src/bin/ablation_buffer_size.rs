@@ -1,0 +1,45 @@
+//! Ablation: access-unit buffer capacity (DESIGN.md ablation #4).
+//! Sweeps the per-engine SRAM from 0.5 KB to 8 KB on representative
+//! kernels under Dist-DA-F.
+
+use distda_bench::{emit, run_matrix};
+use distda_system::{ConfigKind, RunConfig};
+use distda_workloads::{fdtd_2d, pagerank, seidel_2d, Scale};
+use std::fmt::Write;
+
+fn main() {
+    let scale = Scale::eval();
+    let ws = vec![fdtd_2d(&scale), seidel_2d(&scale), pagerank(&scale)];
+    let mut cfgs = Vec::new();
+    for lines in [8usize, 16, 32, 64, 128] {
+        let mut c = RunConfig::named(ConfigKind::DistDAF);
+        c.buffer_lines = lines;
+        c.suffix = match lines {
+            8 => "-0.5KB",
+            16 => "-1KB",
+            32 => "-2KB",
+            64 => "-4KB",
+            _ => "-8KB",
+        };
+        cfgs.push(c);
+    }
+    let sweep = run_matrix(&ws, &cfgs);
+    let mut out = String::new();
+    writeln!(out, "\n=== Ablation: buffer capacity (Dist-DA-F) ===").unwrap();
+    writeln!(out, "{:<12} {:>12} {:>12} {:>10} {:>10}", "kernel", "buffer", "ticks", "intra%", "D-A(KB)").unwrap();
+    for k in &sweep.kernels {
+        for c in &sweep.configs {
+            let r = sweep.get(k, c);
+            let total = (r.intra_bytes + r.da_bytes + r.aa_bytes).max(1) as f64;
+            writeln!(
+                out,
+                "{:<12} {:>12} {:>12} {:>9.1}% {:>10}",
+                k, c, r.ticks,
+                100.0 * r.intra_bytes as f64 / total,
+                r.da_bytes / 1024
+            )
+            .unwrap();
+        }
+    }
+    emit("ablation_buffer_size.txt", &out);
+}

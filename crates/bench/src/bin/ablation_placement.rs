@@ -1,0 +1,40 @@
+//! Ablation: horizontal placement / allocation policy (DESIGN.md
+//! ablation #6). Compares interleaved (no anchoring), round-robin
+//! anchoring (greedy stand-in) and affinity anchoring under Dist-DA-F.
+
+use distda_bench::{emit, run_matrix};
+use distda_system::{AllocStrategy, ConfigKind, RunConfig};
+use distda_workloads::{disparity, fdtd_2d, pagerank, Scale};
+use std::fmt::Write;
+
+fn main() {
+    let scale = Scale::eval();
+    let ws = vec![disparity(&scale), fdtd_2d(&scale), pagerank(&scale)];
+    let mut cfgs = Vec::new();
+    for (alloc, tag) in [
+        (AllocStrategy::Interleaved, "-interleave"),
+        (AllocStrategy::RoundRobin, "-anchor"),
+        (AllocStrategy::Affinity, "-affinity"),
+    ] {
+        let mut c = RunConfig::named(ConfigKind::DistDAF);
+        c.alloc = alloc;
+        c.suffix = tag;
+        cfgs.push(c);
+    }
+    let sweep = run_matrix(&ws, &cfgs);
+    let mut out = String::new();
+    writeln!(out, "\n=== Ablation: object placement (Dist-DA-F) ===").unwrap();
+    writeln!(out, "{:<12} {:>26} {:>12} {:>14} {:>12}", "kernel", "policy", "ticks", "NoC hop-bytes", "energy(nJ)").unwrap();
+    for k in &sweep.kernels {
+        for c in &sweep.configs {
+            let r = sweep.get(k, c);
+            writeln!(
+                out,
+                "{:<12} {:>26} {:>12} {:>14} {:>12.1}",
+                k, c, r.ticks, r.counters.noc_hop_bytes, r.energy_pj() / 1e3
+            )
+            .unwrap();
+        }
+    }
+    emit("ablation_placement.txt", &out);
+}

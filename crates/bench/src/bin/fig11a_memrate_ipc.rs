@@ -1,0 +1,9 @@
+//! Regenerates the paper's fig11a from a full suite sweep.
+
+use distda_bench::{emit, figures, paper_configs, run_suite_matrix};
+use distda_workloads::Scale;
+
+fn main() {
+    let sweep = run_suite_matrix(&Scale::eval(), &paper_configs());
+    emit("fig11a_memrate_ipc.txt", &figures::fig11a(&sweep));
+}

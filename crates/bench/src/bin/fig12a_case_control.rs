@@ -1,0 +1,9 @@
+//! Figure 12a: speedup of the control-intensive spmv / nw case studies
+//! (Dist-DA-B / -BN / -BNS), Section VI-D.
+
+use distda_bench::{emit, figures};
+use distda_workloads::Scale;
+
+fn main() {
+    emit("fig12a_case_control.txt", &figures::fig12a(&Scale::eval()));
+}

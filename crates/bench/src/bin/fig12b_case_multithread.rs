@@ -1,0 +1,9 @@
+//! Figure 12b: multithreaded bfs and pathfinder scaling (1-8 threads),
+//! Section VI-D.
+
+use distda_bench::{emit, mt};
+use distda_workloads::Scale;
+
+fn main() {
+    emit("fig12b_case_multithread.txt", &mt::fig12b(&Scale::eval()));
+}

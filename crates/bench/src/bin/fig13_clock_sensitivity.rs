@@ -1,0 +1,9 @@
+//! Figure 13: accelerator clock sweep (1-3 GHz), speedup and IPC
+//! normalized to Dist-DA-IO@1GHz.
+
+use distda_bench::{emit, figures};
+use distda_workloads::Scale;
+
+fn main() {
+    emit("fig13_clock_sensitivity.txt", &figures::fig13(&Scale::eval()));
+}

@@ -1,0 +1,9 @@
+//! Figure 14: software-prefetch (+SW) and allocation (+A) optimization
+//! study, normalized to Dist-DA-IO.
+
+use distda_bench::{emit, figures};
+use distda_workloads::Scale;
+
+fn main() {
+    emit("fig14_sw_optimizations.txt", &figures::fig14(&Scale::eval()));
+}

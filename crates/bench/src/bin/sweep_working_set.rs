@@ -1,0 +1,7 @@
+//! Section VI-E: fdtd-2d working-set sensitivity sweep.
+
+use distda_bench::{emit, figures};
+
+fn main() {
+    emit("sweep_working_set.txt", &figures::sweep_working_set());
+}

@@ -1,0 +1,9 @@
+//! Table V: which interface mechanisms each benchmark exercises
+//! (C = compiler-automated, U = user-annotated case study).
+
+use distda_bench::{emit, figures};
+use distda_workloads::Scale;
+
+fn main() {
+    emit("table05_interface_coverage.txt", &figures::table05(&Scale::eval()));
+}

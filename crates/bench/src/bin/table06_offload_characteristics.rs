@@ -1,0 +1,9 @@
+//! Table VI: offload characteristics of the Dist-DA configuration
+//! (code/data coverage, init overhead, buffers, microcode size).
+
+use distda_bench::{emit, figures};
+use distda_workloads::Scale;
+
+fn main() {
+    emit("table06_offload_characteristics.txt", &figures::table06(&Scale::eval()));
+}

@@ -1,0 +1,7 @@
+//! Section VI-E: accelerator area overhead estimates.
+
+use distda_bench::{emit, figures};
+
+fn main() {
+    emit("table_area.txt", &figures::table_area());
+}

@@ -1,0 +1,206 @@
+//! # distda-bench
+//!
+//! The experiment harness: shared sweep infrastructure used by one binary
+//! per paper figure/table (`fig07_energy_efficiency`, ...,
+//! `table06_offload_characteristics`, `reproduce`). Each binary prints the
+//! same rows/series the paper reports, normalized the same way.
+
+pub mod figures;
+pub mod mt;
+
+use distda_sim::geomean;
+use distda_system::{ConfigKind, RunConfig, RunResult};
+use distda_workloads::{suite, Scale, Workload};
+use std::collections::BTreeMap;
+use std::io::Write;
+
+/// Results of simulating a set of workloads under a set of configurations.
+#[derive(Debug, Default)]
+pub struct Sweep {
+    /// Kernel names in run order.
+    pub kernels: Vec<String>,
+    /// Configuration labels in run order.
+    pub configs: Vec<String>,
+    /// Result per (kernel, config label).
+    pub results: BTreeMap<(String, String), RunResult>,
+}
+
+impl Sweep {
+    /// Looks up a result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pair was not simulated.
+    pub fn get(&self, kernel: &str, config: &str) -> &RunResult {
+        self.results
+            .get(&(kernel.to_string(), config.to_string()))
+            .unwrap_or_else(|| panic!("missing result {kernel}/{config}"))
+    }
+
+    /// Adds a result.
+    pub fn insert(&mut self, r: RunResult) {
+        if !self.kernels.contains(&r.kernel) {
+            self.kernels.push(r.kernel.clone());
+        }
+        if !self.configs.contains(&r.config) {
+            self.configs.push(r.config.clone());
+        }
+        self.results.insert((r.kernel.clone(), r.config.clone()), r);
+    }
+}
+
+/// Runs `workloads x configs`, logging progress to stderr.
+///
+/// # Panics
+///
+/// Panics if any run fails validation (a simulation bug, never expected).
+pub fn run_matrix(workloads: &[Workload], configs: &[RunConfig]) -> Sweep {
+    let mut sweep = Sweep::default();
+    for w in workloads {
+        for cfg in configs {
+            eprint!("  sim {:<14} {:<20}\r", w.name, cfg.label());
+            std::io::stderr().flush().ok();
+            let r = w.simulate(cfg);
+            assert!(
+                r.validated,
+                "{} under {} produced wrong results",
+                w.name,
+                cfg.label()
+            );
+            sweep.insert(r);
+        }
+    }
+    eprintln!();
+    sweep
+}
+
+/// Runs the full 12-benchmark suite under the given configurations.
+pub fn run_suite_matrix(scale: &Scale, configs: &[RunConfig]) -> Sweep {
+    run_matrix(&suite(scale), configs)
+}
+
+/// The six paper configurations.
+pub fn paper_configs() -> Vec<RunConfig> {
+    ConfigKind::ALL.iter().map(|&k| RunConfig::named(k)).collect()
+}
+
+/// Renders a table of `metric(kernel, config)` with a geometric-mean row;
+/// returns the rendered text (callers print and/or save it).
+pub fn metric_table(
+    title: &str,
+    sweep: &Sweep,
+    configs: &[String],
+    metric: impl Fn(&RunResult) -> f64,
+    normalize_to: Option<&str>,
+    invert: bool,
+) -> String {
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    writeln!(out, "\n=== {title} ===").unwrap();
+    write!(out, "{:<14}", "benchmark").unwrap();
+    for c in configs {
+        write!(out, " {c:>20}").unwrap();
+    }
+    writeln!(out).unwrap();
+    let mut per_config: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for k in &sweep.kernels {
+        write!(out, "{k:<14}").unwrap();
+        for c in configs {
+            let raw = metric(sweep.get(k, c));
+            let v = match normalize_to {
+                Some(base) => {
+                    let b = metric(sweep.get(k, base));
+                    if invert {
+                        if raw == 0.0 {
+                            f64::NAN
+                        } else {
+                            b / raw
+                        }
+                    } else if b == 0.0 {
+                        f64::NAN
+                    } else {
+                        raw / b
+                    }
+                }
+                None => raw,
+            };
+            per_config.entry(c.as_str()).or_default().push(v);
+            write!(out, " {v:>20.3}").unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    write!(out, "{:<14}", "geomean").unwrap();
+    for c in configs {
+        let g = geomean(
+            per_config
+                .get(c.as_str())
+                .unwrap()
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite() && *v > 0.0),
+        )
+        .unwrap_or(f64::NAN);
+        write!(out, " {g:>20.3}").unwrap();
+    }
+    writeln!(out).unwrap();
+    out
+}
+
+/// Writes `content` to `results/<name>` (best effort) and echoes the path.
+pub fn save_result(name: &str, content: &str) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(name);
+        if std::fs::write(&path, content).is_ok() {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Prints and saves a rendered table.
+pub fn emit(name: &str, content: &str) {
+    print!("{content}");
+    save_result(name, content);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distda_workloads::pointer_chase;
+
+    #[test]
+    fn sweep_runs_and_indexes_results() {
+        let w = pointer_chase(&Scale::tiny());
+        let cfgs = vec![
+            RunConfig::named(ConfigKind::OoO),
+            RunConfig::named(ConfigKind::DistDAIO),
+        ];
+        let sweep = run_matrix(&[w], &cfgs);
+        assert_eq!(sweep.kernels.len(), 1);
+        assert_eq!(sweep.configs.len(), 2);
+        let r = sweep.get("pointer-chase", "OoO");
+        assert!(r.ticks > 0);
+    }
+
+    #[test]
+    fn paper_configs_are_six() {
+        assert_eq!(paper_configs().len(), 6);
+    }
+
+    #[test]
+    fn metric_table_renders_geomean() {
+        let w = pointer_chase(&Scale::tiny());
+        let cfgs = vec![RunConfig::named(ConfigKind::OoO)];
+        let sweep = run_matrix(&[w], &cfgs);
+        let t = metric_table(
+            "t",
+            &sweep,
+            &["OoO".to_string()],
+            |r| r.ticks as f64,
+            None,
+            false,
+        );
+        assert!(t.contains("geomean"));
+        assert!(t.contains("pointer-chase"));
+    }
+}

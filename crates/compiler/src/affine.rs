@@ -1,0 +1,275 @@
+//! Affine (scalar-evolution) analysis of index expressions.
+//!
+//! The paper leverages LLVM's scalar evolution ("chains of recurrences") to
+//! recognize address-recurrent streaming accesses. Our IR makes the same
+//! information recoverable syntactically: an index expression is *affine*
+//! when it is a linear combination of loop variables and loop-invariant
+//! scalars with constant coefficients. The innermost-variable coefficient
+//! is the stream stride; the rest is the per-invocation base the access
+//! unit's FSM is configured with.
+
+use distda_ir::expr::{BinOp, Expr, LoopVarId, ScalarId, UnOp};
+use distda_ir::value::Value;
+use std::collections::HashSet;
+
+/// A symbol an affine expression may reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sym {
+    /// A loop induction variable.
+    Var(LoopVarId),
+    /// A loop-invariant scalar (live-in, set via `cp_set_rf`).
+    Scalar(ScalarId),
+}
+
+/// `c + sum(coeff_i * sym_i)` with integer coefficients.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AffineExpr {
+    /// Constant term.
+    pub c: i64,
+    /// Symbol terms, sorted by symbol, no zero coefficients, no duplicates.
+    pub terms: Vec<(Sym, i64)>,
+}
+
+impl AffineExpr {
+    /// The constant expression.
+    pub fn constant(c: i64) -> Self {
+        Self { c, terms: Vec::new() }
+    }
+
+    /// A bare symbol.
+    pub fn sym(s: Sym) -> Self {
+        Self {
+            c: 0,
+            terms: vec![(s, 1)],
+        }
+    }
+
+    fn normalize(mut self) -> Self {
+        self.terms.sort_by_key(|&(s, _)| s);
+        self.terms.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+        self.terms.retain(|&(_, k)| k != 0);
+        self
+    }
+
+    /// Sum of two affine expressions.
+    pub fn add(&self, other: &Self) -> Self {
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().copied());
+        Self {
+            c: self.c.wrapping_add(other.c),
+            terms,
+        }
+        .normalize()
+    }
+
+    /// Difference.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.add(&other.scale(-1))
+    }
+
+    /// Scales by a constant.
+    pub fn scale(&self, k: i64) -> Self {
+        Self {
+            c: self.c.wrapping_mul(k),
+            terms: self
+                .terms
+                .iter()
+                .map(|&(s, c)| (s, c.wrapping_mul(k)))
+                .collect(),
+        }
+        .normalize()
+    }
+
+    /// Coefficient of a symbol (zero if absent).
+    pub fn coeff(&self, s: Sym) -> i64 {
+        self.terms
+            .iter()
+            .find(|&&(t, _)| t == s)
+            .map(|&(_, k)| k)
+            .unwrap_or(0)
+    }
+
+    /// Removes a symbol's term, returning its coefficient.
+    pub fn take_coeff(&mut self, s: Sym) -> i64 {
+        match self.terms.iter().position(|&(t, _)| t == s) {
+            Some(i) => self.terms.remove(i).1,
+            None => 0,
+        }
+    }
+
+    /// Whether the expression is a plain constant.
+    pub fn is_const(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates with an environment providing symbol values.
+    pub fn eval(&self, env: &impl Fn(Sym) -> i64) -> i64 {
+        self.terms.iter().fold(self.c, |acc, &(s, k)| {
+            acc.wrapping_add(env(s).wrapping_mul(k))
+        })
+    }
+}
+
+/// Attempts to express `e` as an affine function of loop variables and
+/// scalars *not* in `defined_in_body` (scalars assigned inside the loop are
+/// not loop-invariant, so any use makes the index data-dependent).
+pub fn affine_of(e: &Expr, defined_in_body: &HashSet<ScalarId>) -> Option<AffineExpr> {
+    match e {
+        Expr::Const(Value::I(v)) => Some(AffineExpr::constant(*v)),
+        Expr::Const(Value::F(_)) => None,
+        Expr::LoopVar(v) => Some(AffineExpr::sym(Sym::Var(*v))),
+        Expr::Scalar(s) => {
+            if defined_in_body.contains(s) {
+                None
+            } else {
+                Some(AffineExpr::sym(Sym::Scalar(*s)))
+            }
+        }
+        Expr::Bin(op, a, b) => {
+            let fa = affine_of(a, defined_in_body);
+            let fb = affine_of(b, defined_in_body);
+            match op {
+                BinOp::Add => Some(fa?.add(&fb?)),
+                BinOp::Sub => Some(fa?.sub(&fb?)),
+                BinOp::Mul => {
+                    let (fa, fb) = (fa?, fb?);
+                    if fa.is_const() {
+                        Some(fb.scale(fa.c))
+                    } else if fb.is_const() {
+                        Some(fa.scale(fb.c))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        }
+        Expr::Un(UnOp::Neg, a) => Some(affine_of(a, defined_in_body)?.scale(-1)),
+        _ => None,
+    }
+}
+
+/// The result of splitting an index expression against the innermost loop
+/// variable: a per-iteration stride and an invariant base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamForm {
+    /// Elements advanced per innermost iteration.
+    pub stride: i64,
+    /// Invariant base (outer vars + live-in scalars + constant).
+    pub base: AffineExpr,
+}
+
+/// Splits an affine index into stream form with respect to `inner`.
+pub fn stream_form(mut a: AffineExpr, inner: LoopVarId) -> StreamForm {
+    let stride = a.take_coeff(Sym::Var(inner));
+    StreamForm { stride, base: a }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distda_ir::expr::Expr as E;
+
+    fn none() -> HashSet<ScalarId> {
+        HashSet::new()
+    }
+
+    #[test]
+    fn linear_combination_recognized() {
+        // 3*i + 2*j + 5
+        let i = LoopVarId(0);
+        let j = LoopVarId(1);
+        let e = E::c(3) * E::LoopVar(i) + E::c(2) * E::LoopVar(j) + E::c(5);
+        let a = affine_of(&e, &none()).unwrap();
+        assert_eq!(a.c, 5);
+        assert_eq!(a.coeff(Sym::Var(i)), 3);
+        assert_eq!(a.coeff(Sym::Var(j)), 2);
+    }
+
+    #[test]
+    fn row_major_index_splits_into_stream_form() {
+        // i*N + j with inner j: stride 1, base N*i.
+        let i = LoopVarId(0);
+        let j = LoopVarId(1);
+        let e = E::LoopVar(i) * E::c(100) + E::LoopVar(j);
+        let a = affine_of(&e, &none()).unwrap();
+        let sf = stream_form(a, j);
+        assert_eq!(sf.stride, 1);
+        assert_eq!(sf.base.coeff(Sym::Var(i)), 100);
+        assert_eq!(sf.base.c, 0);
+    }
+
+    #[test]
+    fn column_major_has_large_stride() {
+        let i = LoopVarId(0);
+        let j = LoopVarId(1);
+        let e = E::LoopVar(j) * E::c(64) + E::LoopVar(i);
+        let sf = stream_form(affine_of(&e, &none()).unwrap(), j);
+        assert_eq!(sf.stride, 64);
+    }
+
+    #[test]
+    fn load_in_index_is_not_affine() {
+        let e = E::load(distda_ir::ArrayId(0), E::c(0)) + E::c(1);
+        assert_eq!(affine_of(&e, &none()), None);
+    }
+
+    #[test]
+    fn body_defined_scalar_poisons_affinity() {
+        let s = ScalarId(0);
+        let mut defined = HashSet::new();
+        defined.insert(s);
+        let e = E::Scalar(s) + E::c(1);
+        assert_eq!(affine_of(&e, &defined), None);
+        // Loop-invariant scalar is fine.
+        assert!(affine_of(&e, &none()).is_some());
+    }
+
+    #[test]
+    fn nonlinear_products_rejected() {
+        let i = LoopVarId(0);
+        let e = E::LoopVar(i) * E::LoopVar(i);
+        assert_eq!(affine_of(&e, &none()), None);
+    }
+
+    #[test]
+    fn negation_and_subtraction() {
+        let i = LoopVarId(0);
+        let e = E::c(10) - E::LoopVar(i);
+        let a = affine_of(&e, &none()).unwrap();
+        assert_eq!(a.c, 10);
+        assert_eq!(a.coeff(Sym::Var(i)), -1);
+        let neg = affine_of(&(-E::LoopVar(i)), &none()).unwrap();
+        assert_eq!(neg.coeff(Sym::Var(i)), -1);
+    }
+
+    #[test]
+    fn eval_matches_structure() {
+        let i = LoopVarId(0);
+        let s = ScalarId(3);
+        let a = AffineExpr {
+            c: 7,
+            terms: vec![(Sym::Var(i), 2), (Sym::Scalar(s), -1)],
+        };
+        let v = a.eval(&|sym| match sym {
+            Sym::Var(_) => 10,
+            Sym::Scalar(_) => 4,
+        });
+        assert_eq!(v, 7 + 20 - 4);
+    }
+
+    #[test]
+    fn normalize_merges_and_drops_zeros() {
+        let i = LoopVarId(0);
+        let a = AffineExpr::sym(Sym::Var(i)).add(&AffineExpr::sym(Sym::Var(i)).scale(-1));
+        assert!(a.is_const());
+        assert_eq!(a.c, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! DFG classification (paper Section V-A step 2).
+//!
+//! Static dependence analysis conservatively sorts each DFG into:
+//!
+//! 1. **Parallelizable** — partitionable accesses and computations with no
+//!    loop-carried memory dependence;
+//! 2. **Serialized** — non-partitionable: a non-reduction scalar recurrence
+//!    (e.g. a pointer chase feeding addresses) forces iteration-by-iteration
+//!    execution;
+//! 3. **Pipelinable** — partitionable but non-parallelizable because of
+//!    irregular or loop-carried writes; decoupled partitions may still
+//!    pipeline because object-level access ordering is preserved.
+
+use crate::dfg::{Dfg, DfgKind};
+use distda_ir::expr::BinOp;
+use std::collections::HashMap;
+
+/// Classification outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DfgClass {
+    /// No loop-carried dependences: partitions run fully decoupled.
+    Parallelizable,
+    /// Loop-carried or irregular writes: partitions pipeline.
+    Pipelinable,
+    /// Non-reduction recurrence: executes as a single sequential offload.
+    Serialized,
+}
+
+/// Classifies a DFG.
+pub fn classify(d: &Dfg) -> DfgClass {
+    if has_serializing_recurrence(d) {
+        return DfgClass::Serialized;
+    }
+    if has_carried_memory_dependence(d) {
+        return DfgClass::Pipelinable;
+    }
+    DfgClass::Parallelizable
+}
+
+/// A carry register is a benign reduction when every consumer of its
+/// `Carry` node is an associative combine (`+`, `*`, `min`, `max`) or a
+/// predication `Select` — anything else (address computation, comparisons
+/// steering other state) serializes the loop.
+fn has_serializing_recurrence(d: &Dfg) -> bool {
+    // consumers[n] = kinds of nodes consuming node n.
+    let mut consumers: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (from, to) in d.edges() {
+        consumers.entry(from).or_default().push(to as usize);
+    }
+    for (i, n) in d.nodes.iter().enumerate() {
+        let DfgKind::Carry(_) = n.kind else { continue };
+        let Some(users) = consumers.get(&(i as u32)) else {
+            continue;
+        };
+        for &u in users {
+            match &d.nodes[u].kind {
+                DfgKind::Bin(BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max) => {}
+                DfgKind::Select => {}
+                DfgKind::SetCarry(_) => {}
+                _ => return true,
+            }
+        }
+    }
+    false
+}
+
+fn has_carried_memory_dependence(d: &Dfg) -> bool {
+    for n in &d.nodes {
+        let (array, store_form) = match &n.kind {
+            DfgKind::StoreIndirect { array } => (array, None),
+            DfgKind::StoreStream { array, form } => (array, Some(form)),
+            _ => continue,
+        };
+        match store_form {
+            // Irregular write: conservatively pipelinable (paper case 3).
+            None => return true,
+            Some(sf) => {
+                // Compare against every load from the same object.
+                for m in &d.nodes {
+                    let lf = match &m.kind {
+                        DfgKind::LoadStream { array: la, form } if la == array => Some(form),
+                        DfgKind::LoadIndirect { array: la } if la == array => None,
+                        _ => continue,
+                    };
+                    match lf {
+                        // Indirect read of a written object: carried.
+                        None => return true,
+                        Some(lf) => {
+                            if lf.stride != sf.stride {
+                                return true; // incommensurate: be conservative
+                            }
+                            let delta = lf.base.sub(&sf.base);
+                            if !delta.is_const() || delta.c != 0 {
+                                // Reads a different element than this
+                                // iteration writes: loop-carried.
+                                return true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::build_dfg;
+    use distda_ir::program::ProgramBuilder;
+    use distda_ir::{Expr, Stmt};
+
+    fn classify_inner(build: impl FnOnce(&mut ProgramBuilder)) -> DfgClass {
+        let mut b = ProgramBuilder::new("t");
+        build(&mut b);
+        let p = b.build();
+        let mut inner = None;
+        p.visit_stmts(&mut |s| {
+            if let Stmt::Loop(l) = s {
+                if !l.body.iter().any(|s| matches!(s, Stmt::Loop(_))) {
+                    inner = Some(l.clone());
+                }
+            }
+        });
+        classify(&build_dfg(&inner.unwrap()).unwrap())
+    }
+
+    #[test]
+    fn streaming_map_is_parallelizable() {
+        let c = classify_inner(|b| {
+            let x = b.array_f64("x", 8);
+            let y = b.array_f64("y", 8);
+            b.for_(0, 8, 1, |b, i| {
+                b.store(y, i.clone(), Expr::load(x, i) * Expr::cf(2.0));
+            });
+        });
+        assert_eq!(c, DfgClass::Parallelizable);
+    }
+
+    #[test]
+    fn reduction_is_not_serialized() {
+        let c = classify_inner(|b| {
+            let x = b.array_f64("x", 8);
+            let acc = b.scalar("acc", 0.0f64);
+            b.for_(0, 8, 1, |b, i| {
+                b.set(acc, Expr::Scalar(acc) + Expr::load(x, i));
+            });
+        });
+        assert_eq!(c, DfgClass::Parallelizable);
+    }
+
+    #[test]
+    fn pointer_chase_is_serialized() {
+        let c = classify_inner(|b| {
+            let next = b.array_i64("next", 8);
+            let p = b.scalar("p", 0i64);
+            b.for_(0, 8, 1, |b, _| {
+                b.set(p, Expr::load(next, Expr::Scalar(p)));
+            });
+        });
+        assert_eq!(c, DfgClass::Serialized);
+    }
+
+    #[test]
+    fn stencil_in_place_is_pipelinable() {
+        // seidel-like: reads a[i-1] it wrote last iteration.
+        let c = classify_inner(|b| {
+            let a = b.array_f64("a", 16);
+            b.for_(1, 15, 1, |b, i| {
+                let v = (Expr::load(a, i.clone() - Expr::c(1))
+                    + Expr::load(a, i.clone())
+                    + Expr::load(a, i.clone() + Expr::c(1)))
+                    / Expr::cf(3.0);
+                b.store(a, i, v);
+            });
+        });
+        assert_eq!(c, DfgClass::Pipelinable);
+    }
+
+    #[test]
+    fn scatter_is_pipelinable() {
+        let c = classify_inner(|b| {
+            let idx = b.array_i64("idx", 8);
+            let out = b.array_f64("out", 64);
+            b.for_(0, 8, 1, |b, i| {
+                b.store(out, Expr::load(idx, i.clone()), Expr::cf(1.0));
+            });
+        });
+        assert_eq!(c, DfgClass::Pipelinable);
+    }
+
+    #[test]
+    fn same_element_read_then_write_is_parallelizable() {
+        let c = classify_inner(|b| {
+            let a = b.array_f64("a", 8);
+            b.for_(0, 8, 1, |b, i| {
+                b.store(a, i.clone(), Expr::load(a, i) * Expr::cf(2.0));
+            });
+        });
+        assert_eq!(c, DfgClass::Parallelizable);
+    }
+
+    #[test]
+    fn conditional_count_is_not_serialized() {
+        // bfs-style conditional increment through a Select.
+        let c = classify_inner(|b| {
+            let x = b.array_i64("x", 8);
+            let n = b.scalar("n", 0i64);
+            b.for_(0, 8, 1, |b, i| {
+                b.when(Expr::load(x, i).lt(Expr::c(3)), |b| {
+                    b.set(n, Expr::Scalar(n) + Expr::c(1));
+                });
+            });
+        });
+        assert_eq!(c, DfgClass::Parallelizable);
+    }
+}

@@ -1,0 +1,655 @@
+//! Dataflow-graph abstraction of an offloadable innermost loop body.
+//!
+//! Matches the paper's Section IV-A: address computations leading to a load
+//! or store are folded into *access* nodes (streams when affine, indirect
+//! otherwise), the rest become *compute* nodes, and control dependencies
+//! are converted to data dependencies by predication (if-conversion).
+//! Loop-carried scalars become carry registers, closing reduction and
+//! pointer-chase recurrences.
+
+use crate::affine::{affine_of, stream_form, StreamForm, Sym};
+use distda_ir::expr::{ArrayId, BinOp, Expr, LoopVarId, ScalarId, UnOp};
+use distda_ir::program::{Loop, LoopId, Stmt};
+use distda_ir::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// DFG node kinds. Operand indices live in [`DfgNode::args`]; their meaning
+/// is documented per kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DfgKind {
+    /// Literal value.
+    Const(Value),
+    /// Innermost induction variable.
+    IndVar,
+    /// Loop-invariant parameter (outer var or live-in scalar); the index
+    /// refers to [`Dfg::params`].
+    Param(u16),
+    /// Reads carry register [`Dfg::carries`]`[reg]` at iteration start.
+    Carry(u16),
+    /// Writes carry register at iteration end. `args[0]` = value.
+    SetCarry(u16),
+    /// Streaming load: the access unit FSM supplies one element per
+    /// iteration.
+    LoadStream {
+        /// Accessed object.
+        array: ArrayId,
+        /// Stride and invariant base.
+        form: StreamForm,
+    },
+    /// Indirect load: `args[0]` = element index.
+    LoadIndirect {
+        /// Accessed object.
+        array: ArrayId,
+    },
+    /// Binary compute; `args[0..2]`.
+    Bin(BinOp),
+    /// Unary compute; `args[0]`.
+    Un(UnOp),
+    /// Predicated select; `args[0..3]` = cond, then, else.
+    Select,
+    /// Streaming store; `args[0]` = value.
+    StoreStream {
+        /// Accessed object.
+        array: ArrayId,
+        /// Stride and invariant base.
+        form: StreamForm,
+    },
+    /// Indirect store; `args[0]` = element index, `args[1]` = value.
+    StoreIndirect {
+        /// Accessed object.
+        array: ArrayId,
+    },
+}
+
+impl DfgKind {
+    /// Whether this node is an access (load/store).
+    pub fn is_access(&self) -> bool {
+        matches!(
+            self,
+            DfgKind::LoadStream { .. }
+                | DfgKind::LoadIndirect { .. }
+                | DfgKind::StoreStream { .. }
+                | DfgKind::StoreIndirect { .. }
+        )
+    }
+
+    /// The object an access node touches.
+    pub fn array(&self) -> Option<ArrayId> {
+        match self {
+            DfgKind::LoadStream { array, .. }
+            | DfgKind::LoadIndirect { array }
+            | DfgKind::StoreStream { array, .. }
+            | DfgKind::StoreIndirect { array } => Some(*array),
+            _ => None,
+        }
+    }
+
+    /// Whether this node may be freely replicated into any partition
+    /// (costless sources: constants, induction values, parameters).
+    pub fn is_replicable(&self) -> bool {
+        matches!(self, DfgKind::Const(_) | DfgKind::IndVar | DfgKind::Param(_))
+    }
+
+    /// Whether this node does real per-iteration work (counted in Table VI
+    /// instruction counts).
+    pub fn is_work(&self) -> bool {
+        !self.is_replicable()
+    }
+
+    /// Whether a compute node needs a complex (mul/div/sqrt/FP) unit.
+    pub fn is_complex(&self) -> bool {
+        match self {
+            DfgKind::Bin(op) => op.is_complex(),
+            DfgKind::Un(op) => op.is_complex(),
+            _ => false,
+        }
+    }
+}
+
+/// A DFG node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfgNode {
+    /// Kind and static attributes.
+    pub kind: DfgKind,
+    /// Operand node indices (meaning per kind).
+    pub args: Vec<u32>,
+    /// Predicate operand for stores/carry updates, if if-converted.
+    pub pred: Option<u32>,
+}
+
+/// A complete dataflow graph for one innermost loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dfg {
+    /// The source loop.
+    pub loop_id: LoopId,
+    /// Innermost induction variable.
+    pub inner_var: LoopVarId,
+    /// Nodes in topological (creation) order.
+    pub nodes: Vec<DfgNode>,
+    /// Parameter table: what the host must provide via `cp_set_rf`.
+    pub params: Vec<Sym>,
+    /// Carry registers: loop-carried scalars (reductions, pointer chases).
+    pub carries: Vec<ScalarId>,
+}
+
+/// Why a loop cannot be abstracted as a DFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfgError {
+    /// The loop contains a nested loop; only innermost loops are abstracted
+    /// by the automated flow.
+    NotInnermost,
+}
+
+impl std::fmt::Display for DfgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfgError::NotInnermost => write!(f, "loop contains nested loops"),
+        }
+    }
+}
+
+impl std::error::Error for DfgError {}
+
+impl Dfg {
+    /// Iterates `(from, to)` dataflow edges (operands and predicates).
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.nodes.iter().enumerate().flat_map(|(i, n)| {
+            n.args
+                .iter()
+                .copied()
+                .chain(n.pred.iter().copied())
+                .map(move |a| (a, i as u32))
+        })
+    }
+
+    /// Number of work nodes (accesses + compute + carries).
+    pub fn work_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind.is_work()).count()
+    }
+
+    /// Distinct objects accessed.
+    pub fn objects(&self) -> Vec<ArrayId> {
+        let mut v: Vec<ArrayId> = self.nodes.iter().filter_map(|n| n.kind.array()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// (depth, width) of the DFG when levelized topologically — the "DFG
+    /// dim" column of Table VI.
+    pub fn dims(&self) -> (usize, usize) {
+        let mut level = vec![0usize; self.nodes.len()];
+        let mut width = HashMap::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let l = n
+                .args
+                .iter()
+                .chain(n.pred.iter())
+                .map(|&a| level[a as usize] + 1)
+                .max()
+                .unwrap_or(0);
+            level[i] = l;
+            if self.nodes[i].kind.is_work() {
+                *width.entry(l).or_insert(0usize) += 1;
+            }
+        }
+        let depth = width.keys().max().map_or(0, |&m| m + 1);
+        let max_width = width.values().max().copied().unwrap_or(0);
+        (depth, max_width)
+    }
+
+    /// Sanity check: every operand precedes its user.
+    pub fn is_topologically_ordered(&self) -> bool {
+        self.edges().all(|(a, b)| a < b)
+    }
+}
+
+struct Builder<'a> {
+    inner: LoopVarId,
+    assigned: &'a HashSet<ScalarId>,
+    nodes: Vec<DfgNode>,
+    params: Vec<Sym>,
+    param_nodes: HashMap<Sym, u32>,
+    carries: Vec<ScalarId>,
+    carry_nodes: HashMap<u16, u32>,
+    env: HashMap<ScalarId, u32>,
+    indvar_node: Option<u32>,
+}
+
+impl<'a> Builder<'a> {
+    fn push(&mut self, kind: DfgKind, args: Vec<u32>, pred: Option<u32>) -> u32 {
+        let i = self.nodes.len() as u32;
+        self.nodes.push(DfgNode { kind, args, pred });
+        i
+    }
+
+    fn param(&mut self, s: Sym) -> u32 {
+        if let Some(&n) = self.param_nodes.get(&s) {
+            return n;
+        }
+        let idx = self.params.len() as u16;
+        self.params.push(s);
+        let n = self.push(DfgKind::Param(idx), vec![], None);
+        self.param_nodes.insert(s, n);
+        n
+    }
+
+    fn carry_reg(&mut self, s: ScalarId) -> u16 {
+        match self.carries.iter().position(|&c| c == s) {
+            Some(i) => i as u16,
+            None => {
+                self.carries.push(s);
+                (self.carries.len() - 1) as u16
+            }
+        }
+    }
+
+    /// Every symbol a stream base references must be deliverable via the
+    /// register file, so register each as a parameter (the Param node is a
+    /// costless replicable source; the access FSM reads the rf directly).
+    fn register_base_syms(&mut self, form: &StreamForm) {
+        let syms: Vec<Sym> = form.base.terms.iter().map(|&(s, _)| s).collect();
+        for s in syms {
+            self.param(s);
+        }
+    }
+
+    fn indvar(&mut self) -> u32 {
+        if let Some(n) = self.indvar_node {
+            return n;
+        }
+        let n = self.push(DfgKind::IndVar, vec![], None);
+        self.indvar_node = Some(n);
+        n
+    }
+
+    fn scalar_value(&mut self, s: ScalarId) -> u32 {
+        if let Some(&n) = self.env.get(&s) {
+            return n;
+        }
+        if self.assigned.contains(&s) {
+            // Loop-carried: read the carry register.
+            let reg = self.carry_reg(s);
+            if let Some(&n) = self.carry_nodes.get(&reg) {
+                return n;
+            }
+            let n = self.push(DfgKind::Carry(reg), vec![], None);
+            self.carry_nodes.insert(reg, n);
+            n
+        } else {
+            self.param(Sym::Scalar(s))
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> u32 {
+        match e {
+            Expr::Const(v) => self.push(DfgKind::Const(*v), vec![], None),
+            Expr::LoopVar(v) if *v == self.inner => self.indvar(),
+            Expr::LoopVar(v) => self.param(Sym::Var(*v)),
+            Expr::Scalar(s) => self.scalar_value(*s),
+            Expr::Load(a, idx) => match affine_of(idx, self.assigned) {
+                Some(aff) => {
+                    let form = stream_form(aff, self.inner);
+                    self.register_base_syms(&form);
+                    self.push(DfgKind::LoadStream { array: *a, form }, vec![], None)
+                }
+                None => {
+                    let i = self.expr(idx);
+                    self.push(DfgKind::LoadIndirect { array: *a }, vec![i], None)
+                }
+            },
+            Expr::Bin(op, a, b) => {
+                let na = self.expr(a);
+                let nb = self.expr(b);
+                self.push(DfgKind::Bin(*op), vec![na, nb], None)
+            }
+            Expr::Un(op, a) => {
+                let na = self.expr(a);
+                self.push(DfgKind::Un(*op), vec![na], None)
+            }
+            Expr::Select(c, a, b) => {
+                let nc = self.expr(c);
+                let na = self.expr(a);
+                let nb = self.expr(b);
+                self.push(DfgKind::Select, vec![nc, na, nb], None)
+            }
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt, pred: Option<u32>) -> Result<(), DfgError> {
+        match s {
+            Stmt::Store(a, idx, val) => {
+                let v = self.expr(val);
+                match affine_of(idx, self.assigned) {
+                    Some(aff) => {
+                        let form = stream_form(aff, self.inner);
+                        self.register_base_syms(&form);
+                        self.push(DfgKind::StoreStream { array: *a, form }, vec![v], pred);
+                    }
+                    None => {
+                        let i = self.expr(idx);
+                        self.push(DfgKind::StoreIndirect { array: *a }, vec![i, v], pred);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::SetScalar(sid, e) => {
+                let v = self.expr(e);
+                let v = match pred {
+                    None => v,
+                    Some(p) => {
+                        let old = self.scalar_value(*sid);
+                        self.push(DfgKind::Select, vec![p, v, old], None)
+                    }
+                };
+                self.env.insert(*sid, v);
+                Ok(())
+            }
+            Stmt::If(c, t, e) => {
+                let nc = self.expr(c);
+                let pt = match pred {
+                    None => nc,
+                    Some(p) => self.push(DfgKind::Bin(BinOp::And), vec![p, nc], None),
+                };
+                for st in t {
+                    self.stmt(st, Some(pt))?;
+                }
+                if !e.is_empty() {
+                    let not_c = self.push(DfgKind::Un(UnOp::Not), vec![nc], None);
+                    let pe = match pred {
+                        None => not_c,
+                        Some(p) => self.push(DfgKind::Bin(BinOp::And), vec![p, not_c], None),
+                    };
+                    for st in e {
+                        self.stmt(st, Some(pe))?;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Loop(_) => Err(DfgError::NotInnermost),
+        }
+    }
+}
+
+fn collect_assigned(stmts: &[Stmt], out: &mut HashSet<ScalarId>) {
+    for s in stmts {
+        match s {
+            Stmt::SetScalar(sid, _) => {
+                out.insert(*sid);
+            }
+            Stmt::If(_, t, e) => {
+                collect_assigned(t, out);
+                collect_assigned(e, out);
+            }
+            Stmt::Loop(l) => collect_assigned(&l.body, out),
+            _ => {}
+        }
+    }
+}
+
+/// Abstracts an innermost loop as a DFG.
+///
+/// # Errors
+///
+/// Returns [`DfgError::NotInnermost`] if the loop body contains loops.
+pub fn build_dfg(l: &Loop) -> Result<Dfg, DfgError> {
+    let mut assigned = HashSet::new();
+    collect_assigned(&l.body, &mut assigned);
+    let mut b = Builder {
+        inner: l.var,
+        assigned: &assigned,
+        nodes: Vec::new(),
+        params: Vec::new(),
+        param_nodes: HashMap::new(),
+        carries: Vec::new(),
+        carry_nodes: HashMap::new(),
+        env: HashMap::new(),
+        indvar_node: None,
+    };
+    for s in &l.body {
+        b.stmt(s, None)?;
+    }
+    // Close carry loops: every assigned scalar's final value updates its
+    // carry register at iteration end.
+    let mut order: Vec<ScalarId> = assigned.iter().copied().collect();
+    order.sort();
+    for s in order {
+        let reg = b.carry_reg(s);
+        let v = b.env.get(&s).copied().unwrap_or_else(|| {
+            b.carry_nodes
+                .get(&reg)
+                .copied()
+                .expect("assigned scalar must have env or carry node")
+        });
+        b.push(DfgKind::SetCarry(reg), vec![v], None);
+    }
+    let dfg = Dfg {
+        loop_id: l.id,
+        inner_var: l.var,
+        nodes: b.nodes,
+        params: b.params,
+        carries: b.carries,
+    };
+    debug_assert!(dfg.is_topologically_ordered());
+    Ok(dfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distda_ir::program::ProgramBuilder;
+    use distda_ir::Stmt as IrStmt;
+
+    /// Builds a program and returns the DFG of its (only) innermost loop.
+    fn dfg_of(build: impl FnOnce(&mut ProgramBuilder)) -> Dfg {
+        let mut b = ProgramBuilder::new("t");
+        build(&mut b);
+        let p = b.build();
+        // Find the innermost loop.
+        let mut inner = None;
+        p.visit_stmts(&mut |s| {
+            if let IrStmt::Loop(l) = s {
+                if !l.body.iter().any(|s| matches!(s, IrStmt::Loop(_))) {
+                    inner = Some(l.clone());
+                }
+            }
+        });
+        build_dfg(&inner.expect("innermost loop")).expect("dfg")
+    }
+
+    #[test]
+    fn axpy_has_two_stream_loads_one_stream_store() {
+        let d = dfg_of(|b| {
+            let x = b.array_f64("x", 8);
+            let y = b.array_f64("y", 8);
+            b.for_(0, 8, 1, |b, i| {
+                let v = Expr::cf(2.0) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+                b.store(y, i, v);
+            });
+        });
+        let loads = d
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, DfgKind::LoadStream { .. }))
+            .count();
+        let stores = d
+            .nodes
+            .iter()
+            .filter(|n| matches!(n.kind, DfgKind::StoreStream { .. }))
+            .count();
+        assert_eq!((loads, stores), (2, 1));
+        assert_eq!(d.objects().len(), 2);
+        assert!(d.is_topologically_ordered());
+    }
+
+    #[test]
+    fn stencil_streams_have_distinct_bases() {
+        let d = dfg_of(|b| {
+            let a = b.array_f64("a", 16);
+            let o = b.array_f64("o", 16);
+            b.for_(1, 15, 1, |b, i| {
+                let v = Expr::load(a, i.clone() - Expr::c(1))
+                    + Expr::load(a, i.clone())
+                    + Expr::load(a, i.clone() + Expr::c(1));
+                b.store(o, i, v);
+            });
+        });
+        let bases: Vec<i64> = d
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.kind {
+                DfgKind::LoadStream { form, .. } => Some(form.base.c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bases.len(), 3);
+        assert!(bases.contains(&-1) && bases.contains(&0) && bases.contains(&1));
+        // All unit stride.
+        for n in &d.nodes {
+            if let DfgKind::LoadStream { form, .. } = &n.kind {
+                assert_eq!(form.stride, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn indirect_access_consumes_stream_value() {
+        let d = dfg_of(|b| {
+            let idx = b.array_i64("idx", 8);
+            let data = b.array_f64("data", 64);
+            let out = b.array_f64("out", 8);
+            b.for_(0, 8, 1, |b, i| {
+                let v = Expr::load(data, Expr::load(idx, i.clone()));
+                b.store(out, i, v);
+            });
+        });
+        let ind = d
+            .nodes
+            .iter()
+            .find(|n| matches!(n.kind, DfgKind::LoadIndirect { .. }))
+            .expect("indirect load");
+        let src = &d.nodes[ind.args[0] as usize];
+        assert!(matches!(src.kind, DfgKind::LoadStream { .. }));
+    }
+
+    #[test]
+    fn reduction_closes_through_carry() {
+        let d = dfg_of(|b| {
+            let x = b.array_f64("x", 8);
+            let acc = b.scalar("acc", 0.0f64);
+            b.for_(0, 8, 1, |b, i| {
+                b.set(acc, Expr::Scalar(acc) + Expr::load(x, i));
+            });
+        });
+        assert_eq!(d.carries.len(), 1);
+        let set = d
+            .nodes
+            .iter()
+            .find(|n| matches!(n.kind, DfgKind::SetCarry(0)))
+            .expect("set carry");
+        // SetCarry value is the add of Carry(0) and the load.
+        let add = &d.nodes[set.args[0] as usize];
+        assert!(matches!(add.kind, DfgKind::Bin(BinOp::Add)));
+        assert!(add
+            .args
+            .iter()
+            .any(|&a| matches!(d.nodes[a as usize].kind, DfgKind::Carry(0))));
+    }
+
+    #[test]
+    fn if_becomes_predicated_store() {
+        let d = dfg_of(|b| {
+            let x = b.array_i64("x", 8);
+            let y = b.array_i64("y", 8);
+            b.for_(0, 8, 1, |b, i| {
+                b.when(Expr::load(x, i.clone()).lt(Expr::c(3)), |b| {
+                    b.store(y, i.clone(), Expr::c(1));
+                });
+            });
+        });
+        let store = d
+            .nodes
+            .iter()
+            .find(|n| matches!(n.kind, DfgKind::StoreStream { .. }))
+            .expect("store");
+        assert!(store.pred.is_some(), "store must be predicated");
+    }
+
+    #[test]
+    fn outer_vars_become_params() {
+        let d = dfg_of(|b| {
+            let a = b.array_f64("a", 64);
+            b.for_(0, 8, 1, |b, i| {
+                b.for_(0, 8, 1, |b, j| {
+                    b.store(a, i.clone() * Expr::c(8) + j, Expr::cf(1.0));
+                });
+            });
+        });
+        // Row-major store: stride 1 wrt j, base has outer-var term; since
+        // the base is handled by the access FSM, no Param node is needed,
+        // but the param table must not contain the inner var.
+        let store = d
+            .nodes
+            .iter()
+            .find_map(|n| match &n.kind {
+                DfgKind::StoreStream { form, .. } => Some(form.clone()),
+                _ => None,
+            })
+            .expect("stream store");
+        assert_eq!(store.stride, 1);
+        assert_eq!(store.base.terms.len(), 1);
+    }
+
+    #[test]
+    fn pointer_chase_is_carry_fed_indirect() {
+        let d = dfg_of(|b| {
+            let next = b.array_i64("next", 8);
+            let p = b.scalar("p", 0i64);
+            b.for_(0, 8, 1, |b, _| {
+                b.set(p, Expr::load(next, Expr::Scalar(p)));
+            });
+        });
+        let ind = d
+            .nodes
+            .iter()
+            .find(|n| matches!(n.kind, DfgKind::LoadIndirect { .. }))
+            .expect("indirect");
+        assert!(matches!(
+            d.nodes[ind.args[0] as usize].kind,
+            DfgKind::Carry(_)
+        ));
+        // Table VI reports pch as a 4-instruction DFG; ours is comparably tiny.
+        assert!(d.work_nodes() <= 4);
+    }
+
+    #[test]
+    fn nested_loop_rejected() {
+        let mut b = ProgramBuilder::new("bad");
+        let a = b.array_i64("a", 4);
+        b.for_(0, 2, 1, |b, _| {
+            b.for_(0, 2, 1, |b, j| {
+                b.store(a, j, Expr::c(0));
+            });
+        });
+        let p = b.build();
+        let IrStmt::Loop(outer) = &p.body[0] else {
+            panic!()
+        };
+        assert_eq!(build_dfg(outer), Err(DfgError::NotInnermost));
+    }
+
+    #[test]
+    fn dims_reported() {
+        let d = dfg_of(|b| {
+            let x = b.array_f64("x", 8);
+            let y = b.array_f64("y", 8);
+            b.for_(0, 8, 1, |b, i| {
+                let v = Expr::cf(2.0) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+                b.store(y, i, v);
+            });
+        });
+        let (depth, width) = d.dims();
+        assert!(depth >= 3, "mul -> add -> store depth, got {depth}");
+        assert!(width >= 1);
+    }
+}

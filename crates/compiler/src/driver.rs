@@ -1,0 +1,170 @@
+//! The end-to-end compilation driver (Figure 6): region identification,
+//! DFG abstraction, classification, partitioning and offload-configuration
+//! generation.
+
+use crate::classify::{classify, DfgClass};
+use crate::dfg::build_dfg;
+use crate::partition::{partition_monolithic, partition_object_anchored};
+use crate::plan::{codegen, OffloadPlan};
+use distda_ir::program::{Loop, LoopId, Program, Stmt};
+
+/// How computation is partitioned across accelerator resources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionMode {
+    /// Paper's Dist-DA: one partition per memory object, sub-computation
+    /// placement.
+    Distributed,
+    /// Paper's Mono-DA/Mono-CA: the offloaded computation stays monolithic
+    /// (accesses may still be decentralized by the runtime).
+    Monolithic,
+}
+
+/// Result of compiling a kernel program.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Offload plans keyed by their loop (innermost loops only).
+    pub offloads: Vec<OffloadPlan>,
+    /// Loops examined but not offloaded (e.g. no memory accesses).
+    pub rejected: Vec<LoopId>,
+}
+
+impl CompiledKernel {
+    /// Finds the plan for a loop, if that loop was offloaded.
+    pub fn plan_for(&self, id: LoopId) -> Option<&OffloadPlan> {
+        self.offloads.iter().find(|p| p.loop_id == id)
+    }
+}
+
+/// Collects all innermost loops (loops whose body contains no loop).
+pub fn innermost_loops(p: &Program) -> Vec<Loop> {
+    let mut out = Vec::new();
+    p.visit_stmts(&mut |s| {
+        if let Stmt::Loop(l) = s {
+            let has_inner = {
+                let mut found = false;
+                fn walk(stmts: &[Stmt], found: &mut bool) {
+                    for s in stmts {
+                        match s {
+                            Stmt::Loop(_) => *found = true,
+                            Stmt::If(_, t, e) => {
+                                walk(t, found);
+                                walk(e, found);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                walk(&l.body, &mut found);
+                found
+            };
+            if !has_inner {
+                out.push(l.clone());
+            }
+        }
+    });
+    out
+}
+
+/// Compiles a program: every profitable innermost loop becomes an offload
+/// plan under the requested partitioning mode. Serialized DFGs are always
+/// monolithic regardless of mode (paper Section V-A case 2).
+pub fn compile(p: &Program, mode: PartitionMode) -> CompiledKernel {
+    let mut offloads = Vec::new();
+    let mut rejected = Vec::new();
+    for l in innermost_loops(p) {
+        let Ok(dfg) = build_dfg(&l) else {
+            rejected.push(l.id);
+            continue;
+        };
+        // Profitability: a loop with no memory accesses has nothing to be
+        // near; leave it on the host.
+        if dfg.objects().is_empty() {
+            rejected.push(l.id);
+            continue;
+        }
+        let class = classify(&dfg);
+        let parts = match (mode, class) {
+            (PartitionMode::Distributed, DfgClass::Serialized) => partition_monolithic(&dfg),
+            (PartitionMode::Distributed, _) => partition_object_anchored(&dfg),
+            (PartitionMode::Monolithic, _) => partition_monolithic(&dfg),
+        };
+        let plan = codegen(&dfg, &parts, &l, class);
+        debug_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
+        offloads.push(plan);
+    }
+    CompiledKernel { offloads, rejected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distda_ir::program::ProgramBuilder;
+    use distda_ir::Expr;
+
+    #[test]
+    fn compiles_every_innermost_loop_with_accesses() {
+        let mut b = ProgramBuilder::new("two-phase");
+        let x = b.array_f64("x", 8);
+        let y = b.array_f64("y", 8);
+        b.for_(0, 8, 1, |b, i| {
+            b.store(y, i.clone(), Expr::load(x, i) * Expr::cf(2.0));
+        });
+        b.for_(0, 8, 1, |b, i| {
+            b.store(x, i.clone(), Expr::load(y, i) + Expr::cf(1.0));
+        });
+        let p = b.build();
+        let ck = compile(&p, PartitionMode::Distributed);
+        assert_eq!(ck.offloads.len(), 2);
+        assert!(ck.rejected.is_empty());
+    }
+
+    #[test]
+    fn pure_scalar_loop_rejected() {
+        let mut b = ProgramBuilder::new("scalar-only");
+        let s = b.scalar("s", 0i64);
+        b.for_(0, 8, 1, |b, i| {
+            b.set(s, Expr::Scalar(s) + i);
+        });
+        let p = b.build();
+        let ck = compile(&p, PartitionMode::Distributed);
+        assert!(ck.offloads.is_empty());
+        assert_eq!(ck.rejected.len(), 1);
+    }
+
+    #[test]
+    fn only_innermost_loops_are_extracted() {
+        let mut b = ProgramBuilder::new("nest");
+        let a = b.array_f64("a", 64);
+        b.for_(0, 8, 1, |b, i| {
+            b.for_(0, 8, 1, |b, j| {
+                b.store(a, i.clone() * Expr::c(8) + j, Expr::cf(0.0));
+            });
+        });
+        let p = b.build();
+        let ck = compile(&p, PartitionMode::Distributed);
+        assert_eq!(ck.offloads.len(), 1);
+        let inner = innermost_loops(&p);
+        assert_eq!(inner.len(), 1);
+        assert_eq!(ck.offloads[0].loop_id, inner[0].id);
+    }
+
+    #[test]
+    fn modes_differ_in_partition_count() {
+        let mut b = ProgramBuilder::new("k3");
+        let x = b.array_f64("x", 8);
+        let y = b.array_f64("y", 8);
+        let z = b.array_f64("z", 8);
+        b.for_(0, 8, 1, |b, i| {
+            b.store(
+                z,
+                i.clone(),
+                Expr::load(x, i.clone()) + Expr::load(y, i.clone()),
+            );
+        });
+        let p = b.build();
+        let dist = compile(&p, PartitionMode::Distributed);
+        let mono = compile(&p, PartitionMode::Monolithic);
+        assert_eq!(dist.offloads[0].partitions.len(), 3);
+        assert_eq!(mono.offloads[0].partitions.len(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # distda-compiler
+//!
+//! The compiler half of the Dist-DA offload model (paper Sections IV-A and
+//! V): abstracts offloadable innermost loops as dataflow graphs of memory
+//! objects, accessors and computations; classifies them by dependence
+//! structure; partitions them with at most one memory object per partition
+//! to minimize communication; and emits distributed accelerator
+//! definitions plus the interface configuration the runtime lowers onto
+//! `cp_*` intrinsics.
+//!
+//! The pass pipeline mirrors Figure 6:
+//!
+//! 1. region identification ([`driver::innermost_loops`])
+//! 2. DFG abstraction with if-conversion ([`dfg::build_dfg`])
+//! 3. scalar-evolution / affine access analysis ([`affine`])
+//! 4. dependence classification ([`classify`])
+//! 5. data-movement-aware partitioning ([`partition`], the Metis stand-in)
+//! 6. offload configuration generation ([`plan::codegen`])
+//!
+//! ```
+//! use distda_compiler::{compile, PartitionMode};
+//! use distda_ir::prelude::*;
+//!
+//! let mut b = ProgramBuilder::new("axpy");
+//! let x = b.array_f64("x", 64);
+//! let y = b.array_f64("y", 64);
+//! b.for_(0, 64, 1, |b, i| {
+//!     let v = Expr::cf(2.0) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+//!     b.store(y, i, v);
+//! });
+//! let compiled = compile(&b.build(), PartitionMode::Distributed);
+//! assert_eq!(compiled.offloads.len(), 1);
+//! assert_eq!(compiled.offloads[0].partitions.len(), 2); // one per object
+//! ```
+
+pub mod affine;
+pub mod classify;
+pub mod dfg;
+pub mod driver;
+pub mod partition;
+pub mod plan;
+pub mod stats;
+
+pub use affine::{AffineExpr, Sym};
+pub use classify::DfgClass;
+pub use dfg::{build_dfg, Dfg, DfgError, DfgKind, DfgNode};
+pub use driver::{compile, innermost_loops, CompiledKernel, PartitionMode};
+pub use partition::{partition_monolithic, partition_object_anchored, Partitioning};
+pub use plan::{AccessDef, AccessPattern, ChannelDef, OffloadPlan, PNode, PartitionDef};
+pub use stats::{summarize, MechanismUse, OffloadStats};

@@ -1,0 +1,775 @@
+//! Offload configurations (paper Section V-A step 6): the compiler's final
+//! output, bundled with the application binary.
+//!
+//! Each [`OffloadPlan`] describes one offloadable innermost loop: the
+//! distributed accelerator definitions ([`PartitionDef`], one per
+//! partition), the decoupled producer-consumer channels between them
+//! ([`ChannelDef`], mapped on access-unit buffers at runtime), the access
+//! configurations (`cp_config_stream`/`cp_config_random` targets), and the
+//! scalar parameters the host transfers with `cp_set_rf`.
+
+use crate::affine::{AffineExpr, Sym};
+use crate::classify::DfgClass;
+use crate::dfg::{Dfg, DfgKind};
+use crate::partition::Partitioning;
+use distda_ir::expr::{ArrayId, BinOp, Expr, LoopVarId, ScalarId, UnOp};
+use distda_ir::program::{Loop, LoopId};
+use distda_ir::value::Value;
+use std::collections::HashMap;
+
+/// One microcode operation of an accelerator definition. Operand fields are
+/// indices of earlier nodes in the same partition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PNode {
+    /// Literal.
+    Const(Value),
+    /// Current innermost iteration value (orchestrator-provided).
+    IndVar,
+    /// Register-file parameter (index into [`OffloadPlan::params`]).
+    Param(u16),
+    /// Reads local carry register.
+    Carry(u16),
+    /// Updates local carry register at iteration end.
+    SetCarry {
+        /// Local register.
+        reg: u16,
+        /// Value operand.
+        src: u16,
+    },
+    /// Next element from a streaming access (`cp_consume` semantics).
+    LoadStream {
+        /// Local access index.
+        access: u16,
+    },
+    /// Data-dependent load (`cp_read` semantics).
+    LoadIndirect {
+        /// Local access index.
+        access: u16,
+        /// Element-index operand.
+        addr: u16,
+    },
+    /// Binary ALU op.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: u16,
+        /// Right operand.
+        b: u16,
+    },
+    /// Unary ALU op.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        a: u16,
+    },
+    /// Predicated select.
+    Select {
+        /// Condition operand.
+        c: u16,
+        /// Taken value.
+        t: u16,
+        /// Untaken value.
+        f: u16,
+    },
+    /// Consumes one value from a cross-partition channel (`cp_consume`).
+    Recv {
+        /// Global channel id.
+        chan: u16,
+    },
+    /// Produces one value onto a cross-partition channel (`cp_produce`).
+    Send {
+        /// Global channel id.
+        chan: u16,
+        /// Value operand.
+        src: u16,
+    },
+    /// Streaming store (`cp_produce` into a draining access).
+    StoreStream {
+        /// Local access index.
+        access: u16,
+        /// Value operand.
+        val: u16,
+        /// Optional predicate operand (if-converted store).
+        pred: Option<u16>,
+    },
+    /// Data-dependent store (`cp_write`).
+    StoreIndirect {
+        /// Local access index.
+        access: u16,
+        /// Element-index operand.
+        addr: u16,
+        /// Value operand.
+        val: u16,
+        /// Optional predicate operand.
+        pred: Option<u16>,
+    },
+}
+
+impl PNode {
+    /// Latency class of the node on a single-issue in-order accelerator.
+    pub fn latency(&self) -> u64 {
+        match self {
+            PNode::Bin { op, .. } => op.latency(),
+            PNode::Un { op, .. } => op.latency(),
+            PNode::Const(_) | PNode::Param(_) | PNode::IndVar | PNode::Carry(_) => 0,
+            _ => 1,
+        }
+    }
+
+    /// Whether the node requires a complex (mul/div/sqrt) functional unit.
+    pub fn is_complex(&self) -> bool {
+        match self {
+            PNode::Bin { op, .. } => op.is_complex(),
+            PNode::Un { op, .. } => op.is_complex(),
+            _ => false,
+        }
+    }
+}
+
+/// Memory access pattern of one access configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPattern {
+    /// Strided: the access-unit FSM generates `base + i*stride` element
+    /// addresses (configured via `cp_config_stream`).
+    Stream {
+        /// Loop-invariant base in elements (outer vars + rf scalars).
+        base: AffineExpr,
+        /// Elements per innermost iteration.
+        stride: i64,
+    },
+    /// Data-dependent offsets supplied per access (`cp_config_random`).
+    Indirect,
+}
+
+/// One access configuration of a partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessDef {
+    /// Accessed memory object.
+    pub array: ArrayId,
+    /// Address pattern.
+    pub pattern: AccessPattern,
+    /// Whether the access writes.
+    pub write: bool,
+}
+
+/// A decoupled producer-consumer edge between two partitions, mapped onto
+/// access-unit buffers at runtime (Figure 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelDef {
+    /// Channel id (index into [`OffloadPlan::channels`]).
+    pub id: u16,
+    /// Producing partition.
+    pub producer: u16,
+    /// Consuming partition.
+    pub consumer: u16,
+}
+
+/// One distributed accelerator definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionDef {
+    /// Partition id.
+    pub id: u16,
+    /// The memory object this partition is anchored at (None for pure
+    /// compute partitions).
+    pub object: Option<ArrayId>,
+    /// Microcode in topological order, executed once per inner iteration.
+    pub nodes: Vec<PNode>,
+    /// Access configurations referenced by the microcode.
+    pub accesses: Vec<AccessDef>,
+    /// Scalar backing each local carry register (initialized from the rf).
+    pub carry_scalars: Vec<ScalarId>,
+}
+
+impl PartitionDef {
+    /// Number of microcode instructions (Table VI `#insts`).
+    pub fn inst_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Encoded microcode size in bytes (8 bytes/instruction, Table VI).
+    pub fn microcode_bytes(&self) -> usize {
+        self.nodes.len() * 8
+    }
+
+    /// Count of complex-unit operations (CGRA resource sizing).
+    pub fn complex_ops(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_complex()).count()
+    }
+
+    /// Buffers this definition needs: streaming access *groups* plus
+    /// incoming channels (Table VI `#buf`). Streams on the same object
+    /// with the same stride share one buffer window — the runtime's
+    /// multi-access combining (Figure 2d).
+    pub fn buffer_count(&self) -> usize {
+        let mut groups: Vec<(ArrayId, i64)> = self
+            .accesses
+            .iter()
+            .filter_map(|a| match &a.pattern {
+                AccessPattern::Stream { stride, .. } => Some((a.array, *stride)),
+                AccessPattern::Indirect => None,
+            })
+            .collect();
+        groups.sort();
+        groups.dedup();
+        let recvs = self
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, PNode::Recv { .. }))
+            .count();
+        groups.len() + recvs
+    }
+}
+
+/// A compiled offload region: one innermost loop mapped onto distributed
+/// accelerator definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OffloadPlan {
+    /// Source loop.
+    pub loop_id: LoopId,
+    /// Innermost induction variable.
+    pub inner_var: LoopVarId,
+    /// Dependence classification.
+    pub class: DfgClass,
+    /// Accelerator definitions.
+    pub partitions: Vec<PartitionDef>,
+    /// Cross-partition channels.
+    pub channels: Vec<ChannelDef>,
+    /// Host-provided parameters (set via `cp_set_rf` before `cp_run`).
+    pub params: Vec<Sym>,
+    /// Live-out scalars: `(scalar, partition, local carry register)`; the
+    /// host reads them back with `cp_load_rf`.
+    pub liveouts: Vec<(ScalarId, u16, u16)>,
+    /// Loop bounds, evaluated by the host per invocation.
+    pub bounds: (Expr, Expr, i64),
+    /// Communication cut of the chosen partitioning (bytes/iteration).
+    pub cut_bytes: u64,
+    /// Source DFG dimensions `(depth, width)` — Table VI's "DFG dim".
+    pub dfg_dims: (usize, usize),
+}
+
+impl OffloadPlan {
+    /// Validates internal consistency (operand ordering, channel pairing).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        for p in &self.partitions {
+            for (i, n) in p.nodes.iter().enumerate() {
+                let ops: Vec<u16> = match n {
+                    PNode::Bin { a, b, .. } => vec![*a, *b],
+                    PNode::Un { a, .. } => vec![*a],
+                    PNode::Select { c, t, f } => vec![*c, *t, *f],
+                    PNode::Send { src, .. } => vec![*src],
+                    PNode::SetCarry { src, .. } => vec![*src],
+                    PNode::LoadIndirect { addr, .. } => vec![*addr],
+                    PNode::StoreStream { val, pred, .. } => {
+                        let mut v = vec![*val];
+                        v.extend(pred.iter());
+                        v
+                    }
+                    PNode::StoreIndirect { addr, val, pred, .. } => {
+                        let mut v = vec![*addr, *val];
+                        v.extend(pred.iter());
+                        v
+                    }
+                    _ => vec![],
+                };
+                for o in ops {
+                    if o as usize >= i {
+                        return Err(format!(
+                            "partition {}: node {i} uses operand {o} not yet defined",
+                            p.id
+                        ));
+                    }
+                }
+                match n {
+                    PNode::LoadStream { access }
+                    | PNode::LoadIndirect { access, .. }
+                    | PNode::StoreStream { access, .. }
+                    | PNode::StoreIndirect { access, .. } => {
+                        if *access as usize >= p.accesses.len() {
+                            return Err(format!("partition {}: bad access index", p.id));
+                        }
+                    }
+                    PNode::Carry(r) | PNode::SetCarry { reg: r, .. } => {
+                        if *r as usize >= p.carry_scalars.len() {
+                            return Err(format!("partition {}: bad carry register", p.id));
+                        }
+                    }
+                    PNode::Param(ix) => {
+                        if *ix as usize >= self.params.len() {
+                            return Err("bad param index".into());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Every channel has exactly one Send in its producer and at least
+        // one Recv in its consumer.
+        for ch in &self.channels {
+            let sends = self.partitions[ch.producer as usize]
+                .nodes
+                .iter()
+                .filter(|n| matches!(n, PNode::Send { chan, .. } if *chan == ch.id))
+                .count();
+            let recvs = self.partitions[ch.consumer as usize]
+                .nodes
+                .iter()
+                .filter(|n| matches!(n, PNode::Recv { chan } if *chan == ch.id))
+                .count();
+            if sends != 1 || recvs != 1 {
+                return Err(format!(
+                    "channel {}: {sends} sends / {recvs} recvs",
+                    ch.id
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total microcode instructions across partitions.
+    pub fn total_insts(&self) -> usize {
+        self.partitions.iter().map(|p| p.inst_count()).sum()
+    }
+
+    /// Largest partition's instruction count (Table VI reports the max).
+    pub fn max_insts(&self) -> usize {
+        self.partitions.iter().map(|p| p.inst_count()).max().unwrap_or(0)
+    }
+}
+
+/// Lowers a partitioned DFG into an offload plan.
+pub fn codegen(dfg: &Dfg, parts: &Partitioning, l: &Loop, class: DfgClass) -> OffloadPlan {
+    let k = parts.k;
+    let assign = &parts.assign;
+
+    // Channels: one per (producer node, consumer partition).
+    let mut chan_ids: HashMap<(u32, u32), u16> = HashMap::new();
+    let mut channels: Vec<ChannelDef> = Vec::new();
+    for (from, to) in dfg.edges() {
+        let (pf, pt) = (assign[from as usize], assign[to as usize]);
+        if pf != pt && !dfg.nodes[from as usize].kind.is_replicable() {
+            chan_ids.entry((from, pt)).or_insert_with(|| {
+                let id = channels.len() as u16;
+                channels.push(ChannelDef {
+                    id,
+                    producer: pf as u16,
+                    consumer: pt as u16,
+                });
+                id
+            });
+        }
+    }
+
+    // Carry register ownership and local numbering.
+    let mut carry_owner: HashMap<u16, u32> = HashMap::new();
+    for (i, n) in dfg.nodes.iter().enumerate() {
+        if let DfgKind::SetCarry(r) = n.kind {
+            carry_owner.insert(r, assign[i]);
+        }
+    }
+    let mut carry_local: HashMap<u16, u16> = HashMap::new();
+    let mut carry_scalars_per_part: Vec<Vec<ScalarId>> = vec![Vec::new(); k];
+    for (gr, &owner) in {
+        let mut v: Vec<_> = carry_owner.iter().collect();
+        v.sort();
+        v
+    } {
+        let local = carry_scalars_per_part[owner as usize].len() as u16;
+        carry_scalars_per_part[owner as usize].push(dfg.carries[*gr as usize]);
+        carry_local.insert(*gr, local);
+    }
+
+    // Per-partition translation.
+    let mut partitions: Vec<PartitionDef> = (0..k)
+        .map(|p| PartitionDef {
+            id: p as u16,
+            object: None,
+            nodes: Vec::new(),
+            accesses: Vec::new(),
+            carry_scalars: std::mem::take(&mut carry_scalars_per_part[p]),
+        })
+        .collect();
+    // Assign each partition its anchored object (the object of its fixed
+    // access nodes).
+    for (i, n) in dfg.nodes.iter().enumerate() {
+        if let Some(a) = n.kind.array() {
+            partitions[assign[i] as usize].object = Some(a);
+        }
+    }
+
+    // local[g] per partition; replicable memos are per-partition too.
+    let mut local: Vec<HashMap<u32, u16>> = vec![HashMap::new(); k];
+    let mut recv_memo: Vec<HashMap<u16, u16>> = vec![HashMap::new(); k];
+
+    // Pre-compute, for each producer node, the channels it feeds.
+    let mut sends_of: HashMap<u32, Vec<u16>> = HashMap::new();
+    for (&(src, _), &ch) in &chan_ids {
+        sends_of.entry(src).or_default().push(ch);
+    }
+    for v in sends_of.values_mut() {
+        v.sort();
+    }
+
+    fn resolve(
+        dfg: &Dfg,
+        assign: &[u32],
+        p: usize,
+        g: u32,
+        partitions: &mut [PartitionDef],
+        local: &mut [HashMap<u32, u16>],
+        recv_memo: &mut [HashMap<u16, u16>],
+        chan_ids: &HashMap<(u32, u32), u16>,
+        carry_local: &HashMap<u16, u16>,
+    ) -> u16 {
+        if let Some(&ix) = local[p].get(&g) {
+            return ix;
+        }
+        let node = &dfg.nodes[g as usize];
+        if node.kind.is_replicable() {
+            let pn = match &node.kind {
+                DfgKind::Const(v) => PNode::Const(*v),
+                DfgKind::IndVar => PNode::IndVar,
+                DfgKind::Param(ix) => PNode::Param(*ix),
+                _ => unreachable!("replicable kinds"),
+            };
+            let ix = partitions[p].nodes.len() as u16;
+            partitions[p].nodes.push(pn);
+            local[p].insert(g, ix);
+            return ix;
+        }
+        if assign[g as usize] as usize != p {
+            // Remote value: receive it (once per channel).
+            let ch = chan_ids[&(g, p as u32)];
+            if let Some(&ix) = recv_memo[p].get(&ch) {
+                return ix;
+            }
+            let ix = partitions[p].nodes.len() as u16;
+            partitions[p].nodes.push(PNode::Recv { chan: ch });
+            recv_memo[p].insert(ch, ix);
+            local[p].insert(g, ix);
+            return ix;
+        }
+        // Same-partition non-replicable operands are translated before
+        // their users because we walk nodes in topological order.
+        if let DfgKind::Carry(r) = node.kind {
+            let ix = partitions[p].nodes.len() as u16;
+            partitions[p].nodes.push(PNode::Carry(carry_local[&r]));
+            local[p].insert(g, ix);
+            return ix;
+        }
+        unreachable!("operand {g} not yet translated in partition {p}");
+    }
+
+    for (g, node) in dfg.nodes.iter().enumerate() {
+        let g32 = g as u32;
+        if node.kind.is_replicable() {
+            continue; // materialized on demand
+        }
+        let p = assign[g] as usize;
+        let res = |gg: u32, parts_: &mut Vec<PartitionDef>,
+                       local_: &mut Vec<HashMap<u32, u16>>,
+                       recv_: &mut Vec<HashMap<u16, u16>>| {
+            resolve(
+                dfg, assign, p, gg, parts_, local_, recv_, &chan_ids, &carry_local,
+            )
+        };
+        let pn = match &node.kind {
+            DfgKind::Const(_) | DfgKind::IndVar | DfgKind::Param(_) => unreachable!(),
+            DfgKind::Carry(r) => {
+                // Materialize the carry read if it wasn't already resolved.
+                if local[p].contains_key(&g32) {
+                    continue;
+                }
+                PNode::Carry(carry_local[&r])
+            }
+            DfgKind::SetCarry(r) => {
+                let src = res(node.args[0], &mut partitions, &mut local, &mut recv_memo);
+                PNode::SetCarry {
+                    reg: carry_local[r],
+                    src,
+                }
+            }
+            DfgKind::LoadStream { array, form } => {
+                let access = partitions[p].accesses.len() as u16;
+                partitions[p].accesses.push(AccessDef {
+                    array: *array,
+                    pattern: AccessPattern::Stream {
+                        base: form.base.clone(),
+                        stride: form.stride,
+                    },
+                    write: false,
+                });
+                PNode::LoadStream { access }
+            }
+            DfgKind::LoadIndirect { array } => {
+                let addr = res(node.args[0], &mut partitions, &mut local, &mut recv_memo);
+                let access = partitions[p].accesses.len() as u16;
+                partitions[p].accesses.push(AccessDef {
+                    array: *array,
+                    pattern: AccessPattern::Indirect,
+                    write: false,
+                });
+                PNode::LoadIndirect { access, addr }
+            }
+            DfgKind::Bin(op) => {
+                let a = res(node.args[0], &mut partitions, &mut local, &mut recv_memo);
+                let b = res(node.args[1], &mut partitions, &mut local, &mut recv_memo);
+                PNode::Bin { op: *op, a, b }
+            }
+            DfgKind::Un(op) => {
+                let a = res(node.args[0], &mut partitions, &mut local, &mut recv_memo);
+                PNode::Un { op: *op, a }
+            }
+            DfgKind::Select => {
+                let c = res(node.args[0], &mut partitions, &mut local, &mut recv_memo);
+                let t = res(node.args[1], &mut partitions, &mut local, &mut recv_memo);
+                let f = res(node.args[2], &mut partitions, &mut local, &mut recv_memo);
+                PNode::Select { c, t, f }
+            }
+            DfgKind::StoreStream { array, form } => {
+                let val = res(node.args[0], &mut partitions, &mut local, &mut recv_memo);
+                let pred = node
+                    .pred
+                    .map(|pg| res(pg, &mut partitions, &mut local, &mut recv_memo));
+                let access = partitions[p].accesses.len() as u16;
+                partitions[p].accesses.push(AccessDef {
+                    array: *array,
+                    pattern: AccessPattern::Stream {
+                        base: form.base.clone(),
+                        stride: form.stride,
+                    },
+                    write: true,
+                });
+                PNode::StoreStream { access, val, pred }
+            }
+            DfgKind::StoreIndirect { array } => {
+                let addr = res(node.args[0], &mut partitions, &mut local, &mut recv_memo);
+                let val = res(node.args[1], &mut partitions, &mut local, &mut recv_memo);
+                let pred = node
+                    .pred
+                    .map(|pg| res(pg, &mut partitions, &mut local, &mut recv_memo));
+                let access = partitions[p].accesses.len() as u16;
+                partitions[p].accesses.push(AccessDef {
+                    array: *array,
+                    pattern: AccessPattern::Indirect,
+                    write: true,
+                });
+                PNode::StoreIndirect {
+                    access,
+                    addr,
+                    val,
+                    pred,
+                }
+            }
+        };
+        let ix = partitions[p].nodes.len() as u16;
+        partitions[p].nodes.push(pn);
+        local[p].insert(g32, ix);
+        // Emit sends for consumers in other partitions.
+        if let Some(chans) = sends_of.get(&g32) {
+            for &ch in chans {
+                partitions[p].nodes.push(PNode::Send { chan: ch, src: ix });
+            }
+        }
+    }
+
+    // Live-outs: every carried scalar, read back from its owner partition.
+    let mut liveouts = Vec::new();
+    for (gr, scalar) in dfg.carries.iter().enumerate() {
+        let gr = gr as u16;
+        if let (Some(&owner), Some(&local_reg)) = (carry_owner.get(&gr), carry_local.get(&gr)) {
+            liveouts.push((*scalar, owner as u16, local_reg));
+        }
+    }
+
+    OffloadPlan {
+        loop_id: l.id,
+        inner_var: l.var,
+        class,
+        partitions,
+        channels,
+        params: dfg.params.clone(),
+        liveouts,
+        bounds: (l.start.clone(), l.end.clone(), l.step),
+        cut_bytes: parts.cut,
+        dfg_dims: dfg.dims(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify;
+    use crate::dfg::build_dfg;
+    use crate::partition::{partition_monolithic, partition_object_anchored};
+    use distda_ir::program::ProgramBuilder;
+    use distda_ir::{Expr, Stmt};
+
+    fn plan_of(dist: bool, build: impl FnOnce(&mut ProgramBuilder)) -> OffloadPlan {
+        let mut b = ProgramBuilder::new("t");
+        build(&mut b);
+        let p = b.build();
+        let mut inner = None;
+        p.visit_stmts(&mut |s| {
+            if let Stmt::Loop(l) = s {
+                if !l.body.iter().any(|s| matches!(s, Stmt::Loop(_))) {
+                    inner = Some(l.clone());
+                }
+            }
+        });
+        let l = inner.unwrap();
+        let d = build_dfg(&l).unwrap();
+        let class = classify(&d);
+        let parts = if dist && class != DfgClass::Serialized {
+            partition_object_anchored(&d)
+        } else {
+            partition_monolithic(&d)
+        };
+        let plan = codegen(&d, &parts, &l, class);
+        plan.validate().expect("plan validates");
+        plan
+    }
+
+    fn axpy(b: &mut ProgramBuilder) {
+        let x = b.array_f64("x", 8);
+        let y = b.array_f64("y", 8);
+        b.for_(0, 8, 1, |b, i| {
+            let v = Expr::cf(2.0) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+            b.store(y, i, v);
+        });
+    }
+
+    #[test]
+    fn distributed_axpy_has_two_partitions_and_channels() {
+        let plan = plan_of(true, axpy);
+        assert_eq!(plan.partitions.len(), 2);
+        assert!(!plan.channels.is_empty());
+        // Objects are distinct per partition.
+        let objs: Vec<_> = plan.partitions.iter().map(|p| p.object).collect();
+        assert_ne!(objs[0], objs[1]);
+    }
+
+    #[test]
+    fn monolithic_axpy_has_one_partition_no_channels() {
+        let plan = plan_of(false, axpy);
+        assert_eq!(plan.partitions.len(), 1);
+        assert!(plan.channels.is_empty());
+        assert_eq!(plan.partitions[0].accesses.len(), 3);
+    }
+
+    #[test]
+    fn sends_and_recvs_pair_up() {
+        let plan = plan_of(true, |b| {
+            let x = b.array_f64("x", 8);
+            let y = b.array_f64("y", 8);
+            let z = b.array_f64("z", 8);
+            b.for_(0, 8, 1, |b, i| {
+                let v = Expr::load(x, i.clone()) * Expr::load(y, i.clone());
+                b.store(z, i, v);
+            });
+        });
+        assert_eq!(plan.partitions.len(), 3);
+        let sends: usize = plan
+            .partitions
+            .iter()
+            .flat_map(|p| &p.nodes)
+            .filter(|n| matches!(n, PNode::Send { .. }))
+            .count();
+        let recvs: usize = plan
+            .partitions
+            .iter()
+            .flat_map(|p| &p.nodes)
+            .filter(|n| matches!(n, PNode::Recv { .. }))
+            .count();
+        assert_eq!(sends, plan.channels.len());
+        assert_eq!(recvs, plan.channels.len());
+    }
+
+    #[test]
+    fn reduction_liveout_maps_to_carry_register() {
+        let plan = plan_of(true, |b| {
+            let x = b.array_f64("x", 8);
+            let acc = b.scalar("acc", 0.0f64);
+            b.for_(0, 8, 1, |b, i| {
+                b.set(acc, Expr::Scalar(acc) + Expr::load(x, i));
+            });
+        });
+        assert_eq!(plan.liveouts.len(), 1);
+        let (_, part, reg) = plan.liveouts[0];
+        assert_eq!(plan.partitions[part as usize].carry_scalars.len(), reg as usize + 1);
+    }
+
+    #[test]
+    fn serialized_pointer_chase_stays_monolithic() {
+        let plan = plan_of(true, |b| {
+            let next = b.array_i64("next", 8);
+            let p = b.scalar("p", 0i64);
+            b.for_(0, 8, 1, |b, _| {
+                b.set(p, Expr::load(next, Expr::Scalar(p)));
+            });
+        });
+        assert_eq!(plan.class, DfgClass::Serialized);
+        assert_eq!(plan.partitions.len(), 1);
+        assert!(plan.partitions[0].buffer_count() <= 1);
+    }
+
+    #[test]
+    fn predicated_store_keeps_predicate_operand() {
+        let plan = plan_of(false, |b| {
+            let x = b.array_i64("x", 8);
+            let y = b.array_i64("y", 8);
+            b.for_(0, 8, 1, |b, i| {
+                b.when(Expr::load(x, i.clone()).lt(Expr::c(3)), |b| {
+                    b.store(y, i.clone(), Expr::c(1));
+                });
+            });
+        });
+        let has_pred_store = plan.partitions[0]
+            .nodes
+            .iter()
+            .any(|n| matches!(n, PNode::StoreStream { pred: Some(_), .. }));
+        assert!(has_pred_store);
+    }
+
+    #[test]
+    fn microcode_accounting() {
+        let plan = plan_of(false, axpy);
+        let p = &plan.partitions[0];
+        assert_eq!(p.microcode_bytes(), p.inst_count() * 8);
+        assert!(plan.max_insts() >= 5);
+        assert_eq!(plan.total_insts(), p.inst_count());
+        assert!(p.complex_ops() >= 1); // the multiply
+    }
+
+    #[test]
+    fn indirect_gather_plan_validates_with_channel_addressing() {
+        let plan = plan_of(true, |b| {
+            let idx = b.array_i64("idx", 8);
+            let data = b.array_f64("data", 64);
+            let out = b.array_f64("out", 8);
+            b.for_(0, 8, 1, |b, i| {
+                b.store(out, i.clone(), Expr::load(data, Expr::load(idx, i.clone())));
+            });
+        });
+        assert_eq!(plan.partitions.len(), 3);
+        // The data partition receives its element index over a channel.
+        let data_part = plan
+            .partitions
+            .iter()
+            .find(|p| {
+                p.nodes
+                    .iter()
+                    .any(|n| matches!(n, PNode::LoadIndirect { .. }))
+            })
+            .expect("indirect partition");
+        assert!(data_part
+            .nodes
+            .iter()
+            .any(|n| matches!(n, PNode::Recv { .. })));
+    }
+}

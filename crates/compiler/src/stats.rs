@@ -1,0 +1,203 @@
+//! Static offload characteristics (the compiler-visible half of Table VI).
+
+use crate::plan::{AccessPattern, OffloadPlan, PNode};
+
+/// Static characteristics of a compiled kernel's offloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OffloadStats {
+    /// Number of offloaded regions.
+    pub regions: usize,
+    /// Total partitions across regions.
+    pub partitions: usize,
+    /// Maximum instructions in any single accelerator definition
+    /// (Table VI `#insts`).
+    pub max_insts: usize,
+    /// DFG dimensions of the largest region, `(depth, width)`.
+    pub dfg_dims: (usize, usize),
+    /// Maximum microcode bytes per offload (Table VI `insts(B)`).
+    pub max_microcode_bytes: usize,
+    /// Average buffers per partition, rounded (Table VI `#buf`).
+    pub avg_buffers: usize,
+    /// Total cross-partition channels.
+    pub channels: usize,
+    /// Streaming access configurations.
+    pub stream_accesses: usize,
+    /// Indirect access configurations.
+    pub indirect_accesses: usize,
+}
+
+/// Summarizes a set of offload plans. `dims` should be the per-plan DFG
+/// dimensions gathered at DFG-build time (pass an empty slice to skip).
+pub fn summarize(plans: &[OffloadPlan], dims: &[(usize, usize)]) -> OffloadStats {
+    let mut s = OffloadStats {
+        regions: plans.len(),
+        ..OffloadStats::default()
+    };
+    let mut total_buffers = 0usize;
+    for p in plans {
+        s.partitions += p.partitions.len();
+        s.channels += p.channels.len();
+        for part in &p.partitions {
+            s.max_insts = s.max_insts.max(part.inst_count());
+            s.max_microcode_bytes = s.max_microcode_bytes.max(part.microcode_bytes());
+            total_buffers += part.buffer_count();
+            for a in &part.accesses {
+                match a.pattern {
+                    AccessPattern::Stream { .. } => s.stream_accesses += 1,
+                    AccessPattern::Indirect => s.indirect_accesses += 1,
+                }
+            }
+        }
+    }
+    if s.partitions > 0 {
+        s.avg_buffers = (total_buffers + s.partitions / 2) / s.partitions;
+    }
+    s.dfg_dims = dims
+        .iter()
+        .copied()
+        .max_by_key(|&(d, w)| d * w)
+        .unwrap_or((0, 0));
+    s
+}
+
+/// Counts interface-mechanism usage implied by a plan (Table V row): which
+/// `cp_*` intrinsics the compiled code will exercise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MechanismUse {
+    pub cp_produce: bool,
+    pub cp_consume: bool,
+    pub cp_write: bool,
+    pub cp_read: bool,
+    pub cp_step: bool,
+    pub cp_fill_buf: bool,
+    pub cp_drain_buf: bool,
+    pub cp_fill_ra: bool,
+    pub cp_drain_ra: bool,
+    pub cp_config: bool,
+    pub cp_config_stream: bool,
+    pub cp_config_random: bool,
+    pub cp_set_rf: bool,
+    pub cp_load_rf: bool,
+    pub cp_run: bool,
+}
+
+impl MechanismUse {
+    /// Mechanisms exercised by a compiled plan set (all flags here are
+    /// compiler-automated, `C` entries of Table V).
+    pub fn of_plans(plans: &[OffloadPlan]) -> Self {
+        let mut m = Self::default();
+        for p in plans {
+            m.cp_config = true;
+            m.cp_run = true;
+            if !p.params.is_empty() || !p.liveouts.is_empty() {
+                m.cp_set_rf |= !p.params.is_empty();
+                m.cp_load_rf |= !p.liveouts.is_empty();
+            }
+            for part in &p.partitions {
+                for a in &part.accesses {
+                    match a.pattern {
+                        AccessPattern::Stream { .. } => {
+                            m.cp_config_stream = true;
+                            m.cp_fill_buf |= !a.write;
+                            m.cp_drain_buf |= a.write;
+                            m.cp_step = true;
+                        }
+                        AccessPattern::Indirect => {
+                            m.cp_config_random = true;
+                            m.cp_read |= !a.write;
+                            m.cp_write |= a.write;
+                        }
+                    }
+                }
+                for n in &part.nodes {
+                    match n {
+                        PNode::Send { .. } => m.cp_produce = true,
+                        PNode::Recv { .. } => m.cp_consume = true,
+                        PNode::LoadStream { .. } => {
+                            m.cp_consume = true;
+                            m.cp_step = true;
+                        }
+                        PNode::StoreStream { .. } => {
+                            m.cp_produce = true;
+                            m.cp_step = true;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Iterates `(mechanism name, used)` pairs in Table II order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, bool)> {
+        [
+            ("cp_produce", self.cp_produce),
+            ("cp_consume", self.cp_consume),
+            ("cp_write", self.cp_write),
+            ("cp_read", self.cp_read),
+            ("cp_step", self.cp_step),
+            ("cp_fill_buf", self.cp_fill_buf),
+            ("cp_drain_buf", self.cp_drain_buf),
+            ("cp_fill_ra", self.cp_fill_ra),
+            ("cp_drain_ra", self.cp_drain_ra),
+            ("cp_config", self.cp_config),
+            ("cp_config_stream", self.cp_config_stream),
+            ("cp_config_random", self.cp_config_random),
+            ("cp_set_rf", self.cp_set_rf),
+            ("cp_load_rf", self.cp_load_rf),
+            ("cp_run", self.cp_run),
+        ]
+        .into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{compile, PartitionMode};
+    use distda_ir::program::ProgramBuilder;
+    use distda_ir::Expr;
+
+    fn compiled() -> Vec<OffloadPlan> {
+        let mut b = ProgramBuilder::new("mix");
+        let idx = b.array_i64("idx", 8);
+        let data = b.array_f64("data", 64);
+        let out = b.array_f64("out", 8);
+        b.for_(0, 8, 1, |b, i| {
+            b.store(out, i.clone(), Expr::load(data, Expr::load(idx, i.clone())));
+        });
+        compile(&b.build(), PartitionMode::Distributed).offloads
+    }
+
+    #[test]
+    fn summary_counts_partitions_and_channels() {
+        let plans = compiled();
+        let s = summarize(&plans, &[(4, 3)]);
+        assert_eq!(s.regions, 1);
+        assert_eq!(s.partitions, 3);
+        assert!(s.channels >= 2);
+        assert!(s.max_insts > 0);
+        assert_eq!(s.max_microcode_bytes, s.max_insts * 8);
+        assert_eq!(s.dfg_dims, (4, 3));
+        assert!(s.stream_accesses >= 2);
+        assert_eq!(s.indirect_accesses, 1);
+    }
+
+    #[test]
+    fn mechanism_use_reflects_plan_content() {
+        let plans = compiled();
+        let m = MechanismUse::of_plans(&plans);
+        assert!(m.cp_config && m.cp_run && m.cp_config_stream);
+        assert!(m.cp_produce && m.cp_consume && m.cp_step);
+        assert!(m.cp_read, "indirect load implies cp_read");
+        assert!(m.cp_config_random);
+        assert!(!m.cp_fill_ra && !m.cp_drain_ra, "ra fills are user-annotated only");
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let s = summarize(&[], &[]);
+        assert_eq!(s, OffloadStats::default());
+    }
+}

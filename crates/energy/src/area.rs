@@ -1,0 +1,90 @@
+//! Area accounting for the per-cluster accelerator resources
+//! (paper Section VI-E, derived with Yosys + FreePDK45 + scaling
+//! equations in the original; reproduced here as a parametric model).
+
+/// Area model at a nominal 32 nm node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Area of one 256 KB L3 cluster (mm^2).
+    pub l3_cluster_mm2: f64,
+    /// Total chip area (mm^2).
+    pub chip_mm2: f64,
+    /// One multi-threaded single-issue in-order core with two complex and
+    /// two floating-point ALUs (mm^2).
+    pub io_core_mm2: f64,
+    /// One 5x5 heterogeneous CGRA tile array with buffers and ACP (mm^2).
+    pub cgra_5x5_mm2: f64,
+    /// 4 KB access buffer + ACP port (mm^2).
+    pub access_unit_mm2: f64,
+}
+
+impl AreaModel {
+    /// Values calibrated so the relative overheads match Section VI-E:
+    /// IO core = 1.9 % of a cluster (0.3 % of chip), 5x5 CGRA = 2.9 % of a
+    /// cluster (0.48 % of chip), across 8 clusters.
+    pub fn nominal_32nm() -> Self {
+        Self {
+            l3_cluster_mm2: 1.50,
+            chip_mm2: 76.0,
+            io_core_mm2: 0.0225,
+            cgra_5x5_mm2: 0.0375,
+            access_unit_mm2: 0.006,
+        }
+    }
+
+    /// Per-cluster overhead fraction of adding an IO core + access unit.
+    pub fn io_overhead_per_cluster(&self) -> f64 {
+        (self.io_core_mm2 + self.access_unit_mm2) / self.l3_cluster_mm2
+    }
+
+    /// Per-cluster overhead fraction of adding a 5x5 CGRA + access unit.
+    pub fn cgra_overhead_per_cluster(&self) -> f64 {
+        (self.cgra_5x5_mm2 + self.access_unit_mm2) / self.l3_cluster_mm2
+    }
+
+    /// Chip-level overhead fraction for `clusters` IO-core-equipped
+    /// clusters.
+    pub fn io_overhead_chip(&self, clusters: usize) -> f64 {
+        (self.io_core_mm2 + self.access_unit_mm2) * clusters as f64 / self.chip_mm2
+    }
+
+    /// Chip-level overhead fraction for `clusters` CGRA-equipped clusters.
+    pub fn cgra_overhead_chip(&self, clusters: usize) -> f64 {
+        (self.cgra_5x5_mm2 + self.access_unit_mm2) * clusters as f64 / self.chip_mm2
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::nominal_32nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_overheads_match_section_vi_e() {
+        let a = AreaModel::nominal_32nm();
+        let per_cluster = a.io_overhead_per_cluster() * 100.0;
+        let chip = a.io_overhead_chip(8) * 100.0;
+        assert!((1.4..=2.4).contains(&per_cluster), "got {per_cluster}%");
+        assert!((0.2..=0.4).contains(&chip), "got {chip}%");
+    }
+
+    #[test]
+    fn cgra_overheads_match_section_vi_e() {
+        let a = AreaModel::nominal_32nm();
+        let per_cluster = a.cgra_overhead_per_cluster() * 100.0;
+        let chip = a.cgra_overhead_chip(8) * 100.0;
+        assert!((2.4..=3.4).contains(&per_cluster), "got {per_cluster}%");
+        assert!((0.38..=0.58).contains(&chip), "got {chip}%");
+    }
+
+    #[test]
+    fn cgra_is_bigger_than_io_core() {
+        let a = AreaModel::nominal_32nm();
+        assert!(a.cgra_5x5_mm2 > a.io_core_mm2);
+    }
+}

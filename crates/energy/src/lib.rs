@@ -1,0 +1,253 @@
+//! # distda-energy
+//!
+//! The energy and area models (the paper's McPAT + Cacti + FreePDK45
+//! substitute): per-event dynamic energies at a nominal 32 nm node, and
+//! the Section VI-E area accounting for the per-cluster accelerator
+//! resources.
+//!
+//! Energy results in the paper are sums of event counts times per-event
+//! energies; we count the same events in the machine model and apply the
+//! same style of per-event costs, so energy *ratios* between
+//! configurations — all the paper reports — are preserved.
+//!
+//! ```
+//! use distda_energy::{EnergyCounters, EnergyModel};
+//! let model = EnergyModel::nominal_32nm();
+//! let mut c = EnergyCounters::default();
+//! c.host_ops = 1000;
+//! c.dram_accesses = 10;
+//! let b = model.energy_pj(&c);
+//! assert!(b.total() > 0.0);
+//! assert!(b.dram > b.core * 0.2); // DRAM events dominate per-event cost
+//! ```
+
+pub mod area;
+
+pub use area::AreaModel;
+
+/// Event counts accumulated by one simulated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyCounters {
+    /// Dynamic instructions retired by the OoO host.
+    pub host_ops: u64,
+    /// Microcode ops retired by in-order accelerator cores.
+    pub io_ops: u64,
+    /// Ops executed on CGRA fabric tiles.
+    pub cgra_ops: u64,
+    /// L1 data cache accesses.
+    pub l1_accesses: u64,
+    /// L2 accesses.
+    pub l2_accesses: u64,
+    /// L3 bank accesses (all clusters).
+    pub l3_accesses: u64,
+    /// DRAM line accesses (reads + writes).
+    pub dram_accesses: u64,
+    /// NoC traffic in byte-hops (bytes times links traversed).
+    pub noc_hop_bytes: u64,
+    /// Access-unit buffer element accesses (the cheap "intra" accesses).
+    pub buffer_elem_accesses: u64,
+    /// Access-unit buffer line installs/drains.
+    pub buffer_line_moves: u64,
+    /// MMIO configuration words (cp_config/cp_set_rf/cp_run traffic).
+    pub mmio_words: u64,
+    /// Host cache lines flushed at offload boundaries.
+    pub flushed_lines: u64,
+}
+
+impl EnergyCounters {
+    /// Element-wise sum.
+    pub fn add(&mut self, o: &EnergyCounters) {
+        self.host_ops += o.host_ops;
+        self.io_ops += o.io_ops;
+        self.cgra_ops += o.cgra_ops;
+        self.l1_accesses += o.l1_accesses;
+        self.l2_accesses += o.l2_accesses;
+        self.l3_accesses += o.l3_accesses;
+        self.dram_accesses += o.dram_accesses;
+        self.noc_hop_bytes += o.noc_hop_bytes;
+        self.buffer_elem_accesses += o.buffer_elem_accesses;
+        self.buffer_line_moves += o.buffer_line_moves;
+        self.mmio_words += o.mmio_words;
+        self.flushed_lines += o.flushed_lines;
+    }
+}
+
+/// Per-event dynamic energies in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Per retired OoO instruction (fetch/rename/ROB/issue overheads).
+    pub host_op_pj: f64,
+    /// Per in-order accelerator microcode op.
+    pub io_op_pj: f64,
+    /// Per CGRA tile op (no fetch/decode; statically routed operands).
+    pub cgra_op_pj: f64,
+    /// Per L1 access.
+    pub l1_pj: f64,
+    /// Per L2 access.
+    pub l2_pj: f64,
+    /// Per L3 bank access.
+    pub l3_pj: f64,
+    /// Per DRAM 64-byte access.
+    pub dram_pj: f64,
+    /// Per byte-hop on the mesh.
+    pub noc_byte_hop_pj: f64,
+    /// Per 8-byte access-unit buffer reference.
+    pub buffer_elem_pj: f64,
+    /// Per buffer line install/drain (SRAM line write).
+    pub buffer_line_pj: f64,
+    /// Per MMIO configuration word.
+    pub mmio_pj: f64,
+    /// Per flushed host cache line.
+    pub flush_pj: f64,
+}
+
+impl EnergyModel {
+    /// Nominal 32 nm values in the spirit of McPAT/Cacti characterizations
+    /// (Table III technology).
+    pub fn nominal_32nm() -> Self {
+        Self {
+            host_op_pj: 80.0,
+            io_op_pj: 10.0,
+            cgra_op_pj: 4.0,
+            l1_pj: 15.0,
+            l2_pj: 30.0,
+            l3_pj: 50.0,
+            dram_pj: 2600.0,
+            noc_byte_hop_pj: 2.5,
+            buffer_elem_pj: 2.0,
+            buffer_line_pj: 20.0,
+            mmio_pj: 40.0,
+            flush_pj: 10.0,
+        }
+    }
+
+    /// Applies the model to counters.
+    pub fn energy_pj(&self, c: &EnergyCounters) -> EnergyBreakdown {
+        EnergyBreakdown {
+            core: c.host_ops as f64 * self.host_op_pj,
+            accel: c.io_ops as f64 * self.io_op_pj + c.cgra_ops as f64 * self.cgra_op_pj,
+            cache: c.l1_accesses as f64 * self.l1_pj
+                + c.l2_accesses as f64 * self.l2_pj
+                + c.l3_accesses as f64 * self.l3_pj
+                + c.flushed_lines as f64 * self.flush_pj,
+            noc: c.noc_hop_bytes as f64 * self.noc_byte_hop_pj,
+            dram: c.dram_accesses as f64 * self.dram_pj,
+            buffers: c.buffer_elem_accesses as f64 * self.buffer_elem_pj
+                + c.buffer_line_moves as f64 * self.buffer_line_pj,
+            mmio: c.mmio_words as f64 * self.mmio_pj,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::nominal_32nm()
+    }
+}
+
+/// Dynamic energy by component, in picojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Host core pipeline energy.
+    pub core: f64,
+    /// Accelerator compute energy.
+    pub accel: f64,
+    /// Cache hierarchy energy.
+    pub cache: f64,
+    /// Interconnect energy.
+    pub noc: f64,
+    /// DRAM energy.
+    pub dram: f64,
+    /// Access-unit buffer energy.
+    pub buffers: f64,
+    /// Configuration MMIO energy.
+    pub mmio: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total dynamic energy in picojoules.
+    pub fn total(&self) -> f64 {
+        self.core + self.accel + self.cache + self.noc + self.dram + self.buffers + self.mmio
+    }
+
+    /// Folds into a report with one entry per component.
+    pub fn report(&self) -> distda_sim::Report {
+        let mut r = distda_sim::Report::new();
+        r.add("energy.core_pj", self.core);
+        r.add("energy.accel_pj", self.accel);
+        r.add("energy.cache_pj", self.cache);
+        r.add("energy.noc_pj", self.noc);
+        r.add("energy.dram_pj", self.dram);
+        r.add("energy.buffers_pj", self.buffers);
+        r.add("energy.mmio_pj", self.mmio);
+        r.add("energy.total_pj", self.total());
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_counters_zero_energy() {
+        let m = EnergyModel::nominal_32nm();
+        assert_eq!(m.energy_pj(&EnergyCounters::default()).total(), 0.0);
+    }
+
+    #[test]
+    fn per_event_hierarchy_is_ordered() {
+        let m = EnergyModel::nominal_32nm();
+        assert!(m.l1_pj < m.l2_pj && m.l2_pj < m.l3_pj && m.l3_pj < m.dram_pj);
+        assert!(m.buffer_elem_pj < m.l1_pj, "intra must beat L1");
+        assert!(m.cgra_op_pj < m.io_op_pj && m.io_op_pj < m.host_op_pj);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = EnergyModel::nominal_32nm();
+        let c = EnergyCounters {
+            host_ops: 100,
+            io_ops: 50,
+            cgra_ops: 20,
+            l1_accesses: 10,
+            l2_accesses: 5,
+            l3_accesses: 3,
+            dram_accesses: 1,
+            noc_hop_bytes: 256,
+            buffer_elem_accesses: 40,
+            buffer_line_moves: 4,
+            mmio_words: 6,
+            flushed_lines: 2,
+        };
+        let b = m.energy_pj(&c);
+        let sum = b.core + b.accel + b.cache + b.noc + b.dram + b.buffers + b.mmio;
+        assert!((b.total() - sum).abs() < 1e-9);
+        assert!(b.total() > 0.0);
+    }
+
+    #[test]
+    fn counters_add_elementwise() {
+        let mut a = EnergyCounters {
+            host_ops: 1,
+            ..Default::default()
+        };
+        let b = EnergyCounters {
+            host_ops: 2,
+            dram_accesses: 3,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.host_ops, 3);
+        assert_eq!(a.dram_accesses, 3);
+    }
+
+    #[test]
+    fn report_contains_total() {
+        let m = EnergyModel::nominal_32nm();
+        let mut c = EnergyCounters::default();
+        c.io_ops = 7;
+        let r = m.energy_pj(&c).report();
+        assert_eq!(r.get("energy.total_pj"), Some(70.0));
+    }
+}

@@ -1,0 +1,346 @@
+//! Expressions of the kernel IR.
+//!
+//! Index expressions of [`Expr::Load`] are ordinary expressions; the
+//! compiler's scalar-evolution pass recognizes the affine ones as streams
+//! and the `Load`-inside-index ones as indirect accesses — exactly the
+//! distinction the paper's Section V-A draws.
+
+use crate::value::Value;
+
+/// Identifies a memory object (application data structure). The paper calls
+/// this the *virtual object ID*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub usize);
+
+/// Identifies a scalar program variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScalarId(pub usize);
+
+/// Identifies a loop induction variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopVarId(pub usize);
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Min,
+    Max,
+    Lt,
+    Le,
+    Eq,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// Applies the operator to values.
+    pub fn apply(self, a: Value, b: Value) -> Value {
+        match self {
+            BinOp::Add => Value::add(a, b),
+            BinOp::Sub => Value::sub(a, b),
+            BinOp::Mul => Value::mul(a, b),
+            BinOp::Div => Value::div(a, b),
+            BinOp::Rem => Value::rem(a, b),
+            BinOp::Min => Value::min(a, b),
+            BinOp::Max => Value::max(a, b),
+            BinOp::Lt => Value::lt(a, b),
+            BinOp::Le => Value::le(a, b),
+            BinOp::Eq => Value::eq_val(a, b),
+            BinOp::And => Value::I((a.truthy() && b.truthy()) as i64),
+            BinOp::Or => Value::I((a.truthy() || b.truthy()) as i64),
+        }
+    }
+
+    /// Execution latency in accelerator cycles (single-issue in-order).
+    pub fn latency(self) -> u64 {
+        match self {
+            BinOp::Add | BinOp::Sub | BinOp::Lt | BinOp::Le | BinOp::Eq | BinOp::And | BinOp::Or => 1,
+            BinOp::Min | BinOp::Max => 1,
+            BinOp::Mul => 3,
+            BinOp::Div | BinOp::Rem => 12,
+        }
+    }
+
+    /// Whether the op needs a floating-point/complex ALU on a CGRA tile.
+    pub fn is_complex(self) -> bool {
+        matches!(self, BinOp::Mul | BinOp::Div | BinOp::Rem)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+    Sqrt,
+    Abs,
+}
+
+impl UnOp {
+    /// Applies the operator.
+    pub fn apply(self, a: Value) -> Value {
+        match self {
+            UnOp::Neg => Value::neg(a),
+            UnOp::Not => Value::not(a),
+            UnOp::Sqrt => Value::sqrt(a),
+            UnOp::Abs => Value::abs(a),
+        }
+    }
+
+    /// Execution latency in accelerator cycles.
+    pub fn latency(self) -> u64 {
+        match self {
+            UnOp::Neg | UnOp::Not | UnOp::Abs => 1,
+            UnOp::Sqrt => 12,
+        }
+    }
+
+    /// Whether the op needs a floating-point/complex unit.
+    pub fn is_complex(self) -> bool {
+        matches!(self, UnOp::Sqrt)
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal.
+    Const(Value),
+    /// Loop induction variable.
+    LoopVar(LoopVarId),
+    /// Scalar variable read.
+    Scalar(ScalarId),
+    /// Array element read; the index is in elements.
+    Load(ArrayId, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// `cond != 0 ? a : b`, evaluated non-speculatively on both sides
+    /// (predication, as the compiler's if-conversion produces).
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Integer literal.
+    pub fn c(v: i64) -> Expr {
+        Expr::Const(Value::I(v))
+    }
+
+    /// Float literal.
+    pub fn cf(v: f64) -> Expr {
+        Expr::Const(Value::F(v))
+    }
+
+    /// Array load.
+    pub fn load(a: ArrayId, idx: Expr) -> Expr {
+        Expr::Load(a, Box::new(idx))
+    }
+
+    fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: impl Into<Expr>) -> Expr {
+        Self::bin(BinOp::Lt, self, rhs.into())
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: impl Into<Expr>) -> Expr {
+        Self::bin(BinOp::Le, self, rhs.into())
+    }
+
+    /// `self == rhs`.
+    pub fn eq_(self, rhs: impl Into<Expr>) -> Expr {
+        Self::bin(BinOp::Eq, self, rhs.into())
+    }
+
+    /// `min(self, rhs)`.
+    pub fn min(self, rhs: impl Into<Expr>) -> Expr {
+        Self::bin(BinOp::Min, self, rhs.into())
+    }
+
+    /// `max(self, rhs)`.
+    pub fn max(self, rhs: impl Into<Expr>) -> Expr {
+        Self::bin(BinOp::Max, self, rhs.into())
+    }
+
+    /// Logical and.
+    pub fn and(self, rhs: impl Into<Expr>) -> Expr {
+        Self::bin(BinOp::And, self, rhs.into())
+    }
+
+    /// Logical or.
+    pub fn or(self, rhs: impl Into<Expr>) -> Expr {
+        Self::bin(BinOp::Or, self, rhs.into())
+    }
+
+    /// Remainder.
+    pub fn rem(self, rhs: impl Into<Expr>) -> Expr {
+        Self::bin(BinOp::Rem, self, rhs.into())
+    }
+
+    /// `self != 0 ? a : b` (predicated select).
+    pub fn select(self, a: impl Into<Expr>, b: impl Into<Expr>) -> Expr {
+        Expr::Select(Box::new(self), Box::new(a.into()), Box::new(b.into()))
+    }
+
+    /// Square root.
+    pub fn sqrt(self) -> Expr {
+        Expr::Un(UnOp::Sqrt, Box::new(self))
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Expr {
+        Expr::Un(UnOp::Abs, Box::new(self))
+    }
+
+    /// Logical not.
+    pub fn not(self) -> Expr {
+        Expr::Un(UnOp::Not, Box::new(self))
+    }
+
+    /// Visits every node in the tree (pre-order).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Load(_, i) => i.visit(f),
+            Expr::Bin(_, a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Un(_, a) => a.visit(f),
+            Expr::Select(c, a, b) => {
+                c.visit(f);
+                a.visit(f);
+                b.visit(f);
+            }
+            _ => {}
+        }
+    }
+
+    /// Counts the operation nodes (loads + arithmetic), the static size the
+    /// compiler reports in Table VI.
+    pub fn op_count(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Load(..) | Expr::Bin(..) | Expr::Un(..) | Expr::Select(..)) {
+                n += 1;
+            }
+        });
+        n
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Expr {
+        Expr::c(v)
+    }
+}
+
+impl From<f64> for Expr {
+    fn from(v: f64) -> Expr {
+        Expr::cf(v)
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, rhs)
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Un(UnOp::Neg, Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operators_build_trees() {
+        let e = Expr::c(1) + Expr::c(2) * Expr::c(3);
+        match &e {
+            Expr::Bin(BinOp::Add, a, b) => {
+                assert_eq!(**a, Expr::c(1));
+                assert!(matches!(**b, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            _ => panic!("unexpected shape"),
+        }
+    }
+
+    #[test]
+    fn op_count_counts_work_nodes() {
+        let a = ArrayId(0);
+        // load + load + add + mul = 4
+        let e = (Expr::load(a, Expr::c(0)) + Expr::load(a, Expr::c(1))) * Expr::c(2);
+        assert_eq!(e.op_count(), 4);
+        assert_eq!(Expr::c(5).op_count(), 0);
+    }
+
+    #[test]
+    fn binop_apply_matches_value_ops() {
+        assert_eq!(BinOp::Add.apply(Value::I(1), Value::I(2)), Value::I(3));
+        assert_eq!(BinOp::Lt.apply(Value::I(1), Value::I(2)), Value::I(1));
+        assert_eq!(BinOp::And.apply(Value::I(1), Value::I(0)), Value::I(0));
+        assert_eq!(BinOp::Or.apply(Value::I(0), Value::F(2.0)), Value::I(1));
+    }
+
+    #[test]
+    fn latencies_are_positive_and_divide_sensibly() {
+        for op in [BinOp::Add, BinOp::Mul, BinOp::Div] {
+            assert!(op.latency() >= 1);
+        }
+        assert!(BinOp::Div.latency() > BinOp::Mul.latency());
+        assert!(BinOp::Mul.latency() > BinOp::Add.latency());
+        assert!(UnOp::Sqrt.latency() > UnOp::Neg.latency());
+    }
+
+    #[test]
+    fn complex_classification() {
+        assert!(BinOp::Mul.is_complex());
+        assert!(!BinOp::Add.is_complex());
+        assert!(UnOp::Sqrt.is_complex());
+    }
+
+    #[test]
+    fn visit_reaches_all_nodes() {
+        let a = ArrayId(1);
+        let e = Expr::load(a, Expr::c(3) + Expr::LoopVar(LoopVarId(0)));
+        let mut kinds = Vec::new();
+        e.visit(&mut |n| kinds.push(std::mem::discriminant(n)));
+        assert_eq!(kinds.len(), 4); // load, add, const, loopvar
+    }
+}

@@ -1,0 +1,307 @@
+//! The reference interpreter: functional execution of a [`Program`].
+//!
+//! Every accelerated configuration's final memory image is validated
+//! against this interpreter, mirroring the paper's "applications with
+//! accelerator offloads are validated by execution until program
+//! completion".
+
+use crate::expr::{Expr, ScalarId};
+use crate::program::{Program, Stmt};
+use crate::value::Value;
+
+/// Functional memory: one `Vec<Value>` per declared array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Memory {
+    arrays: Vec<Vec<Value>>,
+}
+
+impl Memory {
+    /// Allocates zero-initialized memory for a program's arrays.
+    pub fn for_program(p: &Program) -> Self {
+        Self {
+            arrays: p
+                .arrays
+                .iter()
+                .map(|a| {
+                    let zero = if a.is_float { Value::F(0.0) } else { Value::I(0) };
+                    vec![zero; a.len]
+                })
+                .collect(),
+        }
+    }
+
+    /// Read-only view of an array.
+    pub fn array(&self, a: crate::expr::ArrayId) -> &[Value] {
+        &self.arrays[a.0]
+    }
+
+    /// Mutable view of an array (for input initialization).
+    pub fn array_mut(&mut self, a: crate::expr::ArrayId) -> &mut [Value] {
+        &mut self.arrays[a.0]
+    }
+
+    /// Reads an element, clamping out-of-bounds indices to the array edge
+    /// (the kernels are in-bounds by construction; clamping keeps the
+    /// interpreter total under property-test fuzzing).
+    pub fn load(&self, a: crate::expr::ArrayId, idx: i64) -> Value {
+        let arr = &self.arrays[a.0];
+        let i = (idx.max(0) as usize).min(arr.len().saturating_sub(1));
+        arr.get(i).copied().unwrap_or(Value::I(0))
+    }
+
+    /// Writes an element with the same clamping as [`Memory::load`].
+    pub fn store(&mut self, a: crate::expr::ArrayId, idx: i64, v: Value) {
+        let arr = &mut self.arrays[a.0];
+        if arr.is_empty() {
+            return;
+        }
+        let i = (idx.max(0) as usize).min(arr.len() - 1);
+        arr[i] = v;
+    }
+}
+
+/// Interpreter state (scalars + loop variables) over a memory image.
+#[derive(Debug)]
+pub struct Interp<'p> {
+    prog: &'p Program,
+    scalars: Vec<Value>,
+    loop_vars: Vec<i64>,
+    /// Dynamic statement budget guard (deterministic kernels stay far
+    /// below it; a runaway loop aborts with a panic instead of hanging).
+    budget: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter for a program.
+    pub fn new(prog: &'p Program) -> Self {
+        Self {
+            prog,
+            scalars: prog.scalars.iter().map(|s| s.init).collect(),
+            loop_vars: vec![0; prog.loop_var_count],
+            budget: 2_000_000_000,
+        }
+    }
+
+    /// Runs the program to completion over `mem`, returning final scalars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dynamic statement budget is exhausted.
+    pub fn run(mut self, mem: &mut Memory) -> Vec<Value> {
+        // Clone the body handle to avoid double-borrowing self.
+        let body = &self.prog.body;
+        self.exec_block(body, mem);
+        self.scalars
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], mem: &mut Memory) {
+        for s in stmts {
+            self.exec(s, mem);
+        }
+    }
+
+    fn exec(&mut self, s: &Stmt, mem: &mut Memory) {
+        self.budget = self
+            .budget
+            .checked_sub(1)
+            .expect("interpreter budget exhausted");
+        match s {
+            Stmt::Store(a, idx, val) => {
+                let i = self.eval(idx, mem).as_i64();
+                let v = self.eval(val, mem);
+                mem.store(*a, i, v);
+            }
+            Stmt::SetScalar(sid, e) => {
+                let v = self.eval(e, mem);
+                self.scalars[sid.0] = v;
+            }
+            Stmt::If(c, t, e) => {
+                if self.eval(c, mem).truthy() {
+                    self.exec_block(t, mem);
+                } else {
+                    self.exec_block(e, mem);
+                }
+            }
+            Stmt::Loop(l) => {
+                let start = self.eval(&l.start, mem).as_i64();
+                let end = self.eval(&l.end, mem).as_i64();
+                let mut i = start;
+                while (l.step > 0 && i < end) || (l.step < 0 && i > end) {
+                    self.loop_vars[l.var.0] = i;
+                    self.exec_block(&l.body, mem);
+                    i += l.step;
+                }
+            }
+        }
+    }
+
+    /// Evaluates an expression.
+    pub fn eval(&mut self, e: &Expr, mem: &Memory) -> Value {
+        match e {
+            Expr::Const(v) => *v,
+            Expr::LoopVar(lv) => Value::I(self.loop_vars[lv.0]),
+            Expr::Scalar(s) => self.scalars[s.0],
+            Expr::Load(a, idx) => {
+                let i = self.eval(idx, mem).as_i64();
+                mem.load(*a, i)
+            }
+            Expr::Bin(op, a, b) => {
+                let va = self.eval(a, mem);
+                let vb = self.eval(b, mem);
+                op.apply(va, vb)
+            }
+            Expr::Un(op, a) => {
+                let v = self.eval(a, mem);
+                op.apply(v)
+            }
+            Expr::Select(c, a, b) => {
+                // Predicated: both sides evaluated.
+                let vc = self.eval(c, mem);
+                let va = self.eval(a, mem);
+                let vb = self.eval(b, mem);
+                if vc.truthy() {
+                    va
+                } else {
+                    vb
+                }
+            }
+        }
+    }
+
+    /// Reads a scalar mid-run (for tests).
+    pub fn scalar(&self, s: ScalarId) -> Value {
+        self.scalars[s.0]
+    }
+}
+
+/// Convenience: runs `prog` over `mem`, returning final scalar values.
+pub fn run(prog: &Program, mem: &mut Memory) -> Vec<Value> {
+    Interp::new(prog).run(mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+
+    #[test]
+    fn axpy_computes_expected_values() {
+        let mut b = ProgramBuilder::new("axpy");
+        let x = b.array_f64("x", 8);
+        let y = b.array_f64("y", 8);
+        b.for_(0, 8, 1, |b, i| {
+            let v = Expr::cf(2.0) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+            b.store(y, i, v);
+        });
+        let p = b.build();
+        let mut mem = Memory::for_program(&p);
+        for i in 0..8 {
+            mem.array_mut(x)[i] = Value::F(i as f64);
+            mem.array_mut(y)[i] = Value::F(1.0);
+        }
+        run(&p, &mut mem);
+        for i in 0..8 {
+            assert_eq!(mem.array(y)[i], Value::F(2.0 * i as f64 + 1.0));
+        }
+    }
+
+    #[test]
+    fn reduction_through_scalar() {
+        let mut b = ProgramBuilder::new("sum");
+        let x = b.array_i64("x", 5);
+        let acc = b.scalar("acc", 0i64);
+        b.for_(0, 5, 1, |b, i| {
+            b.set(acc, Expr::Scalar(acc) + Expr::load(x, i));
+        });
+        let p = b.build();
+        let mut mem = Memory::for_program(&p);
+        for i in 0..5 {
+            mem.array_mut(x)[i] = Value::I(i as i64 + 1);
+        }
+        let scalars = run(&p, &mut mem);
+        assert_eq!(scalars[acc.0], Value::I(15));
+    }
+
+    #[test]
+    fn dynamic_inner_bounds_read_memory() {
+        // CSR-style: inner loop bounds come from an index array.
+        let mut b = ProgramBuilder::new("csr");
+        let ap = b.array_i64("Ap", 3);
+        let out = b.array_i64("out", 4);
+        b.for_(0, 2, 1, |b, i| {
+            let lo = Expr::load(ap, i.clone());
+            let hi = Expr::load(ap, i + Expr::c(1));
+            b.for_(lo, hi, 1, |b, j| {
+                b.store(out, j.clone(), j + Expr::c(100));
+            });
+        });
+        let p = b.build();
+        let mut mem = Memory::for_program(&p);
+        mem.array_mut(ap).copy_from_slice(&[Value::I(0), Value::I(3), Value::I(4)]);
+        run(&p, &mut mem);
+        let got: Vec<i64> = mem.array(out).iter().map(|v| v.as_i64()).collect();
+        assert_eq!(got, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn negative_step_counts_down() {
+        let mut b = ProgramBuilder::new("rev");
+        let x = b.array_i64("x", 4);
+        let k = b.scalar("k", 0i64);
+        b.for_(3, -1, -1, |b, i| {
+            b.store(x, Expr::Scalar(k), i);
+            b.set(k, Expr::Scalar(k) + Expr::c(1));
+        });
+        let p = b.build();
+        let mut mem = Memory::for_program(&p);
+        run(&p, &mut mem);
+        let got: Vec<i64> = mem.array(x).iter().map(|v| v.as_i64()).collect();
+        assert_eq!(got, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn pointer_chase_follows_links() {
+        let mut b = ProgramBuilder::new("pch");
+        let next = b.array_i64("next", 4);
+        let p_s = b.scalar("p", 0i64);
+        b.for_(0, 5, 1, |b, _| {
+            b.set(p_s, Expr::load(next, Expr::Scalar(p_s)));
+        });
+        let p = b.build();
+        let mut mem = Memory::for_program(&p);
+        // 0 -> 2 -> 1 -> 3 -> 0 cycle.
+        mem.array_mut(next).copy_from_slice(&[Value::I(2), Value::I(3), Value::I(1), Value::I(0)]);
+        let scalars = run(&p, &mut mem);
+        // After 5 hops from 0: 2,1,3,0,2.
+        assert_eq!(scalars[p_s.0], Value::I(2));
+    }
+
+    #[test]
+    fn if_executes_taken_branch_only() {
+        let mut b = ProgramBuilder::new("branchy");
+        let x = b.array_i64("x", 2);
+        b.for_(0, 2, 1, |b, i| {
+            b.if_(
+                i.clone().eq_(Expr::c(0)),
+                |b| b.store(x, Expr::c(0), Expr::c(7)),
+                |b| b.store(x, Expr::c(1), Expr::c(9)),
+            );
+        });
+        let p = b.build();
+        let mut mem = Memory::for_program(&p);
+        run(&p, &mut mem);
+        assert_eq!(mem.array(x)[0], Value::I(7));
+        assert_eq!(mem.array(x)[1], Value::I(9));
+    }
+
+    #[test]
+    fn out_of_bounds_clamps_instead_of_panicking() {
+        let mut b = ProgramBuilder::new("oob");
+        let x = b.array_i64("x", 2);
+        b.store(x, Expr::c(99), Expr::c(1));
+        let p = b.build();
+        let mut mem = Memory::for_program(&p);
+        run(&p, &mut mem);
+        assert_eq!(mem.array(x)[1], Value::I(1));
+    }
+}

@@ -1,0 +1,50 @@
+//! # distda-ir
+//!
+//! The kernel intermediate representation the Dist-DA compiler consumes:
+//! loop nests of statements over declared memory objects, with affine or
+//! data-dependent (indirect) index expressions — the information the
+//! paper's LLVM passes recover via SSA, scalar evolution and alias analysis
+//! is explicit here (Section V).
+//!
+//! The crate also provides the functional reference interpreter
+//! ([`interp`]) used to validate every accelerated run, and the dataflow
+//! trace generator ([`trace`]) that drives the host out-of-order timing
+//! model.
+//!
+//! ```
+//! use distda_ir::prelude::*;
+//!
+//! let mut b = ProgramBuilder::new("sum");
+//! let x = b.array_i64("x", 4);
+//! let acc = b.scalar("acc", 0i64);
+//! b.for_(0, 4, 1, |b, i| {
+//!     b.set(acc, Expr::Scalar(acc) + Expr::load(x, i));
+//! });
+//! let prog = b.build();
+//! let mut mem = Memory::for_program(&prog);
+//! for (i, v) in mem.array_mut(x).iter_mut().enumerate() {
+//!     *v = Value::I(i as i64);
+//! }
+//! let scalars = distda_ir::interp::run(&prog, &mut mem);
+//! assert_eq!(scalars[0], Value::I(6));
+//! ```
+
+pub mod expr;
+pub mod interp;
+pub mod program;
+pub mod trace;
+pub mod value;
+
+pub use expr::{ArrayId, BinOp, Expr, LoopVarId, ScalarId, UnOp};
+pub use interp::Memory;
+pub use program::{Loop, LoopId, Program, ProgramBuilder, Stmt};
+pub use trace::{DynOp, Layout, OpKind, Trace, NO_DEP};
+pub use value::Value;
+
+/// Common imports for writing kernels.
+pub mod prelude {
+    pub use crate::expr::{ArrayId, Expr, ScalarId};
+    pub use crate::interp::Memory;
+    pub use crate::program::{Program, ProgramBuilder};
+    pub use crate::value::Value;
+}

@@ -1,0 +1,375 @@
+//! Programs: loop nests of statements over declared memory objects, plus
+//! the builder API the workloads use.
+
+use crate::expr::{ArrayId, Expr, LoopVarId, ScalarId};
+use crate::value::Value;
+
+/// Identifies a static loop in the program (assigned in build order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub usize);
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `array[idx] = value` (index in elements).
+    Store(ArrayId, Expr, Expr),
+    /// `scalar = value`.
+    SetScalar(ScalarId, Expr),
+    /// `if cond { then } else { other }`.
+    If(Expr, Vec<Stmt>, Vec<Stmt>),
+    /// A counted loop.
+    Loop(Loop),
+}
+
+/// A counted loop: `for var in (start..end).step_by(step)`.
+///
+/// Bounds are expressions, so inner loops may read their bounds from memory
+/// (the CSR pattern of the paper's Figure 5a).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    /// Static loop id.
+    pub id: LoopId,
+    /// Induction variable.
+    pub var: LoopVarId,
+    /// Inclusive start, evaluated at loop entry.
+    pub start: Expr,
+    /// Exclusive end, evaluated at loop entry.
+    pub end: Expr,
+    /// Step (may be negative; never zero).
+    pub step: i64,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A declared memory object (application data structure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Element type: `true` = f64, `false` = i64.
+    pub is_float: bool,
+    /// Length in elements (elements are 8 bytes).
+    pub len: usize,
+}
+
+/// A declared scalar variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalarDecl {
+    /// Source-level name.
+    pub name: String,
+    /// Initial value.
+    pub init: Value,
+}
+
+/// A complete kernel program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Kernel name (used in reports).
+    pub name: String,
+    /// Memory objects.
+    pub arrays: Vec<ArrayDecl>,
+    /// Scalars.
+    pub scalars: Vec<ScalarDecl>,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+    /// Total number of loops.
+    pub loop_count: usize,
+    /// Total number of loop variables.
+    pub loop_var_count: usize,
+}
+
+impl Program {
+    /// Bytes per element for every array.
+    pub const ELEM_BYTES: u64 = 8;
+
+    /// Visits every statement in the program, depth-first.
+    pub fn visit_stmts(&self, f: &mut impl FnMut(&Stmt)) {
+        fn walk(stmts: &[Stmt], f: &mut impl FnMut(&Stmt)) {
+            for s in stmts {
+                f(s);
+                match s {
+                    Stmt::Loop(l) => walk(&l.body, f),
+                    Stmt::If(_, t, e) => {
+                        walk(t, f);
+                        walk(e, f);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.body, f);
+    }
+
+    /// Finds a loop by id.
+    pub fn find_loop(&self, id: LoopId) -> Option<&Loop> {
+        let mut found = None;
+        self.visit_stmts(&mut |s| {
+            if let Stmt::Loop(l) = s {
+                if l.id == id {
+                    found = Some(l as *const Loop);
+                }
+            }
+        });
+        // SAFETY-free: re-borrow through the pointer would be unsound; walk
+        // again instead for a clean reference.
+        found.map(|ptr| {
+            fn walk<'a>(stmts: &'a [Stmt], ptr: *const Loop) -> Option<&'a Loop> {
+                for s in stmts {
+                    if let Stmt::Loop(l) = s {
+                        if std::ptr::eq(l, ptr) {
+                            return Some(l);
+                        }
+                        if let Some(r) = walk(&l.body, ptr) {
+                            return Some(r);
+                        }
+                    } else if let Stmt::If(_, t, e) = s {
+                        if let Some(r) = walk(t, ptr).or_else(|| walk(e, ptr)) {
+                            return Some(r);
+                        }
+                    }
+                }
+                None
+            }
+            walk(&self.body, ptr).expect("loop found above")
+        })
+    }
+
+    /// Total bytes across all declared arrays.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.arrays.iter().map(|a| a.len as u64 * Self::ELEM_BYTES).sum()
+    }
+}
+
+/// Incremental program builder.
+///
+/// # Examples
+///
+/// ```
+/// use distda_ir::program::ProgramBuilder;
+/// use distda_ir::expr::Expr;
+///
+/// let mut b = ProgramBuilder::new("axpy");
+/// let x = b.array_f64("x", 16);
+/// let y = b.array_f64("y", 16);
+/// b.for_(0, 16, 1, |b, i| {
+///     let v = Expr::cf(2.0) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+///     b.store(y, i, v);
+/// });
+/// let prog = b.build();
+/// assert_eq!(prog.loop_count, 1);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    arrays: Vec<ArrayDecl>,
+    scalars: Vec<ScalarDecl>,
+    frames: Vec<Vec<Stmt>>,
+    loops: usize,
+    loop_vars: usize,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            arrays: Vec::new(),
+            scalars: Vec::new(),
+            frames: vec![Vec::new()],
+            loops: 0,
+            loop_vars: 0,
+        }
+    }
+
+    /// Declares an f64 array of `len` elements.
+    pub fn array_f64(&mut self, name: impl Into<String>, len: usize) -> ArrayId {
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            is_float: true,
+            len,
+        });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Declares an i64 array of `len` elements.
+    pub fn array_i64(&mut self, name: impl Into<String>, len: usize) -> ArrayId {
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            is_float: false,
+            len,
+        });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// Declares a scalar with an initial value.
+    pub fn scalar(&mut self, name: impl Into<String>, init: impl Into<Value>) -> ScalarId {
+        self.scalars.push(ScalarDecl {
+            name: name.into(),
+            init: init.into(),
+        });
+        ScalarId(self.scalars.len() - 1)
+    }
+
+    fn top(&mut self) -> &mut Vec<Stmt> {
+        self.frames.last_mut().expect("builder frame")
+    }
+
+    /// Appends `array[idx] = value`.
+    pub fn store(&mut self, a: ArrayId, idx: impl Into<Expr>, value: impl Into<Expr>) {
+        let s = Stmt::Store(a, idx.into(), value.into());
+        self.top().push(s);
+    }
+
+    /// Appends `scalar = value`.
+    pub fn set(&mut self, s: ScalarId, value: impl Into<Expr>) {
+        let st = Stmt::SetScalar(s, value.into());
+        self.top().push(st);
+    }
+
+    /// Appends a counted loop; the closure receives the induction variable
+    /// as an expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn for_(
+        &mut self,
+        start: impl Into<Expr>,
+        end: impl Into<Expr>,
+        step: i64,
+        f: impl FnOnce(&mut Self, Expr),
+    ) {
+        assert!(step != 0, "loop step must be nonzero");
+        let var = LoopVarId(self.loop_vars);
+        self.loop_vars += 1;
+        let id = LoopId(self.loops);
+        self.loops += 1;
+        self.frames.push(Vec::new());
+        f(self, Expr::LoopVar(var));
+        let body = self.frames.pop().expect("pushed above");
+        let l = Loop {
+            id,
+            var,
+            start: start.into(),
+            end: end.into(),
+            step,
+            body,
+        };
+        self.top().push(Stmt::Loop(l));
+    }
+
+    /// Appends an `if`/`else`.
+    pub fn if_(
+        &mut self,
+        cond: impl Into<Expr>,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        self.frames.push(Vec::new());
+        then_f(self);
+        let then_b = self.frames.pop().expect("pushed above");
+        self.frames.push(Vec::new());
+        else_f(self);
+        let else_b = self.frames.pop().expect("pushed above");
+        let s = Stmt::If(cond.into(), then_b, else_b);
+        self.top().push(s);
+    }
+
+    /// Appends an `if` with no else branch.
+    pub fn when(&mut self, cond: impl Into<Expr>, then_f: impl FnOnce(&mut Self)) {
+        self.if_(cond, then_f, |_| {});
+    }
+
+    /// Finishes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while a loop or branch is still open (builder
+    /// misuse; cannot happen through the closure API).
+    pub fn build(mut self) -> Program {
+        assert_eq!(self.frames.len(), 1, "unclosed builder frame");
+        Program {
+            name: self.name,
+            arrays: self.arrays,
+            scalars: self.scalars,
+            body: self.frames.pop().expect("checked above"),
+            loop_count: self.loops,
+            loop_var_count: self.loop_vars,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_nests_loops() {
+        let mut b = ProgramBuilder::new("nest");
+        let a = b.array_f64("a", 4);
+        b.for_(0, 2, 1, |b, i| {
+            b.for_(0, 2, 1, |b, j| {
+                b.store(a, i.clone() * Expr::c(2) + j, Expr::cf(1.0));
+            });
+        });
+        let p = b.build();
+        assert_eq!(p.loop_count, 2);
+        let mut loops = 0;
+        p.visit_stmts(&mut |s| {
+            if matches!(s, Stmt::Loop(_)) {
+                loops += 1;
+            }
+        });
+        assert_eq!(loops, 2);
+    }
+
+    #[test]
+    fn find_loop_locates_inner() {
+        let mut b = ProgramBuilder::new("nest");
+        let a = b.array_i64("a", 4);
+        b.for_(0, 2, 1, |b, _| {
+            b.for_(0, 2, 1, |b, j| {
+                b.store(a, j, Expr::c(1));
+            });
+        });
+        let p = b.build();
+        let inner = p.find_loop(LoopId(1)).expect("inner loop");
+        assert_eq!(inner.id, LoopId(1));
+        assert_eq!(inner.body.len(), 1);
+        assert!(p.find_loop(LoopId(7)).is_none());
+    }
+
+    #[test]
+    fn footprint_counts_all_arrays() {
+        let mut b = ProgramBuilder::new("fp");
+        b.array_f64("a", 10);
+        b.array_i64("b", 6);
+        assert_eq!(b.build().footprint_bytes(), 16 * 8);
+    }
+
+    #[test]
+    fn if_builder_produces_both_branches() {
+        let mut b = ProgramBuilder::new("iffy");
+        let s = b.scalar("s", 0i64);
+        b.if_(
+            Expr::c(1),
+            |b| b.set(s, Expr::c(1)),
+            |b| b.set(s, Expr::c(2)),
+        );
+        let p = b.build();
+        match &p.body[0] {
+            Stmt::If(_, t, e) => {
+                assert_eq!(t.len(), 1);
+                assert_eq!(e.len(), 1);
+            }
+            _ => panic!("expected if"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be nonzero")]
+    fn zero_step_rejected() {
+        let mut b = ProgramBuilder::new("bad");
+        b.for_(0, 1, 0, |_, _| {});
+    }
+}

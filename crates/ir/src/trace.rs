@@ -1,0 +1,387 @@
+//! Dynamic dataflow traces.
+//!
+//! The host out-of-order timing model is trace-driven: the program is
+//! executed functionally once while emitting one [`DynOp`] per retired
+//! operation, with explicit data-dependence edges (register deps through
+//! expression trees and scalars, memory deps through per-element last-store
+//! tracking). Timing is then derived by replaying the trace through a
+//! ROB-windowed issue model against the cycle-level memory system —
+//! functional values never depend on timing, so this split is exact.
+
+use crate::expr::{ArrayId, Expr};
+use crate::interp::Memory;
+use crate::program::{Program, Stmt};
+use crate::value::Value;
+
+/// Sentinel meaning "no dependence".
+pub const NO_DEP: u32 = u32::MAX;
+
+/// One retired dynamic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynOp {
+    /// Operation class.
+    pub kind: OpKind,
+    /// First data dependence (trace index) or [`NO_DEP`].
+    pub dep1: u32,
+    /// Second data dependence (trace index) or [`NO_DEP`].
+    pub dep2: u32,
+}
+
+/// Dynamic operation classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Arithmetic/logic with the given latency in core cycles.
+    Alu {
+        /// Execution latency.
+        lat: u8,
+    },
+    /// Memory read of 8 bytes at `addr`.
+    Load {
+        /// Byte address.
+        addr: u64,
+    },
+    /// Memory write of 8 bytes at `addr`.
+    Store {
+        /// Byte address.
+        addr: u64,
+    },
+}
+
+/// Byte layout of a program's arrays in the simulated address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    bases: Vec<u64>,
+}
+
+impl Layout {
+    /// Lays arrays out contiguously from `start`, each 64-byte aligned.
+    pub fn new(prog: &Program, start: u64) -> Self {
+        let mut bases = Vec::with_capacity(prog.arrays.len());
+        let mut cursor = (start + 63) & !63;
+        for a in &prog.arrays {
+            bases.push(cursor);
+            cursor += (a.len as u64 * Program::ELEM_BYTES + 63) & !63;
+        }
+        Self { bases }
+    }
+
+    /// Creates a layout from explicit per-array base addresses (the slab
+    /// allocator uses this to anchor objects at home clusters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base count does not match the array count at use time
+    /// (checked by `addr`).
+    pub fn from_bases(bases: Vec<u64>) -> Self {
+        Self { bases }
+    }
+
+    /// Byte address of `array[idx]`.
+    pub fn addr(&self, a: ArrayId, idx: i64) -> u64 {
+        let base = self.bases[a.0];
+        base.wrapping_add((idx.max(0) as u64) * Program::ELEM_BYTES)
+    }
+
+    /// Base address of an array.
+    pub fn base(&self, a: ArrayId) -> u64 {
+        self.bases[a.0]
+    }
+
+    /// Byte range `[start, end)` of an array.
+    pub fn range(&self, prog: &Program, a: ArrayId) -> (u64, u64) {
+        let b = self.bases[a.0];
+        (b, b + prog.arrays[a.0].len as u64 * Program::ELEM_BYTES)
+    }
+}
+
+/// A completed trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Retired operations in program order.
+    pub ops: Vec<DynOp>,
+    /// Final scalar values.
+    pub scalars: Vec<Value>,
+}
+
+impl Trace {
+    /// Number of memory operations in the trace.
+    pub fn mem_ops(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Load { .. } | OpKind::Store { .. }))
+            .count() as u64
+    }
+
+    /// Number of ALU operations in the trace.
+    pub fn alu_ops(&self) -> u64 {
+        self.ops.len() as u64 - self.mem_ops()
+    }
+}
+
+struct TraceGen<'p> {
+    prog: &'p Program,
+    layout: &'p Layout,
+    ops: Vec<DynOp>,
+    scalars: Vec<Value>,
+    scalar_src: Vec<u32>,
+    loop_vars: Vec<i64>,
+    /// Per-array, per-element index of the last store op (memory deps).
+    last_store: Vec<Vec<u32>>,
+    budget: u64,
+}
+
+impl<'p> TraceGen<'p> {
+    fn emit(&mut self, kind: OpKind, dep1: u32, dep2: u32) -> u32 {
+        let idx = self.ops.len() as u32;
+        assert!(idx != NO_DEP, "trace too long");
+        self.ops.push(DynOp { kind, dep1, dep2 });
+        idx
+    }
+
+    fn eval(&mut self, e: &Expr, mem: &mut Memory) -> (Value, u32) {
+        match e {
+            Expr::Const(v) => (*v, NO_DEP),
+            Expr::LoopVar(lv) => (Value::I(self.loop_vars[lv.0]), NO_DEP),
+            Expr::Scalar(s) => (self.scalars[s.0], self.scalar_src[s.0]),
+            Expr::Load(a, idx) => {
+                let (iv, idep) = self.eval(idx, mem);
+                let i = iv.as_i64();
+                let addr = self.layout.addr(*a, i);
+                let mdep = self.last_store[a.0]
+                    .get(i.max(0) as usize)
+                    .copied()
+                    .unwrap_or(NO_DEP);
+                let op = self.emit(OpKind::Load { addr }, idep, mdep);
+                (mem.load(*a, i), op)
+            }
+            Expr::Bin(op, a, b) => {
+                let (va, da) = self.eval(a, mem);
+                let (vb, db) = self.eval(b, mem);
+                let lat = op.latency() as u8;
+                let idx = self.emit(OpKind::Alu { lat }, da, db);
+                (op.apply(va, vb), idx)
+            }
+            Expr::Un(op, a) => {
+                let (va, da) = self.eval(a, mem);
+                let lat = op.latency() as u8;
+                let idx = self.emit(OpKind::Alu { lat }, da, NO_DEP);
+                (op.apply(va), idx)
+            }
+            Expr::Select(c, a, b) => {
+                let (vc, dc) = self.eval(c, mem);
+                let (va, da) = self.eval(a, mem);
+                let (vb, db) = self.eval(b, mem);
+                let chosen_dep = if vc.truthy() { da } else { db };
+                let idx = self.emit(OpKind::Alu { lat: 1 }, dc, chosen_dep);
+                (if vc.truthy() { va } else { vb }, idx)
+            }
+        }
+    }
+
+    fn exec_block(&mut self, stmts: &[Stmt], mem: &mut Memory) {
+        for s in stmts {
+            self.exec(s, mem);
+        }
+    }
+
+    fn exec(&mut self, s: &Stmt, mem: &mut Memory) {
+        self.budget = self
+            .budget
+            .checked_sub(1)
+            .expect("trace budget exhausted");
+        match s {
+            Stmt::Store(a, idx, val) => {
+                let (iv, idep) = self.eval(idx, mem);
+                let (v, vdep) = self.eval(val, mem);
+                let i = iv.as_i64();
+                let addr = self.layout.addr(*a, i);
+                let op = self.emit(OpKind::Store { addr }, vdep, idep);
+                let slot = i.max(0) as usize;
+                if let Some(ls) = self.last_store[a.0].get_mut(slot) {
+                    *ls = op;
+                }
+                mem.store(*a, i, v);
+            }
+            Stmt::SetScalar(sid, e) => {
+                let (v, dep) = self.eval(e, mem);
+                self.scalars[sid.0] = v;
+                self.scalar_src[sid.0] = dep;
+            }
+            Stmt::If(c, t, e) => {
+                let (vc, _dep) = self.eval(c, mem);
+                // Branch assumed predicted: no control serialization.
+                if vc.truthy() {
+                    self.exec_block(t, mem);
+                } else {
+                    self.exec_block(e, mem);
+                }
+            }
+            Stmt::Loop(l) => {
+                let (sv, _) = self.eval(&l.start, mem);
+                let (ev, _) = self.eval(&l.end, mem);
+                let (start, end) = (sv.as_i64(), ev.as_i64());
+                let mut i = start;
+                while (l.step > 0 && i < end) || (l.step < 0 && i > end) {
+                    self.loop_vars[l.var.0] = i;
+                    // Induction update + compare/branch overhead.
+                    self.emit(OpKind::Alu { lat: 1 }, NO_DEP, NO_DEP);
+                    self.exec_block(&l.body, mem);
+                    i += l.step;
+                }
+            }
+        }
+    }
+}
+
+/// Executes `prog` over `mem`, returning the dataflow trace. `mem` holds
+/// the final (reference-identical) memory image afterwards.
+pub fn trace_program(prog: &Program, layout: &Layout, mem: &mut Memory) -> Trace {
+    let mut gen = TraceGen {
+        prog,
+        layout,
+        ops: Vec::new(),
+        scalars: prog.scalars.iter().map(|s| s.init).collect(),
+        scalar_src: vec![NO_DEP; prog.scalars.len()],
+        loop_vars: vec![0; prog.loop_var_count],
+        last_store: prog.arrays.iter().map(|a| vec![NO_DEP; a.len]).collect(),
+        budget: 2_000_000_000,
+    };
+    let body = &gen.prog.body;
+    gen.exec_block(body, mem);
+    Trace {
+        ops: gen.ops,
+        scalars: gen.scalars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp;
+    use crate::program::ProgramBuilder;
+
+    fn axpy() -> (Program, crate::expr::ArrayId, crate::expr::ArrayId) {
+        let mut b = ProgramBuilder::new("axpy");
+        let x = b.array_f64("x", 8);
+        let y = b.array_f64("y", 8);
+        b.for_(0, 8, 1, |b, i| {
+            let v = Expr::cf(2.0) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+            b.store(y, i, v);
+        });
+        (b.build(), x, y)
+    }
+
+    #[test]
+    fn trace_memory_matches_reference_interpreter() {
+        let (p, x, _) = axpy();
+        let layout = Layout::new(&p, 0x1000);
+        let mut m1 = Memory::for_program(&p);
+        let mut m2 = Memory::for_program(&p);
+        for i in 0..8 {
+            m1.array_mut(x)[i] = Value::F(i as f64);
+            m2.array_mut(x)[i] = Value::F(i as f64);
+        }
+        interp::run(&p, &mut m1);
+        trace_program(&p, &layout, &mut m2);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn trace_counts_expected_ops() {
+        let (p, _, _) = axpy();
+        let layout = Layout::new(&p, 0);
+        let mut mem = Memory::for_program(&p);
+        let t = trace_program(&p, &layout, &mut mem);
+        // Per iteration: loop overhead + 2 loads + mul + add + store = 6.
+        assert_eq!(t.ops.len(), 8 * 6);
+        assert_eq!(t.mem_ops(), 8 * 3);
+        assert_eq!(t.alu_ops(), 8 * 3);
+    }
+
+    #[test]
+    fn deps_point_backwards_only() {
+        let (p, _, _) = axpy();
+        let layout = Layout::new(&p, 0);
+        let mut mem = Memory::for_program(&p);
+        let t = trace_program(&p, &layout, &mut mem);
+        for (i, op) in t.ops.iter().enumerate() {
+            for d in [op.dep1, op.dep2] {
+                assert!(d == NO_DEP || (d as usize) < i, "forward dep at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn store_load_memory_dependence_is_recorded() {
+        let mut b = ProgramBuilder::new("chain");
+        let x = b.array_i64("x", 2);
+        b.store(x, Expr::c(0), Expr::c(5));
+        let loaded = Expr::load(x, Expr::c(0));
+        b.store(x, Expr::c(1), loaded + Expr::c(1));
+        let p = b.build();
+        let layout = Layout::new(&p, 0);
+        let mut mem = Memory::for_program(&p);
+        let t = trace_program(&p, &layout, &mut mem);
+        // Find the load; it must depend on the first store.
+        let store0 = t
+            .ops
+            .iter()
+            .position(|o| matches!(o.kind, OpKind::Store { .. }))
+            .unwrap() as u32;
+        let load = t
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::Load { .. }))
+            .unwrap();
+        assert!(load.dep1 == store0 || load.dep2 == store0);
+        assert_eq!(mem.array(x)[1], Value::I(6));
+    }
+
+    #[test]
+    fn layout_is_line_aligned_and_disjoint() {
+        let (p, x, y) = axpy();
+        let layout = Layout::new(&p, 0x12345);
+        assert_eq!(layout.base(x) % 64, 0);
+        assert_eq!(layout.base(y) % 64, 0);
+        let (xs, xe) = layout.range(&p, x);
+        let (ys, ye) = layout.range(&p, y);
+        assert!(xe <= ys || ye <= xs, "array ranges overlap");
+    }
+
+    #[test]
+    fn addresses_step_by_element_size() {
+        let (p, x, _) = axpy();
+        let layout = Layout::new(&p, 0);
+        assert_eq!(layout.addr(x, 1) - layout.addr(x, 0), 8);
+    }
+
+    #[test]
+    fn pointer_chase_has_serial_load_chain() {
+        let mut b = ProgramBuilder::new("pch");
+        let next = b.array_i64("next", 8);
+        let pv = b.scalar("p", 0i64);
+        b.for_(0, 4, 1, |b, _| {
+            b.set(pv, Expr::load(next, Expr::Scalar(pv)));
+        });
+        let p = b.build();
+        let layout = Layout::new(&p, 0);
+        let mut mem = Memory::for_program(&p);
+        for i in 0..8 {
+            mem.array_mut(next)[i] = Value::I((i as i64 + 1) % 8);
+        }
+        let t = trace_program(&p, &layout, &mut mem);
+        let loads: Vec<(usize, &DynOp)> = t
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| matches!(o.kind, OpKind::Load { .. }))
+            .collect();
+        assert_eq!(loads.len(), 4);
+        // Each load's index dep chains to the previous load.
+        for w in loads.windows(2) {
+            let (prev_idx, _) = w[0];
+            let (_, op) = w[1];
+            assert_eq!(op.dep1, prev_idx as u32);
+        }
+    }
+}

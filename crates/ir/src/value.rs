@@ -1,0 +1,238 @@
+//! Runtime values: 64-bit integers and doubles with C-like promotion.
+
+use std::fmt;
+
+/// A scalar runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    I(i64),
+    /// IEEE double.
+    F(f64),
+}
+
+impl Value {
+    /// Integer view (floats truncate, as a C cast would).
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::I(v) => v,
+            Value::F(v) => v as i64,
+        }
+    }
+
+    /// Float view.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::I(v) => v as f64,
+            Value::F(v) => v,
+        }
+    }
+
+    /// Truthiness (non-zero).
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::I(v) => v != 0,
+            Value::F(v) => v != 0.0,
+        }
+    }
+
+    fn promote(a: Value, b: Value) -> bool {
+        matches!(a, Value::F(_)) || matches!(b, Value::F(_))
+    }
+
+    fn bin_f(a: Value, b: Value, f: impl Fn(f64, f64) -> f64) -> Value {
+        Value::F(f(a.as_f64(), b.as_f64()))
+    }
+
+    fn bin_i(a: Value, b: Value, f: impl Fn(i64, i64) -> i64) -> Value {
+        Value::I(f(a.as_i64(), b.as_i64()))
+    }
+
+    /// Addition with promotion.
+    pub fn add(a: Value, b: Value) -> Value {
+        if Self::promote(a, b) {
+            Self::bin_f(a, b, |x, y| x + y)
+        } else {
+            Self::bin_i(a, b, i64::wrapping_add)
+        }
+    }
+
+    /// Subtraction with promotion.
+    pub fn sub(a: Value, b: Value) -> Value {
+        if Self::promote(a, b) {
+            Self::bin_f(a, b, |x, y| x - y)
+        } else {
+            Self::bin_i(a, b, i64::wrapping_sub)
+        }
+    }
+
+    /// Multiplication with promotion.
+    pub fn mul(a: Value, b: Value) -> Value {
+        if Self::promote(a, b) {
+            Self::bin_f(a, b, |x, y| x * y)
+        } else {
+            Self::bin_i(a, b, i64::wrapping_mul)
+        }
+    }
+
+    /// Division. Integer division by zero yields zero (the simulated
+    /// kernels never divide by zero; this keeps the interpreter total).
+    pub fn div(a: Value, b: Value) -> Value {
+        if Self::promote(a, b) {
+            Self::bin_f(a, b, |x, y| x / y)
+        } else {
+            Self::bin_i(a, b, |x, y| if y == 0 { 0 } else { x.wrapping_div(y) })
+        }
+    }
+
+    /// Remainder (integer semantics; floats use `%`).
+    pub fn rem(a: Value, b: Value) -> Value {
+        if Self::promote(a, b) {
+            Self::bin_f(a, b, |x, y| x % y)
+        } else {
+            Self::bin_i(a, b, |x, y| if y == 0 { 0 } else { x.wrapping_rem(y) })
+        }
+    }
+
+    /// Minimum with promotion.
+    pub fn min(a: Value, b: Value) -> Value {
+        if Self::promote(a, b) {
+            Self::bin_f(a, b, f64::min)
+        } else {
+            Self::bin_i(a, b, i64::min)
+        }
+    }
+
+    /// Maximum with promotion.
+    pub fn max(a: Value, b: Value) -> Value {
+        if Self::promote(a, b) {
+            Self::bin_f(a, b, f64::max)
+        } else {
+            Self::bin_i(a, b, i64::max)
+        }
+    }
+
+    fn cmp_val(a: Value, b: Value, f: impl Fn(std::cmp::Ordering) -> bool) -> Value {
+        let ord = if Self::promote(a, b) {
+            a.as_f64()
+                .partial_cmp(&b.as_f64())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        } else {
+            a.as_i64().cmp(&b.as_i64())
+        };
+        Value::I(f(ord) as i64)
+    }
+
+    /// `a < b` as 0/1.
+    pub fn lt(a: Value, b: Value) -> Value {
+        Self::cmp_val(a, b, |o| o == std::cmp::Ordering::Less)
+    }
+
+    /// `a <= b` as 0/1.
+    pub fn le(a: Value, b: Value) -> Value {
+        Self::cmp_val(a, b, |o| o != std::cmp::Ordering::Greater)
+    }
+
+    /// `a == b` as 0/1.
+    pub fn eq_val(a: Value, b: Value) -> Value {
+        Self::cmp_val(a, b, |o| o == std::cmp::Ordering::Equal)
+    }
+
+    /// Negation.
+    pub fn neg(a: Value) -> Value {
+        match a {
+            Value::I(v) => Value::I(v.wrapping_neg()),
+            Value::F(v) => Value::F(-v),
+        }
+    }
+
+    /// Logical not (0/1).
+    pub fn not(a: Value) -> Value {
+        Value::I(!a.truthy() as i64)
+    }
+
+    /// Square root (promotes to float).
+    pub fn sqrt(a: Value) -> Value {
+        Value::F(a.as_f64().sqrt())
+    }
+
+    /// Absolute value.
+    pub fn abs(a: Value) -> Value {
+        match a {
+            Value::I(v) => Value::I(v.wrapping_abs()),
+            Value::F(v) => Value::F(v.abs()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I(v) => write!(f, "{v}"),
+            Value::F(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        assert_eq!(Value::add(Value::I(2), Value::I(3)), Value::I(5));
+        assert_eq!(Value::mul(Value::I(4), Value::I(-2)), Value::I(-8));
+        assert_eq!(Value::div(Value::I(7), Value::I(2)), Value::I(3));
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes_to_float() {
+        assert_eq!(Value::add(Value::I(1), Value::F(0.5)), Value::F(1.5));
+        assert_eq!(Value::mul(Value::F(2.0), Value::I(3)), Value::F(6.0));
+    }
+
+    #[test]
+    fn division_by_zero_is_total() {
+        assert_eq!(Value::div(Value::I(5), Value::I(0)), Value::I(0));
+        assert_eq!(Value::rem(Value::I(5), Value::I(0)), Value::I(0));
+        assert!(Value::div(Value::F(1.0), Value::F(0.0)).as_f64().is_infinite());
+    }
+
+    #[test]
+    fn comparisons_yield_zero_one() {
+        assert_eq!(Value::lt(Value::I(1), Value::I(2)), Value::I(1));
+        assert_eq!(Value::lt(Value::I(2), Value::I(2)), Value::I(0));
+        assert_eq!(Value::le(Value::F(2.0), Value::I(2)), Value::I(1));
+        assert_eq!(Value::eq_val(Value::I(3), Value::F(3.0)), Value::I(1));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::I(-1).truthy());
+        assert!(!Value::I(0).truthy());
+        assert!(Value::F(0.1).truthy());
+        assert!(!Value::F(0.0).truthy());
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(Value::neg(Value::I(4)), Value::I(-4));
+        assert_eq!(Value::not(Value::I(0)), Value::I(1));
+        assert_eq!(Value::sqrt(Value::I(9)), Value::F(3.0));
+        assert_eq!(Value::abs(Value::F(-2.5)), Value::F(2.5));
+        assert_eq!(Value::min(Value::I(3), Value::I(1)), Value::I(1));
+        assert_eq!(Value::max(Value::F(3.0), Value::F(1.0)), Value::F(3.0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Physical placement of lines onto NUCA clusters.
+//!
+//! By default lines interleave across clusters (conventional static NUCA).
+//! The slab allocator pins accelerator-visible memory objects to a *home
+//! cluster* ("the home bank where they are anchored", Section IV-D), which
+//! is what lets near-data placement co-locate computation with data.
+
+use crate::params::LINE_BYTES;
+
+/// Maps line addresses to home clusters.
+///
+/// # Examples
+///
+/// ```
+/// use distda_mem::addrmap::AddressMap;
+/// let mut m = AddressMap::new(8);
+/// assert_eq!(m.home_cluster(0), 0);
+/// assert_eq!(m.home_cluster(64), 1);
+/// m.pin_region(0x10000, 0x20000, 5);
+/// assert_eq!(m.home_cluster(0x10040), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AddressMap {
+    clusters: usize,
+    /// Pinned byte ranges: (start, end, cluster), non-overlapping.
+    regions: Vec<(u64, u64, usize)>,
+}
+
+impl AddressMap {
+    /// Creates an interleaved map over `clusters` clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clusters` is zero.
+    pub fn new(clusters: usize) -> Self {
+        assert!(clusters > 0, "cluster count must be nonzero");
+        Self {
+            clusters,
+            regions: Vec::new(),
+        }
+    }
+
+    /// Number of clusters.
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// Pins the byte range `[start, end)` to `cluster`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, the cluster is out of range, or the
+    /// range overlaps an existing pinned region.
+    pub fn pin_region(&mut self, start: u64, end: u64, cluster: usize) {
+        assert!(start < end, "empty region");
+        assert!(cluster < self.clusters, "cluster out of range");
+        assert!(
+            !self
+                .regions
+                .iter()
+                .any(|&(s, e, _)| start < e && s < end),
+            "overlapping pinned region"
+        );
+        self.regions.push((start, end, cluster));
+    }
+
+    /// Removes all pinned regions.
+    pub fn clear_regions(&mut self) {
+        self.regions.clear();
+    }
+
+    /// Home cluster of the line containing byte address `addr`.
+    pub fn home_cluster(&self, addr: u64) -> usize {
+        for &(s, e, c) in &self.regions {
+            if addr >= s && addr < e {
+                return c;
+            }
+        }
+        ((addr / LINE_BYTES) % self.clusters as u64) as usize
+    }
+
+    /// Home cluster of a line address.
+    pub fn home_cluster_of_line(&self, line: u64) -> usize {
+        self.home_cluster(line * LINE_BYTES)
+    }
+
+    /// Pinned regions, for inspection.
+    pub fn regions(&self) -> &[(u64, u64, usize)] {
+        &self.regions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_cycles_through_clusters() {
+        let m = AddressMap::new(4);
+        let homes: Vec<usize> = (0..8).map(|i| m.home_cluster(i * LINE_BYTES)).collect();
+        assert_eq!(homes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn pinned_region_overrides_interleave() {
+        let mut m = AddressMap::new(8);
+        m.pin_region(1024, 2048, 3);
+        assert_eq!(m.home_cluster(1024), 3);
+        assert_eq!(m.home_cluster(2047), 3);
+        assert_ne!(m.home_cluster(2048), 3); // line 32 -> cluster 0
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping")]
+    fn overlap_rejected() {
+        let mut m = AddressMap::new(2);
+        m.pin_region(0, 100, 0);
+        m.pin_region(50, 150, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster out of range")]
+    fn bad_cluster_rejected() {
+        let mut m = AddressMap::new(2);
+        m.pin_region(0, 10, 5);
+    }
+
+    #[test]
+    fn clear_restores_interleave() {
+        let mut m = AddressMap::new(8);
+        m.pin_region(0, 4096, 7);
+        m.clear_regions();
+        assert_eq!(m.home_cluster(0), 0);
+    }
+
+    #[test]
+    fn line_and_byte_lookup_agree() {
+        let mut m = AddressMap::new(8);
+        m.pin_region(0x4000, 0x8000, 2);
+        for line in 0..0x300 {
+            assert_eq!(m.home_cluster_of_line(line), m.home_cluster(line * LINE_BYTES));
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! A set-associative, write-back, LRU tag array.
+//!
+//! The simulator is timing-only: functional data lives in the workload
+//! interpreter, so caches track tags, validity and dirtiness but not bytes.
+
+use crate::params::{CacheParams, LINE_BYTES};
+
+/// Outcome of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Line present.
+    Hit,
+    /// Line absent.
+    Miss,
+}
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Line address of the victim.
+    pub line: u64,
+    /// Whether the victim was dirty (needs a writeback).
+    pub dirty: bool,
+}
+
+/// Counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses (lookups).
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines filled.
+    pub fills: u64,
+    /// Dirty evictions (writebacks generated).
+    pub writebacks: u64,
+    /// Lines invalidated by explicit flushes.
+    pub flushed: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over demand accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Larger = more recently used.
+    lru: u64,
+    /// Filled by a prefetch and not yet demanded.
+    prefetched: bool,
+}
+
+/// The tag array.
+///
+/// # Examples
+///
+/// ```
+/// use distda_mem::cache::{Cache, Lookup};
+/// use distda_mem::params::CacheParams;
+///
+/// let mut c = Cache::new(CacheParams { size_bytes: 1024, assoc: 2, latency: 1, mshrs: 4 });
+/// assert_eq!(c.access(0, false), Lookup::Miss);
+/// c.fill(0, false);
+/// assert_eq!(c.access(0, false), Lookup::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    assoc: usize,
+    ways: Vec<Way>,
+    tick: u64,
+    stats: CacheStats,
+    /// Demand hits on prefetched lines (prefetch usefulness).
+    useful_prefetches: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(params: CacheParams) -> Self {
+        let sets = params.sets();
+        Self {
+            sets,
+            assoc: params.assoc,
+            ways: vec![Way::default(); sets * params.assoc],
+            tick: 0,
+            stats: CacheStats::default(),
+            useful_prefetches: 0,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets as u64) as usize
+    }
+
+    fn slot(&mut self, set: usize, way: usize) -> &mut Way {
+        &mut self.ways[set * self.assoc + way]
+    }
+
+    fn find(&self, line: u64) -> Option<usize> {
+        let set = self.set_of(line);
+        (0..self.assoc).find(|&w| {
+            let way = &self.ways[set * self.assoc + w];
+            way.valid && way.tag == line
+        })
+    }
+
+    /// Demand access. Updates LRU and dirtiness on hit.
+    pub fn access(&mut self, line: u64, write: bool) -> Lookup {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let set = self.set_of(line);
+        if let Some(w) = self.find(line) {
+            self.stats.hits += 1;
+            let t = self.tick;
+            let way = self.slot(set, w);
+            way.lru = t;
+            let was_prefetched = way.prefetched;
+            way.prefetched = false;
+            if write {
+                way.dirty = true;
+            }
+            if was_prefetched {
+                self.useful_prefetches += 1;
+            }
+            Lookup::Hit
+        } else {
+            self.stats.misses += 1;
+            Lookup::Miss
+        }
+    }
+
+    /// Probes for presence without updating state or statistics.
+    pub fn probe(&self, line: u64) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Fills `line`, returning any dirty victim. `dirty` marks the fill
+    /// itself dirty (write-allocate of a store).
+    pub fn fill(&mut self, line: u64, dirty: bool) -> Option<Evicted> {
+        self.fill_inner(line, dirty, false)
+    }
+
+    /// Fills a line fetched by the prefetcher.
+    pub fn fill_prefetch(&mut self, line: u64) -> Option<Evicted> {
+        self.fill_inner(line, false, true)
+    }
+
+    fn fill_inner(&mut self, line: u64, dirty: bool, prefetched: bool) -> Option<Evicted> {
+        self.tick += 1;
+        self.stats.fills += 1;
+        let set = self.set_of(line);
+        if let Some(w) = self.find(line) {
+            // Already present (racing fill): just update.
+            let t = self.tick;
+            let way = self.slot(set, w);
+            way.lru = t;
+            way.dirty |= dirty;
+            return None;
+        }
+        // Choose an invalid way, else the LRU way.
+        let victim = (0..self.assoc)
+            .min_by_key(|&w| {
+                let way = &self.ways[set * self.assoc + w];
+                if way.valid {
+                    (1, way.lru)
+                } else {
+                    (0, 0)
+                }
+            })
+            .expect("assoc > 0");
+        let t = self.tick;
+        let way = self.slot(set, victim);
+        let evicted = if way.valid {
+            Some(Evicted {
+                line: way.tag,
+                dirty: way.dirty,
+            })
+        } else {
+            None
+        };
+        *way = Way {
+            tag: line,
+            valid: true,
+            dirty,
+            lru: t,
+            prefetched,
+        };
+        let evicted = evicted.filter(|e| e.dirty);
+        if evicted.is_some() {
+            self.stats.writebacks += 1;
+        }
+        evicted
+    }
+
+    /// Invalidates every line whose byte range intersects
+    /// `[start, end)`, returning how many were dirty.
+    pub fn flush_range(&mut self, start: u64, end: u64) -> u64 {
+        let (ls, le) = (start / LINE_BYTES, end.div_ceil(LINE_BYTES));
+        let mut dirty = 0;
+        for way in &mut self.ways {
+            if way.valid && way.tag >= ls && way.tag < le {
+                if way.dirty {
+                    dirty += 1;
+                }
+                way.valid = false;
+                way.dirty = false;
+                self.stats.flushed += 1;
+            }
+        }
+        dirty
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Demand hits on prefetched lines.
+    pub fn useful_prefetches(&self) -> u64 {
+        self.useful_prefetches
+    }
+
+    /// Number of valid lines (for tests).
+    pub fn resident_lines(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways.
+        Cache::new(CacheParams {
+            size_bytes: 8 * LINE_BYTES,
+            assoc: 2,
+            latency: 1,
+            mshrs: 4,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert_eq!(c.access(5, false), Lookup::Miss);
+        c.fill(5, false);
+        assert_eq!(c.access(5, false), Lookup::Hit);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Lines 0, 4, 8 share set 0 (4 sets).
+        c.fill(0, false);
+        c.fill(4, false);
+        c.access(0, false); // 0 now MRU
+        c.fill(8, false); // must evict 4
+        assert!(c.probe(0));
+        assert!(!c.probe(4));
+        assert!(c.probe(8));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.fill(0, true);
+        c.fill(4, false);
+        let ev = c.fill(8, false).expect("dirty victim");
+        assert_eq!(ev, Evicted { line: 0, dirty: true });
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_is_silent() {
+        let mut c = small();
+        c.fill(0, false);
+        c.fill(4, false);
+        assert_eq!(c.fill(8, false), None);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn write_hit_sets_dirty() {
+        let mut c = small();
+        c.fill(0, false);
+        c.access(0, true);
+        c.fill(4, false);
+        assert!(c.fill(8, false).is_some());
+    }
+
+    #[test]
+    fn flush_range_invalidates_and_counts_dirty() {
+        let mut c = small();
+        c.fill(0, true);
+        c.fill(1, false);
+        c.fill(2, true);
+        let dirty = c.flush_range(0, 2 * LINE_BYTES); // lines 0..2
+        assert_eq!(dirty, 1);
+        assert!(!c.probe(0) && !c.probe(1));
+        assert!(c.probe(2));
+        assert_eq!(c.stats().flushed, 2);
+    }
+
+    #[test]
+    fn prefetch_usefulness_tracked() {
+        let mut c = small();
+        c.fill_prefetch(3);
+        assert_eq!(c.useful_prefetches(), 0);
+        c.access(3, false);
+        assert_eq!(c.useful_prefetches(), 1);
+        // Second access no longer counts.
+        c.access(3, false);
+        assert_eq!(c.useful_prefetches(), 1);
+    }
+
+    #[test]
+    fn refill_of_resident_line_does_not_evict() {
+        let mut c = small();
+        c.fill(0, false);
+        c.fill(4, false);
+        assert_eq!(c.fill(0, true), None);
+        assert!(c.probe(0) && c.probe(4));
+        assert_eq!(c.resident_lines(), 2);
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = small();
+        c.fill(0, false);
+        c.access(0, false);
+        c.access(9, false);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,227 @@
+//! Miss-status holding registers: bounded tables of outstanding line misses
+//! with same-line merging. Generic over the waiter record so host-side
+//! levels track `(port, id)` while NUCA clusters track full return paths.
+
+/// A host-side waiter attached to an outstanding miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Waiter {
+    /// Port that issued the demand request.
+    pub port: u32,
+    /// Request id, echoed in the response.
+    pub id: u64,
+    /// Whether the demand was a write.
+    pub write: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<W> {
+    line: u64,
+    waiters: Vec<W>,
+    /// Whether any merged demand was a write (fill must install dirty).
+    any_write: bool,
+}
+
+/// Result of attempting to register a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrAlloc {
+    /// A new entry was created: the caller must forward the miss downstream.
+    Allocated,
+    /// Merged into an existing entry for the same line: no new downstream
+    /// request is needed.
+    Merged,
+    /// The table is full; the caller must retry later (stall).
+    Full,
+}
+
+/// A bounded MSHR table.
+///
+/// # Examples
+///
+/// ```
+/// use distda_mem::mshr::{Mshr, MshrAlloc, Waiter};
+/// let mut m: Mshr<Waiter> = Mshr::new(2);
+/// let w = Waiter { port: 0, id: 1, write: false };
+/// assert_eq!(m.register(10, w, false), MshrAlloc::Allocated);
+/// assert_eq!(m.register(10, Waiter { id: 2, ..w }, true), MshrAlloc::Merged);
+/// let (waiters, any_write) = m.complete(10).unwrap();
+/// assert_eq!(waiters.len(), 2);
+/// assert!(any_write);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mshr<W> {
+    entries: Vec<Entry<W>>,
+    capacity: usize,
+    /// Stall events observed (register returned `Full`).
+    pub stalls: u64,
+    /// High-water mark of occupancy.
+    pub high_water: usize,
+}
+
+impl<W> Mshr<W> {
+    /// Creates a table with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "mshr capacity must be nonzero");
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stalls: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Registers a demand miss for `line`; `write` marks store semantics.
+    pub fn register(&mut self, line: u64, waiter: W, write: bool) -> MshrAlloc {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.line == line) {
+            e.waiters.push(waiter);
+            e.any_write |= write;
+            return MshrAlloc::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls += 1;
+            return MshrAlloc::Full;
+        }
+        self.entries.push(Entry {
+            line,
+            waiters: vec![waiter],
+            any_write: write,
+        });
+        self.high_water = self.high_water.max(self.entries.len());
+        MshrAlloc::Allocated
+    }
+
+    /// Registers a miss with no waiter (prefetch). Returns `Allocated`,
+    /// `Merged` (already outstanding) or `Full`.
+    pub fn register_prefetch(&mut self, line: u64) -> MshrAlloc {
+        if self.entries.iter().any(|e| e.line == line) {
+            return MshrAlloc::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrAlloc::Full;
+        }
+        self.entries.push(Entry {
+            line,
+            waiters: Vec::new(),
+            any_write: false,
+        });
+        self.high_water = self.high_water.max(self.entries.len());
+        MshrAlloc::Allocated
+    }
+
+    /// Completes the outstanding miss for `line`, returning its waiters and
+    /// whether any demand was a write. `None` if the line is not pending.
+    pub fn complete(&mut self, line: u64) -> Option<(Vec<W>, bool)> {
+        let idx = self.entries.iter().position(|e| e.line == line)?;
+        let e = self.entries.swap_remove(idx);
+        Some((e.waiters, e.any_write))
+    }
+
+    /// Whether `line` has an outstanding miss.
+    pub fn pending(&self, line: u64) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the table is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: Waiter = Waiter {
+        port: 1,
+        id: 0,
+        write: false,
+    };
+
+    #[test]
+    fn allocate_merge_complete_cycle() {
+        let mut m: Mshr<Waiter> = Mshr::new(4);
+        assert_eq!(m.register(7, W, false), MshrAlloc::Allocated);
+        assert_eq!(m.register(7, Waiter { id: 1, ..W }, false), MshrAlloc::Merged);
+        assert!(m.pending(7));
+        let (ws, write) = m.complete(7).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert!(!write);
+        assert!(!m.pending(7));
+        assert!(m.complete(7).is_none());
+    }
+
+    #[test]
+    fn capacity_enforced_and_stall_counted() {
+        let mut m: Mshr<Waiter> = Mshr::new(1);
+        assert_eq!(m.register(1, W, false), MshrAlloc::Allocated);
+        assert_eq!(m.register(2, W, false), MshrAlloc::Full);
+        assert_eq!(m.stalls, 1);
+        // Merging into the existing line still works at capacity.
+        assert_eq!(m.register(1, W, false), MshrAlloc::Merged);
+    }
+
+    #[test]
+    fn write_merge_propagates_dirtiness() {
+        let mut m: Mshr<Waiter> = Mshr::new(2);
+        m.register(3, W, false);
+        m.register(3, W, true);
+        let (_, any_write) = m.complete(3).unwrap();
+        assert!(any_write);
+    }
+
+    #[test]
+    fn prefetch_registration_has_no_waiters() {
+        let mut m: Mshr<Waiter> = Mshr::new(2);
+        assert_eq!(m.register_prefetch(9), MshrAlloc::Allocated);
+        assert_eq!(m.register_prefetch(9), MshrAlloc::Merged);
+        let (ws, _) = m.complete(9).unwrap();
+        assert!(ws.is_empty());
+    }
+
+    #[test]
+    fn demand_can_merge_into_prefetch() {
+        let mut m: Mshr<Waiter> = Mshr::new(2);
+        m.register_prefetch(5);
+        assert_eq!(m.register(5, W, false), MshrAlloc::Merged);
+        let (ws, _) = m.complete(5).unwrap();
+        assert_eq!(ws.len(), 1);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut m: Mshr<Waiter> = Mshr::new(3);
+        m.register(1, W, false);
+        m.register(2, W, false);
+        m.complete(1);
+        m.register(3, W, false);
+        assert_eq!(m.high_water, 2);
+    }
+
+    #[test]
+    fn generic_waiter_types_work() {
+        let mut m: Mshr<(usize, u64)> = Mshr::new(2);
+        m.register(4, (7, 99), true);
+        let (ws, w) = m.complete(4).unwrap();
+        assert_eq!(ws, vec![(7, 99)]);
+        assert!(w);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_panics() {
+        let _ = Mshr::<Waiter>::new(0);
+    }
+}

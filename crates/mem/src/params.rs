@@ -1,0 +1,152 @@
+//! Configuration for the modeled memory hierarchy (paper Table III).
+
+/// Cache line size used throughout the machine.
+pub const LINE_BYTES: u64 = 64;
+
+/// Geometry and timing of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways).
+    pub assoc: usize,
+    /// Access latency in memory-clock cycles.
+    pub latency: u64,
+    /// Miss-status holding registers (outstanding misses).
+    pub mshrs: usize,
+}
+
+impl CacheParams {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into whole sets.
+    pub fn sets(&self) -> usize {
+        let lines = self.size_bytes / LINE_BYTES;
+        assert!(
+            lines as usize % self.assoc == 0 && lines > 0,
+            "cache geometry must divide into whole sets"
+        );
+        lines as usize / self.assoc
+    }
+}
+
+/// Parameters of the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemConfig {
+    /// Host L1 data cache (8-way, 32 KB, MSHR-8, latency 2).
+    pub l1: CacheParams,
+    /// Host L2 (16-way, 128 KB, MSHR-16, latency 4, stride prefetcher).
+    pub l2: CacheParams,
+    /// One L3 NUCA cluster (16-way, 256 KB, latency 10); 8 clusters, 64
+    /// MSHRs per cluster.
+    pub l3_cluster: CacheParams,
+    /// Number of L3 clusters (one per mesh node).
+    pub clusters: usize,
+    /// Banks per cluster = L3 accesses the cluster can start per cycle.
+    pub banks_per_cluster: usize,
+    /// Whether the L2 stride prefetcher is enabled.
+    pub l2_prefetch: bool,
+    /// DRAM access latency in memory-clock cycles.
+    pub dram_latency: u64,
+    /// DRAM bandwidth in bytes per memory-clock cycle.
+    pub dram_bytes_per_cycle: u64,
+}
+
+impl Default for MemConfig {
+    /// The configuration of Table III at a 2 GHz memory/uncore clock.
+    fn default() -> Self {
+        Self {
+            l1: CacheParams {
+                size_bytes: 32 * 1024,
+                assoc: 8,
+                latency: 2,
+                mshrs: 8,
+            },
+            l2: CacheParams {
+                size_bytes: 128 * 1024,
+                assoc: 16,
+                latency: 4,
+                mshrs: 16,
+            },
+            l3_cluster: CacheParams {
+                size_bytes: 256 * 1024,
+                assoc: 16,
+                latency: 10,
+                mshrs: 64,
+            },
+            clusters: 8,
+            banks_per_cluster: 4,
+            l2_prefetch: true,
+            // LPDDR: ~50 ns access at 2 GHz memory clock; ~8.5 GB/s/channel.
+            dram_latency: 100,
+            dram_bytes_per_cycle: 4,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Hierarchy scaled down 4x for the reduced evaluation inputs (the
+    /// standard methodology when inputs are shrunk from the paper's
+    /// multi-MB sets: capacities scale together so the working-set-to-
+    /// cache ratios match Table III). Latencies and MSHRs are unchanged.
+    pub fn scaled_for_reduced_inputs() -> Self {
+        Self {
+            l1: CacheParams {
+                size_bytes: 8 * 1024,
+                ..Self::default().l1
+            },
+            l2: CacheParams {
+                size_bytes: 32 * 1024,
+                ..Self::default().l2
+            },
+            l3_cluster: CacheParams {
+                size_bytes: 64 * 1024,
+                ..Self::default().l3_cluster
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// Converts a byte address to its cache-line address.
+pub fn line_of(addr: u64) -> u64 {
+    addr / LINE_BYTES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table_iii() {
+        let c = MemConfig::default();
+        assert_eq!(c.l1.sets(), 64);
+        assert_eq!(c.l2.sets(), 128);
+        assert_eq!(c.l3_cluster.sets(), 256);
+        assert_eq!(c.clusters * c.l3_cluster.size_bytes as usize, 2 * 1024 * 1024);
+        assert_eq!(c.clusters, 8);
+        assert_eq!(c.banks_per_cluster, 4);
+    }
+
+    #[test]
+    fn line_of_strips_offset() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 1);
+        assert_eq!(line_of(130), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sets")]
+    fn bad_geometry_panics() {
+        CacheParams {
+            size_bytes: 100,
+            assoc: 3,
+            latency: 1,
+            mshrs: 1,
+        }
+        .sets();
+    }
+}

@@ -1,0 +1,169 @@
+//! The L2 stride prefetcher of Table III.
+//!
+//! A small table of streams keyed by 4 KB region. When three consecutive
+//! accesses to a region exhibit a constant line stride, the prefetcher emits
+//! prefetch candidates `degree` strides ahead of the demand stream.
+
+/// Stride prefetcher over line addresses.
+///
+/// # Examples
+///
+/// ```
+/// use distda_mem::prefetch::StridePrefetcher;
+/// let mut pf = StridePrefetcher::new(8, 2);
+/// assert!(pf.observe(10).is_empty());
+/// assert!(pf.observe(11).is_empty()); // stride candidate
+/// let out = pf.observe(12); // stride confirmed
+/// assert_eq!(out, vec![13, 14]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    entries: Vec<Stream>,
+    capacity: usize,
+    degree: usize,
+    /// Prefetch candidates emitted.
+    pub issued: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Stream {
+    region: u64,
+    last_line: u64,
+    stride: i64,
+    confidence: u8,
+    lru: u64,
+}
+
+/// Lines per 4 KB region used as the stream key.
+const REGION_LINES: u64 = 64;
+
+impl StridePrefetcher {
+    /// Creates a prefetcher with `capacity` stream entries issuing `degree`
+    /// lines ahead.
+    pub fn new(capacity: usize, degree: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            degree,
+            issued: 0,
+        }
+    }
+
+    /// Observes a demand access to `line` and returns lines to prefetch.
+    pub fn observe(&mut self, line: u64) -> Vec<u64> {
+        let region = line / REGION_LINES;
+        let lru_tick = self.issued + self.entries.len() as u64; // monotone enough
+        match self.entries.iter_mut().find(|s| s.region == region) {
+            Some(s) => {
+                let stride = line as i64 - s.last_line as i64;
+                if stride == 0 {
+                    return Vec::new();
+                }
+                if stride == s.stride {
+                    s.confidence = s.confidence.saturating_add(1);
+                } else {
+                    s.stride = stride;
+                    s.confidence = 1;
+                }
+                s.last_line = line;
+                s.lru = lru_tick;
+                if s.confidence >= 2 {
+                    let stride = s.stride;
+                    let out: Vec<u64> = (1..=self.degree as i64)
+                        .filter_map(|k| {
+                            let target = line as i64 + stride * k;
+                            (target >= 0).then_some(target as u64)
+                        })
+                        .collect();
+                    self.issued += out.len() as u64;
+                    out
+                } else {
+                    Vec::new()
+                }
+            }
+            None => {
+                if self.entries.len() >= self.capacity {
+                    // Evict the least recently used stream.
+                    let victim = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, s)| s.lru)
+                        .map(|(i, _)| i)
+                        .expect("capacity > 0");
+                    self.entries.swap_remove(victim);
+                }
+                self.entries.push(Stream {
+                    region,
+                    last_line: line,
+                    stride: 0,
+                    confidence: 0,
+                    lru: lru_tick,
+                });
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_unit_stride() {
+        let mut pf = StridePrefetcher::new(4, 2);
+        pf.observe(100);
+        pf.observe(101);
+        assert_eq!(pf.observe(102), vec![103, 104]);
+        assert_eq!(pf.observe(103), vec![104, 105]);
+        assert_eq!(pf.issued, 4);
+    }
+
+    #[test]
+    fn detects_negative_stride() {
+        let mut pf = StridePrefetcher::new(4, 1);
+        pf.observe(50);
+        pf.observe(48);
+        assert_eq!(pf.observe(46), vec![44]);
+    }
+
+    #[test]
+    fn irregular_stream_stays_quiet() {
+        let mut pf = StridePrefetcher::new(4, 2);
+        pf.observe(10);
+        pf.observe(17);
+        pf.observe(11);
+        assert!(pf.observe(29).is_empty());
+        assert_eq!(pf.issued, 0);
+    }
+
+    #[test]
+    fn repeated_line_is_ignored() {
+        let mut pf = StridePrefetcher::new(4, 2);
+        pf.observe(5);
+        pf.observe(5);
+        pf.observe(5);
+        assert!(pf.observe(5).is_empty());
+    }
+
+    #[test]
+    fn does_not_underflow_below_zero() {
+        let mut pf = StridePrefetcher::new(4, 4);
+        pf.observe(5);
+        pf.observe(4);
+        let out = pf.observe(3);
+        // Candidates below line 0 are dropped, the rest survive.
+        assert_eq!(out, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn capacity_evicts_streams() {
+        let mut pf = StridePrefetcher::new(2, 1);
+        // Three distinct regions (64 lines apart).
+        pf.observe(0);
+        pf.observe(64);
+        pf.observe(128); // evicts one
+        assert!(pf.entries.len() <= 2);
+    }
+}

@@ -1,0 +1,498 @@
+//! The mesh interconnect model.
+//!
+//! Packets are routed XY (x first, then y) through bounded per-link queues.
+//! A packet occupies a link for its serialization time (`ceil(bytes /
+//! flit_bytes)` cycles) plus the per-hop router latency; a full downstream
+//! queue stalls it in place, which is how credit-based back-pressure
+//! propagates. The model is packet-granularity rather than flit-granularity:
+//! it preserves the bandwidth, latency and contention behaviour the paper's
+//! results depend on without simulating VC allocation.
+
+use crate::packet::{NodeId, Packet, TrafficClass};
+use distda_sim::time::{ClockDomain, Tick};
+use distda_sim::Fifo;
+
+/// Per-packet header bytes added on the wire (route + sequencing + CRC).
+pub const HEADER_BYTES: u32 = 8;
+
+/// Mesh configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NocConfig {
+    /// Bytes carried per flit (link width).
+    pub flit_bytes: u32,
+    /// Router pipeline latency per hop, in NoC cycles.
+    pub hop_latency: u64,
+    /// Capacity of each link queue, in packets.
+    pub link_queue: usize,
+    /// Capacity of each node's injection queue, in packets.
+    pub inject_queue: usize,
+}
+
+impl Default for NocConfig {
+    /// 16-byte links, 2-cycle routers, 4-deep queues — a conventional
+    /// low-radix mesh router in the paper's technology node.
+    fn default() -> Self {
+        Self {
+            flit_bytes: 16,
+            hop_latency: 2,
+            link_queue: 4,
+            inject_queue: 8,
+        }
+    }
+}
+
+/// Aggregate traffic statistics, indexed by [`TrafficClass`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NocStats {
+    /// Packets injected per class.
+    pub packets: [u64; 5],
+    /// Payload bytes injected per class.
+    pub bytes: [u64; 5],
+    /// Bytes x links-traversed per class (energy-proportional work),
+    /// including header bytes.
+    pub hop_bytes: [u64; 5],
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Sum of delivery latencies in base ticks (for averages).
+    pub latency_ticks: u64,
+    /// Cycles in which at least one link stalled for back-pressure.
+    pub stall_cycles: u64,
+}
+
+impl NocStats {
+    /// Total payload bytes across all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total hop-bytes across all classes.
+    pub fn total_hop_bytes(&self) -> u64 {
+        self.hop_bytes.iter().sum()
+    }
+
+    /// Average packet latency in base ticks.
+    pub fn avg_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.latency_ticks as f64 / self.delivered as f64
+        }
+    }
+
+    /// Folds the statistics into a [`distda_sim::Report`].
+    pub fn report(&self) -> distda_sim::Report {
+        let mut r = distda_sim::Report::new();
+        for c in TrafficClass::ALL {
+            r.add(format!("bytes.{}", c.name()), self.bytes[c.index()] as f64);
+            r.add(
+                format!("hop_bytes.{}", c.name()),
+                self.hop_bytes[c.index()] as f64,
+            );
+            r.add(
+                format!("packets.{}", c.name()),
+                self.packets[c.index()] as f64,
+            );
+        }
+        r.add("delivered", self.delivered as f64);
+        r.add("avg_latency_ticks", self.avg_latency());
+        r.add("stall_cycles", self.stall_cycles as f64);
+        r
+    }
+}
+
+#[derive(Debug, Clone)]
+struct InFlight<P> {
+    pkt: Packet<P>,
+    /// Remaining hops (links) after the one it currently occupies.
+    route: Vec<usize>,
+    /// Tick at which it may leave its current queue.
+    ready_at: Tick,
+    injected_at: Tick,
+}
+
+#[derive(Debug, Clone)]
+struct Link<P> {
+    queue: Fifo<InFlight<P>>,
+}
+
+/// A 2D mesh NoC carrying packets with opaque payloads.
+///
+/// See the crate-level docs for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Mesh<P> {
+    cols: usize,
+    rows: usize,
+    cfg: NocConfig,
+    clock: ClockDomain,
+    links: Vec<Link<P>>,
+    inject: Vec<Fifo<InFlight<P>>>,
+    inbox: Vec<Vec<Packet<P>>>,
+    stats: NocStats,
+    in_flight: usize,
+}
+
+impl<P> Mesh<P> {
+    /// Creates a `cols x rows` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(cols: usize, rows: usize, cfg: NocConfig, clock: ClockDomain) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be nonzero");
+        let n = cols * rows;
+        Self {
+            cols,
+            rows,
+            cfg,
+            clock,
+            // 4 directed links per node (E, W, N, S); boundary links unused.
+            links: (0..n * 4)
+                .map(|_| Link {
+                    queue: Fifo::new(cfg.link_queue),
+                })
+                .collect(),
+            inject: (0..n).map(|_| Fifo::new(cfg.inject_queue)).collect(),
+            inbox: (0..n).map(|_| Vec::new()).collect(),
+            stats: NocStats::default(),
+            in_flight: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Mesh width.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Mesh height.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The clock domain the mesh ticks in.
+    pub fn clock(&self) -> ClockDomain {
+        self.clock
+    }
+
+    /// Manhattan hop count between two nodes.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> u64 {
+        let (ax, ay) = (a % self.cols, a / self.cols);
+        let (bx, by) = (b % self.cols, b / self.cols);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// XY route from `src` to `dst` as a list of directed-link indices.
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<usize> {
+        let mut links = Vec::new();
+        let (mut x, mut y) = (src % self.cols, src / self.cols);
+        let (dx, dy) = (dst % self.cols, dst / self.cols);
+        while x != dx {
+            let node = y * self.cols + x;
+            if x < dx {
+                links.push(node * 4); // east
+                x += 1;
+            } else {
+                links.push(node * 4 + 1); // west
+                x -= 1;
+            }
+        }
+        while y != dy {
+            let node = y * self.cols + x;
+            if y < dy {
+                links.push(node * 4 + 2); // north (increasing y)
+                y += 1;
+            } else {
+                links.push(node * 4 + 3); // south
+                y -= 1;
+            }
+        }
+        links
+    }
+
+    fn serialization_cycles(&self, bytes: u32) -> u64 {
+        ((bytes + HEADER_BYTES).div_ceil(self.cfg.flit_bytes)) as u64
+    }
+
+    /// Attempts to inject a packet at its source node's injection queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns the packet back when the injection queue is full; the caller
+    /// should retry on a later cycle (this models source throttling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is out of range.
+    pub fn try_inject(&mut self, now: Tick, pkt: Packet<P>) -> Result<(), Packet<P>> {
+        assert!(pkt.src < self.node_count() && pkt.dst < self.node_count());
+        let route = self.route(pkt.src, pkt.dst);
+        let idx = pkt.class.index();
+        let hops = route.len() as u64;
+        let bytes = pkt.bytes;
+        let flight = InFlight {
+            pkt,
+            route,
+            ready_at: now + self.clock.ticks_for_cycles(self.cfg.hop_latency.min(1)),
+            injected_at: now,
+        };
+        match self.inject[flight.pkt.src].try_push(flight) {
+            Ok(()) => {
+                self.stats.packets[idx] += 1;
+                self.stats.bytes[idx] += bytes as u64;
+                self.stats.hop_bytes[idx] += (bytes + HEADER_BYTES) as u64 * hops;
+                self.in_flight += 1;
+                Ok(())
+            }
+            Err(f) => Err(f.pkt),
+        }
+    }
+
+    /// Whether any packet is still queued or in flight.
+    pub fn is_active(&self) -> bool {
+        self.in_flight > 0
+    }
+
+    /// Free slots in the injection queue of `node`.
+    pub fn inject_credits(&self, node: NodeId) -> usize {
+        self.inject[node].credits()
+    }
+
+    /// Advances the mesh by one base tick. Only does work on this domain's
+    /// clock edges.
+    pub fn tick(&mut self, now: Tick) {
+        if !self.clock.fires_at(now) {
+            return;
+        }
+        let mut stalled = false;
+        // Advance link heads in a fixed order for determinism. Two passes:
+        // move link-queue heads first (freeing space), then injections.
+        for li in 0..self.links.len() {
+            stalled |= self.advance_head(now, Source::Link(li));
+        }
+        for ni in 0..self.inject.len() {
+            stalled |= self.advance_head(now, Source::Inject(ni));
+        }
+        if stalled {
+            self.stats.stall_cycles += 1;
+        }
+    }
+
+    fn advance_head(&mut self, now: Tick, src: Source) -> bool {
+        let head_ready = {
+            let q = match src {
+                Source::Link(i) => &self.links[i].queue,
+                Source::Inject(i) => &self.inject[i],
+            };
+            match q.front() {
+                Some(f) => f.ready_at <= now,
+                None => return false,
+            }
+        };
+        if !head_ready {
+            return false;
+        }
+        // Determine the next hop of the head packet.
+        let next_link = {
+            let q = match src {
+                Source::Link(i) => &self.links[i].queue,
+                Source::Inject(i) => &self.inject[i],
+            };
+            q.front().expect("head checked above").route.first().copied()
+        };
+        match next_link {
+            None => {
+                // Eject at destination.
+                let f = match src {
+                    Source::Link(i) => self.links[i].queue.pop(),
+                    Source::Inject(i) => self.inject[i].pop(),
+                }
+                .expect("head checked above");
+                self.stats.delivered += 1;
+                self.stats.latency_ticks += now.saturating_sub(f.injected_at);
+                self.in_flight -= 1;
+                self.inbox[f.pkt.dst].push(f.pkt);
+                false
+            }
+            Some(link) => {
+                if self.links[link].queue.is_full() {
+                    return true; // back-pressure stall
+                }
+                let mut f = match src {
+                    Source::Link(i) => self.links[i].queue.pop(),
+                    Source::Inject(i) => self.inject[i].pop(),
+                }
+                .expect("head checked above");
+                f.route.remove(0);
+                let occupancy =
+                    self.cfg.hop_latency + self.serialization_cycles(f.pkt.bytes);
+                f.ready_at = now + self.clock.ticks_for_cycles(occupancy);
+                self.links[link]
+                    .queue
+                    .try_push(f)
+                    .ok()
+                    .expect("space checked above");
+                false
+            }
+        }
+    }
+
+    /// Removes and returns all packets delivered to `node`.
+    pub fn drain_inbox(&mut self, node: NodeId) -> Vec<Packet<P>> {
+        std::mem::take(&mut self.inbox[node])
+    }
+
+    /// Number of packets waiting in `node`'s inbox.
+    pub fn inbox_len(&self, node: NodeId) -> usize {
+        self.inbox[node].len()
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Source {
+    Link(usize),
+    Inject(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distda_sim::time::ClockDomain;
+
+    fn mesh() -> Mesh<u64> {
+        Mesh::new(4, 2, NocConfig::default(), ClockDomain::from_ghz(2.0))
+    }
+
+    fn run_until_quiet(m: &mut Mesh<u64>) -> Tick {
+        let mut t = 0;
+        while m.is_active() {
+            m.tick(t);
+            t += 1;
+            assert!(t < 1_000_000, "mesh did not drain");
+        }
+        t
+    }
+
+    #[test]
+    fn hops_is_manhattan_distance() {
+        let m = mesh();
+        assert_eq!(m.hops(0, 3), 3);
+        assert_eq!(m.hops(0, 4), 1);
+        assert_eq!(m.hops(0, 7), 4);
+        assert_eq!(m.hops(5, 5), 0);
+    }
+
+    #[test]
+    fn delivers_single_packet() {
+        let mut m = mesh();
+        m.try_inject(0, Packet::new(0, 7, 64, TrafficClass::AccData, 42))
+            .unwrap();
+        run_until_quiet(&mut m);
+        let got = m.drain_inbox(7);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, 42);
+        assert_eq!(m.stats().delivered, 1);
+    }
+
+    #[test]
+    fn local_delivery_works() {
+        let mut m = mesh();
+        m.try_inject(0, Packet::new(3, 3, 8, TrafficClass::AccCtrl, 1))
+            .unwrap();
+        run_until_quiet(&mut m);
+        assert_eq!(m.drain_inbox(3).len(), 1);
+        // Zero hops -> zero hop-bytes.
+        assert_eq!(m.stats().hop_bytes[TrafficClass::AccCtrl.index()], 0);
+    }
+
+    #[test]
+    fn hop_bytes_accounts_header_and_distance() {
+        let mut m = mesh();
+        m.try_inject(0, Packet::new(0, 3, 64, TrafficClass::HostData, 0))
+            .unwrap();
+        run_until_quiet(&mut m);
+        assert_eq!(
+            m.stats().hop_bytes[TrafficClass::HostData.index()],
+            (64 + HEADER_BYTES as u64) * 3
+        );
+    }
+
+    #[test]
+    fn per_pair_ordering_is_fifo() {
+        let mut m = mesh();
+        for i in 0..5 {
+            m.try_inject(0, Packet::new(1, 6, 16, TrafficClass::AccData, i))
+                .unwrap();
+        }
+        run_until_quiet(&mut m);
+        let got: Vec<u64> = m.drain_inbox(6).into_iter().map(|p| p.payload).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn injection_queue_back_pressure() {
+        let mut m = mesh();
+        let mut rejected = 0;
+        for i in 0..100 {
+            if m.try_inject(0, Packet::new(0, 7, 256, TrafficClass::HostData, i))
+                .is_err()
+            {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0, "expected finite injection capacity");
+        run_until_quiet(&mut m);
+        assert_eq!(m.stats().delivered + rejected, 100);
+    }
+
+    #[test]
+    fn contention_increases_latency() {
+        // One packet alone vs. the same packet behind heavy cross traffic.
+        let mut alone = mesh();
+        alone
+            .try_inject(0, Packet::new(0, 3, 64, TrafficClass::AccData, 0))
+            .unwrap();
+        run_until_quiet(&mut alone);
+        let solo_lat = alone.stats().avg_latency();
+
+        let mut busy = mesh();
+        for i in 0..6 {
+            busy.try_inject(0, Packet::new(0, 3, 256, TrafficClass::HostData, i))
+                .unwrap();
+        }
+        busy.try_inject(0, Packet::new(0, 3, 64, TrafficClass::AccData, 99))
+            .unwrap();
+        run_until_quiet(&mut busy);
+        assert!(busy.stats().avg_latency() > solo_lat);
+        assert!(busy.stats().stall_cycles > 0 || busy.stats().avg_latency() > solo_lat);
+    }
+
+    #[test]
+    fn bigger_packets_serialize_longer() {
+        let lat = |bytes: u32| {
+            let mut m = mesh();
+            m.try_inject(0, Packet::new(0, 7, bytes, TrafficClass::MemData, 0))
+                .unwrap();
+            run_until_quiet(&mut m);
+            m.stats().avg_latency()
+        };
+        assert!(lat(256) > lat(16));
+    }
+
+    #[test]
+    fn stats_report_has_all_classes() {
+        let m = mesh();
+        let r = m.stats().report();
+        for c in TrafficClass::ALL {
+            assert!(r.get(&format!("bytes.{}", c.name())).is_some());
+        }
+    }
+}

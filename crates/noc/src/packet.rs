@@ -1,0 +1,105 @@
+//! Packets and traffic classes.
+
+/// Index of a mesh node. Nodes are numbered row-major: `id = y * cols + x`.
+pub type NodeId = usize;
+
+/// Traffic classification used by the paper's Figure 10 breakdown.
+///
+/// * `HostCtrl` — host-initiated request/response control (offload
+///   configuration MMIOs, cache request headers).
+/// * `HostData` — data moved on behalf of the host (cache line fills,
+///   writebacks between host-side caches and L3/DRAM).
+/// * `AccCtrl`  — inter-accelerator control (produce/consume handshakes,
+///   step/fill/drain commands, credits).
+/// * `AccData`  — inter-accelerator operand data.
+/// * `MemData`  — L3 miss traffic to/from the memory controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficClass {
+    HostCtrl,
+    HostData,
+    AccCtrl,
+    AccData,
+    MemData,
+}
+
+impl TrafficClass {
+    /// All classes, in display order.
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::HostCtrl,
+        TrafficClass::HostData,
+        TrafficClass::AccCtrl,
+        TrafficClass::AccData,
+        TrafficClass::MemData,
+    ];
+
+    /// Stable short name used by reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficClass::HostCtrl => "ctrl",
+            TrafficClass::HostData => "data",
+            TrafficClass::AccCtrl => "acc_ctrl",
+            TrafficClass::AccData => "acc_data",
+            TrafficClass::MemData => "mem_data",
+        }
+    }
+
+    /// Index into per-class stat arrays.
+    pub fn index(self) -> usize {
+        match self {
+            TrafficClass::HostCtrl => 0,
+            TrafficClass::HostData => 1,
+            TrafficClass::AccCtrl => 2,
+            TrafficClass::AccData => 3,
+            TrafficClass::MemData => 4,
+        }
+    }
+}
+
+/// A network packet carrying an opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet<P> {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload size in bytes (header overhead is added by the mesh model).
+    pub bytes: u32,
+    /// Traffic class for accounting.
+    pub class: TrafficClass,
+    /// Opaque payload delivered to the destination.
+    pub payload: P,
+}
+
+impl<P> Packet<P> {
+    /// Creates a packet.
+    pub fn new(src: NodeId, dst: NodeId, bytes: u32, class: TrafficClass, payload: P) -> Self {
+        Self {
+            src,
+            dst,
+            bytes,
+            class,
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_dense_and_unique() {
+        let mut seen = [false; 5];
+        for c in TrafficClass::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn names_are_paper_labels() {
+        assert_eq!(TrafficClass::HostCtrl.name(), "ctrl");
+        assert_eq!(TrafficClass::AccData.name(), "acc_data");
+    }
+}

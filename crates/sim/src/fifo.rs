@@ -1,0 +1,186 @@
+//! Bounded FIFO queues with credit semantics.
+//!
+//! These back every decoupling buffer in the modeled machine: access-unit
+//! SRAM buffers, NoC link queues and MSHR-fill queues. Capacity limits are
+//! what give the model its back-pressure behaviour (the paper's
+//! "credit-based backwards flow-control", Section IV-C).
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO. Pushing past capacity is an error surfaced to the caller
+/// so callers model stalls instead of silently growing queues.
+///
+/// # Examples
+///
+/// ```
+/// use distda_sim::Fifo;
+/// let mut f = Fifo::new(2);
+/// assert!(f.try_push(1).is_ok());
+/// assert!(f.try_push(2).is_ok());
+/// assert!(f.try_push(3).is_err());
+/// assert_eq!(f.pop(), Some(1));
+/// assert_eq!(f.credits(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    total_pushed: u64,
+    high_water: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be nonzero");
+        Self {
+            items: VecDeque::with_capacity(capacity.min(64)),
+            capacity,
+            total_pushed: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Attempts to enqueue, returning the value back if the FIFO is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when the FIFO is at capacity.
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            return Err(value);
+        }
+        self.items.push_back(value);
+        self.total_pushed += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest element, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest element without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Number of elements currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the FIFO holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the FIFO is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining space (credits available to a producer).
+    pub fn credits(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total elements ever pushed (for occupancy statistics).
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Maximum occupancy ever observed.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Drops all queued elements, keeping statistics.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterates over queued elements oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+impl<T> Extend<T> for Fifo<T> {
+    /// Extends the FIFO, panicking on overflow.
+    ///
+    /// Only use when the caller has checked `credits()`.
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            assert!(self.try_push(v).is_ok(), "fifo overflow in extend");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_orders_elements() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.try_push(i).unwrap();
+        }
+        assert_eq!((0..4).map(|_| f.pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_push_when_full() {
+        let mut f = Fifo::new(1);
+        f.try_push('a').unwrap();
+        assert_eq!(f.try_push('b'), Err('b'));
+        assert!(f.is_full());
+    }
+
+    #[test]
+    fn credits_track_space() {
+        let mut f = Fifo::new(3);
+        assert_eq!(f.credits(), 3);
+        f.try_push(()).unwrap();
+        assert_eq!(f.credits(), 2);
+        f.pop();
+        assert_eq!(f.credits(), 3);
+    }
+
+    #[test]
+    fn high_water_is_monotone() {
+        let mut f = Fifo::new(8);
+        f.try_push(1).unwrap();
+        f.try_push(2).unwrap();
+        f.pop();
+        f.pop();
+        f.try_push(3).unwrap();
+        assert_eq!(f.high_water(), 2);
+        assert_eq!(f.total_pushed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn front_does_not_consume() {
+        let mut f = Fifo::new(2);
+        f.try_push(7).unwrap();
+        assert_eq!(f.front(), Some(&7));
+        assert_eq!(f.len(), 1);
+    }
+}

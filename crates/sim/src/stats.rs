@@ -1,0 +1,203 @@
+//! Statistics reporting: ordered key/value reports and summary helpers.
+//!
+//! Hot-path counters in the simulator are plain `u64` fields on components;
+//! at the end of a run each component folds them into a [`Report`], which the
+//! experiment harness prints or normalizes (every figure in the paper is a
+//! ratio against a baseline configuration).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered map of named scalar statistics.
+///
+/// # Examples
+///
+/// ```
+/// use distda_sim::Report;
+/// let mut r = Report::new();
+/// r.add("cycles", 100.0);
+/// r.add("insts", 250.0);
+/// assert_eq!(r.get("cycles"), Some(100.0));
+/// assert_eq!(r.ratio("insts", "cycles"), Some(2.5));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    entries: BTreeMap<String, f64>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or overwrites a statistic.
+    pub fn add(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        self.entries.insert(key.into(), value);
+        self
+    }
+
+    /// Adds `value` to an existing statistic (or inserts it).
+    pub fn accumulate(&mut self, key: &str, value: f64) -> &mut Self {
+        *self.entries.entry(key.to_string()).or_insert(0.0) += value;
+        self
+    }
+
+    /// Looks up a statistic.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.entries.get(key).copied()
+    }
+
+    /// Ratio of two statistics, `None` if either is missing or the
+    /// denominator is zero.
+    pub fn ratio(&self, num: &str, den: &str) -> Option<f64> {
+        let d = self.get(den)?;
+        if d == 0.0 {
+            return None;
+        }
+        Some(self.get(num)? / d)
+    }
+
+    /// Merges another report, prefixing its keys.
+    pub fn merge_prefixed(&mut self, prefix: &str, other: &Report) -> &mut Self {
+        for (k, v) in &other.entries {
+            self.entries.insert(format!("{prefix}.{k}"), *v);
+        }
+        self
+    }
+
+    /// Iterates entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the report holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sums all entries whose key starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> f64 {
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.entries {
+            writeln!(f, "{k:<40} {v:>16.4}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(String, f64)> for Report {
+    fn from_iter<I: IntoIterator<Item = (String, f64)>>(iter: I) -> Self {
+        Self {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// Geometric mean of a sequence of positive values.
+///
+/// Returns `None` for an empty input or any non-positive value. The paper's
+/// headline results (e.g. 3.3x energy efficiency) are geometric means across
+/// workloads.
+///
+/// # Examples
+///
+/// ```
+/// use distda_sim::geomean;
+/// assert!((geomean([2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+/// assert_eq!(geomean([]), None);
+/// ```
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        if v <= 0.0 {
+            return None;
+        }
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((log_sum / n as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut r = Report::new();
+        r.add("a", 1.0).add("b", 2.0);
+        assert_eq!(r.get("a"), Some(1.0));
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn accumulate_sums() {
+        let mut r = Report::new();
+        r.accumulate("x", 1.5).accumulate("x", 2.5);
+        assert_eq!(r.get("x"), Some(4.0));
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        let mut r = Report::new();
+        r.add("n", 4.0).add("z", 0.0);
+        assert_eq!(r.ratio("n", "z"), None);
+        assert_eq!(r.ratio("n", "n"), Some(1.0));
+    }
+
+    #[test]
+    fn merge_prefixed_namespaces_keys() {
+        let mut inner = Report::new();
+        inner.add("hits", 10.0);
+        let mut outer = Report::new();
+        outer.merge_prefixed("l1", &inner);
+        assert_eq!(outer.get("l1.hits"), Some(10.0));
+    }
+
+    #[test]
+    fn sum_prefix_selects_subtree() {
+        let mut r = Report::new();
+        r.add("noc.data", 3.0).add("noc.ctrl", 2.0).add("mem.reads", 7.0);
+        assert_eq!(r.sum_prefix("noc."), 5.0);
+    }
+
+    #[test]
+    fn geomean_matches_hand_computation() {
+        let g = geomean([1.0, 2.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_rejects_nonpositive() {
+        assert_eq!(geomean([1.0, 0.0]), None);
+        assert_eq!(geomean([-1.0]), None);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut r = Report::new();
+        r.add("k", 1.0);
+        assert!(format!("{r}").contains('k'));
+    }
+}

@@ -1,0 +1,193 @@
+//! The six evaluated configurations (paper Section VI-A) plus the
+//! sensitivity-study knobs.
+
+use crate::alloc::AllocStrategy;
+use distda_compiler::PartitionMode;
+
+/// The architecture models of Figure 1 / Section VI-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConfigKind {
+    /// Out-of-order host only (the normalization baseline).
+    OoO,
+    /// Monolithic accelerator on the L3 bus, centralized stream-specialized
+    /// accesses, 8 KB private buffer, 2 GHz.
+    MonoCA,
+    /// Monolithic compute, decentralized access nodes; in-order core at
+    /// 2 GHz.
+    MonoDAIO,
+    /// Monolithic compute, decentralized accesses; 8x8 CGRA at 1 GHz.
+    MonoDAF,
+    /// Distributed compute + decentralized accesses; in-order cores at
+    /// 2 GHz.
+    DistDAIO,
+    /// Distributed compute + decentralized accesses; 5x5 CGRA per cluster
+    /// at 1 GHz.
+    DistDAF,
+}
+
+impl ConfigKind {
+    /// All kinds in the paper's presentation order.
+    pub const ALL: [ConfigKind; 6] = [
+        ConfigKind::OoO,
+        ConfigKind::MonoCA,
+        ConfigKind::MonoDAIO,
+        ConfigKind::MonoDAF,
+        ConfigKind::DistDAIO,
+        ConfigKind::DistDAF,
+    ];
+
+    /// Paper-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ConfigKind::OoO => "OoO",
+            ConfigKind::MonoCA => "Mono-CA",
+            ConfigKind::MonoDAIO => "Mono-DA-IO",
+            ConfigKind::MonoDAF => "Mono-DA-F",
+            ConfigKind::DistDAIO => "Dist-DA-IO",
+            ConfigKind::DistDAF => "Dist-DA-F",
+        }
+    }
+
+    /// Compiler partitioning mode for this configuration.
+    pub fn partition_mode(self) -> Option<PartitionMode> {
+        match self {
+            ConfigKind::OoO => None,
+            ConfigKind::MonoCA | ConfigKind::MonoDAIO | ConfigKind::MonoDAF => {
+                Some(PartitionMode::Monolithic)
+            }
+            ConfigKind::DistDAIO | ConfigKind::DistDAF => Some(PartitionMode::Distributed),
+        }
+    }
+
+    /// Whether accesses are decentralized into access nodes (Mono-DA).
+    pub fn decentralize_accesses(self) -> bool {
+        matches!(self, ConfigKind::MonoDAIO | ConfigKind::MonoDAF)
+    }
+
+    /// Whether the compute substrate is a CGRA fabric.
+    pub fn is_cgra(self) -> bool {
+        matches!(self, ConfigKind::MonoDAF | ConfigKind::DistDAF)
+    }
+}
+
+/// One simulated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// The architecture model.
+    pub kind: ConfigKind,
+    /// Accelerator clock in GHz (Figure 13 sweeps this).
+    pub accel_ghz: f64,
+    /// Access-unit buffer lines (64 = 4 KB; Mono-CA uses 128 = 8 KB).
+    pub buffer_lines: usize,
+    /// In-order accelerator issue width (Figure 14 +SW uses 4).
+    pub issue_width: u32,
+    /// Deeper prefetch + more MLP in the access units (Figure 14 +SW).
+    pub sw_prefetch: bool,
+    /// Object allocation policy (Figure 14 +A uses `Affinity`).
+    pub alloc: AllocStrategy,
+    /// Optional label suffix for variants.
+    pub suffix: &'static str,
+}
+
+impl RunConfig {
+    /// The paper's default settings for a configuration kind.
+    pub fn named(kind: ConfigKind) -> Self {
+        // Buffer capacities follow the 4x-scaled hierarchy (paper: 4 KB
+        // per access unit, 8 KB private for Mono-CA).
+        let (accel_ghz, buffer_lines, issue_width) = match kind {
+            ConfigKind::OoO => (2.0, 32, 1),
+            ConfigKind::MonoCA => (2.0, 64, 4),
+            ConfigKind::MonoDAIO => (2.0, 32, 1),
+            ConfigKind::MonoDAF => (1.0, 32, 1),
+            ConfigKind::DistDAIO => (2.0, 32, 1),
+            ConfigKind::DistDAF => (1.0, 32, 1),
+        };
+        let alloc = match kind {
+            ConfigKind::OoO | ConfigKind::MonoCA => AllocStrategy::Interleaved,
+            _ => AllocStrategy::RoundRobin,
+        };
+        Self {
+            kind,
+            accel_ghz,
+            buffer_lines,
+            issue_width,
+            sw_prefetch: false,
+            alloc,
+            suffix: "",
+        }
+    }
+
+    /// The Figure 14 `Dist-DA-IO+SW` variant: 4-issue with software
+    /// prefetching.
+    pub fn dist_da_io_sw() -> Self {
+        Self {
+            issue_width: 4,
+            sw_prefetch: true,
+            suffix: "+SW",
+            ..Self::named(ConfigKind::DistDAIO)
+        }
+    }
+
+    /// The Figure 14 `Dist-DA-F+A` variant: affinity-aware allocation.
+    pub fn dist_da_f_alloc() -> Self {
+        Self {
+            alloc: AllocStrategy::Affinity,
+            suffix: "+A",
+            ..Self::named(ConfigKind::DistDAF)
+        }
+    }
+
+    /// Display label (`Dist-DA-F@1GHz` style).
+    pub fn label(&self) -> String {
+        if self.kind == ConfigKind::OoO {
+            return "OoO".to_string();
+        }
+        format!(
+            "{}{}@{}GHz",
+            self.kind.label(),
+            self.suffix,
+            if self.accel_ghz.fract() == 0.0 {
+                format!("{}", self.accel_ghz as u64)
+            } else {
+                format!("{}", self.accel_ghz)
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = RunConfig::named(ConfigKind::DistDAF);
+        assert_eq!(c.accel_ghz, 1.0);
+        assert_eq!(c.label(), "Dist-DA-F@1GHz");
+        let ca = RunConfig::named(ConfigKind::MonoCA);
+        assert_eq!(ca.buffer_lines, 64);
+        assert_eq!(RunConfig::named(ConfigKind::OoO).label(), "OoO");
+    }
+
+    #[test]
+    fn partition_modes() {
+        assert_eq!(ConfigKind::OoO.partition_mode(), None);
+        assert_eq!(
+            ConfigKind::MonoDAIO.partition_mode(),
+            Some(PartitionMode::Monolithic)
+        );
+        assert_eq!(
+            ConfigKind::DistDAF.partition_mode(),
+            Some(PartitionMode::Distributed)
+        );
+        assert!(ConfigKind::MonoDAF.decentralize_accesses());
+        assert!(!ConfigKind::DistDAIO.decentralize_accesses());
+        assert!(ConfigKind::DistDAF.is_cgra());
+    }
+
+    #[test]
+    fn variants_label_correctly() {
+        assert_eq!(RunConfig::dist_da_io_sw().label(), "Dist-DA-IO+SW@2GHz");
+        assert_eq!(RunConfig::dist_da_f_alloc().label(), "Dist-DA-F+A@1GHz");
+    }
+}

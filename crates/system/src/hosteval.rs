@@ -1,0 +1,213 @@
+//! Host-side functional evaluation with incremental trace emission.
+//!
+//! The program walker executes non-offloaded statements here: values take
+//! effect on the shared memory image immediately, and one [`DynOp`] per
+//! retired operation is appended to the current *segment*. Segments are
+//! handed to the [`HostCore`](crate::host::HostCore) timing model at
+//! offload boundaries (dependences never need to cross a segment because
+//! boundaries are synchronization points).
+
+use distda_ir::expr::{ArrayId, Expr, ScalarId};
+use distda_ir::interp::Memory;
+use distda_ir::program::Program;
+use distda_ir::trace::{DynOp, Layout, OpKind, NO_DEP};
+use distda_ir::value::Value;
+
+/// Incremental host evaluator. See the module docs.
+#[derive(Debug)]
+pub struct HostEval {
+    layout: Layout,
+    /// Current scalar values.
+    pub scalars: Vec<Value>,
+    scalar_src: Vec<u32>,
+    /// Current loop-variable values.
+    pub loop_vars: Vec<i64>,
+    seg: Vec<DynOp>,
+    /// Sparse last-store tracking: (epoch, op) per element.
+    store_stamp: Vec<Vec<(u32, u32)>>,
+    epoch: u32,
+}
+
+impl HostEval {
+    /// Creates an evaluator for a program under `layout`.
+    pub fn new(prog: &Program, layout: Layout) -> Self {
+        Self {
+            layout,
+            scalars: prog.scalars.iter().map(|s| s.init).collect(),
+            scalar_src: vec![NO_DEP; prog.scalars.len()],
+            loop_vars: vec![0; prog.loop_var_count],
+            seg: Vec::new(),
+            store_stamp: prog.arrays.iter().map(|a| vec![(0, NO_DEP); a.len]).collect(),
+            epoch: 1,
+        }
+    }
+
+    /// The address layout in use.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Removes and returns the current segment, resetting dependence state.
+    pub fn take_segment(&mut self) -> Vec<DynOp> {
+        self.epoch += 1;
+        for s in &mut self.scalar_src {
+            *s = NO_DEP;
+        }
+        std::mem::take(&mut self.seg)
+    }
+
+    /// Ops accumulated in the current segment.
+    pub fn segment_len(&self) -> usize {
+        self.seg.len()
+    }
+
+    fn emit(&mut self, kind: OpKind, dep1: u32, dep2: u32) -> u32 {
+        let i = self.seg.len() as u32;
+        self.seg.push(DynOp { kind, dep1, dep2 });
+        i
+    }
+
+    /// Emits a loop-control overhead op (induction increment + branch).
+    pub fn emit_loop_overhead(&mut self) {
+        self.emit(OpKind::Alu { lat: 1 }, NO_DEP, NO_DEP);
+    }
+
+    /// Marks a scalar as externally updated (offload live-out read back).
+    pub fn set_scalar_external(&mut self, s: ScalarId, v: Value) {
+        self.scalars[s.0] = v;
+        self.scalar_src[s.0] = NO_DEP;
+    }
+
+    /// Evaluates an expression, returning its value and producing-op index.
+    pub fn eval(&mut self, e: &Expr, mem: &mut Memory) -> (Value, u32) {
+        match e {
+            Expr::Const(v) => (*v, NO_DEP),
+            Expr::LoopVar(lv) => (Value::I(self.loop_vars[lv.0]), NO_DEP),
+            Expr::Scalar(s) => (self.scalars[s.0], self.scalar_src[s.0]),
+            Expr::Load(a, idx) => {
+                let (iv, idep) = self.eval(idx, mem);
+                let i = iv.as_i64();
+                let addr = self.layout.addr(*a, i);
+                let slot = i.max(0) as usize;
+                let mdep = match self.store_stamp[a.0].get(slot) {
+                    Some(&(ep, op)) if ep == self.epoch => op,
+                    _ => NO_DEP,
+                };
+                let op = self.emit(OpKind::Load { addr }, idep, mdep);
+                (mem.load(*a, i), op)
+            }
+            Expr::Bin(op, a, b) => {
+                let (va, da) = self.eval(a, mem);
+                let (vb, db) = self.eval(b, mem);
+                let lat = op.latency() as u8;
+                let i = self.emit(OpKind::Alu { lat }, da, db);
+                (op.apply(va, vb), i)
+            }
+            Expr::Un(op, a) => {
+                let (va, da) = self.eval(a, mem);
+                let lat = op.latency() as u8;
+                let i = self.emit(OpKind::Alu { lat }, da, NO_DEP);
+                (op.apply(va), i)
+            }
+            Expr::Select(c, a, b) => {
+                let (vc, dc) = self.eval(c, mem);
+                let (va, da) = self.eval(a, mem);
+                let (vb, db) = self.eval(b, mem);
+                let chosen = if vc.truthy() { da } else { db };
+                let i = self.emit(OpKind::Alu { lat: 1 }, dc, chosen);
+                (if vc.truthy() { va } else { vb }, i)
+            }
+        }
+    }
+
+    /// Executes `array[idx] = value` on the host.
+    pub fn store(&mut self, a: ArrayId, idx: &Expr, val: &Expr, mem: &mut Memory) {
+        let (iv, idep) = self.eval(idx, mem);
+        let (v, vdep) = self.eval(val, mem);
+        let i = iv.as_i64();
+        let addr = self.layout.addr(a, i);
+        let op = self.emit(OpKind::Store { addr }, vdep, idep);
+        let slot = i.max(0) as usize;
+        if let Some(st) = self.store_stamp[a.0].get_mut(slot) {
+            *st = (self.epoch, op);
+        }
+        mem.store(a, i, v);
+    }
+
+    /// Executes `scalar = value` on the host.
+    pub fn set_scalar(&mut self, s: ScalarId, val: &Expr, mem: &mut Memory) {
+        let (v, dep) = self.eval(val, mem);
+        self.scalars[s.0] = v;
+        self.scalar_src[s.0] = dep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distda_ir::prelude::*;
+
+    fn setup() -> (Program, HostEval, Memory) {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.array_i64("x", 8);
+        b.scalar("s", 0i64);
+        let p = b.build();
+        let layout = Layout::new(&p, 0x1000);
+        let mut mem = Memory::for_program(&p);
+        for i in 0..8 {
+            mem.array_mut(x)[i] = Value::I(i as i64 * 10);
+        }
+        let eval = HostEval::new(&p, layout);
+        (p, eval, mem)
+    }
+
+    #[test]
+    fn eval_emits_ops_and_values() {
+        let (_, mut ev, mut mem) = setup();
+        let e = Expr::load(ArrayId(0), Expr::c(3)) + Expr::c(1);
+        let (v, dep) = ev.eval(&e, &mut mem);
+        assert_eq!(v, Value::I(31));
+        assert_ne!(dep, distda_ir::NO_DEP);
+        assert_eq!(ev.segment_len(), 2); // load + add
+    }
+
+    #[test]
+    fn store_then_load_has_memory_dep() {
+        let (_, mut ev, mut mem) = setup();
+        ev.store(ArrayId(0), &Expr::c(2), &Expr::c(7), &mut mem);
+        let (v, _) = ev.eval(&Expr::load(ArrayId(0), Expr::c(2)), &mut mem);
+        assert_eq!(v, Value::I(7));
+        let seg = ev.take_segment();
+        let load = seg
+            .iter()
+            .find(|o| matches!(o.kind, distda_ir::OpKind::Load { .. }))
+            .unwrap();
+        // dep2 is the memory dep on the store (op 0).
+        assert_eq!(load.dep2, 0);
+    }
+
+    #[test]
+    fn segments_reset_dependences() {
+        let (_, mut ev, mut mem) = setup();
+        ev.store(ArrayId(0), &Expr::c(1), &Expr::c(9), &mut mem);
+        ev.take_segment();
+        let (_, _) = ev.eval(&Expr::load(ArrayId(0), Expr::c(1)), &mut mem);
+        let seg = ev.take_segment();
+        assert_eq!(seg[0].dep2, distda_ir::NO_DEP, "cross-segment dep dropped");
+    }
+
+    #[test]
+    fn scalar_updates_thread_dependences() {
+        let (_, mut ev, mut mem) = setup();
+        let s = ScalarId(0);
+        ev.set_scalar(s, &(Expr::c(1) + Expr::c(2)), &mut mem);
+        assert_eq!(ev.scalars[0], Value::I(3));
+        let (v, dep) = ev.eval(&Expr::Scalar(s), &mut mem);
+        assert_eq!(v, Value::I(3));
+        assert_ne!(dep, distda_ir::NO_DEP);
+        ev.set_scalar_external(s, Value::I(42));
+        let (v2, dep2) = ev.eval(&Expr::Scalar(s), &mut mem);
+        assert_eq!(v2, Value::I(42));
+        assert_eq!(dep2, distda_ir::NO_DEP);
+    }
+}

@@ -1,0 +1,40 @@
+//! # distda-system
+//!
+//! The full-machine integration of the Dist-DA reproduction: the host
+//! out-of-order core, the slab allocator that anchors memory objects at
+//! NUCA home clusters, the Table II offload interface (configuration,
+//! register-file and dataflow mechanisms with MMIO accounting), the plan
+//! transforms realizing the Mono-DA baseline, and the [`runner::simulate`]
+//! entry point that executes a kernel under any of the paper's six
+//! configurations and validates it against the reference interpreter.
+//!
+//! ```no_run
+//! use distda_system::{simulate, ConfigKind, RunConfig};
+//! use distda_ir::prelude::*;
+//!
+//! let mut b = ProgramBuilder::new("axpy");
+//! let x = b.array_f64("x", 1024);
+//! let y = b.array_f64("y", 1024);
+//! b.for_(0, 1024, 1, |b, i| {
+//!     let v = Expr::cf(2.0) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+//!     b.store(y, i, v);
+//! });
+//! let prog = b.build();
+//! let r = simulate(&prog, &|_m| {}, &RunConfig::named(ConfigKind::DistDAF));
+//! assert!(r.validated);
+//! ```
+
+pub mod alloc;
+pub mod config;
+pub mod host;
+pub mod hosteval;
+pub mod machine;
+pub mod netmsg;
+pub mod runner;
+pub mod transform;
+
+pub use alloc::{allocate, AllocStrategy, Allocation};
+pub use config::{ConfigKind, RunConfig};
+pub use machine::{Machine, PlanHandle, Substrate, CHAN_CAPACITY};
+pub use runner::{simulate, simulate_capture, RunResult};
+pub use transform::decentralize;

@@ -1,0 +1,771 @@
+//! The full machine model: host core + NUCA hierarchy + mesh + distributed
+//! accelerator engines + operand channels, advanced in lock-step on the
+//! 6 GHz base tick.
+//!
+//! The machine also implements the host-initiated half of the Table II
+//! interface: [`Machine::configure_plan`] (`cp_config`,
+//! `cp_config_stream/random`), [`Machine::launch`] (`cp_set_rf`, `cp_run`)
+//! and [`Machine::read_liveouts`] (`cp_load_rf`), with MMIO traffic and
+//! host occupancy charged for each.
+
+use crate::host::HostCore;
+use crate::netmsg::{ChanState, NetMsg};
+use distda_accel::{EngineCtx, IssueModel, PartitionEngine};
+use distda_compiler::plan::OffloadPlan;
+use distda_energy::EnergyCounters;
+use distda_ir::expr::ArrayId;
+use distda_ir::interp::Memory;
+use distda_ir::trace::{DynOp, Layout};
+use distda_ir::value::Value;
+use distda_mem::{MemRequest, MemSystem, PortId, PortKind};
+use distda_noc::{Mesh, NocConfig, Packet, TrafficClass};
+use distda_sim::time::{ClockDomain, Tick};
+
+/// Operand slots per channel buffer.
+pub const CHAN_CAPACITY: usize = 64;
+/// Host cycles charged per MMIO configuration word.
+const MMIO_CYCLES_PER_WORD: u64 = 1;
+
+/// Handle to a configured offload plan.
+pub type PlanHandle = usize;
+
+/// How one partition is realized in hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Substrate {
+    /// Issue pacing (in-order width or CGRA II).
+    pub model: IssueModel,
+    /// Clock domain.
+    pub clock: ClockDomain,
+    /// Access-unit buffer capacity in lines.
+    pub buffer_lines: usize,
+    /// Whether this partition is a bare access node (FSM, not a core) —
+    /// its ops are charged as buffer energy, not core energy.
+    pub is_access_node: bool,
+    /// Prefetch depth / outstanding limits (pf_ahead, max_reads,
+    /// max_writes).
+    pub tuning: (u64, u32, u32),
+}
+
+#[derive(Debug)]
+struct EngineSlot {
+    eng: PartitionEngine,
+    cluster: usize,
+    port: PortId,
+    resp: Vec<u64>,
+    chan_base: usize,
+    is_access_node: bool,
+    is_cgra: bool,
+}
+
+#[derive(Debug)]
+struct PlanInst {
+    engines: Vec<usize>,
+    /// Live-outs: (scalar, engine slot index, carry register).
+    liveouts: Vec<(distda_ir::expr::ScalarId, usize, u16)>,
+    /// Carry scalars per engine (for `cp_set_rf` initialization).
+    carry_scalars: Vec<Vec<distda_ir::expr::ScalarId>>,
+    params: Vec<distda_compiler::affine::Sym>,
+}
+
+/// The machine. Construct with [`Machine::new`], configure plans, then
+/// alternate host segments and offload invocations.
+#[derive(Debug)]
+pub struct Machine {
+    /// Current base tick.
+    pub now: Tick,
+    mesh: Mesh<NetMsg>,
+    mem: MemSystem,
+    host: HostCore,
+    memimg: Memory,
+    layout: Layout,
+    chans: Vec<ChanState>,
+    engines: Vec<EngineSlot>,
+    plans: Vec<PlanInst>,
+    net_out: std::collections::VecDeque<Packet<NetMsg>>,
+    host_node: usize,
+    mmio_words: u64,
+    tick_budget: u64,
+}
+
+impl Machine {
+    /// Builds the Table III machine: 4x2 mesh, host at node 0, memory
+    /// controller at node 7. The caller supplies the (already allocated)
+    /// memory system, functional image and layout.
+    pub fn new(mem: MemSystem, memimg: Memory, layout: Layout, host_width: u32, host_rob: usize) -> Self {
+        let uncore = mem.clock();
+        let mut mem = mem;
+        let host_port = mem.register_port(PortKind::Host);
+        let host = HostCore::new(uncore, host_width, host_rob, host_port);
+        Self {
+            now: 0,
+            mesh: Mesh::new(4, 2, NocConfig::default(), uncore),
+            mem,
+            host,
+            memimg,
+            layout,
+            chans: Vec::new(),
+            engines: Vec::new(),
+            plans: Vec::new(),
+            net_out: std::collections::VecDeque::new(),
+            host_node: 0,
+            mmio_words: 0,
+            tick_budget: 60_000_000_000,
+        }
+    }
+
+    /// The functional memory image.
+    pub fn memimg(&self) -> &Memory {
+        &self.memimg
+    }
+
+    /// Mutable functional memory (used by the host evaluator).
+    pub fn memimg_mut(&mut self) -> &mut Memory {
+        &mut self.memimg
+    }
+
+    /// Consumes the machine, returning the final memory image.
+    pub fn into_memimg(self) -> Memory {
+        self.memimg
+    }
+
+    /// The address layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// The memory hierarchy (for statistics).
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// NoC statistics.
+    pub fn noc_stats(&self) -> &distda_noc::NocStats {
+        self.mesh.stats()
+    }
+
+    /// Host core statistics.
+    pub fn host_stats(&self) -> crate::host::HostStats {
+        self.host.stats()
+    }
+
+    /// Total MMIO configuration words issued.
+    pub fn mmio_words(&self) -> u64 {
+        self.mmio_words
+    }
+
+    /// `cp_config` + `cp_config_stream/random`: allocates engines for a
+    /// plan, placing partition `i` at `placement[i]` with `substrates[i]`.
+    /// Flushes host-cached copies of every accessed object (Section IV-D)
+    /// and charges configuration MMIO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if placements/substrates lengths mismatch the plan.
+    pub fn configure_plan(
+        &mut self,
+        plan: &OffloadPlan,
+        placement: &[usize],
+        substrates: &[Substrate],
+        object_ranges: &[(u64, u64)],
+    ) -> PlanHandle {
+        assert_eq!(placement.len(), plan.partitions.len());
+        assert_eq!(substrates.len(), plan.partitions.len());
+        let chan_base = self.chans.len();
+        for ch in &plan.channels {
+            self.chans.push(ChanState::new(
+                placement[ch.producer as usize],
+                placement[ch.consumer as usize],
+                CHAN_CAPACITY,
+            ));
+        }
+        let handle = self.plans.len();
+        let mut engine_ids = Vec::new();
+        let mut carry_scalars = Vec::new();
+        let mut config_words = 0u64;
+        for (i, part) in plan.partitions.iter().enumerate() {
+            let sub = substrates[i];
+            let port = self.mem.register_port(PortKind::Acp {
+                cluster: placement[i],
+            });
+            let mut eng = PartitionEngine::new(
+                part.clone(),
+                plan.params.clone(),
+                sub.model,
+                sub.clock,
+                sub.buffer_lines,
+            );
+            let (pf, mr, mw) = sub.tuning;
+            eng.set_tuning(pf, mr, mw);
+            engine_ids.push(self.engines.len());
+            carry_scalars.push(part.carry_scalars.clone());
+            self.engines.push(EngineSlot {
+                eng,
+                cluster: placement[i],
+                port,
+                resp: Vec::new(),
+                chan_base,
+                is_access_node: sub.is_access_node,
+                is_cgra: matches!(sub.model, IssueModel::Cgra { .. }),
+            });
+            // Configuration traffic: microcode + one word per access.
+            let words = (part.microcode_bytes() / 8 + part.accesses.len() + 1) as u64;
+            config_words += words;
+            self.push_mmio_packet(placement[i], (words * 8) as u32);
+        }
+        // Offload-boundary flush of host-cached object lines.
+        for &(s, e) in object_ranges {
+            self.mem.flush_host_range(s, e);
+        }
+        let liveouts = plan
+            .liveouts
+            .iter()
+            .map(|&(s, p, r)| (s, engine_ids[p as usize], r))
+            .collect();
+        self.plans.push(PlanInst {
+            engines: engine_ids,
+            liveouts,
+            carry_scalars,
+            params: plan.params.clone(),
+        });
+        self.charge_mmio(config_words);
+        handle
+    }
+
+    fn push_mmio_packet(&mut self, cluster: usize, bytes: u32) {
+        if cluster != self.host_node {
+            self.net_out.push_back(Packet::new(
+                self.host_node,
+                cluster,
+                bytes,
+                TrafficClass::HostCtrl,
+                NetMsg::Mmio,
+            ));
+        }
+    }
+
+    fn charge_mmio(&mut self, words: u64) {
+        self.mmio_words += words;
+        let ticks = self
+            .mem
+            .clock()
+            .ticks_for_cycles(words * MMIO_CYCLES_PER_WORD);
+        self.advance_ticks(ticks);
+    }
+
+    /// Carry scalars of each partition of a configured plan (the values the
+    /// host must pass to [`Machine::launch`]).
+    pub fn plan_carry_scalars(&self, handle: PlanHandle) -> &[Vec<distda_ir::expr::ScalarId>] {
+        &self.plans[handle].carry_scalars
+    }
+
+    /// The plan's parameter table.
+    pub fn plan_params(&self, handle: PlanHandle) -> &[distda_compiler::affine::Sym] {
+        &self.plans[handle].params
+    }
+
+    /// `cp_set_rf` + `cp_run` on every partition of a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any engine of the plan is still busy.
+    pub fn launch(
+        &mut self,
+        handle: PlanHandle,
+        params: &[Value],
+        carry_init: &[Vec<Value>],
+        start: i64,
+        end: i64,
+        step: i64,
+    ) {
+        // Between invocations all queues have drained; restore any credits
+        // still batched on the consumer side.
+        for ch in &mut self.chans {
+            if ch.credit_debt > 0 {
+                ch.credits += ch.credit_debt;
+                ch.credit_debt = 0;
+            }
+        }
+        let engine_ids = self.plans[handle].engines.clone();
+        let mut words = 0u64;
+        for (k, &ei) in engine_ids.iter().enumerate() {
+            let now = self.now;
+            let cluster = self.engines[ei].cluster;
+            self.engines[ei]
+                .eng
+                .run(now, params, &carry_init[k], start, end, step);
+            words += params.len() as u64 + carry_init[k].len() as u64 + 2;
+            self.push_mmio_packet(cluster, ((params.len() + carry_init[k].len() + 2) * 8) as u32);
+        }
+        self.charge_mmio(words);
+    }
+
+    /// Whether every engine of a plan has finished its invocation.
+    pub fn plan_done(&self, handle: PlanHandle) -> bool {
+        self.plans[handle]
+            .engines
+            .iter()
+            .all(|&ei| self.engines[ei].eng.is_done())
+    }
+
+    /// Runs the machine until the plan's engines finish (the host blocking
+    /// on `cp_consume`, Section V-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tick budget is exhausted (deadlock guard).
+    pub fn run_offload(&mut self, handle: PlanHandle) {
+        while !self.plan_done(handle) {
+            self.tick();
+            assert!(self.now < self.tick_budget, "offload deadlock");
+        }
+    }
+
+    /// `cp_load_rf`: reads live-out scalars after completion.
+    pub fn read_liveouts(&mut self, handle: PlanHandle) -> Vec<(distda_ir::expr::ScalarId, Value)> {
+        let outs: Vec<_> = self.plans[handle]
+            .liveouts
+            .iter()
+            .map(|&(s, ei, reg)| (s, self.engines[ei].eng.carry_value(reg)))
+            .collect();
+        self.charge_mmio(outs.len() as u64);
+        outs
+    }
+
+    /// Executes a host trace segment to completion.
+    pub fn run_host_segment(&mut self, ops: Vec<DynOp>) {
+        if ops.is_empty() {
+            return;
+        }
+        let now = self.now;
+        self.host.load_segment(now, ops);
+        while !self.host.segment_drained(self.now) {
+            self.tick();
+            assert!(self.now < self.tick_budget, "host segment hung");
+        }
+    }
+
+    /// Advances the machine `n` base ticks.
+    pub fn advance_ticks(&mut self, n: u64) {
+        for _ in 0..n {
+            self.tick();
+        }
+    }
+
+    /// Drains all in-flight work (end of program).
+    pub fn drain(&mut self) {
+        while self.mem.is_active() || self.mesh.is_active() || !self.net_out.is_empty() {
+            self.tick();
+            assert!(self.now < self.tick_budget, "drain hung");
+        }
+    }
+
+    /// One base tick.
+    pub fn tick(&mut self) {
+        let now = self.now;
+        // 1. Deliver last tick's mesh arrivals.
+        for node in 0..self.mesh.node_count() {
+            for pkt in self.mesh.drain_inbox(node) {
+                match pkt.payload {
+                    NetMsg::Mem(m) => {
+                        let wrapped = Packet::new(pkt.src, pkt.dst, pkt.bytes, pkt.class, m);
+                        self.mem.deliver(now, wrapped);
+                    }
+                    NetMsg::ChanData { chan, v } => {
+                        self.chans[chan as usize]
+                            .queue
+                            .try_push(v)
+                            .ok()
+                            .expect("channel credited");
+                    }
+                    NetMsg::ChanCredit { chan, n } => {
+                        self.chans[chan as usize].credits += n as usize;
+                    }
+                    NetMsg::Mmio => {}
+                }
+            }
+        }
+        // 2. Host issues.
+        self.host.tick(now, &mut self.mem);
+        // 3. Engines.
+        let Machine {
+            engines,
+            mem,
+            chans,
+            net_out,
+            memimg,
+            layout,
+            ..
+        } = self;
+        for slot in engines.iter_mut() {
+            for r in mem.take_responses(slot.port) {
+                slot.resp.push(r.id);
+            }
+            let mut ctx = Ctx {
+                now,
+                port: slot.port,
+                chan_base: slot.chan_base,
+                mem,
+                chans,
+                net_out,
+                memimg,
+                layout,
+                resp: &mut slot.resp,
+            };
+            slot.eng.tick(now, &mut ctx);
+        }
+        // 4. Memory hierarchy.
+        self.mem.tick(now);
+        // 5. Inject memory packets.
+        while let Some(p) = self.mem.pop_outgoing() {
+            let wrapped = Packet::new(p.src, p.dst, p.bytes, p.class, NetMsg::Mem(p.payload));
+            if let Err(back) = self.mesh.try_inject(now, wrapped) {
+                let NetMsg::Mem(m) = back.payload else { unreachable!() };
+                self.mem
+                    .push_front_outgoing(Packet::new(back.src, back.dst, back.bytes, back.class, m));
+                break;
+            }
+        }
+        // 6. Inject machine packets (channel data/credits, MMIO).
+        while let Some(p) = self.net_out.pop_front() {
+            if let Err(back) = self.mesh.try_inject(now, p) {
+                self.net_out.push_front(back);
+                break;
+            }
+        }
+        // 7. Mesh.
+        self.mesh.tick(now);
+        self.now += 1;
+    }
+
+    /// Aggregates energy-relevant event counts.
+    pub fn energy_counters(&self) -> EnergyCounters {
+        let mut c = EnergyCounters {
+            host_ops: self.host.stats().retired,
+            ..Default::default()
+        };
+        c.l1_accesses = self.mem.l1_stats().accesses;
+        c.l2_accesses = self.mem.l2_stats().accesses;
+        c.l3_accesses = self.mem.l3_stats().accesses;
+        let (dr, dw) = self.mem.dram_counts();
+        c.dram_accesses = dr + dw;
+        c.noc_hop_bytes = self.mesh.stats().total_hop_bytes();
+        c.flushed_lines = self.mem.sys_stats().flushed_lines;
+        c.mmio_words = self.mmio_words;
+        for s in &self.engines {
+            let es = s.eng.stats();
+            // Element accesses and line moves are access-unit work in every
+            // configuration (the FSM performs them, Figure 2c) — stream
+            // loads/stores are therefore charged as buffer energy, not as
+            // core microcode ops, for Mono and Dist alike.
+            c.buffer_elem_accesses += es.intra_bytes / 8;
+            c.buffer_line_moves += es.da_bytes / 64;
+            let chan_ops = es.aa_bytes / 4; // sends + matching recvs
+            if s.is_access_node {
+                c.buffer_elem_accesses += es.alu_ops;
+            } else if s.is_cgra {
+                c.cgra_ops += es.alu_ops + chan_ops;
+            } else {
+                c.io_ops += es.alu_ops + chan_ops;
+            }
+        }
+        c
+    }
+
+    /// Sums engine traffic: (intra bytes, D-A bytes, A-A bytes) — Figure 9.
+    pub fn access_distribution(&self) -> (u64, u64, u64) {
+        let mut t = (0, 0, 0);
+        for s in &self.engines {
+            let es = s.eng.stats();
+            t.0 += es.intra_bytes;
+            t.1 += es.da_bytes;
+            t.2 += es.aa_bytes;
+        }
+        t
+    }
+
+    /// Sums accelerator-side statistics.
+    pub fn engine_totals(&self) -> distda_accel::EngineStats {
+        let mut t = distda_accel::EngineStats::default();
+        for s in &self.engines {
+            let es = s.eng.stats();
+            t.iterations += es.iterations;
+            t.busy_cycles += es.busy_cycles;
+            t.stall_mem += es.stall_mem;
+            t.stall_chan += es.stall_chan;
+            t.alu_ops += es.alu_ops;
+            t.mem_ops += es.mem_ops;
+            t.intra_bytes += es.intra_bytes;
+            t.da_bytes += es.da_bytes;
+            t.aa_bytes += es.aa_bytes;
+            t.mmio_words += es.mmio_words;
+        }
+        t
+    }
+}
+
+struct Ctx<'a> {
+    now: Tick,
+    port: PortId,
+    chan_base: usize,
+    mem: &'a mut MemSystem,
+    chans: &'a mut Vec<ChanState>,
+    net_out: &'a mut std::collections::VecDeque<Packet<NetMsg>>,
+    memimg: &'a mut Memory,
+    layout: &'a Layout,
+    resp: &'a mut Vec<u64>,
+}
+
+impl EngineCtx for Ctx<'_> {
+    fn try_send(&mut self, chan: u16, v: Value) -> bool {
+        let g = self.chan_base + chan as usize;
+        let ch = &mut self.chans[g];
+        if ch.credits == 0 {
+            return false;
+        }
+        ch.credits -= 1;
+        if ch.is_local() {
+            ch.queue.try_push(v).ok().expect("credits bound occupancy");
+        } else {
+            self.net_out.push_back(Packet::new(
+                ch.producer_cluster,
+                ch.consumer_cluster,
+                8,
+                TrafficClass::AccData,
+                NetMsg::ChanData { chan: g as u16, v },
+            ));
+        }
+        true
+    }
+
+    fn try_recv(&mut self, chan: u16) -> Option<Value> {
+        let g = self.chan_base + chan as usize;
+        let ch = &mut self.chans[g];
+        let v = ch.queue.pop()?;
+        if ch.is_local() {
+            ch.credits += 1;
+        } else {
+            ch.credit_debt += 1;
+            if ch.credit_debt >= crate::netmsg::ChanState::CREDIT_BATCH {
+                let n = ch.credit_debt as u16;
+                ch.credit_debt = 0;
+                self.net_out.push_back(Packet::new(
+                    ch.consumer_cluster,
+                    ch.producer_cluster,
+                    0,
+                    TrafficClass::AccCtrl,
+                    NetMsg::ChanCredit { chan: g as u16, n },
+                ));
+            }
+        }
+        Some(v)
+    }
+
+    fn mem_read(&mut self, req_id: u64, addr: u64) -> bool {
+        self.mem
+            .try_request(
+                self.now,
+                MemRequest {
+                    port: self.port,
+                    id: req_id,
+                    addr,
+                    write: false,
+                },
+            )
+            .is_ok()
+    }
+
+    fn mem_write(&mut self, req_id: u64, addr: u64) -> bool {
+        self.mem
+            .try_request(
+                self.now,
+                MemRequest {
+                    port: self.port,
+                    id: req_id,
+                    addr,
+                    write: true,
+                },
+            )
+            .is_ok()
+    }
+
+    fn poll_mem(&mut self) -> Option<u64> {
+        self.resp.pop()
+    }
+
+    fn func_load(&mut self, array: ArrayId, idx: i64) -> Value {
+        self.memimg.load(array, idx)
+    }
+
+    fn func_store(&mut self, array: ArrayId, idx: i64, v: Value) {
+        self.memimg.store(array, idx, v);
+    }
+
+    fn addr_of(&self, array: ArrayId, idx: i64) -> u64 {
+        self.layout.addr(array, idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distda_compiler::{compile, PartitionMode};
+    use distda_ir::prelude::*;
+    use distda_mem::MemConfig;
+
+    fn axpy_setup() -> (Program, distda_compiler::CompiledKernel, Machine, ArrayId, ArrayId) {
+        let mut b = ProgramBuilder::new("axpy");
+        let x = b.array_f64("x", 64);
+        let y = b.array_f64("y", 64);
+        b.for_(0, 64, 1, |b, i| {
+            let v = Expr::cf(2.0) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+            b.store(y, i, v);
+        });
+        let p = b.build();
+        let ck = compile(&p, PartitionMode::Distributed);
+        let uncore = ClockDomain::from_ghz(2.0);
+        let mut mem = MemSystem::new(MemConfig::default(), uncore, 0, 7);
+        let alloc = crate::alloc::allocate(
+            &p,
+            &ck.offloads,
+            8,
+            crate::alloc::AllocStrategy::RoundRobin,
+            &mut mem,
+        );
+        let mut img = Memory::for_program(&p);
+        for i in 0..64 {
+            img.array_mut(x)[i] = Value::F(i as f64);
+            img.array_mut(y)[i] = Value::F(1.0);
+        }
+        let machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224);
+        (p, ck, machine, x, y)
+    }
+
+    fn io_substrate(access_node: bool) -> Substrate {
+        Substrate {
+            model: IssueModel::InOrder { width: 1 },
+            clock: ClockDomain::from_ghz(2.0),
+            buffer_lines: 64,
+            is_access_node: access_node,
+            tuning: (4, 8, 16),
+        }
+    }
+
+    #[test]
+    fn distributed_axpy_runs_to_completion_with_correct_values() {
+        let (_p, ck, mut m, _x, y) = axpy_setup();
+        let plan = &ck.offloads[0];
+        let placement = vec![0usize, 1];
+        let subs = vec![io_substrate(false); 2];
+        let h = m.configure_plan(plan, &placement, &subs, &[]);
+        m.launch(h, &[], &[vec![], vec![]], 0, 64, 1);
+        m.run_offload(h);
+        for i in 0..64 {
+            assert_eq!(m.memimg().array(y)[i], Value::F(2.0 * i as f64 + 1.0));
+        }
+        // Cross-cluster operand traffic must have used the mesh.
+        let stats = m.noc_stats();
+        assert!(stats.bytes[TrafficClass::AccData.index()] > 0);
+    }
+
+    #[test]
+    fn co_located_partitions_avoid_channel_noc_traffic() {
+        // Same kernel twice: partitions split across clusters vs co-located.
+        // Co-location eliminates the channel's share of AccData (remote ACP
+        // line fills remain in both).
+        let run = |placement: [usize; 2]| {
+            let (_p, ck, mut m, _x, _y) = axpy_setup();
+            let plan = &ck.offloads[0];
+            let h = m.configure_plan(plan, &placement, &[io_substrate(false); 2], &[]);
+            m.launch(h, &[], &[vec![], vec![]], 0, 64, 1);
+            m.run_offload(h);
+            m.noc_stats().bytes[TrafficClass::AccData.index()]
+        };
+        let split = run([2, 5]);
+        let colocated = run([2, 2]);
+        assert!(
+            colocated < split,
+            "co-located {colocated} should move fewer operand bytes than split {split}"
+        );
+    }
+
+    #[test]
+    fn host_segment_and_offload_interleave() {
+        let (_p, ck, mut m, x, _y) = axpy_setup();
+        // Host writes x[0..4] first (trace ops), then offload runs.
+        use distda_ir::trace::{DynOp, OpKind, NO_DEP};
+        let base = m.layout().base(x);
+        let ops: Vec<DynOp> = (0..4)
+            .map(|i| DynOp {
+                kind: OpKind::Store { addr: base + i * 8 },
+                dep1: NO_DEP,
+                dep2: NO_DEP,
+            })
+            .collect();
+        m.run_host_segment(ops);
+        let t_after_host = m.now;
+        assert!(t_after_host > 0);
+        let plan = &ck.offloads[0];
+        let h = m.configure_plan(plan, &[0, 1], &[io_substrate(false); 2], &[]);
+        m.launch(h, &[], &[vec![], vec![]], 0, 64, 1);
+        m.run_offload(h);
+        assert!(m.now > t_after_host);
+        assert_eq!(m.host_stats().retired, 4);
+    }
+
+    #[test]
+    fn reduction_liveout_read_back() {
+        let mut b = ProgramBuilder::new("sum");
+        let x = b.array_i64("x", 32);
+        let acc = b.scalar("acc", 0i64);
+        b.for_(0, 32, 1, |b, i| {
+            b.set(acc, Expr::Scalar(acc) + Expr::load(x, i));
+        });
+        let p = b.build();
+        let ck = compile(&p, PartitionMode::Distributed);
+        let uncore = ClockDomain::from_ghz(2.0);
+        let mut mem = MemSystem::new(MemConfig::default(), uncore, 0, 7);
+        let alloc = crate::alloc::allocate(
+            &p,
+            &ck.offloads,
+            8,
+            crate::alloc::AllocStrategy::RoundRobin,
+            &mut mem,
+        );
+        let mut img = Memory::for_program(&p);
+        for i in 0..32 {
+            img.array_mut(x)[i] = Value::I(i as i64);
+        }
+        let mut m = Machine::new(mem, img, alloc.layout.clone(), 5, 224);
+        let plan = &ck.offloads[0];
+        let placements: Vec<usize> = (0..plan.partitions.len()).collect();
+        let subs = vec![io_substrate(false); plan.partitions.len()];
+        let h = m.configure_plan(plan, &placements, &subs, &[]);
+        let carries: Vec<Vec<Value>> = m
+            .plan_carry_scalars(h)
+            .iter()
+            .map(|ss| ss.iter().map(|_| Value::I(0)).collect())
+            .collect();
+        m.launch(h, &[], &carries, 0, 32, 1);
+        m.run_offload(h);
+        let outs = m.read_liveouts(h);
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].1, Value::I((0..32).sum::<i64>()));
+    }
+
+    #[test]
+    fn energy_counters_populated() {
+        let (_p, ck, mut m, _x, _y) = axpy_setup();
+        let plan = &ck.offloads[0];
+        let h = m.configure_plan(plan, &[0, 1], &[io_substrate(false); 2], &[]);
+        m.launch(h, &[], &[vec![], vec![]], 0, 64, 1);
+        m.run_offload(h);
+        m.drain();
+        let c = m.energy_counters();
+        assert!(c.io_ops > 0);
+        assert!(c.l3_accesses > 0, "ACP traffic must reach L3");
+        assert!(c.dram_accesses > 0, "cold data comes from DRAM");
+        assert!(c.mmio_words > 0);
+        let (intra, da, aa) = m.access_distribution();
+        assert!(intra > 0 && da > 0 && aa > 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Payloads on the shared mesh and the runtime state of cross-partition
+//! operand channels.
+
+use distda_ir::value::Value;
+use distda_mem::MemMsg;
+use distda_sim::Fifo;
+
+/// Everything the shared NoC carries: memory-system messages, channel
+/// operands, channel credits, and configuration MMIOs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetMsg {
+    /// Cache/DRAM protocol message.
+    Mem(MemMsg),
+    /// One operand produced onto a cross-partition channel.
+    ChanData {
+        /// Channel index.
+        chan: u16,
+        /// The operand.
+        v: Value,
+    },
+    /// Credits returned by a consumer (batched: one packet per
+    /// `CREDIT_BATCH` consumes, as real designs piggyback flow control).
+    ChanCredit {
+        /// Channel index.
+        chan: u16,
+        /// Number of credits carried.
+        n: u16,
+    },
+    /// A host-initiated configuration write (effect applied immediately;
+    /// the packet exists for traffic accounting).
+    Mmio,
+}
+
+/// Runtime state of one decoupled producer-consumer channel (paper
+/// Figure 4): a consumer-side buffer plus producer-visible credits.
+#[derive(Debug, Clone)]
+pub struct ChanState {
+    /// Cluster of the producing partition.
+    pub producer_cluster: usize,
+    /// Cluster of the consuming partition.
+    pub consumer_cluster: usize,
+    /// Consumer-side operand buffer.
+    pub queue: Fifo<Value>,
+    /// Credits the producer may still spend.
+    pub credits: usize,
+    /// Consumer-side credits not yet returned (batched).
+    pub credit_debt: usize,
+}
+
+impl ChanState {
+    /// Creates a channel with `capacity` operand slots.
+    pub fn new(producer_cluster: usize, consumer_cluster: usize, capacity: usize) -> Self {
+        Self {
+            producer_cluster,
+            consumer_cluster,
+            queue: Fifo::new(capacity),
+            credits: capacity,
+            credit_debt: 0,
+        }
+    }
+
+    /// Credits returned per packet.
+    pub const CREDIT_BATCH: usize = 8;
+
+    /// Whether producer and consumer share a cluster (no NoC traversal).
+    pub fn is_local(&self) -> bool {
+        self.producer_cluster == self.consumer_cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_credits_start_at_capacity() {
+        let c = ChanState::new(1, 2, 8);
+        assert_eq!(c.credits, 8);
+        assert!(!c.is_local());
+        assert!(ChanState::new(3, 3, 4).is_local());
+    }
+}

@@ -1,0 +1,558 @@
+//! End-to-end simulation of one kernel under one configuration: compile,
+//! allocate, place, execute (host segments interleaved with offload
+//! invocations), validate against the reference interpreter, and collect
+//! every metric the paper's figures need.
+
+use crate::alloc::{allocate, Allocation};
+use crate::config::{ConfigKind, RunConfig};
+use crate::hosteval::HostEval;
+use crate::machine::{Machine, PlanHandle, Substrate};
+use crate::transform::decentralize;
+use distda_accel::{cgra_map, CgraConfig, IssueModel};
+use distda_compiler::affine::Sym;
+use distda_compiler::plan::OffloadPlan;
+use distda_compiler::{compile, CompiledKernel, PNode};
+use distda_energy::{EnergyBreakdown, EnergyCounters, EnergyModel};
+use distda_ir::interp::{self, Memory};
+use distda_ir::program::{LoopId, Program, Stmt};
+use distda_ir::value::Value;
+use distda_mem::{MemConfig, MemSystem};
+use distda_noc::TrafficClass;
+use distda_sim::time::{ticks_to_ns, ClockDomain, Tick};
+use distda_sim::Report;
+use std::collections::HashMap;
+
+/// Flush the host trace segment when it grows past this many ops.
+const SEGMENT_FLUSH_OPS: usize = 1 << 20;
+
+/// Everything measured in one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Kernel name.
+    pub kernel: String,
+    /// Configuration label.
+    pub config: String,
+    /// Total simulated base ticks.
+    pub ticks: Tick,
+    /// Simulated nanoseconds.
+    pub ns: f64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Raw event counters.
+    pub counters: EnergyCounters,
+    /// Demand accesses across L1+L2+L3 (Figure 8).
+    pub cache_accesses: u64,
+    /// Element memory operations (host + accelerators).
+    pub mem_ops: u64,
+    /// Total retired operations (host + accelerators).
+    pub total_ops: u64,
+    /// Host-retired operations.
+    pub host_ops: u64,
+    /// Figure 9 components, in bytes.
+    pub intra_bytes: u64,
+    /// Accelerator <-> cache-hierarchy bytes.
+    pub da_bytes: u64,
+    /// Accelerator <-> accelerator operand bytes.
+    pub aa_bytes: u64,
+    /// NoC payload bytes per traffic class (Figure 10 order).
+    pub noc_bytes: [u64; 5],
+    /// Total bytes moved (headline data-movement metric).
+    pub data_moved_bytes: u64,
+    /// Final memory image matched the reference interpreter.
+    pub validated: bool,
+    /// Full statistics dump.
+    pub report: Report,
+}
+
+impl RunResult {
+    /// Total dynamic energy in picojoules.
+    pub fn energy_pj(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// Instructions per host-equivalent (2 GHz) cycle.
+    pub fn ipc(&self) -> f64 {
+        let cycles = (self.ticks / 3).max(1);
+        self.total_ops as f64 / cycles as f64
+    }
+
+    /// Memory operations per nanosecond (Figure 11a's memory-op rate).
+    pub fn mem_op_rate(&self) -> f64 {
+        self.mem_ops as f64 / self.ns.max(1e-9)
+    }
+}
+
+/// Simulates `prog` (inputs installed by `init`) under `cfg`.
+///
+/// # Panics
+///
+/// Panics if the machine deadlocks (internal tick budget).
+pub fn simulate(prog: &Program, init: &dyn Fn(&mut Memory), cfg: &RunConfig) -> RunResult {
+    simulate_capture(prog, init, cfg).0
+}
+
+/// Like [`simulate`], but also returns the simulated final memory image and
+/// scalar values (for debugging and differential tests).
+pub fn simulate_capture(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+) -> (RunResult, Memory, Vec<Value>) {
+    // Reference execution for validation.
+    let mut ref_mem = Memory::for_program(prog);
+    init(&mut ref_mem);
+    let ref_scalars = interp::run(prog, &mut ref_mem);
+
+    // Compile.
+    let compiled: Option<CompiledKernel> = cfg.kind.partition_mode().map(|mode| {
+        let mut ck = compile(prog, mode);
+        if cfg.kind.decentralize_accesses() {
+            for plan in &mut ck.offloads {
+                *plan = decentralize(plan);
+            }
+        }
+        ck
+    });
+    let plans: Vec<OffloadPlan> = compiled
+        .as_ref()
+        .map(|c| c.offloads.clone())
+        .unwrap_or_default();
+
+    // Memory system + allocation.
+    let uncore = ClockDomain::from_ghz(2.0);
+    let mut mem = MemSystem::new(MemConfig::scaled_for_reduced_inputs(), uncore, 0, 7);
+    let alloc = allocate(prog, &plans, 8, cfg.alloc, &mut mem);
+
+    let mut img = Memory::for_program(prog);
+    init(&mut img);
+    let machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224);
+
+    let mut walker = Walker {
+        prog,
+        cfg,
+        machine,
+        eval: HostEval::new(prog, alloc.layout.clone()),
+        compiled,
+        alloc,
+        handles: HashMap::new(),
+    };
+    let body = prog.body.clone();
+    walker.exec_block(&body);
+    walker.flush();
+    walker.machine.drain();
+
+    let Walker {
+        machine, eval, ..
+    } = walker;
+    let eval_scalars = eval.scalars.clone();
+
+    // Validation: accelerated memory image and scalars match the reference.
+    let mem_ok = (0..prog.arrays.len())
+        .all(|a| machine.memimg().array(distda_ir::ArrayId(a)) == ref_mem.array(distda_ir::ArrayId(a)));
+    let scalars_ok = eval.scalars == ref_scalars;
+    let validated = mem_ok && scalars_ok;
+
+    // Metrics.
+    let counters = machine.energy_counters();
+    let energy = EnergyModel::nominal_32nm().energy_pj(&counters);
+    let l1 = machine.mem().l1_stats();
+    let l2 = machine.mem().l2_stats();
+    let l3 = machine.mem().l3_stats();
+    let cache_accesses = l1.accesses + l2.accesses + l3.accesses;
+    let eng = machine.engine_totals();
+    let host = machine.host_stats();
+    let noc = machine.noc_stats().clone();
+    let mut noc_bytes = [0u64; 5];
+    for c in TrafficClass::ALL {
+        noc_bytes[c.index()] = noc.bytes[c.index()];
+    }
+    let (dr, dw) = machine.mem().dram_counts();
+    // Bytes moved across the chip, distance-weighted on the mesh: vertical
+    // movement through the host's private hierarchy, DRAM transfers, and
+    // byte-hops on the NoC. Bank-adjacent moves (an L3 bank filling its
+    // local access buffer) are the near-data accesses the model exists to
+    // create; they are counted in buffer energy, not as chip-level data
+    // movement — exactly the on-chip movement the paper's headline
+    // reduction measures.
+    let data_moved_bytes = 64 * (l1.fills + l2.fills + dr + dw) + noc.total_hop_bytes();
+
+    let ticks = machine.now;
+    let mut report = Report::new();
+    report.merge_prefixed("mem", &machine.mem().report());
+    report.merge_prefixed("noc", &noc.report());
+    report.merge_prefixed("energy", &energy.report());
+    report.add("ticks", ticks as f64);
+    report.add("host.retired", host.retired as f64);
+    report.add("host.mem_ops", host.mem_ops as f64);
+    report.add("accel.iterations", eng.iterations as f64);
+    report.add("accel.stall_mem", eng.stall_mem as f64);
+    report.add("accel.stall_chan", eng.stall_chan as f64);
+    report.add("validated", f64::from(u8::from(validated)));
+
+    let result = RunResult {
+        kernel: prog.name.clone(),
+        config: cfg.label(),
+        ticks,
+        ns: ticks_to_ns(ticks),
+        energy,
+        counters,
+        cache_accesses,
+        mem_ops: host.mem_ops + eng.mem_ops,
+        total_ops: host.retired + eng.mem_ops + eng.alu_ops,
+        host_ops: host.retired,
+        intra_bytes: eng.intra_bytes,
+        da_bytes: eng.da_bytes,
+        aa_bytes: eng.aa_bytes,
+        noc_bytes,
+        data_moved_bytes,
+        validated,
+        report,
+    };
+    let final_mem = machine.into_memimg();
+    (result, final_mem, eval_scalars)
+}
+
+struct Walker<'a> {
+    prog: &'a Program,
+    cfg: &'a RunConfig,
+    machine: Machine,
+    eval: HostEval,
+    compiled: Option<CompiledKernel>,
+    alloc: Allocation,
+    handles: HashMap<LoopId, PlanHandle>,
+}
+
+impl Walker<'_> {
+    fn exec_block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.exec(s);
+        }
+    }
+
+    fn flush(&mut self) {
+        let ops = self.eval.take_segment();
+        self.machine.run_host_segment(ops);
+    }
+
+    fn exec(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Store(a, idx, val) => {
+                let mem = self.machine.memimg_mut();
+                self.eval.store(*a, idx, val, mem);
+            }
+            Stmt::SetScalar(sid, e) => {
+                let mem = self.machine.memimg_mut();
+                self.eval.set_scalar(*sid, e, mem);
+            }
+            Stmt::If(c, t, e) => {
+                let (v, _) = self.eval.eval(c, self.machine.memimg_mut());
+                if v.truthy() {
+                    self.exec_block(t);
+                } else {
+                    self.exec_block(e);
+                }
+            }
+            Stmt::Loop(l) => {
+                let plan = self
+                    .compiled
+                    .as_ref()
+                    .and_then(|c| c.plan_for(l.id))
+                    .cloned();
+                match plan {
+                    Some(plan) => self.run_offload(l, &plan),
+                    None => self.run_host_loop(l),
+                }
+            }
+        }
+    }
+
+    fn run_host_loop(&mut self, l: &distda_ir::Loop) {
+        let (sv, _) = self.eval.eval(&l.start, self.machine.memimg_mut());
+        let (ev, _) = self.eval.eval(&l.end, self.machine.memimg_mut());
+        let (start, end) = (sv.as_i64(), ev.as_i64());
+        let mut i = start;
+        while (l.step > 0 && i < end) || (l.step < 0 && i > end) {
+            self.eval.loop_vars[l.var.0] = i;
+            self.eval.emit_loop_overhead();
+            self.exec_block(&l.body);
+            if self.eval.segment_len() > SEGMENT_FLUSH_OPS {
+                self.flush();
+            }
+            i += l.step;
+        }
+    }
+
+    fn run_offload(&mut self, l: &distda_ir::Loop, plan: &OffloadPlan) {
+        // Host evaluates bounds (may read memory, e.g. CSR row pointers).
+        let (sv, _) = self.eval.eval(&l.start, self.machine.memimg_mut());
+        let (ev, _) = self.eval.eval(&l.end, self.machine.memimg_mut());
+        self.flush();
+        let handle = match self.handles.get(&l.id) {
+            Some(&h) => h,
+            None => {
+                let h = self.configure(plan);
+                self.handles.insert(l.id, h);
+                h
+            }
+        };
+        let params: Vec<Value> = plan
+            .params
+            .iter()
+            .map(|sym| match sym {
+                Sym::Var(lv) => Value::I(self.eval.loop_vars[lv.0]),
+                Sym::Scalar(s) => self.eval.scalars[s.0],
+            })
+            .collect();
+        let carries: Vec<Vec<Value>> = self
+            .machine
+            .plan_carry_scalars(handle)
+            .iter()
+            .map(|ss| ss.iter().map(|s| self.eval.scalars[s.0]).collect())
+            .collect();
+        self.machine
+            .launch(handle, &params, &carries, sv.as_i64(), ev.as_i64(), l.step);
+        self.machine.run_offload(handle);
+        for (s, v) in self.machine.read_liveouts(handle) {
+            self.eval.set_scalar_external(s, v);
+        }
+    }
+
+    fn configure(&mut self, plan: &OffloadPlan) -> PlanHandle {
+        let placement = place_partitions(plan, &self.alloc, self.cfg.kind);
+        let substrates = substrates_for(plan, self.cfg);
+        let ranges: Vec<(u64, u64)> = {
+            let mut arrays: Vec<_> = plan
+                .partitions
+                .iter()
+                .flat_map(|p| p.accesses.iter().map(|a| a.array))
+                .collect();
+            arrays.sort();
+            arrays.dedup();
+            arrays
+                .into_iter()
+                .map(|a| self.alloc.layout.range(self.prog, a))
+                .collect()
+        };
+        self.machine
+            .configure_plan(plan, &placement, &substrates, &ranges)
+    }
+}
+
+/// Horizontal placement (paper Section V-A step 4): anchored partitions go
+/// to their object's home cluster; compute-only partitions go to the
+/// majority cluster of their channel peers; Mono-CA centralizes at the
+/// host node.
+pub fn place_partitions(plan: &OffloadPlan, alloc: &Allocation, kind: ConfigKind) -> Vec<usize> {
+    let n = plan.partitions.len();
+    if kind == ConfigKind::MonoCA {
+        return vec![0; n];
+    }
+    let mut placement: Vec<Option<usize>> = vec![None; n];
+    // Pass 1: partitions with accesses follow their objects.
+    for (i, part) in plan.partitions.iter().enumerate() {
+        let mut votes: HashMap<usize, usize> = HashMap::new();
+        for acc in &part.accesses {
+            if let Some(h) = alloc.home[acc.array.0] {
+                *votes.entry(h).or_insert(0) += 1;
+            }
+        }
+        placement[i] = votes
+            .into_iter()
+            .max_by_key(|&(c, v)| (v, std::cmp::Reverse(c)))
+            .map(|(c, _)| c);
+    }
+    // Pass 2: the rest follow their channel peers.
+    for (i, _) in plan.partitions.iter().enumerate() {
+        if placement[i].is_some() {
+            continue;
+        }
+        let mut votes: HashMap<usize, usize> = HashMap::new();
+        for ch in &plan.channels {
+            let peer = if ch.producer as usize == i {
+                ch.consumer as usize
+            } else if ch.consumer as usize == i {
+                ch.producer as usize
+            } else {
+                continue;
+            };
+            if let Some(c) = placement[peer] {
+                *votes.entry(c).or_insert(0) += 1;
+            }
+        }
+        placement[i] = votes
+            .into_iter()
+            .max_by_key(|&(c, v)| (v, std::cmp::Reverse(c)))
+            .map(|(c, _)| c);
+    }
+    placement.into_iter().map(|p| p.unwrap_or(0)).collect()
+}
+
+/// Whether a partition is a bare access node (stream FSM + channel port).
+fn is_access_node(part: &distda_compiler::PartitionDef) -> bool {
+    !part.accesses.is_empty()
+        && part.nodes.iter().all(|n| {
+            matches!(
+                n,
+                PNode::LoadStream { .. }
+                    | PNode::StoreStream { .. }
+                    | PNode::Send { .. }
+                    | PNode::Recv { .. }
+            )
+        })
+}
+
+/// Chooses a substrate for every partition of a plan under a configuration.
+pub fn substrates_for(plan: &OffloadPlan, cfg: &RunConfig) -> Vec<Substrate> {
+    let accel_clock = ClockDomain::from_ghz(cfg.accel_ghz);
+    let uncore = ClockDomain::from_ghz(2.0);
+    let tuning = if cfg.sw_prefetch { (16, 24, 32) } else { (8, 12, 16) };
+    plan.partitions
+        .iter()
+        .map(|part| {
+            let access_node = is_access_node(part);
+            if access_node {
+                // Stream FSM: element-rate hardware at the uncore clock.
+                return Substrate {
+                    model: IssueModel::InOrder { width: 1 },
+                    clock: uncore,
+                    buffer_lines: cfg.buffer_lines,
+                    is_access_node: true,
+                    tuning,
+                };
+            }
+            let model = if cfg.kind.is_cgra() {
+                let grid = if cfg.kind == ConfigKind::MonoDAF {
+                    CgraConfig::mono_da_8x8()
+                } else {
+                    CgraConfig::dist_da_5x5()
+                };
+                IssueModel::Cgra {
+                    ii: cgra_map(part, &grid).ii,
+                }
+            } else {
+                IssueModel::InOrder {
+                    width: cfg.issue_width,
+                }
+            };
+            Substrate {
+                model,
+                clock: accel_clock,
+                buffer_lines: cfg.buffer_lines,
+                is_access_node: false,
+                tuning,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distda_ir::prelude::*;
+
+    fn axpy(n: usize) -> (Program, impl Fn(&mut Memory)) {
+        let mut b = ProgramBuilder::new("axpy");
+        let x = b.array_f64("x", n);
+        let y = b.array_f64("y", n);
+        b.for_(0, n as i64, 1, |b, i| {
+            let v = Expr::cf(2.0) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+            b.store(y, i, v);
+        });
+        let p = b.build();
+        (p, move |mem: &mut Memory| {
+            for i in 0..n {
+                mem.array_mut(ArrayId(0))[i] = Value::F(i as f64);
+                mem.array_mut(ArrayId(1))[i] = Value::F(1.0);
+            }
+        })
+    }
+
+    #[test]
+    fn every_configuration_validates_on_axpy() {
+        let (p, init) = axpy(256);
+        for kind in ConfigKind::ALL {
+            let cfg = RunConfig::named(kind);
+            let r = simulate(&p, &init, &cfg);
+            assert!(r.validated, "{} failed validation", cfg.label());
+            assert!(r.ticks > 0);
+        }
+    }
+
+    #[test]
+    fn accelerated_configs_reduce_host_work() {
+        let (p, init) = axpy(512);
+        let ooo = simulate(&p, &init, &RunConfig::named(ConfigKind::OoO));
+        let dist = simulate(&p, &init, &RunConfig::named(ConfigKind::DistDAIO));
+        assert!(
+            dist.host_ops < ooo.host_ops / 4,
+            "offload should strip host instructions: {} vs {}",
+            dist.host_ops,
+            ooo.host_ops
+        );
+        assert!(dist.counters.io_ops > 0);
+    }
+
+    #[test]
+    fn dist_da_reduces_cache_accesses_vs_ooo() {
+        let (p, init) = axpy(2048);
+        let ooo = simulate(&p, &init, &RunConfig::named(ConfigKind::OoO));
+        let dist = simulate(&p, &init, &RunConfig::named(ConfigKind::DistDAF));
+        assert!(
+            dist.cache_accesses < ooo.cache_accesses,
+            "near-data buffers should cut cache accesses: {} vs {}",
+            dist.cache_accesses,
+            ooo.cache_accesses
+        );
+    }
+
+    #[test]
+    fn nested_loop_offload_reruns_inner_plan() {
+        let mut b = ProgramBuilder::new("rows");
+        let a = b.array_f64("a", 16 * 16);
+        let o = b.array_f64("o", 16 * 16);
+        b.for_(0, 16, 1, |b, i| {
+            b.for_(0, 16, 1, |b, j| {
+                let idx = i.clone() * Expr::c(16) + j;
+                b.store(o, idx.clone(), Expr::load(a, idx) * Expr::cf(2.0));
+            });
+        });
+        let p = b.build();
+        let init = |mem: &mut Memory| {
+            for i in 0..256 {
+                mem.array_mut(ArrayId(0))[i] = Value::F(i as f64);
+            }
+        };
+        for kind in [ConfigKind::OoO, ConfigKind::MonoDAIO, ConfigKind::DistDAIO] {
+            let r = simulate(&p, &init, &RunConfig::named(kind));
+            assert!(r.validated, "{:?} failed", kind);
+        }
+    }
+
+    #[test]
+    fn reduction_scalars_flow_back_to_host() {
+        let mut b = ProgramBuilder::new("dot");
+        let x = b.array_f64("x", 128);
+        let y = b.array_f64("y", 128);
+        let acc = b.scalar("acc", 0.0f64);
+        let out = b.array_f64("out", 1);
+        b.for_(0, 128, 1, |b, i| {
+            b.set(
+                acc,
+                Expr::Scalar(acc) + Expr::load(x, i.clone()) * Expr::load(y, i.clone()),
+            );
+        });
+        // Host consumes the reduction result afterwards.
+        b.store(out, Expr::c(0), Expr::Scalar(acc));
+        let p = b.build();
+        let init = |mem: &mut Memory| {
+            for i in 0..128 {
+                mem.array_mut(ArrayId(0))[i] = Value::F(1.0);
+                mem.array_mut(ArrayId(1))[i] = Value::F(2.0);
+            }
+        };
+        for kind in ConfigKind::ALL {
+            let r = simulate(&p, &init, &RunConfig::named(kind));
+            assert!(r.validated, "{:?} failed validation", kind);
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! Plan transforms that realize the paper's baseline offload shapes.
+//!
+//! [`decentralize`] turns a monolithic offload (one accelerator doing both
+//! compute and access) into the Mono-DA shape: stream accesses move into
+//! per-object access nodes at their data structures' home clusters,
+//! forwarding operands to the single compute partition over dataflow
+//! channels — computation stays monolithic, accesses decentralize (paper
+//! Figure 1c). All accesses to one object share one access node, which
+//! preserves the object-level access ordering the paper guarantees ("one
+//! serializing point per memory object", Section IV-D).
+
+use distda_compiler::plan::{AccessPattern, ChannelDef, OffloadPlan, PNode, PartitionDef};
+use distda_ir::expr::ArrayId;
+use std::collections::HashMap;
+
+/// Splits a monolithic plan's stream accesses into per-object access-node
+/// partitions.
+///
+/// Partition 0 remains the compute partition. Indirect accesses stay with
+/// the compute partition (the Mono-DA paradigm does not offload
+/// data-dependent accesses, Section II).
+///
+/// # Panics
+///
+/// Panics if the plan is not monolithic.
+pub fn decentralize(plan: &OffloadPlan) -> OffloadPlan {
+    assert_eq!(plan.partitions.len(), 1, "decentralize takes a monolithic plan");
+    let comp = &plan.partitions[0];
+
+    let mut channels: Vec<ChannelDef> = Vec::new();
+    let mut access_parts: Vec<PartitionDef> = Vec::new();
+    let mut part_of_array: HashMap<ArrayId, usize> = HashMap::new();
+    let mut new_nodes: Vec<PNode> = Vec::new();
+    let mut remap: Vec<u16> = Vec::with_capacity(comp.nodes.len());
+    let mut kept_accesses = Vec::new();
+    let mut acc_remap: Vec<Option<u16>> = vec![None; comp.accesses.len()];
+
+    // Objects with indirect accesses keep ALL their accesses in the
+    // compute partition so object-level ordering is preserved.
+    let indirect_objects: std::collections::HashSet<ArrayId> = comp
+        .accesses
+        .iter()
+        .filter(|a| matches!(a.pattern, AccessPattern::Indirect))
+        .map(|a| a.array)
+        .collect();
+
+    let keep_access = |acc: u16,
+                           kept: &mut Vec<distda_compiler::plan::AccessDef>,
+                           acc_remap: &mut Vec<Option<u16>>|
+     -> u16 {
+        if let Some(k) = acc_remap[acc as usize] {
+            return k;
+        }
+        let k = kept.len() as u16;
+        kept.push(comp.accesses[acc as usize].clone());
+        acc_remap[acc as usize] = Some(k);
+        k
+    };
+
+    // Gets (or creates) the access-node partition for an object.
+    fn object_part<'a>(
+        array: ArrayId,
+        part_of_array: &mut HashMap<ArrayId, usize>,
+        access_parts: &'a mut Vec<PartitionDef>,
+    ) -> &'a mut PartitionDef {
+        let idx = *part_of_array.entry(array).or_insert_with(|| {
+            access_parts.push(PartitionDef {
+                id: (access_parts.len() + 1) as u16,
+                object: Some(array),
+                nodes: Vec::new(),
+                accesses: Vec::new(),
+                carry_scalars: Vec::new(),
+            });
+            access_parts.len() - 1
+        });
+        &mut access_parts[idx]
+    }
+
+    for node in comp.nodes.iter() {
+        let new_idx = new_nodes.len() as u16;
+        let moveable = |acc: u16| {
+            let def = &comp.accesses[acc as usize];
+            matches!(def.pattern, AccessPattern::Stream { .. })
+                && !indirect_objects.contains(&def.array)
+        };
+        match node {
+            PNode::LoadStream { access } if moveable(*access) => {
+                let def = comp.accesses[*access as usize].clone();
+                let array = def.array;
+                let ap = object_part(array, &mut part_of_array, &mut access_parts);
+                let part_id = ap.id;
+                let chan = channels.len() as u16;
+                channels.push(ChannelDef {
+                    id: chan,
+                    producer: part_id,
+                    consumer: 0,
+                });
+                let local_access = ap.accesses.len() as u16;
+                ap.accesses.push(def);
+                let load_idx = ap.nodes.len() as u16;
+                ap.nodes.push(PNode::LoadStream {
+                    access: local_access,
+                });
+                ap.nodes.push(PNode::Send {
+                    chan,
+                    src: load_idx,
+                });
+                new_nodes.push(PNode::Recv { chan });
+                remap.push(new_idx);
+            }
+            PNode::StoreStream { access, val, pred } if moveable(*access) => {
+                let def = comp.accesses[*access as usize].clone();
+                let array = def.array;
+                let (part_id, local_access, recv_positions) = {
+                    let ap = object_part(array, &mut part_of_array, &mut access_parts);
+                    let part_id = ap.id;
+                    let local_access = ap.accesses.len() as u16;
+                    ap.accesses.push(def);
+                    (part_id, local_access, ap.nodes.len() as u16)
+                };
+                let chan_v = channels.len() as u16;
+                channels.push(ChannelDef {
+                    id: chan_v,
+                    producer: 0,
+                    consumer: part_id,
+                });
+                let pred_chan = pred.map(|_| {
+                    let chan_p = channels.len() as u16;
+                    channels.push(ChannelDef {
+                        id: chan_p,
+                        producer: 0,
+                        consumer: part_id,
+                    });
+                    chan_p
+                });
+                {
+                    let ap = object_part(array, &mut part_of_array, &mut access_parts);
+                    ap.nodes.push(PNode::Recv { chan: chan_v });
+                    if let Some(chan_p) = pred_chan {
+                        ap.nodes.push(PNode::Recv { chan: chan_p });
+                    }
+                    ap.nodes.push(PNode::StoreStream {
+                        access: local_access,
+                        val: recv_positions,
+                        pred: pred_chan.map(|_| recv_positions + 1),
+                    });
+                }
+                new_nodes.push(PNode::Send {
+                    chan: chan_v,
+                    src: remap[*val as usize],
+                });
+                if let (Some(p), Some(chan_p)) = (pred, pred_chan) {
+                    new_nodes.push(PNode::Send {
+                        chan: chan_p,
+                        src: remap[*p as usize],
+                    });
+                }
+                remap.push(new_idx);
+            }
+            other => {
+                let mapped = match other.clone() {
+                    PNode::Bin { op, a, b } => PNode::Bin {
+                        op,
+                        a: remap[a as usize],
+                        b: remap[b as usize],
+                    },
+                    PNode::Un { op, a } => PNode::Un {
+                        op,
+                        a: remap[a as usize],
+                    },
+                    PNode::Select { c, t, f } => PNode::Select {
+                        c: remap[c as usize],
+                        t: remap[t as usize],
+                        f: remap[f as usize],
+                    },
+                    PNode::SetCarry { reg, src } => PNode::SetCarry {
+                        reg,
+                        src: remap[src as usize],
+                    },
+                    PNode::Send { chan, src } => PNode::Send {
+                        chan,
+                        src: remap[src as usize],
+                    },
+                    PNode::LoadStream { access } => PNode::LoadStream {
+                        access: keep_access(access, &mut kept_accesses, &mut acc_remap),
+                    },
+                    PNode::StoreStream { access, val, pred } => PNode::StoreStream {
+                        access: keep_access(access, &mut kept_accesses, &mut acc_remap),
+                        val: remap[val as usize],
+                        pred: pred.map(|p| remap[p as usize]),
+                    },
+                    PNode::LoadIndirect { access, addr } => PNode::LoadIndirect {
+                        access: keep_access(access, &mut kept_accesses, &mut acc_remap),
+                        addr: remap[addr as usize],
+                    },
+                    PNode::StoreIndirect {
+                        access,
+                        addr,
+                        val,
+                        pred,
+                    } => PNode::StoreIndirect {
+                        access: keep_access(access, &mut kept_accesses, &mut acc_remap),
+                        addr: remap[addr as usize],
+                        val: remap[val as usize],
+                        pred: pred.map(|p| remap[p as usize]),
+                    },
+                    simple @ (PNode::Const(_)
+                    | PNode::IndVar
+                    | PNode::Param(_)
+                    | PNode::Carry(_)
+                    | PNode::Recv { .. }) => simple,
+                };
+                new_nodes.push(mapped);
+                remap.push(new_idx);
+            }
+        }
+    }
+
+    let compute = PartitionDef {
+        id: 0,
+        object: None,
+        nodes: new_nodes,
+        accesses: kept_accesses,
+        carry_scalars: comp.carry_scalars.clone(),
+    };
+    let mut partitions = vec![compute];
+    partitions.extend(access_parts);
+    let out = OffloadPlan {
+        loop_id: plan.loop_id,
+        inner_var: plan.inner_var,
+        class: plan.class,
+        partitions,
+        channels,
+        params: plan.params.clone(),
+        liveouts: plan.liveouts.clone(),
+        bounds: plan.bounds.clone(),
+        cut_bytes: plan.cut_bytes,
+        dfg_dims: plan.dfg_dims,
+    };
+    debug_assert!(out.validate().is_ok(), "{:?}", out.validate());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distda_compiler::{compile, PartitionMode};
+    use distda_ir::prelude::*;
+
+    fn mono(build: impl FnOnce(&mut ProgramBuilder)) -> OffloadPlan {
+        let mut b = ProgramBuilder::new("t");
+        build(&mut b);
+        compile(&b.build(), PartitionMode::Monolithic).offloads[0].clone()
+    }
+
+    #[test]
+    fn axpy_objects_split_into_access_nodes() {
+        let plan = mono(|b| {
+            let x = b.array_f64("x", 8);
+            let y = b.array_f64("y", 8);
+            b.for_(0, 8, 1, |b, i| {
+                let v = Expr::cf(2.0) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+                b.store(y, i, v);
+            });
+        });
+        let da = decentralize(&plan);
+        da.validate().expect("valid");
+        // 1 compute + 2 per-object access partitions (x; y load+store).
+        assert_eq!(da.partitions.len(), 3);
+        assert_eq!(da.channels.len(), 3);
+        assert!(da.partitions[0].accesses.is_empty());
+        let y_part = da
+            .partitions
+            .iter()
+            .find(|p| p.accesses.len() == 2)
+            .expect("y access node holds load and store");
+        assert!(y_part.object.is_some());
+    }
+
+    #[test]
+    fn same_object_accesses_keep_program_order() {
+        // Read-then-write of one object: the access node must load before
+        // storing in every iteration.
+        let plan = mono(|b| {
+            let a = b.array_f64("a", 8);
+            let o = b.array_f64("o", 8);
+            b.for_(0, 8, 1, |b, i| {
+                let v = Expr::load(a, i.clone());
+                b.store(a, i.clone(), v.clone() * Expr::cf(2.0));
+                b.store(o, i, v);
+            });
+        });
+        let da = decentralize(&plan);
+        da.validate().expect("valid");
+        let a_part = da
+            .partitions
+            .iter()
+            .find(|p| p.accesses.iter().any(|acc| acc.write) && p.accesses.len() >= 2)
+            .expect("object a partition");
+        let load_pos = a_part
+            .nodes
+            .iter()
+            .position(|n| matches!(n, PNode::LoadStream { .. }))
+            .unwrap();
+        let store_pos = a_part
+            .nodes
+            .iter()
+            .position(|n| matches!(n, PNode::StoreStream { .. }))
+            .unwrap();
+        assert!(load_pos < store_pos, "program order violated");
+    }
+
+    #[test]
+    fn indirect_accesses_stay_with_compute() {
+        let plan = mono(|b| {
+            let idx = b.array_i64("idx", 8);
+            let data = b.array_f64("data", 64);
+            let out = b.array_f64("out", 8);
+            b.for_(0, 8, 1, |b, i| {
+                b.store(out, i.clone(), Expr::load(data, Expr::load(idx, i.clone())));
+            });
+        });
+        let da = decentralize(&plan);
+        da.validate().expect("valid");
+        assert!(da.partitions[0]
+            .nodes
+            .iter()
+            .any(|n| matches!(n, PNode::LoadIndirect { .. })));
+        assert_eq!(da.partitions[0].accesses.len(), 1);
+        assert_eq!(da.partitions.len(), 3);
+    }
+
+    #[test]
+    fn object_with_indirect_access_is_not_split() {
+        // data has both a stream and an indirect access: both must stay in
+        // the compute partition to preserve ordering.
+        let plan = mono(|b| {
+            let idx = b.array_i64("idx", 8);
+            let data = b.array_f64("data", 64);
+            b.for_(0, 8, 1, |b, i| {
+                let v = Expr::load(data, i.clone()) + Expr::load(data, Expr::load(idx, i.clone()));
+                b.store(data, i, v);
+            });
+        });
+        let da = decentralize(&plan);
+        da.validate().expect("valid");
+        // Only idx is decentralized.
+        assert_eq!(da.partitions.len(), 2);
+        assert_eq!(da.partitions[0].accesses.len(), 3);
+    }
+
+    #[test]
+    fn predicated_store_forwards_predicate() {
+        let plan = mono(|b| {
+            let x = b.array_i64("x", 8);
+            let y = b.array_i64("y", 8);
+            b.for_(0, 8, 1, |b, i| {
+                b.when(Expr::load(x, i.clone()).lt(Expr::c(3)), |b| {
+                    b.store(y, i.clone(), Expr::c(1));
+                });
+            });
+        });
+        let da = decentralize(&plan);
+        da.validate().expect("valid");
+        let store_part = da
+            .partitions
+            .iter()
+            .find(|p| p.nodes.iter().any(|n| matches!(n, PNode::StoreStream { .. })))
+            .expect("store partition");
+        let recvs = store_part
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, PNode::Recv { .. }))
+            .count();
+        assert_eq!(recvs, 2, "value + predicate channels");
+    }
+
+    #[test]
+    fn carry_registers_stay_with_compute() {
+        let plan = mono(|b| {
+            let x = b.array_f64("x", 8);
+            let acc = b.scalar("acc", 0.0f64);
+            b.for_(0, 8, 1, |b, i| {
+                b.set(acc, Expr::Scalar(acc) + Expr::load(x, i));
+            });
+        });
+        let da = decentralize(&plan);
+        da.validate().expect("valid");
+        assert_eq!(da.partitions[0].carry_scalars.len(), 1);
+        assert!(da.liveouts.iter().all(|&(_, p, _)| p == 0));
+    }
+}

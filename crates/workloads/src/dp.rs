@@ -1,0 +1,205 @@
+//! Rodinia dynamic-programming kernels: pathfinder and Needleman-Wunsch.
+
+use crate::gen;
+use crate::{Scale, Workload};
+use distda_ir::prelude::*;
+use std::sync::Arc;
+
+/// Grid path cost minimization (Rodinia `pathfinder`): per-row DP with a
+/// three-way min over the previous row; edges handled on the host.
+pub fn pathfinder(s: &Scale) -> Workload {
+    let (rows, cols) = (s.rows as i64, s.cols as i64);
+    let mut b = ProgramBuilder::new("pathfinder");
+    let wall = b.array_f64("wall", (rows * cols) as usize);
+    let src = b.array_f64("src", cols as usize);
+    let dst = b.array_f64("dst", cols as usize);
+
+    b.for_(0, rows, 1, |b, i| {
+        // Interior columns: offloadable streams.
+        b.for_(1, cols - 1, 1, |b, j| {
+            let best = Expr::load(src, j.clone() - Expr::c(1))
+                .min(Expr::load(src, j.clone()))
+                .min(Expr::load(src, j.clone() + Expr::c(1)));
+            b.store(dst, j.clone(), Expr::load(wall, i.clone() * Expr::c(cols) + j) + best);
+        });
+        // Host edges.
+        b.store(
+            dst,
+            Expr::c(0),
+            Expr::load(wall, i.clone() * Expr::c(cols))
+                + Expr::load(src, Expr::c(0)).min(Expr::load(src, Expr::c(1))),
+        );
+        b.store(
+            dst,
+            Expr::c(cols - 1),
+            Expr::load(wall, i.clone() * Expr::c(cols) + Expr::c(cols - 1))
+                + Expr::load(src, Expr::c(cols - 1)).min(Expr::load(src, Expr::c(cols - 2))),
+        );
+        // Roll src <- dst.
+        b.for_(0, cols, 1, |b, j| {
+            b.store(src, j.clone(), Expr::load(dst, j));
+        });
+    });
+    let prog = b.build();
+    let (seed, r_, c_) = (s.seed, s.rows, s.cols);
+    Workload {
+        name: "pf".into(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            mem.array_mut(wall)
+                .copy_from_slice(&gen::pixels(r_ * c_, seed + 60));
+            for v in mem.array_mut(src) {
+                *v = Value::F(0.0);
+            }
+        }),
+    }
+}
+
+/// Needleman-Wunsch sequence alignment (Rodinia `nw`) with full-row inner
+/// loops.
+pub fn nw(s: &Scale) -> Workload {
+    nw_blocked(s, s.seq)
+}
+
+/// Blocked Needleman-Wunsch: inner loops process `block` columns at a
+/// time. Small blocks model the Dist-DA-B case study configuration (launch
+/// overhead per short inner loop); `block == seq` is the localized
+/// loop-nest (BN) shape.
+pub fn nw_blocked(s: &Scale, block: usize) -> Workload {
+    let n = s.seq as i64 + 1;
+    let block = block.max(1) as i64;
+    let mut b = ProgramBuilder::new(if block == s.seq as i64 {
+        "nw".to_string()
+    } else {
+        format!("nw-b{block}")
+    });
+    let score = b.array_f64("score", (n * n) as usize);
+    let seq1 = b.array_i64("seq1", n as usize);
+    let seq2 = b.array_i64("seq2", n as usize);
+    let penalty = 1.0f64;
+
+    b.for_(1, n, 1, |b, i| {
+        b.for_(0, (n - 1).div_euclid(block) + 1, 1, |b, blk| {
+            let lo = (blk.clone() * Expr::c(block) + Expr::c(1)).min(Expr::c(n));
+            let hi = ((blk + Expr::c(1)) * Expr::c(block) + Expr::c(1)).min(Expr::c(n));
+            b.for_(lo, hi, 1, |b, j| {
+                let matched = Expr::load(seq1, i.clone()).eq_(Expr::load(seq2, j.clone()));
+                let sim = matched.select(Expr::cf(1.0), Expr::cf(-1.0));
+                let diag =
+                    Expr::load(score, (i.clone() - Expr::c(1)) * Expr::c(n) + j.clone() - Expr::c(1))
+                        + sim;
+                let up = Expr::load(score, (i.clone() - Expr::c(1)) * Expr::c(n) + j.clone())
+                    - Expr::cf(penalty);
+                let left = Expr::load(score, i.clone() * Expr::c(n) + j.clone() - Expr::c(1))
+                    - Expr::cf(penalty);
+                b.store(score, i.clone() * Expr::c(n) + j, diag.max(up).max(left));
+            });
+        });
+    });
+    let prog = b.build();
+    let (seed, len) = (s.seed, s.seq);
+    Workload {
+        name: "nw".into(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            let mut r = distda_sim::SplitMix64::new(seed + 70);
+            let n = len + 1;
+            for k in 1..n {
+                mem.array_mut(seq1)[k] = Value::I(r.below(4) as i64);
+                mem.array_mut(seq2)[k] = Value::I(r.below(4) as i64);
+            }
+            // Boundary penalties.
+            for k in 0..n {
+                mem.array_mut(score)[k] = Value::F(-(k as f64));
+                mem.array_mut(score)[k * n] = Value::F(-(k as f64));
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Plain-Rust pathfinder oracle.
+    fn pathfinder_oracle(wall: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+        let mut src = vec![0.0f64; cols];
+        let mut dst = vec![0.0f64; cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                let mut best = src[j];
+                if j > 0 {
+                    best = best.min(src[j - 1]);
+                }
+                if j + 1 < cols {
+                    best = best.min(src[j + 1]);
+                }
+                dst[j] = wall[i * cols + j] + best;
+            }
+            src.copy_from_slice(&dst);
+        }
+        src
+    }
+
+    #[test]
+    fn pathfinder_matches_oracle() {
+        let s = Scale::tiny();
+        let w = pathfinder(&s);
+        let mut input = Memory::for_program(&w.program);
+        (w.init)(&mut input);
+        let wall: Vec<f64> = input.array(ArrayId(0)).iter().map(|v| v.as_f64()).collect();
+        let expect = pathfinder_oracle(&wall, s.rows, s.cols);
+        let got = w.reference();
+        for (j, e) in expect.iter().enumerate() {
+            assert!(
+                (got.array(ArrayId(1))[j].as_f64() - e).abs() < 1e-9,
+                "col {j}"
+            );
+        }
+    }
+
+    /// Plain-Rust NW oracle.
+    fn nw_oracle(s1: &[i64], s2: &[i64], n: usize) -> Vec<f64> {
+        let mut score = vec![0.0f64; n * n];
+        for k in 0..n {
+            score[k] = -(k as f64);
+            score[k * n] = -(k as f64);
+        }
+        for i in 1..n {
+            for j in 1..n {
+                let sim = if s1[i] == s2[j] { 1.0 } else { -1.0 };
+                score[i * n + j] = (score[(i - 1) * n + j - 1] + sim)
+                    .max(score[(i - 1) * n + j] - 1.0)
+                    .max(score[i * n + j - 1] - 1.0);
+            }
+        }
+        score
+    }
+
+    #[test]
+    fn nw_matches_oracle() {
+        let s = Scale::tiny();
+        let w = nw(&s);
+        let mut input = Memory::for_program(&w.program);
+        (w.init)(&mut input);
+        let n = s.seq + 1;
+        let s1: Vec<i64> = input.array(ArrayId(1)).iter().map(|v| v.as_i64()).collect();
+        let s2: Vec<i64> = input.array(ArrayId(2)).iter().map(|v| v.as_i64()).collect();
+        let expect = nw_oracle(&s1, &s2, n);
+        let got = w.reference();
+        for (k, e) in expect.iter().enumerate() {
+            assert!(
+                (got.array(ArrayId(0))[k].as_f64() - e).abs() < 1e-9,
+                "cell {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_nw_computes_identical_scores() {
+        let s = Scale::tiny();
+        let full = nw(&s).reference();
+        let blocked = nw_blocked(&s, 4).reference();
+        assert_eq!(full.array(ArrayId(0)), blocked.array(ArrayId(0)));
+    }
+}

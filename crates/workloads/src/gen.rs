@@ -1,0 +1,151 @@
+//! Deterministic synthetic input generators.
+//!
+//! Substitutes for the paper's image/matrix datasets: seeded pseudo-random
+//! inputs with the same structural properties (pixel ranges, SPD matrices,
+//! CSR graphs with the stated edge factors, permutation chains).
+
+use distda_ir::value::Value;
+use distda_sim::SplitMix64;
+
+/// Pixel-like values in `[0, 256)`.
+pub fn pixels(n: usize, seed: u64) -> Vec<Value> {
+    let mut r = SplitMix64::new(seed);
+    (0..n).map(|_| Value::F((r.below(256)) as f64)).collect()
+}
+
+/// Uniform floats in `[0, 1)`.
+pub fn unit_floats(n: usize, seed: u64) -> Vec<Value> {
+    let mut r = SplitMix64::new(seed);
+    (0..n).map(|_| Value::F(r.next_f64())).collect()
+}
+
+/// A symmetric positive-definite `n x n` matrix (row-major): `M = B*B^T + n*I`.
+pub fn spd_matrix(n: usize, seed: u64) -> Vec<Value> {
+    let mut r = SplitMix64::new(seed);
+    let b: Vec<f64> = (0..n * n).map(|_| r.next_f64()).collect();
+    let mut m = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += b[i * n + k] * b[j * n + k];
+            }
+            m[i * n + j] = acc + if i == j { n as f64 } else { 0.0 };
+        }
+    }
+    m.into_iter().map(Value::F).collect()
+}
+
+/// A CSR adjacency: returns `(row_ptr, col_idx)` with `nodes + 1` row
+/// pointers. Deterministic; every node gets `~edge_factor` out-edges.
+pub fn csr_graph(nodes: usize, edge_factor: usize, seed: u64) -> (Vec<i64>, Vec<i64>) {
+    let mut r = SplitMix64::new(seed);
+    let mut row_ptr = Vec::with_capacity(nodes + 1);
+    let mut col = Vec::new();
+    row_ptr.push(0i64);
+    for _ in 0..nodes {
+        let deg = 1 + r.below(edge_factor.max(1) as u64 * 2 - 1) as usize;
+        let mut targets: Vec<i64> = (0..deg).map(|_| r.below(nodes as u64) as i64).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        col.extend_from_slice(&targets);
+        row_ptr.push(col.len() as i64);
+    }
+    (row_ptr, col)
+}
+
+/// A single-cycle permutation over `0..n` (pointer-chase chain).
+pub fn permutation_cycle(n: usize, seed: u64) -> Vec<i64> {
+    let mut r = SplitMix64::new(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher-Yates.
+    for i in (1..n).rev() {
+        let j = r.below(i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+    let mut next = vec![0i64; n];
+    for w in 0..n {
+        next[order[w]] = order[(w + 1) % n] as i64;
+    }
+    next
+}
+
+/// BFS distances from `src` over a CSR graph (reference oracle); `-1` =
+/// unreachable. Also returns the eccentricity (max finite distance).
+pub fn bfs_reference(row_ptr: &[i64], col: &[i64], src: usize) -> (Vec<i64>, usize) {
+    let n = row_ptr.len() - 1;
+    let mut dist = vec![-1i64; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    let mut ecc = 0;
+    while let Some(u) = queue.pop_front() {
+        for e in row_ptr[u] as usize..row_ptr[u + 1] as usize {
+            let v = col[e] as usize;
+            if dist[v] < 0 {
+                dist[v] = dist[u] + 1;
+                ecc = ecc.max(dist[v] as usize);
+                queue.push_back(v);
+            }
+        }
+    }
+    (dist, ecc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixels_in_range_and_deterministic() {
+        let a = pixels(100, 7);
+        let b = pixels(100, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| (0.0..256.0).contains(&v.as_f64())));
+    }
+
+    #[test]
+    fn spd_matrix_is_symmetric_with_dominant_diagonal() {
+        let n = 8;
+        let m = spd_matrix(n, 3);
+        for i in 0..n {
+            for j in 0..n {
+                assert!((m[i * n + j].as_f64() - m[j * n + i].as_f64()).abs() < 1e-12);
+            }
+            assert!(m[i * n + i].as_f64() > n as f64 * 0.9);
+        }
+    }
+
+    #[test]
+    fn csr_graph_is_well_formed() {
+        let (rp, col) = csr_graph(50, 4, 11);
+        assert_eq!(rp.len(), 51);
+        assert_eq!(*rp.last().unwrap() as usize, col.len());
+        assert!(rp.windows(2).all(|w| w[0] <= w[1]));
+        assert!(col.iter().all(|&c| (0..50).contains(&c)));
+    }
+
+    #[test]
+    fn permutation_cycle_visits_everything() {
+        let n = 64;
+        let next = permutation_cycle(n, 9);
+        let mut seen = vec![false; n];
+        let mut p = 0usize;
+        for _ in 0..n {
+            assert!(!seen[p], "cycle shorter than n");
+            seen[p] = true;
+            p = next[p] as usize;
+        }
+        assert_eq!(p, 0, "must return to start");
+    }
+
+    #[test]
+    fn bfs_reference_matches_hand_graph() {
+        // 0 -> 1 -> 2, 0 -> 2
+        let rp = vec![0, 2, 3, 3];
+        let col = vec![1, 2, 2];
+        let (d, ecc) = bfs_reference(&rp, &col, 0);
+        assert_eq!(d, vec![0, 1, 1]);
+        assert_eq!(ecc, 1);
+    }
+}

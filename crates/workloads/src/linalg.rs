@@ -1,0 +1,167 @@
+//! Dense linear algebra / data mining: cholesky (Polybench) and pca
+//! (CortexSuite).
+
+use crate::gen;
+use crate::{Scale, Workload};
+use distda_ir::prelude::*;
+use std::sync::Arc;
+
+/// Cholesky factorization (Polybench): triangular loop nest whose inner
+/// dot-product reductions stream two rows of the same matrix — the
+/// multi-stream-reduction-with-reuse pattern the paper discusses.
+pub fn cholesky(s: &Scale) -> Workload {
+    let n = s.mat as i64;
+    let cells = s.mat * s.mat;
+    let mut b = ProgramBuilder::new("cholesky");
+    let a = b.array_f64("A", cells);
+    let acc = b.scalar("acc", 0.0f64);
+
+    b.for_(0, n, 1, |b, i| {
+        b.for_(0, i.clone(), 1, |b, j| {
+            b.set(acc, Expr::cf(0.0));
+            b.for_(0, j.clone(), 1, |b, k| {
+                b.set(
+                    acc,
+                    Expr::Scalar(acc)
+                        + Expr::load(a, i.clone() * Expr::c(n) + k.clone())
+                            * Expr::load(a, j.clone() * Expr::c(n) + k),
+                );
+            });
+            let v = (Expr::load(a, i.clone() * Expr::c(n) + j.clone()) - Expr::Scalar(acc))
+                / Expr::load(a, j.clone() * Expr::c(n) + j.clone());
+            b.store(a, i.clone() * Expr::c(n) + j, v);
+        });
+        b.set(acc, Expr::cf(0.0));
+        b.for_(0, i.clone(), 1, |b, k| {
+            let l = Expr::load(a, i.clone() * Expr::c(n) + k);
+            b.set(acc, Expr::Scalar(acc) + l.clone() * l);
+        });
+        b.store(
+            a,
+            i.clone() * Expr::c(n) + i.clone(),
+            (Expr::load(a, i.clone() * Expr::c(n) + i.clone()) - Expr::Scalar(acc)).sqrt(),
+        );
+    });
+    let prog = b.build();
+    let (seed, dim) = (s.seed, s.mat);
+    Workload {
+        name: "cho".into(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            mem.array_mut(a).copy_from_slice(&gen::spd_matrix(dim, seed + 40));
+        }),
+    }
+}
+
+/// Principal component analysis preprocessing (CortexSuite `pca`): column
+/// means then a covariance matrix — every inner loop traverses columns of
+/// a row-major matrix (stride = column count), the access pattern the
+/// paper singles out for `pca`.
+pub fn pca(s: &Scale) -> Workload {
+    let r = (s.rows * 2) as i64; // observation count
+    let c = s.mat as i64; // feature count
+    let cells = (r * c) as usize;
+    let mut b = ProgramBuilder::new("pca");
+    let data = b.array_f64("data", cells);
+    let mean = b.array_f64("mean", c as usize);
+    let cov = b.array_f64("cov", (c * c) as usize);
+    let acc = b.scalar("acc", 0.0f64);
+
+    // Column means (stride-c streams).
+    b.for_(0, c, 1, |b, j| {
+        b.set(acc, Expr::cf(0.0));
+        b.for_(0, r, 1, |b, k| {
+            b.set(acc, Expr::Scalar(acc) + Expr::load(data, k * Expr::c(c) + j.clone()));
+        });
+        b.store(mean, j, Expr::Scalar(acc) / Expr::cf(r as f64));
+    });
+    // Covariance (two stride-c streams + two stride-0 mean taps).
+    b.for_(0, c, 1, |b, i| {
+        b.for_(0, c, 1, |b, j| {
+            b.set(acc, Expr::cf(0.0));
+            b.for_(0, r, 1, |b, k| {
+                let xi = Expr::load(data, k.clone() * Expr::c(c) + i.clone())
+                    - Expr::load(mean, i.clone());
+                let xj = Expr::load(data, k * Expr::c(c) + j.clone()) - Expr::load(mean, j.clone());
+                b.set(acc, Expr::Scalar(acc) + xi * xj);
+            });
+            b.store(
+                cov,
+                i.clone() * Expr::c(c) + j,
+                Expr::Scalar(acc) / Expr::cf((r - 1) as f64),
+            );
+        });
+    });
+    let prog = b.build();
+    let (seed, cells_) = (s.seed, cells);
+    Workload {
+        name: "pca".into(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            mem.array_mut(data).copy_from_slice(&gen::unit_floats(cells_, seed + 50));
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cholesky_reconstructs_input() {
+        // L * L^T must equal the original SPD matrix (lower triangle).
+        let s = Scale::tiny();
+        let w = cholesky(&s);
+        let n = s.mat;
+        let mut orig = Memory::for_program(&w.program);
+        (w.init)(&mut orig);
+        let a0: Vec<f64> = orig.array(ArrayId(0)).iter().map(|v| v.as_f64()).collect();
+        let out = w.reference();
+        let l: Vec<f64> = out.array(ArrayId(0)).iter().map(|v| v.as_f64()).collect();
+        for i in 0..n {
+            for j in 0..=i {
+                let mut acc = 0.0;
+                for k in 0..=j {
+                    acc += l[i * n + k] * l[j * n + k];
+                }
+                assert!(
+                    (acc - a0[i * n + j]).abs() < 1e-6 * (1.0 + a0[i * n + j].abs()),
+                    "LL^T mismatch at ({i},{j}): {acc} vs {}",
+                    a0[i * n + j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pca_covariance_is_symmetric() {
+        let s = Scale::tiny();
+        let w = pca(&s);
+        let out = w.reference();
+        let c = s.mat;
+        let cov = out.array(ArrayId(2));
+        for i in 0..c {
+            for j in 0..c {
+                let d = (cov[i * c + j].as_f64() - cov[j * c + i].as_f64()).abs();
+                assert!(d < 1e-9, "asymmetry at ({i},{j})");
+            }
+            assert!(cov[i * c + i].as_f64() >= -1e-12, "negative variance");
+        }
+    }
+
+    #[test]
+    fn pca_means_match_hand_computation() {
+        let s = Scale::tiny();
+        let w = pca(&s);
+        let mut input = Memory::for_program(&w.program);
+        (w.init)(&mut input);
+        let r = s.rows * 2;
+        let c = s.mat;
+        let data: Vec<f64> = input.array(ArrayId(0)).iter().map(|v| v.as_f64()).collect();
+        let out = w.reference();
+        for j in 0..c {
+            let expect: f64 = (0..r).map(|k| data[k * c + j]).sum::<f64>() / r as f64;
+            assert!((out.array(ArrayId(1))[j].as_f64() - expect).abs() < 1e-9);
+        }
+    }
+}

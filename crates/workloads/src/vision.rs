@@ -1,0 +1,184 @@
+//! SD-VBS vision kernels: stereo disparity and feature tracking.
+
+use crate::gen;
+use crate::{Scale, Workload};
+use distda_ir::prelude::*;
+use std::sync::Arc;
+
+/// Stereo disparity (SD-VBS `disparity`): per-shift SAD, horizontal
+/// aggregation, and winner-take-all minimum — the multi-input, multi-object
+/// pattern the paper's sub-computation partitioning targets.
+pub fn disparity(s: &Scale) -> Workload {
+    let n = s.img * s.img;
+    let shifts = s.shifts as i64;
+    let mut b = ProgramBuilder::new("disparity");
+    let left = b.array_f64("left", n);
+    let right = b.array_f64("right", n);
+    let sad = b.array_f64("sad", n);
+    let win = b.array_f64("win", n);
+    let minsad = b.array_f64("minsad", n);
+    let disp = b.array_f64("disp", n);
+
+    b.for_(0, shifts, 1, |b, d| {
+        // SAD at this shift.
+        b.for_(0, n as i64, 1, |b, p| {
+            let diff = Expr::load(left, p.clone()) - Expr::load(right, p.clone() - d.clone());
+            b.store(sad, p, diff.abs());
+        });
+        // Horizontal 3-tap aggregation.
+        b.for_(1, n as i64 - 1, 1, |b, p| {
+            let acc = Expr::load(sad, p.clone() - Expr::c(1))
+                + Expr::load(sad, p.clone())
+                + Expr::load(sad, p.clone() + Expr::c(1));
+            b.store(win, p, acc);
+        });
+        // Winner-take-all.
+        b.for_(0, n as i64, 1, |b, p| {
+            let better = Expr::load(win, p.clone()).lt(Expr::load(minsad, p.clone()));
+            b.store(
+                minsad,
+                p.clone(),
+                better
+                    .clone()
+                    .select(Expr::load(win, p.clone()), Expr::load(minsad, p.clone())),
+            );
+            b.store(
+                disp,
+                p.clone(),
+                better.select(d.clone() * Expr::cf(1.0), Expr::load(disp, p.clone())),
+            );
+        });
+    });
+    let prog = b.build();
+    let (seed, img) = (s.seed, s.img);
+    Workload {
+        name: "dis".into(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            let l = gen::pixels(img * img, seed);
+            let r = gen::pixels(img * img, seed + 1);
+            mem.array_mut(left).copy_from_slice(&l);
+            mem.array_mut(right).copy_from_slice(&r);
+            for v in mem.array_mut(minsad) {
+                *v = Value::F(1e30);
+            }
+        }),
+    }
+}
+
+/// Feature tracking (SD-VBS `tracking`): image gradients, products, box
+/// blur and Harris-style corner response.
+pub fn tracking(s: &Scale) -> Workload {
+    let w = s.img as i64;
+    let n = s.img * s.img;
+    let mut b = ProgramBuilder::new("tracking");
+    let img = b.array_f64("img", n);
+    let ix = b.array_f64("ix", n);
+    let iy = b.array_f64("iy", n);
+    let ixx = b.array_f64("ixx", n);
+    let ixy = b.array_f64("ixy", n);
+    let iyy = b.array_f64("iyy", n);
+    let sxx = b.array_f64("sxx", n);
+    let sxy = b.array_f64("sxy", n);
+    let syy = b.array_f64("syy", n);
+    let resp = b.array_f64("resp", n);
+
+    // Gradients.
+    b.for_(1, n as i64 - 1, 1, |b, p| {
+        b.store(
+            ix,
+            p.clone(),
+            (Expr::load(img, p.clone() + Expr::c(1)) - Expr::load(img, p.clone() - Expr::c(1)))
+                * Expr::cf(0.5),
+        );
+    });
+    b.for_(w, n as i64 - w, 1, |b, p| {
+        b.store(
+            iy,
+            p.clone(),
+            (Expr::load(img, p.clone() + Expr::c(w)) - Expr::load(img, p.clone() - Expr::c(w)))
+                * Expr::cf(0.5),
+        );
+    });
+    // Products (three stores, five objects: a wide DFG).
+    b.for_(0, n as i64, 1, |b, p| {
+        let gx = Expr::load(ix, p.clone());
+        let gy = Expr::load(iy, p.clone());
+        b.store(ixx, p.clone(), gx.clone() * gx.clone());
+        b.store(ixy, p.clone(), gx * gy.clone());
+        b.store(iyy, p, gy.clone() * gy);
+    });
+    // 3-tap box blur of each product.
+    for (src, dst) in [(ixx, sxx), (ixy, sxy), (iyy, syy)] {
+        b.for_(1, n as i64 - 1, 1, |b, p| {
+            let acc = Expr::load(src, p.clone() - Expr::c(1))
+                + Expr::load(src, p.clone())
+                + Expr::load(src, p.clone() + Expr::c(1));
+            b.store(dst, p, acc * Expr::cf(1.0 / 3.0));
+        });
+    }
+    // Corner response: det - k*trace^2.
+    b.for_(0, n as i64, 1, |b, p| {
+        let a = Expr::load(sxx, p.clone());
+        let c = Expr::load(syy, p.clone());
+        let bq = Expr::load(sxy, p.clone());
+        let trace = a.clone() + c.clone();
+        let r = a * c - bq.clone() * bq - Expr::cf(0.04) * trace.clone() * trace;
+        b.store(resp, p, r);
+    });
+    let prog = b.build();
+    let (seed, side) = (s.seed, s.img);
+    Workload {
+        name: "tra".into(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            let px = gen::pixels(side * side, seed + 2);
+            mem.array_mut(img).copy_from_slice(&px);
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disparity_picks_minimum_shift() {
+        // With identical images, shift 0 has zero SAD: disp must be 0 in
+        // the interior wherever ties resolve to the first strict improver.
+        let s = Scale::tiny();
+        let w = disparity(&s);
+        let mem = w.reference();
+        let disp = mem.array(ArrayId(5));
+        let n = s.img * s.img;
+        // Interior pixel count with disp in range.
+        for p in 1..n - 1 {
+            let d = disp[p].as_f64();
+            assert!((0.0..s.shifts as f64).contains(&d), "disp[{p}] = {d}");
+        }
+    }
+
+    #[test]
+    fn tracking_response_is_finite_everywhere() {
+        let w = tracking(&Scale::tiny());
+        let mem = w.reference();
+        for v in mem.array(ArrayId(9)) {
+            assert!(v.as_f64().is_finite());
+        }
+    }
+
+    #[test]
+    fn tracking_gradient_matches_hand_computation() {
+        let s = Scale::tiny();
+        let w = tracking(&s);
+        let mut input = Memory::for_program(&w.program);
+        (w.init)(&mut input);
+        let img: Vec<f64> = input.array(ArrayId(0)).iter().map(|v| v.as_f64()).collect();
+        let mem = w.reference();
+        let ix = mem.array(ArrayId(1));
+        for p in 1..img.len() - 1 {
+            let expect = 0.5 * (img[p + 1] - img[p - 1]);
+            assert!((ix[p].as_f64() - expect).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # distda — facade crate
+//!
+//! Re-exports the entire Dist-DA reproduction workspace under one roof so
+//! examples and integration tests can `use distda::...`.
+//!
+//! See the crate-level docs of each member for details:
+//! [`sim`], [`noc`], [`mem`], [`ir`], [`compiler`], [`accel`], [`energy`],
+//! [`system`], [`workloads`].
+
+pub use distda_accel as accel;
+pub use distda_compiler as compiler;
+pub use distda_energy as energy;
+pub use distda_ir as ir;
+pub use distda_mem as mem;
+pub use distda_noc as noc;
+pub use distda_sim as sim;
+pub use distda_system as system;
+pub use distda_workloads as workloads;

@@ -1,0 +1,79 @@
+//! Cross-crate integration: every workload of the suite must produce the
+//! reference-identical memory image under every evaluated configuration —
+//! the paper's "validated by execution until program completion".
+
+use distda::system::{ConfigKind, RunConfig};
+use distda::workloads::{suite, Scale};
+
+fn check(kind: ConfigKind) {
+    let scale = Scale::tiny();
+    for w in suite(&scale) {
+        let r = w.simulate(&RunConfig::named(kind));
+        assert!(
+            r.validated,
+            "{} failed validation under {}",
+            w.name,
+            r.config
+        );
+        assert!(r.ticks > 0, "{} reported zero time", w.name);
+    }
+}
+
+#[test]
+fn ooo_validates_entire_suite() {
+    check(ConfigKind::OoO);
+}
+
+#[test]
+fn mono_ca_validates_entire_suite() {
+    check(ConfigKind::MonoCA);
+}
+
+#[test]
+fn mono_da_io_validates_entire_suite() {
+    check(ConfigKind::MonoDAIO);
+}
+
+#[test]
+fn mono_da_f_validates_entire_suite() {
+    check(ConfigKind::MonoDAF);
+}
+
+#[test]
+fn dist_da_io_validates_entire_suite() {
+    check(ConfigKind::DistDAIO);
+}
+
+#[test]
+fn dist_da_f_validates_entire_suite() {
+    check(ConfigKind::DistDAF);
+}
+
+#[test]
+fn sensitivity_variants_validate_on_representative_kernels() {
+    let scale = Scale::tiny();
+    for w in [
+        distda::workloads::fdtd_2d(&scale),
+        distda::workloads::pagerank(&scale),
+    ] {
+        for cfg in [RunConfig::dist_da_io_sw(), RunConfig::dist_da_f_alloc()] {
+            let r = w.simulate(&cfg);
+            assert!(r.validated, "{} failed under {}", w.name, r.config);
+        }
+    }
+}
+
+#[test]
+fn case_study_kernels_validate() {
+    let scale = Scale::tiny();
+    for w in [
+        distda::workloads::spmv(&scale),
+        distda::workloads::spmv_flat(&scale),
+        distda::workloads::nw_blocked(&scale, 4),
+    ] {
+        for kind in [ConfigKind::OoO, ConfigKind::DistDAIO] {
+            let r = w.simulate(&RunConfig::named(kind));
+            assert!(r.validated, "{} failed under {:?}", w.name, kind);
+        }
+    }
+}
