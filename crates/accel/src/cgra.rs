@@ -178,7 +178,7 @@ mod tests {
     }
 
     #[test]
-    fn small_kernel_achieves_ii_one_or_two(){
+    fn small_kernel_achieves_ii_one_or_two() {
         let plan = mono_plan(|b| {
             let x = b.array_f64("x", 8);
             let y = b.array_f64("y", 8);
@@ -205,7 +205,11 @@ mod tests {
             });
         });
         let m = map(&plan.partitions[0], &CgraConfig::dist_da_5x5());
-        assert!(m.res_ii >= 3, "7 mem ops / 2 ports -> II>=4, got {}", m.res_ii);
+        assert!(
+            m.res_ii >= 3,
+            "7 mem ops / 2 ports -> II>=4, got {}",
+            m.res_ii
+        );
     }
 
     #[test]

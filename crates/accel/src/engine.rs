@@ -70,7 +70,11 @@ pub struct EngineStats {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Wait {
     /// Waiting for a line fill; resume the node at `pc` with element `elem`.
-    Line { line_addr: u64, pc: usize, elem: i64 },
+    Line {
+        line_addr: u64,
+        pc: usize,
+        elem: i64,
+    },
     /// Waiting for channel space/data.
     Chan { pc: usize },
     /// Waiting for outstanding writes to drop below the cap.
@@ -89,6 +93,27 @@ enum State {
 enum Pending {
     Fill { line_addr: u64 },
     WriteAck,
+}
+
+/// The engine's next internally-scheduled wake-up, reported after every
+/// processed clock edge. This is the engine's half of the system-wide
+/// `next_event` protocol: the machine may skip every base tick on which no
+/// component has scheduled work, so `Wake` must name the earliest edge at
+/// which this engine could act — erring early is safe, erring late breaks
+/// bit-exactness with the tick-by-tick simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// The engine can make progress on its very next clock edge.
+    NextEdge,
+    /// Internally idle until the given tick (dependence stall, CGRA
+    /// initiation interval); the first edge at or after it matters.
+    At(Tick),
+    /// Blocked on an external event: a memory response (`None`) or a
+    /// channel becoming ready (`Some((local_chan, is_send))` — a send
+    /// waits for credit, a receive for data).
+    External(Option<(u16, bool)>),
+    /// Nothing can happen until the engine is reconfigured (`cp_run`).
+    Never,
 }
 
 /// Executes one accelerator definition. See the module docs.
@@ -129,6 +154,14 @@ pub struct PartitionEngine {
     outstanding_reads: u32,
     outstanding_writes: u32,
     wb_retry: Vec<u64>,
+
+    /// Wake-up reported after the last processed edge.
+    wake: Wake,
+    /// Last clock edge actually processed (for bulk stall accounting).
+    last_edge: Option<Tick>,
+    /// Set when a ctx memory issue failed this edge (port busy): the
+    /// failure is time-dependent, so the next edge must be simulated.
+    attempted: bool,
 
     stats: EngineStats,
 }
@@ -180,6 +213,9 @@ impl PartitionEngine {
             outstanding_reads: 0,
             outstanding_writes: 0,
             wb_retry: Vec::new(),
+            wake: Wake::Never,
+            last_edge: None,
+            attempted: false,
             stats: EngineStats::default(),
         }
     }
@@ -233,11 +269,7 @@ impl PartitionEngine {
         self.stats.mmio_words += params.len() as u64 + carry_init.len() as u64 + 2;
         // Evaluate access bases with the new parameter environment.
         let env = |sym: Sym| -> i64 {
-            match self
-                .param_syms
-                .iter()
-                .position(|&s| s == sym)
-            {
+            match self.param_syms.iter().position(|&s| s == sym) {
                 Some(i) => self.params[i].as_i64(),
                 None => 0,
             }
@@ -257,11 +289,36 @@ impl PartitionEngine {
         self.pc = 0;
         self.wait = None;
         self.iter_start = now;
+        self.wake = Wake::NextEdge;
+        self.last_edge = None;
+        self.attempted = false;
         self.state = if (step > 0 && start >= end) || (step < 0 && start <= end) {
             State::Draining
         } else {
             State::Running
         };
+    }
+
+    /// The engine's next internally-scheduled wake-up, as of the last
+    /// processed clock edge. See [`Wake`].
+    pub fn wake(&self) -> Wake {
+        self.wake
+    }
+
+    /// One-line description of what the engine is doing, for deadlock
+    /// reports.
+    pub fn stall_debug(&self) -> String {
+        format!(
+            "state={:?} pc={} inner={} wait={:?} wake={:?} reads={} writes={} retries={}",
+            self.state,
+            self.pc,
+            self.inner,
+            self.wait,
+            self.wake,
+            self.outstanding_reads,
+            self.outstanding_writes,
+            self.wb_retry.len(),
+        )
     }
 
     /// Whether the engine has completed its invocation (including drains).
@@ -312,6 +369,7 @@ impl PartitionEngine {
             self.pending_lines.insert(line_addr);
             true
         } else {
+            self.attempted = true;
             false
         }
     }
@@ -328,6 +386,7 @@ impl PartitionEngine {
             self.pending.insert(id, Pending::WriteAck);
             self.stats.da_bytes += LINE_BYTES;
         } else {
+            self.attempted = true;
             self.wb_retry.push(line_addr);
         }
     }
@@ -351,7 +410,9 @@ impl PartitionEngine {
         }
         // Retry deferred writebacks.
         while self.outstanding_writes < self.max_writes {
-            let Some(line) = self.wb_retry.pop() else { break };
+            let Some(line) = self.wb_retry.pop() else {
+                break;
+            };
             self.issue_write(ctx, line);
         }
     }
@@ -392,12 +453,111 @@ impl PartitionEngine {
                 if line.abs_diff(cur_line) > self.pf_ahead {
                     break;
                 }
-                if !self.buffer.present(line) {
-                    if !self.issue_read(ctx, line * LINE_BYTES) {
-                        break;
-                    }
+                if !self.buffer.present(line) && !self.issue_read(ctx, line * LINE_BYTES) {
+                    break;
                 }
                 self.stream_pf[a] = v + self.step;
+            }
+        }
+    }
+
+    /// Cheap copy of every field that can change on an edge with no memory
+    /// response and no channel event; used to detect quiescence. `stream_pf`
+    /// is folded in because the prefetcher can advance past buffer-resident
+    /// lines without issuing any request.
+    #[allow(clippy::type_complexity)]
+    fn snapshot(
+        &self,
+    ) -> (
+        State,
+        usize,
+        i64,
+        Option<Wait>,
+        Tick,
+        u64,
+        u32,
+        u32,
+        usize,
+        usize,
+        i64,
+    ) {
+        (
+            self.state,
+            self.pc,
+            self.inner,
+            self.wait,
+            self.busy_until,
+            self.next_req,
+            self.outstanding_reads,
+            self.outstanding_writes,
+            self.wb_retry.len(),
+            self.pending_lines.len(),
+            self.stream_pf.iter().fold(0i64, |a, &v| a.wrapping_add(v)),
+        )
+    }
+
+    /// Charges the stall counters for edges the machine skipped while this
+    /// engine sat in a wait. On every skipped edge the tick-by-tick
+    /// simulation would have re-tried the blocked node and charged exactly
+    /// one stall cycle; everything else on those edges is provably a no-op,
+    /// so bulk accounting keeps the statistics bit-identical.
+    fn account_skipped_edges(&mut self, now: Tick) {
+        let Some(last) = self.last_edge else { return };
+        if !matches!(self.state, State::Running) {
+            return;
+        }
+        let Some(w) = self.wait else { return };
+        let period = self.clock.period_ticks();
+        // Skipped edges lie strictly between `last` and `now`; the blocked
+        // node is only re-tried (charging a stall) on edges where `execute`
+        // runs, i.e. at or past `busy_until`.
+        let first = (last + period).max(self.clock.next_edge(self.busy_until));
+        if now < first + period {
+            return;
+        }
+        let missed = (now - period - first) / period + 1;
+        match w {
+            Wait::Line { .. } | Wait::WriteCap { .. } => self.stats.stall_mem += missed,
+            Wait::Chan { .. } => self.stats.stall_chan += missed,
+        }
+    }
+
+    /// The channel the node at `pc` blocks on, as `(chan, is_send)`.
+    fn chan_of(&self, pc: usize) -> Option<(u16, bool)> {
+        match self.def.nodes[pc] {
+            PNode::Recv { chan } => Some((chan, false)),
+            PNode::Send { chan, .. } => Some((chan, true)),
+            _ => None,
+        }
+    }
+
+    fn compute_wake(&self, now: Tick, progress: bool) -> Wake {
+        match self.state {
+            State::Idle | State::Done => Wake::Never,
+            // Still draining after the retry pass ran: write acks are in
+            // flight, and only their responses can move things along.
+            State::Draining => {
+                if progress || self.attempted {
+                    Wake::NextEdge
+                } else {
+                    Wake::External(None)
+                }
+            }
+            State::Running => {
+                if progress || self.attempted {
+                    return Wake::NextEdge;
+                }
+                if let Some(w) = self.wait {
+                    return match w {
+                        Wait::Line { .. } | Wait::WriteCap { .. } => Wake::External(None),
+                        Wait::Chan { pc } => Wake::External(self.chan_of(pc)),
+                    };
+                }
+                if self.busy_until > now {
+                    Wake::At(self.busy_until)
+                } else {
+                    Wake::NextEdge
+                }
             }
         }
     }
@@ -407,6 +567,9 @@ impl PartitionEngine {
         if !self.clock.fires_at(now) {
             return;
         }
+        self.account_skipped_edges(now);
+        let before = self.snapshot();
+        self.attempted = false;
         self.handle_completions(ctx);
         self.prefetch_streams(ctx);
         match self.state {
@@ -417,12 +580,14 @@ impl PartitionEngine {
                 }
             }
             State::Running => {
-                if now < self.busy_until {
-                    return;
+                if now >= self.busy_until {
+                    self.execute(now, ctx);
                 }
-                self.execute(now, ctx);
             }
         }
+        let progress = self.snapshot() != before;
+        self.wake = self.compute_wake(now, progress);
+        self.last_edge = Some(now);
     }
 
     fn execute(&mut self, now: Tick, ctx: &mut dyn EngineCtx) {
@@ -451,6 +616,10 @@ impl PartitionEngine {
             }
             match self.step_node(now, ctx) {
                 Ok(lat) => {
+                    // Any completed step invalidates a pending wait record
+                    // (a resolved channel wait is not cleared by the Recv /
+                    // Send arms themselves).
+                    self.wait = None;
                     issued += 1;
                     self.ready[self.pc] = now + self.clock.ticks_for_cycles(lat.max(1));
                     self.pc += 1;
@@ -483,7 +652,9 @@ impl PartitionEngine {
             PNode::SetCarry { src, .. } => [Some(*src), None, None],
             PNode::LoadIndirect { addr, .. } => [Some(*addr), None, None],
             PNode::StoreStream { val, pred, .. } => [Some(*val), *pred, None],
-            PNode::StoreIndirect { addr, val, pred, .. } => [Some(*addr), Some(*val), *pred],
+            PNode::StoreIndirect {
+                addr, val, pred, ..
+            } => [Some(*addr), Some(*val), *pred],
             _ => [None, None, None],
         };
         ops.iter()
@@ -503,8 +674,8 @@ impl PartitionEngine {
             self.busy_until = next;
             self.iter_start = next;
         }
-        let still = (self.step > 0 && self.inner < self.end)
-            || (self.step < 0 && self.inner > self.end);
+        let still =
+            (self.step > 0 && self.inner < self.end) || (self.step < 0 && self.inner > self.end);
         if !still {
             // Drain dirty buffer lines before reporting completion.
             let dirty = self.buffer.drain_dirty();
@@ -520,7 +691,11 @@ impl PartitionEngine {
         let pc = self.pc;
         // If we were waiting on this node, fast-path the resume.
         let resumed = match self.wait {
-            Some(Wait::Line { line_addr, pc: wpc, elem }) if wpc == pc => {
+            Some(Wait::Line {
+                line_addr,
+                pc: wpc,
+                elem,
+            }) if wpc == pc => {
                 if self.buffer.present(line_addr / LINE_BYTES) {
                     self.wait = None;
                     Some(elem)
@@ -531,7 +706,11 @@ impl PartitionEngine {
                     if !self.pending_lines.contains(&line_addr) {
                         let _ = self.issue_read(ctx, line_addr);
                     }
-                    return Err(Wait::Line { line_addr, pc, elem });
+                    return Err(Wait::Line {
+                        line_addr,
+                        pc,
+                        elem,
+                    });
                 }
             }
             Some(Wait::WriteCap { pc: wpc }) if wpc == pc => {
@@ -642,7 +821,7 @@ impl PartitionEngine {
                 v
             }
             PNode::StoreStream { access, val, pred } => {
-                let executed = pred.map_or(true, |p| self.vals[p as usize].truthy());
+                let executed = pred.is_none_or(|p| self.vals[p as usize].truthy());
                 if executed {
                     if self.outstanding_writes >= self.max_writes && resumed.is_none() {
                         return Err(Wait::WriteCap { pc });
@@ -678,7 +857,7 @@ impl PartitionEngine {
                 val,
                 pred,
             } => {
-                let executed = pred.map_or(true, |p| self.vals[p as usize].truthy());
+                let executed = pred.is_none_or(|p| self.vals[p as usize].truthy());
                 if executed {
                     if self.outstanding_writes >= self.max_writes && resumed.is_none() {
                         return Err(Wait::WriteCap { pc });
@@ -756,7 +935,10 @@ mod tests {
             assert_eq!(ctx.func_load(y, i), Value::F(2.0 * i as f64 + 1.0));
         }
         assert_eq!(eng.stats().iterations, 32);
-        assert!(eng.stats().intra_bytes > 0, "no buffer reuse on unit stride");
+        assert!(
+            eng.stats().intra_bytes > 0,
+            "no buffer reuse on unit stride"
+        );
     }
 
     #[test]

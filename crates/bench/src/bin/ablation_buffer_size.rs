@@ -26,7 +26,12 @@ fn main() {
     let sweep = run_matrix(&ws, &cfgs);
     let mut out = String::new();
     writeln!(out, "\n=== Ablation: buffer capacity (Dist-DA-F) ===").unwrap();
-    writeln!(out, "{:<12} {:>12} {:>12} {:>10} {:>10}", "kernel", "buffer", "ticks", "intra%", "D-A(KB)").unwrap();
+    writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>10} {:>10}",
+        "kernel", "buffer", "ticks", "intra%", "D-A(KB)"
+    )
+    .unwrap();
     for k in &sweep.kernels {
         for c in &sweep.configs {
             let r = sweep.get(k, c);
@@ -34,7 +39,9 @@ fn main() {
             writeln!(
                 out,
                 "{:<12} {:>12} {:>12} {:>9.1}% {:>10}",
-                k, c, r.ticks,
+                k,
+                c,
+                r.ticks,
                 100.0 * r.intra_bytes as f64 / total,
                 r.da_bytes / 1024
             )

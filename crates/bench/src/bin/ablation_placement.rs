@@ -24,14 +24,23 @@ fn main() {
     let sweep = run_matrix(&ws, &cfgs);
     let mut out = String::new();
     writeln!(out, "\n=== Ablation: object placement (Dist-DA-F) ===").unwrap();
-    writeln!(out, "{:<12} {:>26} {:>12} {:>14} {:>12}", "kernel", "policy", "ticks", "NoC hop-bytes", "energy(nJ)").unwrap();
+    writeln!(
+        out,
+        "{:<12} {:>26} {:>12} {:>14} {:>12}",
+        "kernel", "policy", "ticks", "NoC hop-bytes", "energy(nJ)"
+    )
+    .unwrap();
     for k in &sweep.kernels {
         for c in &sweep.configs {
             let r = sweep.get(k, c);
             writeln!(
                 out,
                 "{:<12} {:>26} {:>12} {:>14} {:>12.1}",
-                k, c, r.ticks, r.counters.noc_hop_bytes, r.energy_pj() / 1e3
+                k,
+                c,
+                r.ticks,
+                r.counters.noc_hop_bytes,
+                r.energy_pj() / 1e3
             )
             .unwrap();
         }

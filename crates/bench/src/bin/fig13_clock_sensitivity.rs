@@ -5,5 +5,8 @@ use distda_bench::{emit, figures};
 use distda_workloads::Scale;
 
 fn main() {
-    emit("fig13_clock_sensitivity.txt", &figures::fig13(&Scale::eval()));
+    emit(
+        "fig13_clock_sensitivity.txt",
+        &figures::fig13(&Scale::eval()),
+    );
 }

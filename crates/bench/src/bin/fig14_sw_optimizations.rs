@@ -5,5 +5,8 @@ use distda_bench::{emit, figures};
 use distda_workloads::Scale;
 
 fn main() {
-    emit("fig14_sw_optimizations.txt", &figures::fig14(&Scale::eval()));
+    emit(
+        "fig14_sw_optimizations.txt",
+        &figures::fig14(&Scale::eval()),
+    );
 }

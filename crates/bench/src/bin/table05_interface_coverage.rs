@@ -5,5 +5,8 @@ use distda_bench::{emit, figures};
 use distda_workloads::Scale;
 
 fn main() {
-    emit("table05_interface_coverage.txt", &figures::table05(&Scale::eval()));
+    emit(
+        "table05_interface_coverage.txt",
+        &figures::table05(&Scale::eval()),
+    );
 }

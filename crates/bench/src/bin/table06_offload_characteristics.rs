@@ -5,5 +5,8 @@ use distda_bench::{emit, figures};
 use distda_workloads::Scale;
 
 fn main() {
-    emit("table06_offload_characteristics.txt", &figures::table06(&Scale::eval()));
+    emit(
+        "table06_offload_characteristics.txt",
+        &figures::table06(&Scale::eval()),
+    );
 }

@@ -9,9 +9,7 @@ use crate::{metric_table, run_suite_matrix, Sweep};
 use distda_compiler::{compile, summarize, MechanismUse, PartitionMode};
 use distda_energy::AreaModel;
 use distda_system::{ConfigKind, RunConfig};
-use distda_workloads::{
-    fdtd_2d, nw_blocked, spmv, spmv_flat, suite, Scale,
-};
+use distda_workloads::{fdtd_2d, nw_blocked, spmv, spmv_flat, suite, Scale};
 use std::fmt::Write;
 
 /// Accelerated configuration labels, in paper order.
@@ -57,7 +55,12 @@ pub fn fig09(sweep: &Sweep) -> String {
         .iter()
         .filter(|c| c.as_str() != "OoO")
         .collect();
-    writeln!(out, "{:<14} {:<20} {:>8} {:>8} {:>8}", "benchmark", "config", "intra%", "D-A%", "A-A%").unwrap();
+    writeln!(
+        out,
+        "{:<14} {:<20} {:>8} {:>8} {:>8}",
+        "benchmark", "config", "intra%", "D-A%", "A-A%"
+    )
+    .unwrap();
     for k in &sweep.kernels {
         for c in &configs {
             let r = sweep.get(k, c);
@@ -170,7 +173,11 @@ pub fn data_movement(sweep: &Sweep) -> String {
 ///   (`cp_fill_ra`/`cp_drain_ra` semantics).
 pub fn fig12a(scale: &Scale) -> String {
     let mut out = String::new();
-    writeln!(out, "\n=== Figure 12a: control-intensive offload case study ===").unwrap();
+    writeln!(
+        out,
+        "\n=== Figure 12a: control-intensive offload case study ==="
+    )
+    .unwrap();
     writeln!(out, "{:<8} {:<14} {:>10}", "kernel", "config", "speedup").unwrap();
 
     // spmv family.
@@ -182,7 +189,11 @@ pub fn fig12a(scale: &Scale) -> String {
     let mut bns_cfg = RunConfig::dist_da_io_sw();
     bns_cfg.alloc = distda_system::AllocStrategy::Affinity;
     let bns = flat.simulate(&bns_cfg);
-    for (label, r) in [("Dist-DA-B", &b), ("Dist-DA-BN", &bn), ("Dist-DA-BNS", &bns)] {
+    for (label, r) in [
+        ("Dist-DA-B", &b),
+        ("Dist-DA-BN", &bn),
+        ("Dist-DA-BNS", &bns),
+    ] {
         assert!(r.validated);
         writeln!(
             out,
@@ -201,7 +212,11 @@ pub fn fig12a(scale: &Scale) -> String {
     let b = nw_b.simulate(&RunConfig::named(ConfigKind::DistDAIO));
     let bn = nw_bn.simulate(&RunConfig::named(ConfigKind::DistDAIO));
     let bns = nw_bn.simulate(&bns_cfg);
-    for (label, r) in [("Dist-DA-B", &b), ("Dist-DA-BN", &bn), ("Dist-DA-BNS", &bns)] {
+    for (label, r) in [
+        ("Dist-DA-B", &b),
+        ("Dist-DA-BN", &bn),
+        ("Dist-DA-BNS", &bns),
+    ] {
         assert!(r.validated);
         writeln!(
             out,

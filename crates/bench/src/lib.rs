@@ -13,6 +13,9 @@ use distda_system::{ConfigKind, RunConfig, RunResult};
 use distda_workloads::{suite, Scale, Workload};
 use std::collections::BTreeMap;
 use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Results of simulating a set of workloads under a set of configurations.
 #[derive(Debug, Default)]
@@ -49,28 +52,101 @@ impl Sweep {
     }
 }
 
-/// Runs `workloads x configs`, logging progress to stderr.
+/// Worker count for parallel sweeps: `DISTDA_THREADS` if set to a positive
+/// integer, otherwise the host's available parallelism.
+pub fn sweep_threads() -> usize {
+    std::env::var("DISTDA_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Wall-clock record of one simulated (kernel, config) run.
+#[derive(Debug, Clone)]
+pub struct RunTiming {
+    /// Kernel name.
+    pub kernel: String,
+    /// Configuration label.
+    pub config: String,
+    /// Host seconds spent simulating this run.
+    pub host_secs: f64,
+    /// Simulated base ticks the run covered.
+    pub ticks: u64,
+}
+
+static TIMINGS: Mutex<Vec<RunTiming>> = Mutex::new(Vec::new());
+
+/// Drains the wall-clock records accumulated by [`run_matrix`] since the
+/// last call (used by `reproduce` to report simulator throughput).
+pub fn take_timings() -> Vec<RunTiming> {
+    std::mem::take(&mut *TIMINGS.lock().unwrap())
+}
+
+/// Runs `workloads x configs` across [`sweep_threads`] worker threads,
+/// logging progress to stderr. Each (kernel, config) pair simulates an
+/// independent machine, so results are bit-identical to the sequential
+/// sweep; pairs are inserted into the [`Sweep`] in their nested-loop order
+/// regardless of which worker finished first, keeping row/column order and
+/// iteration order deterministic.
 ///
 /// # Panics
 ///
 /// Panics if any run fails validation (a simulation bug, never expected).
 pub fn run_matrix(workloads: &[Workload], configs: &[RunConfig]) -> Sweep {
-    let mut sweep = Sweep::default();
-    for w in workloads {
-        for cfg in configs {
-            eprint!("  sim {:<14} {:<20}\r", w.name, cfg.label());
-            std::io::stderr().flush().ok();
-            let r = w.simulate(cfg);
-            assert!(
-                r.validated,
-                "{} under {} produced wrong results",
-                w.name,
-                cfg.label()
-            );
-            sweep.insert(r);
+    let pairs: Vec<(usize, usize)> = (0..workloads.len())
+        .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
+        .collect();
+    let threads = sweep_threads().min(pairs.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunResult>>> = pairs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(wi, ci)) = pairs.get(i) else { break };
+                let (w, cfg) = (&workloads[wi], &configs[ci]);
+                let t0 = Instant::now();
+                let r = w.simulate(cfg);
+                let host_secs = t0.elapsed().as_secs_f64();
+                assert!(
+                    r.validated,
+                    "{} under {} produced wrong results",
+                    w.name,
+                    cfg.label()
+                );
+                TIMINGS.lock().unwrap().push(RunTiming {
+                    kernel: r.kernel.clone(),
+                    config: r.config.clone(),
+                    host_secs,
+                    ticks: r.ticks,
+                });
+                let d = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprint!(
+                    "  sim {:<14} {:<20} [{d}/{}]\r",
+                    w.name,
+                    cfg.label(),
+                    pairs.len()
+                );
+                std::io::stderr().flush().ok();
+                *slots[i].lock().unwrap() = Some(r);
+            });
         }
-    }
+    });
     eprintln!();
+    let mut sweep = Sweep::default();
+    for slot in slots {
+        let r = slot
+            .into_inner()
+            .unwrap()
+            .expect("every claimed pair completed");
+        sweep.insert(r);
+    }
     sweep
 }
 
@@ -81,7 +157,10 @@ pub fn run_suite_matrix(scale: &Scale, configs: &[RunConfig]) -> Sweep {
 
 /// The six paper configurations.
 pub fn paper_configs() -> Vec<RunConfig> {
-    ConfigKind::ALL.iter().map(|&k| RunConfig::named(k)).collect()
+    ConfigKind::ALL
+        .iter()
+        .map(|&k| RunConfig::named(k))
+        .collect()
 }
 
 /// Renders a table of `metric(kernel, config)` with a geometric-mean row;
@@ -161,6 +240,65 @@ pub fn save_result(name: &str, content: &str) {
 pub fn emit(name: &str, content: &str) {
     print!("{content}");
     save_result(name, content);
+}
+
+/// Writes the simulator-throughput artifacts from the accumulated run
+/// timings: `results/reproduce.log` gets one wall-clock line per run
+/// (host seconds, simulated ticks, ticks/sec), and `BENCH_simspeed.json`
+/// records the aggregate sims/sec and simulated-ticks/sec so throughput
+/// regressions show up in reviewed artifacts.
+pub fn write_simspeed(total_wall_secs: f64) {
+    let mut rows = take_timings();
+    rows.sort_by(|a, b| (&a.kernel, &a.config).cmp(&(&b.kernel, &b.config)));
+    let mut log = String::new();
+    use std::fmt::Write as _;
+    writeln!(
+        log,
+        "{:<14} {:<20} {:>12} {:>16} {:>14}",
+        "kernel", "config", "host_secs", "simulated_ticks", "ticks_per_sec"
+    )
+    .unwrap();
+    let mut sim_secs = 0.0f64;
+    let mut total_ticks = 0u64;
+    for r in &rows {
+        let tps = if r.host_secs > 0.0 {
+            r.ticks as f64 / r.host_secs
+        } else {
+            f64::INFINITY
+        };
+        writeln!(
+            log,
+            "{:<14} {:<20} {:>12.4} {:>16} {:>14.3e}",
+            r.kernel, r.config, r.host_secs, r.ticks, tps
+        )
+        .unwrap();
+        sim_secs += r.host_secs;
+        total_ticks += r.ticks;
+    }
+    writeln!(
+        log,
+        "total: {} runs, {:.2}s simulating across {} workers, {:.2}s wall",
+        rows.len(),
+        sim_secs,
+        sweep_threads(),
+        total_wall_secs
+    )
+    .unwrap();
+    save_result("reproduce.log", &log);
+
+    let json = format!(
+        "{{\n  \"threads\": {},\n  \"runs\": {},\n  \"wall_secs\": {:.3},\n  \"sim_secs_sum\": {:.3},\n  \"sims_per_sec\": {:.4},\n  \"simulated_ticks\": {},\n  \"simulated_ticks_per_sec\": {:.1}\n}}\n",
+        sweep_threads(),
+        rows.len(),
+        total_wall_secs,
+        sim_secs,
+        if total_wall_secs > 0.0 { rows.len() as f64 / total_wall_secs } else { 0.0 },
+        total_ticks,
+        if total_wall_secs > 0.0 { total_ticks as f64 / total_wall_secs } else { 0.0 },
+    );
+    if std::fs::write("BENCH_simspeed.json", &json).is_ok() {
+        eprintln!("wrote BENCH_simspeed.json");
+    }
 }
 
 #[cfg(test)]

@@ -129,7 +129,7 @@ pub fn bfs_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult {
         loop {
             let mut active = false;
             for (t, h) in handles.iter().enumerate() {
-                if let Some(_) = busy[t] {
+                if busy[t].is_some() {
                     if machine.plan_done(*h) {
                         busy[t] = None;
                     } else {
@@ -154,20 +154,33 @@ pub fn bfs_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult {
             if !active && next >= frontier.len() {
                 break;
             }
+            // One tick (as the per-tick polling loop always made), then let
+            // the machine run — skipping idle ticks — until some in-flight
+            // plan finishes and the scheduler above has work to do again.
+            // Re-scanning on ticks where nothing completed is a no-op, so
+            // this is tick-identical to polling every tick.
             machine.tick();
+            let busy_handles: Vec<_> = busy
+                .iter()
+                .enumerate()
+                .filter_map(|(t, b)| b.map(|_| handles[t]))
+                .collect();
+            machine
+                .run_until("mt-bfs", |m| busy_handles.iter().any(|&h| m.plan_done(h)))
+                .unwrap_or_else(|e| panic!("{e}"));
         }
         // Frontier rotation on the host (fast bookkeeping, not modeled as
         // offload): mask <- updating, visited |= updating.
-        for v in 0..n {
+        for (v, m) in mask.iter_mut().enumerate().take(n) {
             let upd = machine.memimg().array(updating)[v].truthy();
             if upd {
-                mask[v] = true;
+                *m = true;
                 machine.memimg_mut().store(visited, v as i64, Value::I(1));
                 machine.memimg_mut().store(updating, v as i64, Value::I(0));
             }
         }
     }
-    machine.drain();
+    machine.drain().unwrap_or_else(|e| panic!("{e}"));
     let got: Vec<i64> = machine
         .memimg()
         .array(cost)
@@ -211,7 +224,10 @@ pub fn pathfinder_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult
         );
     });
     let prog = b.build();
-    let mode = cfg.kind.partition_mode().unwrap_or(PartitionMode::Monolithic);
+    let mode = cfg
+        .kind
+        .partition_mode()
+        .unwrap_or(PartitionMode::Monolithic);
     let mut ck = compile(&prog, mode);
     if cfg.kind.decentralize_accesses() {
         ck.offloads[0] = distda_system::decentralize(&ck.offloads[0]);
@@ -262,9 +278,11 @@ pub fn pathfinder_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult
             machine.launch(*h, &params, &carries, c_lo as i64, c_hi as i64, 1);
             launched.push(*h);
         }
-        while !launched.iter().all(|h| machine.plan_done(*h)) {
-            machine.tick();
-        }
+        machine
+            .run_until("mt-pathfinder", |m| {
+                launched.iter().all(|h| m.plan_done(*h))
+            })
+            .unwrap_or_else(|e| panic!("{e}"));
         // Host: edges + roll src <- dst.
         let w0 = machine.memimg().load(wall, (i * cols) as i64).as_f64();
         let s0 = machine.memimg().load(src, 0).as_f64();
@@ -286,7 +304,7 @@ pub fn pathfinder_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult
             machine.memimg_mut().store(src, j as i64, v);
         }
     }
-    machine.drain();
+    machine.drain().unwrap_or_else(|e| panic!("{e}"));
 
     // Validate against the plain-Rust oracle.
     let mut s = vec![0.0f64; cols];
@@ -305,9 +323,8 @@ pub fn pathfinder_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult
         }
         s.copy_from_slice(&d);
     }
-    let validated = (0..cols).all(|j| {
-        (machine.memimg().array(src)[j].as_f64() - s[j]).abs() < 1e-9
-    });
+    let validated =
+        (0..cols).all(|j| (machine.memimg().array(src)[j].as_f64() - s[j]).abs() < 1e-9);
     MtResult {
         threads,
         ticks: machine.now,

@@ -1,0 +1,59 @@
+//! Regression tests for the performance-engineering layer: the parallel
+//! sweep must produce bit-identical results regardless of worker count,
+//! and idle skip-ahead must be bit-identical to tick-by-tick execution.
+
+use distda_bench::run_matrix;
+use distda_system::{simulate_with_skip, ConfigKind, RunConfig};
+use distda_workloads::{suite, Scale};
+
+/// `run_matrix` with 1 worker and with 8 workers must produce identical
+/// `RunResult`s (every field: ticks, energy, NoC bytes, ...) and identical
+/// row/column ordering, for 3 workloads x 3 configurations.
+#[test]
+fn parallel_sweep_matches_sequential() {
+    let scale = Scale::tiny();
+    let all = suite(&scale);
+    let workloads = &all[..3];
+    let configs = vec![
+        RunConfig::named(ConfigKind::OoO),
+        RunConfig::named(ConfigKind::MonoDAIO),
+        RunConfig::named(ConfigKind::DistDAIO),
+    ];
+    std::env::set_var("DISTDA_THREADS", "1");
+    let seq = run_matrix(workloads, &configs);
+    std::env::set_var("DISTDA_THREADS", "8");
+    let par = run_matrix(workloads, &configs);
+    std::env::remove_var("DISTDA_THREADS");
+    assert_eq!(seq.kernels, par.kernels, "kernel order diverged");
+    assert_eq!(seq.configs, par.configs, "config order diverged");
+    assert_eq!(seq.results.len(), par.results.len());
+    for (key, a) in &seq.results {
+        let b = &par.results[key];
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "results diverged for {key:?}"
+        );
+    }
+}
+
+/// Skip-ahead and tick-by-tick execution must agree on every statistic of
+/// the full `RunResult` for a small kernel across representative configs.
+#[test]
+fn skip_ahead_matches_tick_by_tick() {
+    let scale = Scale::tiny();
+    let all = suite(&scale);
+    let w = &all[0];
+    for kind in [ConfigKind::OoO, ConfigKind::MonoDAF, ConfigKind::DistDAIO] {
+        let cfg = RunConfig::named(kind);
+        let (fast, _, _) = simulate_with_skip(&w.program, &*w.init, &cfg, Some(true));
+        let (slow, _, _) = simulate_with_skip(&w.program, &*w.init, &cfg, Some(false));
+        assert_eq!(
+            format!("{fast:?}"),
+            format!("{slow:?}"),
+            "{} diverged under {}",
+            w.name,
+            cfg.label()
+        );
+    }
+}

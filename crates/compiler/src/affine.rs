@@ -33,7 +33,10 @@ pub struct AffineExpr {
 impl AffineExpr {
     /// The constant expression.
     pub fn constant(c: i64) -> Self {
-        Self { c, terms: Vec::new() }
+        Self {
+            c,
+            terms: Vec::new(),
+        }
     }
 
     /// A bare symbol.

@@ -87,7 +87,10 @@ impl DfgKind {
     /// Whether this node may be freely replicated into any partition
     /// (costless sources: constants, induction values, parameters).
     pub fn is_replicable(&self) -> bool {
-        matches!(self, DfgKind::Const(_) | DfgKind::IndVar | DfgKind::Param(_))
+        matches!(
+            self,
+            DfgKind::Const(_) | DfgKind::IndVar | DfgKind::Param(_)
+        )
     }
 
     /// Whether this node does real per-iteration work (counted in Table VI

@@ -98,7 +98,10 @@ pub fn partition_object_anchored(d: &Dfg) -> Partitioning {
                     *votes.entry(p).or_insert(0) += 1;
                 }
             }
-            if let Some((&best, _)) = votes.iter().max_by_key(|&(&p, &v)| (v, std::cmp::Reverse(p))) {
+            if let Some((&best, _)) = votes
+                .iter()
+                .max_by_key(|&(&p, &v)| (v, std::cmp::Reverse(p)))
+            {
                 if assign[i] != best && assign[i] == u32::MAX {
                     assign[i] = best;
                     changed = true;
@@ -235,7 +238,8 @@ mod tests {
             let a = b.array_f64("a", 16);
             let o = b.array_f64("o", 16);
             b.for_(1, 15, 1, |b, i| {
-                let v = Expr::load(a, i.clone() - Expr::c(1)) + Expr::load(a, i.clone() + Expr::c(1));
+                let v =
+                    Expr::load(a, i.clone() - Expr::c(1)) + Expr::load(a, i.clone() + Expr::c(1));
                 b.store(o, i, v);
             });
         });
@@ -270,13 +274,7 @@ mod tests {
             .nodes
             .iter()
             .enumerate()
-            .map(|(i, n)| {
-                if n.kind.is_access() {
-                    p.assign[i]
-                } else {
-                    0
-                }
-            })
+            .map(|(i, n)| if n.kind.is_access() { p.assign[i] } else { 0 })
             .collect();
         assert!(p.cut <= cut_of(&d, &naive));
     }

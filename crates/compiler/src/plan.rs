@@ -270,7 +270,9 @@ impl OffloadPlan {
                         v.extend(pred.iter());
                         v
                     }
-                    PNode::StoreIndirect { addr, val, pred, .. } => {
+                    PNode::StoreIndirect {
+                        addr, val, pred, ..
+                    } => {
                         let mut v = vec![*addr, *val];
                         v.extend(pred.iter());
                         v
@@ -289,20 +291,18 @@ impl OffloadPlan {
                     PNode::LoadStream { access }
                     | PNode::LoadIndirect { access, .. }
                     | PNode::StoreStream { access, .. }
-                    | PNode::StoreIndirect { access, .. } => {
-                        if *access as usize >= p.accesses.len() {
-                            return Err(format!("partition {}: bad access index", p.id));
-                        }
+                    | PNode::StoreIndirect { access, .. }
+                        if *access as usize >= p.accesses.len() =>
+                    {
+                        return Err(format!("partition {}: bad access index", p.id));
                     }
-                    PNode::Carry(r) | PNode::SetCarry { reg: r, .. } => {
-                        if *r as usize >= p.carry_scalars.len() {
-                            return Err(format!("partition {}: bad carry register", p.id));
-                        }
+                    PNode::Carry(r) | PNode::SetCarry { reg: r, .. }
+                        if *r as usize >= p.carry_scalars.len() =>
+                    {
+                        return Err(format!("partition {}: bad carry register", p.id));
                     }
-                    PNode::Param(ix) => {
-                        if *ix as usize >= self.params.len() {
-                            return Err("bad param index".into());
-                        }
+                    PNode::Param(ix) if *ix as usize >= self.params.len() => {
+                        return Err("bad param index".into());
                     }
                     _ => {}
                 }
@@ -322,10 +322,7 @@ impl OffloadPlan {
                 .filter(|n| matches!(n, PNode::Recv { chan } if *chan == ch.id))
                 .count();
             if sends != 1 || recvs != 1 {
-                return Err(format!(
-                    "channel {}: {sends} sends / {recvs} recvs",
-                    ch.id
-                ));
+                return Err(format!("channel {}: {sends} sends / {recvs} recvs", ch.id));
             }
         }
         Ok(())
@@ -338,7 +335,11 @@ impl OffloadPlan {
 
     /// Largest partition's instruction count (Table VI reports the max).
     pub fn max_insts(&self) -> usize {
-        self.partitions.iter().map(|p| p.inst_count()).max().unwrap_or(0)
+        self.partitions
+            .iter()
+            .map(|p| p.inst_count())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -415,6 +416,7 @@ pub fn codegen(dfg: &Dfg, parts: &Partitioning, l: &Loop, class: DfgClass) -> Of
         v.sort();
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn resolve(
         dfg: &Dfg,
         assign: &[u32],
@@ -471,11 +473,20 @@ pub fn codegen(dfg: &Dfg, parts: &Partitioning, l: &Loop, class: DfgClass) -> Of
             continue; // materialized on demand
         }
         let p = assign[g] as usize;
-        let res = |gg: u32, parts_: &mut Vec<PartitionDef>,
-                       local_: &mut Vec<HashMap<u32, u16>>,
-                       recv_: &mut Vec<HashMap<u16, u16>>| {
+        let res = |gg: u32,
+                   parts_: &mut Vec<PartitionDef>,
+                   local_: &mut Vec<HashMap<u32, u16>>,
+                   recv_: &mut Vec<HashMap<u16, u16>>| {
             resolve(
-                dfg, assign, p, gg, parts_, local_, recv_, &chan_ids, &carry_local,
+                dfg,
+                assign,
+                p,
+                gg,
+                parts_,
+                local_,
+                recv_,
+                &chan_ids,
+                &carry_local,
             )
         };
         let pn = match &node.kind {
@@ -485,7 +496,7 @@ pub fn codegen(dfg: &Dfg, parts: &Partitioning, l: &Loop, class: DfgClass) -> Of
                 if local[p].contains_key(&g32) {
                     continue;
                 }
-                PNode::Carry(carry_local[&r])
+                PNode::Carry(carry_local[r])
             }
             DfgKind::SetCarry(r) => {
                 let src = res(node.args[0], &mut partitions, &mut local, &mut recv_memo);
@@ -701,7 +712,10 @@ mod tests {
         });
         assert_eq!(plan.liveouts.len(), 1);
         let (_, part, reg) = plan.liveouts[0];
-        assert_eq!(plan.partitions[part as usize].carry_scalars.len(), reg as usize + 1);
+        assert_eq!(
+            plan.partitions[part as usize].carry_scalars.len(),
+            reg as usize + 1
+        );
     }
 
     #[test]

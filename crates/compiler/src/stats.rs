@@ -49,8 +49,8 @@ pub fn summarize(plans: &[OffloadPlan], dims: &[(usize, usize)]) -> OffloadStats
             }
         }
     }
-    if s.partitions > 0 {
-        s.avg_buffers = (total_buffers + s.partitions / 2) / s.partitions;
+    if let Some(avg) = (total_buffers + s.partitions / 2).checked_div(s.partitions) {
+        s.avg_buffers = avg;
     }
     s.dfg_dims = dims
         .iter()
@@ -192,7 +192,10 @@ mod tests {
         assert!(m.cp_produce && m.cp_consume && m.cp_step);
         assert!(m.cp_read, "indirect load implies cp_read");
         assert!(m.cp_config_random);
-        assert!(!m.cp_fill_ra && !m.cp_drain_ra, "ra fills are user-annotated only");
+        assert!(
+            !m.cp_fill_ra && !m.cp_drain_ra,
+            "ra fills are user-annotated only"
+        );
     }
 
     #[test]

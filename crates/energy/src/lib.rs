@@ -245,8 +245,10 @@ mod tests {
     #[test]
     fn report_contains_total() {
         let m = EnergyModel::nominal_32nm();
-        let mut c = EnergyCounters::default();
-        c.io_ops = 7;
+        let c = EnergyCounters {
+            io_ops: 7,
+            ..Default::default()
+        };
         let r = m.energy_pj(&c).report();
         assert_eq!(r.get("energy.total_pj"), Some(70.0));
     }

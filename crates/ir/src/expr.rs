@@ -59,7 +59,13 @@ impl BinOp {
     /// Execution latency in accelerator cycles (single-issue in-order).
     pub fn latency(self) -> u64 {
         match self {
-            BinOp::Add | BinOp::Sub | BinOp::Lt | BinOp::Le | BinOp::Eq | BinOp::And | BinOp::Or => 1,
+            BinOp::Add
+            | BinOp::Sub
+            | BinOp::Lt
+            | BinOp::Le
+            | BinOp::Eq
+            | BinOp::And
+            | BinOp::Or => 1,
             BinOp::Min | BinOp::Max => 1,
             BinOp::Mul => 3,
             BinOp::Div | BinOp::Rem => 12,
@@ -126,6 +132,9 @@ pub enum Expr {
     Select(Box<Expr>, Box<Expr>, Box<Expr>),
 }
 
+// Builder methods intentionally mirror the IR operator names
+// (`add`, `not`, ...); they are not operator-trait impls.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Integer literal.
     pub fn c(v: i64) -> Expr {
@@ -230,7 +239,10 @@ impl Expr {
     pub fn op_count(&self) -> usize {
         let mut n = 0;
         self.visit(&mut |e| {
-            if matches!(e, Expr::Load(..) | Expr::Bin(..) | Expr::Un(..) | Expr::Select(..)) {
+            if matches!(
+                e,
+                Expr::Load(..) | Expr::Bin(..) | Expr::Un(..) | Expr::Select(..)
+            ) {
                 n += 1;
             }
         });

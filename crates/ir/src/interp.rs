@@ -23,7 +23,11 @@ impl Memory {
                 .arrays
                 .iter()
                 .map(|a| {
-                    let zero = if a.is_float { Value::F(0.0) } else { Value::I(0) };
+                    let zero = if a.is_float {
+                        Value::F(0.0)
+                    } else {
+                        Value::I(0)
+                    };
                     vec![zero; a.len]
                 })
                 .collect(),
@@ -237,7 +241,8 @@ mod tests {
         });
         let p = b.build();
         let mut mem = Memory::for_program(&p);
-        mem.array_mut(ap).copy_from_slice(&[Value::I(0), Value::I(3), Value::I(4)]);
+        mem.array_mut(ap)
+            .copy_from_slice(&[Value::I(0), Value::I(3), Value::I(4)]);
         run(&p, &mut mem);
         let got: Vec<i64> = mem.array(out).iter().map(|v| v.as_i64()).collect();
         assert_eq!(got, vec![100, 101, 102, 103]);
@@ -270,7 +275,8 @@ mod tests {
         let p = b.build();
         let mut mem = Memory::for_program(&p);
         // 0 -> 2 -> 1 -> 3 -> 0 cycle.
-        mem.array_mut(next).copy_from_slice(&[Value::I(2), Value::I(3), Value::I(1), Value::I(0)]);
+        mem.array_mut(next)
+            .copy_from_slice(&[Value::I(2), Value::I(3), Value::I(1), Value::I(0)]);
         let scalars = run(&p, &mut mem);
         // After 5 hops from 0: 2,1,3,0,2.
         assert_eq!(scalars[p_s.0], Value::I(2));

@@ -113,7 +113,7 @@ impl Program {
         // SAFETY-free: re-borrow through the pointer would be unsound; walk
         // again instead for a clean reference.
         found.map(|ptr| {
-            fn walk<'a>(stmts: &'a [Stmt], ptr: *const Loop) -> Option<&'a Loop> {
+            fn walk(stmts: &[Stmt], ptr: *const Loop) -> Option<&Loop> {
                 for s in stmts {
                     if let Stmt::Loop(l) = s {
                         if std::ptr::eq(l, ptr) {
@@ -136,7 +136,10 @@ impl Program {
 
     /// Total bytes across all declared arrays.
     pub fn footprint_bytes(&self) -> u64 {
-        self.arrays.iter().map(|a| a.len as u64 * Self::ELEM_BYTES).sum()
+        self.arrays
+            .iter()
+            .map(|a| a.len as u64 * Self::ELEM_BYTES)
+            .sum()
     }
 }
 

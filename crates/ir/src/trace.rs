@@ -185,10 +185,7 @@ impl<'p> TraceGen<'p> {
     }
 
     fn exec(&mut self, s: &Stmt, mem: &mut Memory) {
-        self.budget = self
-            .budget
-            .checked_sub(1)
-            .expect("trace budget exhausted");
+        self.budget = self.budget.checked_sub(1).expect("trace budget exhausted");
         match s {
             Stmt::Store(a, idx, val) => {
                 let (iv, idep) = self.eval(idx, mem);

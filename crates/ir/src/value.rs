@@ -11,6 +11,9 @@ pub enum Value {
     F(f64),
 }
 
+// Builder methods intentionally mirror the IR operator names
+// (`add`, `not`, ...); they are not operator-trait impls.
+#[allow(clippy::should_implement_trait)]
 impl Value {
     /// Integer view (floats truncate, as a C cast would).
     pub fn as_i64(self) -> i64 {
@@ -207,7 +210,9 @@ mod tests {
     fn division_by_zero_is_total() {
         assert_eq!(Value::div(Value::I(5), Value::I(0)), Value::I(0));
         assert_eq!(Value::rem(Value::I(5), Value::I(0)), Value::I(0));
-        assert!(Value::div(Value::F(1.0), Value::F(0.0)).as_f64().is_infinite());
+        assert!(Value::div(Value::F(1.0), Value::F(0.0))
+            .as_f64()
+            .is_infinite());
     }
 
     #[test]

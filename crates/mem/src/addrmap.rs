@@ -55,10 +55,7 @@ impl AddressMap {
         assert!(start < end, "empty region");
         assert!(cluster < self.clusters, "cluster out of range");
         assert!(
-            !self
-                .regions
-                .iter()
-                .any(|&(s, e, _)| start < e && s < end),
+            !self.regions.iter().any(|&(s, e, _)| start < e && s < end),
             "overlapping pinned region"
         );
         self.regions.push((start, end, cluster));
@@ -138,7 +135,10 @@ mod tests {
         let mut m = AddressMap::new(8);
         m.pin_region(0x4000, 0x8000, 2);
         for line in 0..0x300 {
-            assert_eq!(m.home_cluster_of_line(line), m.home_cluster(line * LINE_BYTES));
+            assert_eq!(
+                m.home_cluster_of_line(line),
+                m.home_cluster(line * LINE_BYTES)
+            );
         }
     }
 }

@@ -281,7 +281,13 @@ mod tests {
         c.fill(0, true);
         c.fill(4, false);
         let ev = c.fill(8, false).expect("dirty victim");
-        assert_eq!(ev, Evicted { line: 0, dirty: true });
+        assert_eq!(
+            ev,
+            Evicted {
+                line: 0,
+                dirty: true
+            }
+        );
         assert_eq!(c.stats().writebacks, 1);
     }
 

@@ -118,6 +118,20 @@ impl Dram {
     pub fn pending(&self) -> usize {
         self.queue.len() + self.completions.len()
     }
+
+    /// Earliest tick `>= now` at which [`Dram::tick`] would do observable
+    /// work, or `None` if the channel is idle.
+    ///
+    /// Queued accesses start relative to the tick at which `tick` is next
+    /// called, so a non-empty queue demands an immediate tick; completions
+    /// pop at most one per call, so an overdue completion does too.
+    pub fn next_event(&self, now: Tick) -> Option<Tick> {
+        if !self.queue.is_empty() {
+            return Some(now);
+        }
+        // Completions are pushed in start order, so the front is earliest.
+        self.completions.front().map(|&(t, _)| t.max(now))
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +156,14 @@ mod tests {
         let done = drain(&mut d, 0, 10_000);
         assert_eq!(done.len(), 1);
         let (t, dd) = done[0];
-        assert_eq!(dd, DramDone { line: 1, write: false, from_cluster: 2 });
+        assert_eq!(
+            dd,
+            DramDone {
+                line: 1,
+                write: false,
+                from_cluster: 2
+            }
+        );
         // 16 cycles serialization + 100 latency = 116 cycles = 348 ticks.
         assert!(t >= clock.ticks_for_cycles(116));
         assert_eq!(d.reads, 1);

@@ -24,8 +24,8 @@
 pub mod addrmap;
 pub mod cache;
 pub mod dram;
-pub mod mshr;
 pub mod msg;
+pub mod mshr;
 pub mod params;
 pub mod prefetch;
 pub mod system;

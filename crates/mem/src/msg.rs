@@ -114,7 +114,7 @@ mod tests {
     #[test]
     fn sentinels_do_not_collide_with_real_ports() {
         assert_ne!(HOST_L2, PF_PORT);
-        assert!(HOST_L2 > 1_000_000 && PF_PORT > 1_000_000);
+        const { assert!(HOST_L2 > 1_000_000 && PF_PORT > 1_000_000) };
     }
 
     #[test]

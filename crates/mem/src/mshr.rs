@@ -154,7 +154,10 @@ mod tests {
     fn allocate_merge_complete_cycle() {
         let mut m: Mshr<Waiter> = Mshr::new(4);
         assert_eq!(m.register(7, W, false), MshrAlloc::Allocated);
-        assert_eq!(m.register(7, Waiter { id: 1, ..W }, false), MshrAlloc::Merged);
+        assert_eq!(
+            m.register(7, Waiter { id: 1, ..W }, false),
+            MshrAlloc::Merged
+        );
         assert!(m.pending(7));
         let (ws, write) = m.complete(7).unwrap();
         assert_eq!(ws.len(), 2);

@@ -25,7 +25,7 @@ impl CacheParams {
     pub fn sets(&self) -> usize {
         let lines = self.size_bytes / LINE_BYTES;
         assert!(
-            lines as usize % self.assoc == 0 && lines > 0,
+            (lines as usize).is_multiple_of(self.assoc) && lines > 0,
             "cache geometry must divide into whole sets"
         );
         lines as usize / self.assoc
@@ -125,7 +125,10 @@ mod tests {
         assert_eq!(c.l1.sets(), 64);
         assert_eq!(c.l2.sets(), 128);
         assert_eq!(c.l3_cluster.sets(), 256);
-        assert_eq!(c.clusters * c.l3_cluster.size_bytes as usize, 2 * 1024 * 1024);
+        assert_eq!(
+            c.clusters * c.l3_cluster.size_bytes as usize,
+            2 * 1024 * 1024
+        );
         assert_eq!(c.clusters, 8);
         assert_eq!(c.banks_per_cluster, 4);
     }

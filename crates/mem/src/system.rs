@@ -21,10 +21,10 @@ use distda_sim::Report;
 use crate::addrmap::AddressMap;
 use crate::cache::{Cache, CacheStats, Lookup};
 use crate::dram::Dram;
-use crate::mshr::{Mshr, MshrAlloc, Waiter};
 use crate::msg::{
     MemMsg, MemRequest, MemResponse, PortId, PortKind, ReqId, ReturnPath, HOST_L2, PF_PORT,
 };
+use crate::mshr::{Mshr, MshrAlloc, Waiter};
 use crate::params::{line_of, MemConfig, LINE_BYTES};
 use crate::prefetch::StridePrefetcher;
 
@@ -52,13 +52,40 @@ pub struct MemSysStats {
 #[derive(Debug, Clone)]
 enum Action {
     L1Access(MemRequest),
-    L2Access { core: usize, line: u64 },
-    ClusterAccess { cluster: usize, line: u64, write: bool, writeback: bool, ret: ReturnPath },
-    ClusterFill { cluster: usize, line: u64 },
-    DramSend { cluster: usize, line: u64, write: bool },
-    RespondLine { cluster: usize, line: u64, ret: ReturnPath, write: bool },
-    HostFill { core: usize, line: u64 },
-    L1Fill { core: usize, line: u64 },
+    L2Access {
+        core: usize,
+        line: u64,
+    },
+    ClusterAccess {
+        cluster: usize,
+        line: u64,
+        write: bool,
+        writeback: bool,
+        ret: ReturnPath,
+    },
+    ClusterFill {
+        cluster: usize,
+        line: u64,
+    },
+    DramSend {
+        cluster: usize,
+        line: u64,
+        write: bool,
+    },
+    RespondLine {
+        cluster: usize,
+        line: u64,
+        ret: ReturnPath,
+        write: bool,
+    },
+    HostFill {
+        core: usize,
+        line: u64,
+    },
+    L1Fill {
+        core: usize,
+        line: u64,
+    },
     Respond(MemResponse),
     AcpAccess(MemRequest),
 }
@@ -117,6 +144,7 @@ pub struct MemSystem {
     map: AddressMap,
     ports: Vec<PortKind>,
     resp: Vec<Vec<MemResponse>>,
+    resp_pending: usize,
     actions: BinaryHeap<Reverse<HeapItem>>,
     seq: u64,
     out: VecDeque<Packet<MemMsg>>,
@@ -146,6 +174,7 @@ impl MemSystem {
             hosts: Vec::new(),
             ports: Vec::new(),
             resp: Vec::new(),
+            resp_pending: 0,
             actions: BinaryHeap::new(),
             seq: 0,
             out: VecDeque::new(),
@@ -244,7 +273,9 @@ impl MemSystem {
 
     /// Drains completed responses for a port.
     pub fn take_responses(&mut self, port: PortId) -> Vec<MemResponse> {
-        std::mem::take(&mut self.resp[port.0 as usize])
+        let v = std::mem::take(&mut self.resp[port.0 as usize]);
+        self.resp_pending -= v.len();
+        v
     }
 
     /// Whether any response is waiting on `port`.
@@ -320,12 +351,29 @@ impl MemSystem {
 
     fn push_response(&mut self, r: MemResponse) {
         self.stats.responses += 1;
+        self.resp_pending += 1;
         self.resp[r.port.0 as usize].push(r);
     }
 
     /// Whether work remains in flight inside the hierarchy.
     pub fn is_active(&self) -> bool {
         !self.actions.is_empty() || self.dram.pending() > 0 || !self.out.is_empty()
+    }
+
+    /// Earliest tick `>= now` at which [`MemSystem::tick`] would do
+    /// observable work, or `None` when the hierarchy is quiescent and only
+    /// a new request can wake it.
+    ///
+    /// Undelivered responses and outgoing packets demand an immediate tick
+    /// so the owning machine moves them along the same tick it would have
+    /// in lock-step execution.
+    pub fn next_event(&self, now: Tick) -> Option<Tick> {
+        use distda_sim::time::earliest;
+        if !self.out.is_empty() || self.resp_pending > 0 {
+            return Some(now);
+        }
+        let actions = self.actions.peek().map(|Reverse(top)| top.at.max(now));
+        earliest(actions, self.dram.next_event(now))
     }
 
     /// Invalidates host-cached copies of `[start, end)` for every core
@@ -436,7 +484,9 @@ impl MemSystem {
                     write: req.write,
                 };
                 match h.l1_mshr.register(line, waiter, req.write) {
-                    MshrAlloc::Allocated => self.schedule(now + lat, Action::L2Access { core, line }),
+                    MshrAlloc::Allocated => {
+                        self.schedule(now + lat, Action::L2Access { core, line })
+                    }
                     MshrAlloc::Merged => {}
                     MshrAlloc::Full => unreachable!("checked above"),
                 }
@@ -600,7 +650,14 @@ impl MemSystem {
                 cl.cache.access(line, true);
             } else {
                 // Non-allocating writeback straight to memory.
-                self.schedule(now, Action::DramSend { cluster, line, write: true });
+                self.schedule(
+                    now,
+                    Action::DramSend {
+                        cluster,
+                        line,
+                        write: true,
+                    },
+                );
             }
             return;
         }
@@ -632,9 +689,14 @@ impl MemSystem {
                 },
             ),
             Lookup::Miss => match cl.mshr.register(line, (ret, write), write) {
-                MshrAlloc::Allocated => {
-                    self.schedule(now + lat, Action::DramSend { cluster, line, write: false })
-                }
+                MshrAlloc::Allocated => self.schedule(
+                    now + lat,
+                    Action::DramSend {
+                        cluster,
+                        line,
+                        write: false,
+                    },
+                ),
                 MshrAlloc::Merged => {}
                 MshrAlloc::Full => unreachable!("checked above"),
             },
@@ -843,9 +905,10 @@ impl MemSystem {
 
     /// Per-core L1 statistics summed across cores.
     pub fn l1_stats(&self) -> CacheStats {
-        self.hosts.iter().map(|h| h.l1.stats()).fold(
-            CacheStats::default(),
-            |mut a, s| {
+        self.hosts
+            .iter()
+            .map(|h| h.l1.stats())
+            .fold(CacheStats::default(), |mut a, s| {
                 a.accesses += s.accesses;
                 a.hits += s.hits;
                 a.misses += s.misses;
@@ -853,15 +916,15 @@ impl MemSystem {
                 a.writebacks += s.writebacks;
                 a.flushed += s.flushed;
                 a
-            },
-        )
+            })
     }
 
     /// Per-core L2 statistics summed across cores.
     pub fn l2_stats(&self) -> CacheStats {
-        self.hosts.iter().map(|h| h.l2.stats()).fold(
-            CacheStats::default(),
-            |mut a, s| {
+        self.hosts
+            .iter()
+            .map(|h| h.l2.stats())
+            .fold(CacheStats::default(), |mut a, s| {
                 a.accesses += s.accesses;
                 a.hits += s.hits;
                 a.misses += s.misses;
@@ -869,15 +932,15 @@ impl MemSystem {
                 a.writebacks += s.writebacks;
                 a.flushed += s.flushed;
                 a
-            },
-        )
+            })
     }
 
     /// L3 statistics summed across clusters.
     pub fn l3_stats(&self) -> CacheStats {
-        self.clusters.iter().map(|c| c.cache.stats()).fold(
-            CacheStats::default(),
-            |mut a, s| {
+        self.clusters
+            .iter()
+            .map(|c| c.cache.stats())
+            .fold(CacheStats::default(), |mut a, s| {
                 a.accesses += s.accesses;
                 a.hits += s.hits;
                 a.misses += s.misses;
@@ -885,8 +948,7 @@ impl MemSystem {
                 a.writebacks += s.writebacks;
                 a.flushed += s.flushed;
                 a
-            },
-        )
+            })
     }
 
     /// DRAM (reads, writes).
@@ -985,7 +1047,15 @@ mod tests {
         let mut rig = Rig::new();
         let p = rig.ms.register_port(PortKind::Host);
         rig.ms
-            .try_request(0, MemRequest { port: p, id: 1, addr: 0x1000, write: false })
+            .try_request(
+                0,
+                MemRequest {
+                    port: p,
+                    id: 1,
+                    addr: 0x1000,
+                    write: false,
+                },
+            )
             .unwrap();
         let (resps, lat) = rig.run_until_response(p, 100_000);
         assert_eq!(resps.len(), 1);
@@ -1001,12 +1071,28 @@ mod tests {
         let mut rig = Rig::new();
         let p = rig.ms.register_port(PortKind::Host);
         rig.ms
-            .try_request(0, MemRequest { port: p, id: 1, addr: 0x40, write: false })
+            .try_request(
+                0,
+                MemRequest {
+                    port: p,
+                    id: 1,
+                    addr: 0x40,
+                    write: false,
+                },
+            )
             .unwrap();
         let (_, cold) = rig.run_until_response(p, 100_000);
         let t = rig.now;
         rig.ms
-            .try_request(t, MemRequest { port: p, id: 2, addr: 0x40, write: false })
+            .try_request(
+                t,
+                MemRequest {
+                    port: p,
+                    id: 2,
+                    addr: 0x40,
+                    write: false,
+                },
+            )
             .unwrap();
         let (resps, warm) = rig.run_until_response(p, 10_000);
         assert_eq!(resps[0].id, 2);
@@ -1023,25 +1109,57 @@ mod tests {
         let p = rig.ms.register_port(PortKind::Acp { cluster: 2 });
 
         rig.ms
-            .try_request(0, MemRequest { port: p, id: 1, addr: 0x10000, write: false })
+            .try_request(
+                0,
+                MemRequest {
+                    port: p,
+                    id: 1,
+                    addr: 0x10000,
+                    write: false,
+                },
+            )
             .unwrap();
         let (_, cold_local) = rig.run_until_response(p, 100_000);
         // Warm them up (first accesses go to DRAM).
         let t = rig.now;
         rig.ms
-            .try_request(t, MemRequest { port: p, id: 2, addr: 0x20000, write: false })
+            .try_request(
+                t,
+                MemRequest {
+                    port: p,
+                    id: 2,
+                    addr: 0x20000,
+                    write: false,
+                },
+            )
             .unwrap();
         let (_, _cold_remote) = rig.run_until_response(p, 100_000);
 
         // Warm accesses: local L3 hit vs remote L3 hit.
         let t = rig.now;
         rig.ms
-            .try_request(t, MemRequest { port: p, id: 3, addr: 0x10000, write: false })
+            .try_request(
+                t,
+                MemRequest {
+                    port: p,
+                    id: 3,
+                    addr: 0x10000,
+                    write: false,
+                },
+            )
             .unwrap();
         let (_, warm_local) = rig.run_until_response(p, 100_000);
         let t = rig.now;
         rig.ms
-            .try_request(t, MemRequest { port: p, id: 4, addr: 0x20000, write: false })
+            .try_request(
+                t,
+                MemRequest {
+                    port: p,
+                    id: 4,
+                    addr: 0x20000,
+                    write: false,
+                },
+            )
             .unwrap();
         let (_, warm_remote) = rig.run_until_response(p, 100_000);
         assert!(
@@ -1055,13 +1173,17 @@ mod tests {
     fn streaming_reads_train_the_prefetcher() {
         let mut rig = Rig::new();
         let p = rig.ms.register_port(PortKind::Host);
-        let mut id = 0;
         for i in 0..32u64 {
-            id += 1;
+            let id = i + 1;
             rig.ms
                 .try_request(
                     rig.now,
-                    MemRequest { port: p, id, addr: i * LINE_BYTES, write: false },
+                    MemRequest {
+                        port: p,
+                        id,
+                        addr: i * LINE_BYTES,
+                        write: false,
+                    },
                 )
                 .unwrap();
             rig.run_until_response(p, 200_000);
@@ -1075,7 +1197,15 @@ mod tests {
         let mut rig = Rig::new();
         let p = rig.ms.register_port(PortKind::Host);
         rig.ms
-            .try_request(0, MemRequest { port: p, id: 1, addr: 0x80, write: true })
+            .try_request(
+                0,
+                MemRequest {
+                    port: p,
+                    id: 1,
+                    addr: 0x80,
+                    write: true,
+                },
+            )
             .unwrap();
         rig.run_until_response(p, 100_000);
         let dirty = rig.ms.flush_host_range(0x80, 0xC0);
@@ -1098,7 +1228,15 @@ mod tests {
                 let addr = rng.below(1 << 20) & !7;
                 let write = rng.below(2) == 0;
                 rig.ms
-                    .try_request(rig.now, MemRequest { port: p, id, addr, write })
+                    .try_request(
+                        rig.now,
+                        MemRequest {
+                            port: p,
+                            id,
+                            addr,
+                            write,
+                        },
+                    )
                     .unwrap();
                 sent += 1;
             }
@@ -1115,7 +1253,15 @@ mod tests {
         let mut rig = Rig::new();
         let p = rig.ms.register_port(PortKind::Acp { cluster: 3 });
         rig.ms
-            .try_request(0, MemRequest { port: p, id: 9, addr: 0x40 * 3, write: true })
+            .try_request(
+                0,
+                MemRequest {
+                    port: p,
+                    id: 9,
+                    addr: 0x40 * 3,
+                    write: true,
+                },
+            )
             .unwrap();
         let (resps, _) = rig.run_until_response(p, 200_000);
         assert!(resps[0].write);
@@ -1129,11 +1275,18 @@ mod tests {
         // Write far more distinct lines than L1+L2 capacity in one set
         // region: stride by L2 sets * line so everything maps to set 0.
         let stride = 128 * LINE_BYTES;
-        let mut id = 0;
         for i in 0..64u64 {
-            id += 1;
+            let id = i + 1;
             rig.ms
-                .try_request(rig.now, MemRequest { port: p, id, addr: i * stride, write: true })
+                .try_request(
+                    rig.now,
+                    MemRequest {
+                        port: p,
+                        id,
+                        addr: i * stride,
+                        write: true,
+                    },
+                )
                 .unwrap();
             rig.run_until_response(p, 400_000);
         }

@@ -264,7 +264,7 @@ impl<P> Mesh<P> {
     /// Advances the mesh by one base tick. Only does work on this domain's
     /// clock edges.
     pub fn tick(&mut self, now: Tick) {
-        if !self.clock.fires_at(now) {
+        if !self.clock.fires_at(now) || self.in_flight == 0 {
             return;
         }
         let mut stalled = false;
@@ -301,7 +301,11 @@ impl<P> Mesh<P> {
                 Source::Link(i) => &self.links[i].queue,
                 Source::Inject(i) => &self.inject[i],
             };
-            q.front().expect("head checked above").route.first().copied()
+            q.front()
+                .expect("head checked above")
+                .route
+                .first()
+                .copied()
         };
         match next_link {
             None => {
@@ -327,8 +331,7 @@ impl<P> Mesh<P> {
                 }
                 .expect("head checked above");
                 f.route.remove(0);
-                let occupancy =
-                    self.cfg.hop_latency + self.serialization_cycles(f.pkt.bytes);
+                let occupancy = self.cfg.hop_latency + self.serialization_cycles(f.pkt.bytes);
                 f.ready_at = now + self.clock.ticks_for_cycles(occupancy);
                 self.links[link]
                     .queue
@@ -338,6 +341,45 @@ impl<P> Mesh<P> {
                 false
             }
         }
+    }
+
+    /// Whether any delivered packet is waiting in an inbox.
+    pub fn has_inbox_pending(&self) -> bool {
+        self.inbox.iter().any(|b| !b.is_empty())
+    }
+
+    /// Earliest tick `>= now` at which [`Mesh::tick`] would do observable
+    /// work, or `None` when nothing is queued or in flight.
+    ///
+    /// A head packet that is already ready must be re-examined on every
+    /// clock edge (a blocked head charges `stall_cycles` per edge); a head
+    /// that becomes ready at `t` first matters at the edge at or after `t`.
+    /// Undrained inboxes demand an immediate tick by the owner.
+    pub fn next_event(&self, now: Tick) -> Option<Tick> {
+        if self.has_inbox_pending() {
+            return Some(now);
+        }
+        if self.in_flight == 0 {
+            return None;
+        }
+        // `base` is the floor of every candidate; once a ready head hits
+        // it, no later front can beat it, so stop scanning (the common
+        // case while traffic is flowing).
+        let base = self.clock.next_edge(now);
+        let mut earliest: Option<Tick> = None;
+        let fronts = self
+            .links
+            .iter()
+            .filter_map(|l| l.queue.front())
+            .chain(self.inject.iter().filter_map(|q| q.front()));
+        for f in fronts {
+            let edge = self.clock.next_edge(f.ready_at.max(now));
+            if edge == base {
+                return Some(base);
+            }
+            earliest = distda_sim::time::earliest(earliest, Some(edge));
+        }
+        earliest
     }
 
     /// Removes and returns all packets delivered to `node`.

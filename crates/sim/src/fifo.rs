@@ -137,7 +137,10 @@ mod tests {
         for i in 0..4 {
             f.try_push(i).unwrap();
         }
-        assert_eq!((0..4).map(|_| f.pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            (0..4).map(|_| f.pop().unwrap()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
     }
 
     #[test]

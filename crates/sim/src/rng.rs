@@ -1,7 +1,8 @@
-//! A small deterministic RNG (SplitMix64) for simulator-internal decisions.
+//! A small deterministic RNG (SplitMix64) for simulator-internal decisions,
+//! workload input generation, and the randomized property tests.
 //!
-//! Workload input generation uses the `rand` crate; this generator exists so
-//! the simulator core has zero external dependencies and bit-identical
+//! The workspace has no external dependencies, so this generator is the
+//! only randomness source — which also guarantees bit-identical input
 //! reproducibility across platforms.
 
 /// SplitMix64 pseudo-random generator.

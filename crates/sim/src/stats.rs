@@ -178,7 +178,9 @@ mod tests {
     #[test]
     fn sum_prefix_selects_subtree() {
         let mut r = Report::new();
-        r.add("noc.data", 3.0).add("noc.ctrl", 2.0).add("mem.reads", 7.0);
+        r.add("noc.data", 3.0)
+            .add("noc.ctrl", 2.0)
+            .add("mem.reads", 7.0);
         assert_eq!(r.sum_prefix("noc."), 5.0);
     }
 

@@ -70,7 +70,7 @@ impl ClockDomain {
 
     /// Whether this domain has a rising edge at base tick `t`.
     pub fn fires_at(self, t: Tick) -> bool {
-        t % self.period == 0
+        t.is_multiple_of(self.period)
     }
 
     /// Number of complete domain cycles elapsed by base tick `t`.
@@ -86,6 +86,30 @@ impl ClockDomain {
     /// The first tick `>= t` at which this domain fires.
     pub fn next_edge(self, t: Tick) -> Tick {
         t.div_ceil(self.period) * self.period
+    }
+}
+
+/// Combines two optional wake-up times into the earliest one.
+///
+/// This is the reduction operator of the `next_event(now) -> Option<Tick>`
+/// protocol: each component reports the earliest tick at which it could do
+/// observable work (`None` = only external input can wake it), and the
+/// scheduler folds the candidates with `earliest` to find the next tick the
+/// machine must actually simulate.
+///
+/// # Examples
+///
+/// ```
+/// use distda_sim::time::earliest;
+/// assert_eq!(earliest(Some(5), Some(3)), Some(3));
+/// assert_eq!(earliest(None, Some(7)), Some(7));
+/// assert_eq!(earliest::<u64>(None, None), None);
+/// ```
+pub fn earliest<T: Ord>(a: Option<T>, b: Option<T>) -> Option<T> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
     }
 }
 

@@ -107,8 +107,8 @@ fn affinity_order(n: usize, plans: &[OffloadPlan]) -> Vec<ArrayId> {
             }
         }
     }
-    for i in 0..n {
-        if !seen[i] {
+    for (i, s) in seen.iter().enumerate().take(n) {
+        if !s {
             order.push(ArrayId(i));
         }
     }
@@ -161,9 +161,7 @@ mod tests {
         let p = prog();
         let mut mem = fresh_mem();
         let a = allocate(&p, &[], 8, AllocStrategy::RoundRobin, &mut mem);
-        let mut ranges: Vec<(u64, u64)> = (0..3)
-            .map(|i| a.layout.range(&p, ArrayId(i)))
-            .collect();
+        let mut ranges: Vec<(u64, u64)> = (0..3).map(|i| a.layout.range(&p, ArrayId(i))).collect();
         ranges.sort();
         for r in &ranges {
             assert_eq!(r.0 % 64, 0);

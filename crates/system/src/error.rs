@@ -1,0 +1,59 @@
+//! Typed simulation errors for the machine's run loops.
+//!
+//! The machine used to guard against modeling deadlocks with bare
+//! `assert!(now < tick_budget)` calls, which reported nothing about *what*
+//! was stuck. [`SimError`] carries the run-loop phase, the tick, and a
+//! description of every stalled component so a hung plan can be diagnosed
+//! from the error alone.
+
+use distda_sim::time::Tick;
+
+/// A fatal condition detected while running the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The tick budget ran out before the run loop's exit condition held —
+    /// almost always a deadlock or livelock in the modeled machine.
+    TickBudgetExhausted {
+        /// Which run loop was executing (`"offload"`, `"host-segment"`,
+        /// `"drain"`).
+        phase: &'static str,
+        /// Tick at which the budget was exhausted.
+        now: Tick,
+        /// The configured budget.
+        budget: u64,
+        /// Description of every component still stalled.
+        stalled: String,
+    },
+    /// Skip-ahead proved the machine can never make progress again: every
+    /// component reported no internally scheduled event and no external
+    /// event is in flight, yet the exit condition still does not hold.
+    Deadlock {
+        /// Which run loop was executing.
+        phase: &'static str,
+        /// Tick at which the deadlock was detected.
+        now: Tick,
+        /// Description of every component still stalled.
+        stalled: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::TickBudgetExhausted {
+                phase,
+                now,
+                budget,
+                stalled,
+            } => write!(
+                f,
+                "tick budget exhausted in {phase} at tick {now} (budget {budget}); stalled: {stalled}"
+            ),
+            SimError::Deadlock { phase, now, stalled } => {
+                write!(f, "deadlock in {phase} at tick {now}; stalled: {stalled}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

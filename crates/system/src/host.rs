@@ -49,6 +49,9 @@ pub struct HostCore {
     bw_used: u32,
     inflight: usize,
     finish_time: Tick,
+    /// Set when new work arrived (segment load or memory response) that the
+    /// next clock edge must process; cleared after each processed edge.
+    dirty: bool,
     stats: HostStats,
 }
 
@@ -70,6 +73,7 @@ impl HostCore {
             bw_used: 0,
             inflight: 0,
             finish_time: 0,
+            dirty: false,
             stats: HostStats::default(),
         }
     }
@@ -100,7 +104,33 @@ impl HostCore {
         self.bw_cycle = self.clock.cycles_in(now);
         self.bw_used = 0;
         self.finish_time = now;
+        self.dirty = true;
         self.stats.segments += 1;
+    }
+
+    /// Earliest tick `>= now` at which [`HostCore::tick`] would make
+    /// progress on its own, or `None` when only a memory response (an
+    /// external event) can unblock it.
+    ///
+    /// The assign pass blocks only on in-flight loads, so a quiescent core
+    /// has exactly three internally scheduled wake-ups: the next edge after
+    /// new work arrived (`dirty`), the next due fire, and the analytic
+    /// `finish_time` that completes the segment.
+    pub fn next_event(&self, now: Tick) -> Option<Tick> {
+        use distda_sim::time::earliest;
+        if self.dirty {
+            return Some(self.clock.next_edge(now));
+        }
+        let fire = self
+            .fire
+            .peek()
+            .map(|&Reverse((t, _))| self.clock.next_edge(t.max(now)));
+        let finish = (self.next_assign == self.trace.len()
+            && self.inflight == 0
+            && self.fire.is_empty()
+            && self.finish_time > now)
+            .then_some(self.finish_time);
+        earliest(fire, finish)
     }
 
     /// Whether every op of the current segment has completed by `now`.
@@ -138,16 +168,20 @@ impl HostCore {
                 self.done[idx] = now;
                 self.finish_time = self.finish_time.max(now);
                 self.inflight -= 1;
+                self.dirty = true;
             }
         }
         if !self.clock.fires_at(now) {
             return;
         }
+        self.dirty = false;
         self.assign(now);
         // Fire due memory requests, bounded by L1 ports.
         let mut fired = 0;
         while fired < FIRES_PER_CYCLE {
-            let Some(&Reverse((t, idx))) = self.fire.peek() else { break };
+            let Some(&Reverse((t, idx))) = self.fire.peek() else {
+                break;
+            };
             if t > now {
                 break;
             }
@@ -294,7 +328,10 @@ mod tests {
         let end = pump(&mut host, &mut mem, &mut mesh, 0, 100_000);
         let cycles = ClockDomain::from_ghz(2.0).cycles_in(end);
         let ipc = n as f64 / cycles as f64;
-        assert!(ipc > 3.0, "5-wide core should near width on no-dep ALU, got {ipc}");
+        assert!(
+            ipc > 3.0,
+            "5-wide core should near width on no-dep ALU, got {ipc}"
+        );
     }
 
     #[test]
@@ -307,7 +344,10 @@ mod tests {
         host.load_segment(0, ops);
         let end = pump(&mut host, &mut mem, &mut mesh, 0, 1_000_000);
         let cycles = ClockDomain::from_ghz(2.0).cycles_in(end);
-        assert!(cycles >= n as u64, "chain must serialize, got {cycles} cycles");
+        assert!(
+            cycles >= n as u64,
+            "chain must serialize, got {cycles} cycles"
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl HostEval {
             scalar_src: vec![NO_DEP; prog.scalars.len()],
             loop_vars: vec![0; prog.loop_var_count],
             seg: Vec::new(),
-            store_stamp: prog.arrays.iter().map(|a| vec![(0, NO_DEP); a.len]).collect(),
+            store_stamp: prog
+                .arrays
+                .iter()
+                .map(|a| vec![(0, NO_DEP); a.len])
+                .collect(),
             epoch: 1,
         }
     }

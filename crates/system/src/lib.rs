@@ -26,6 +26,7 @@
 
 pub mod alloc;
 pub mod config;
+pub mod error;
 pub mod host;
 pub mod hosteval;
 pub mod machine;
@@ -35,6 +36,10 @@ pub mod transform;
 
 pub use alloc::{allocate, AllocStrategy, Allocation};
 pub use config::{ConfigKind, RunConfig};
+pub use error::SimError;
 pub use machine::{Machine, PlanHandle, Substrate, CHAN_CAPACITY};
-pub use runner::{simulate, simulate_capture, RunResult};
+pub use runner::{
+    simulate, simulate_capture, simulate_capture_with_ref, simulate_with_ref, simulate_with_skip,
+    RunResult,
+};
 pub use transform::decentralize;

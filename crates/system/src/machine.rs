@@ -8,9 +8,10 @@
 //! and [`Machine::read_liveouts`] (`cp_load_rf`), with MMIO traffic and
 //! host occupancy charged for each.
 
+use crate::error::SimError;
 use crate::host::HostCore;
 use crate::netmsg::{ChanState, NetMsg};
-use distda_accel::{EngineCtx, IssueModel, PartitionEngine};
+use distda_accel::{EngineCtx, IssueModel, PartitionEngine, Wake};
 use distda_compiler::plan::OffloadPlan;
 use distda_energy::EnergyCounters;
 use distda_ir::expr::ArrayId;
@@ -85,13 +86,21 @@ pub struct Machine {
     host_node: usize,
     mmio_words: u64,
     tick_budget: u64,
+    /// Idle skip-ahead: jump the clock over provably idle base ticks.
+    skip: bool,
 }
 
 impl Machine {
     /// Builds the Table III machine: 4x2 mesh, host at node 0, memory
     /// controller at node 7. The caller supplies the (already allocated)
     /// memory system, functional image and layout.
-    pub fn new(mem: MemSystem, memimg: Memory, layout: Layout, host_width: u32, host_rob: usize) -> Self {
+    pub fn new(
+        mem: MemSystem,
+        memimg: Memory,
+        layout: Layout,
+        host_width: u32,
+        host_rob: usize,
+    ) -> Self {
         let uncore = mem.clock();
         let mut mem = mem;
         let host_port = mem.register_port(PortKind::Host);
@@ -110,7 +119,16 @@ impl Machine {
             host_node: 0,
             mmio_words: 0,
             tick_budget: 60_000_000_000,
+            skip: std::env::var("DISTDA_SKIP").map_or(true, |v| v != "0"),
         }
+    }
+
+    /// Enables or disables idle skip-ahead (on by default; `DISTDA_SKIP=0`
+    /// disables it process-wide). Simulated results are bit-identical
+    /// either way — skipping only avoids spending host time on base ticks
+    /// during which no component can do observable work.
+    pub fn set_skip(&mut self, on: bool) {
+        self.skip = on;
     }
 
     /// The functional memory image.
@@ -294,7 +312,10 @@ impl Machine {
                 .eng
                 .run(now, params, &carry_init[k], start, end, step);
             words += params.len() as u64 + carry_init[k].len() as u64 + 2;
-            self.push_mmio_packet(cluster, ((params.len() + carry_init[k].len() + 2) * 8) as u32);
+            self.push_mmio_packet(
+                cluster,
+                ((params.len() + carry_init[k].len() + 2) * 8) as u32,
+            );
         }
         self.charge_mmio(words);
     }
@@ -310,13 +331,168 @@ impl Machine {
     /// Runs the machine until the plan's engines finish (the host blocking
     /// on `cp_consume`, Section V-B).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the tick budget is exhausted (deadlock guard).
-    pub fn run_offload(&mut self, handle: PlanHandle) {
-        while !self.plan_done(handle) {
+    /// Returns [`SimError`] if the tick budget is exhausted or skip-ahead
+    /// proves the plan can never finish.
+    pub fn run_offload(&mut self, handle: PlanHandle) -> Result<(), SimError> {
+        self.run_until("offload", |m| m.plan_done(handle))
+    }
+
+    /// Runs the machine until `done` holds, checked before every tick, with
+    /// the budget/deadlock guards of the other run loops. `phase` labels
+    /// any resulting [`SimError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on budget exhaustion or a proven deadlock.
+    pub fn run_until(
+        &mut self,
+        phase: &'static str,
+        done: impl Fn(&Machine) -> bool,
+    ) -> Result<(), SimError> {
+        loop {
+            if done(self) {
+                return Ok(());
+            }
+            if self.now >= self.tick_budget {
+                return Err(SimError::TickBudgetExhausted {
+                    phase,
+                    now: self.now,
+                    budget: self.tick_budget,
+                    stalled: self.stall_report(),
+                });
+            }
+            if self.skip {
+                match self.next_wake() {
+                    None => {
+                        return Err(SimError::Deadlock {
+                            phase,
+                            now: self.now,
+                            stalled: self.stall_report(),
+                        })
+                    }
+                    Some(w) if w > self.now => {
+                        // Jump, then tick at the wake tick without
+                        // re-probing (the probe would just report `w`
+                        // again). The done/budget checks must still run
+                        // at the new time first: tick-by-tick execution
+                        // would have evaluated them before reaching the
+                        // tick at `w`.
+                        self.now = w;
+                        if done(self) {
+                            return Ok(());
+                        }
+                        if self.now >= self.tick_budget {
+                            return Err(SimError::TickBudgetExhausted {
+                                phase,
+                                now: self.now,
+                                budget: self.tick_budget,
+                                stalled: self.stall_report(),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
             self.tick();
-            assert!(self.now < self.tick_budget, "offload deadlock");
+        }
+    }
+
+    /// Earliest base tick `>= self.now` at which [`Machine::tick`] would do
+    /// observable work, or `None` if no component will ever act again
+    /// without new input. This folds every component's `next_event` /
+    /// [`Wake`] report; any in-flight message (mesh, memory, channel,
+    /// undrained response) forces an immediate tick so skip-ahead executes
+    /// exactly the ticks the lock-step loop would have made observable.
+    fn next_wake(&self) -> Option<Tick> {
+        use distda_sim::time::earliest;
+        let now = self.now;
+        if !self.net_out.is_empty() {
+            return Some(now);
+        }
+        // Every candidate below is clamped to `>= now`, so a component
+        // reporting `now` is already the global minimum — stop folding.
+        // This keeps the per-tick wake probe O(1) while the machine is
+        // busy, where the probe cannot pay for itself by skipping.
+        let mut w = self.mem.next_event(now);
+        if w == Some(now) {
+            return w;
+        }
+        w = earliest(w, self.mesh.next_event(now));
+        if w == Some(now) {
+            return w;
+        }
+        w = earliest(w, self.host.next_event(now));
+        if w == Some(now) {
+            return w;
+        }
+        for slot in &self.engines {
+            let clock = slot.eng.clock();
+            let cand = if !slot.resp.is_empty() {
+                // A response is waiting at the engine's port; it must be
+                // handed over on the engine's next edge.
+                Some(clock.next_edge(now))
+            } else {
+                match slot.eng.wake() {
+                    Wake::Never => None,
+                    Wake::NextEdge => Some(clock.next_edge(now)),
+                    Wake::At(t) => Some(clock.next_edge(t.max(now))),
+                    Wake::External(chan) => {
+                        let ready = match chan {
+                            Some((c, is_send)) => {
+                                let ch = &self.chans[slot.chan_base + c as usize];
+                                if is_send {
+                                    ch.credits > 0
+                                } else {
+                                    !ch.queue.is_empty()
+                                }
+                            }
+                            None => false,
+                        };
+                        ready.then(|| clock.next_edge(now))
+                    }
+                }
+            };
+            w = earliest(w, cand);
+            if w == Some(now) {
+                return w;
+            }
+        }
+        w
+    }
+
+    /// Describes everything still in flight, for [`SimError`] reports.
+    fn stall_report(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, s) in self.engines.iter().enumerate() {
+            if !s.eng.is_done() && !s.eng.is_idle() {
+                parts.push(format!(
+                    "engine {i} (cluster {}): {}",
+                    s.cluster,
+                    s.eng.stall_debug()
+                ));
+            }
+        }
+        if !self.host.segment_drained(self.now) {
+            parts.push("host segment undrained".to_string());
+        }
+        if self.mem.is_active() {
+            parts.push("memory hierarchy active".to_string());
+        }
+        if self.mesh.is_active() {
+            parts.push("mesh active".to_string());
+        }
+        if !self.net_out.is_empty() {
+            parts.push(format!(
+                "{} packets queued for injection",
+                self.net_out.len()
+            ));
+        }
+        if parts.is_empty() {
+            "nothing visibly stalled".to_string()
+        } else {
+            parts.join("; ")
         }
     }
 
@@ -332,31 +508,50 @@ impl Machine {
     }
 
     /// Executes a host trace segment to completion.
-    pub fn run_host_segment(&mut self, ops: Vec<DynOp>) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the segment cannot drain within the budget.
+    pub fn run_host_segment(&mut self, ops: Vec<DynOp>) -> Result<(), SimError> {
         if ops.is_empty() {
-            return;
+            return Ok(());
         }
         let now = self.now;
         self.host.load_segment(now, ops);
-        while !self.host.segment_drained(self.now) {
-            self.tick();
-            assert!(self.now < self.tick_budget, "host segment hung");
-        }
+        self.run_until("host-segment", |m| m.host.segment_drained(m.now))
     }
 
     /// Advances the machine `n` base ticks.
     pub fn advance_ticks(&mut self, n: u64) {
-        for _ in 0..n {
+        let target = self.now + n;
+        while self.now < target {
+            if self.skip {
+                match self.next_wake() {
+                    None => {
+                        self.now = target;
+                        return;
+                    }
+                    Some(w) if w > self.now => {
+                        self.now = w.min(target);
+                        continue;
+                    }
+                    _ => {}
+                }
+            }
             self.tick();
         }
     }
 
     /// Drains all in-flight work (end of program).
-    pub fn drain(&mut self) {
-        while self.mem.is_active() || self.mesh.is_active() || !self.net_out.is_empty() {
-            self.tick();
-            assert!(self.now < self.tick_budget, "drain hung");
-        }
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if in-flight work cannot drain within the
+    /// budget.
+    pub fn drain(&mut self) -> Result<(), SimError> {
+        self.run_until("drain", |m| {
+            !m.mem.is_active() && !m.mesh.is_active() && m.net_out.is_empty()
+        })
     }
 
     /// One base tick.
@@ -374,7 +569,6 @@ impl Machine {
                         self.chans[chan as usize]
                             .queue
                             .try_push(v)
-                            .ok()
                             .expect("channel credited");
                     }
                     NetMsg::ChanCredit { chan, n } => {
@@ -419,9 +613,12 @@ impl Machine {
         while let Some(p) = self.mem.pop_outgoing() {
             let wrapped = Packet::new(p.src, p.dst, p.bytes, p.class, NetMsg::Mem(p.payload));
             if let Err(back) = self.mesh.try_inject(now, wrapped) {
-                let NetMsg::Mem(m) = back.payload else { unreachable!() };
-                self.mem
-                    .push_front_outgoing(Packet::new(back.src, back.dst, back.bytes, back.class, m));
+                let NetMsg::Mem(m) = back.payload else {
+                    unreachable!()
+                };
+                self.mem.push_front_outgoing(Packet::new(
+                    back.src, back.dst, back.bytes, back.class, m,
+                ));
                 break;
             }
         }
@@ -524,7 +721,7 @@ impl EngineCtx for Ctx<'_> {
         }
         ch.credits -= 1;
         if ch.is_local() {
-            ch.queue.try_push(v).ok().expect("credits bound occupancy");
+            ch.queue.try_push(v).expect("credits bound occupancy");
         } else {
             self.net_out.push_back(Packet::new(
                 ch.producer_cluster,
@@ -612,7 +809,13 @@ mod tests {
     use distda_ir::prelude::*;
     use distda_mem::MemConfig;
 
-    fn axpy_setup() -> (Program, distda_compiler::CompiledKernel, Machine, ArrayId, ArrayId) {
+    fn axpy_setup() -> (
+        Program,
+        distda_compiler::CompiledKernel,
+        Machine,
+        ArrayId,
+        ArrayId,
+    ) {
         let mut b = ProgramBuilder::new("axpy");
         let x = b.array_f64("x", 64);
         let y = b.array_f64("y", 64);
@@ -658,7 +861,7 @@ mod tests {
         let subs = vec![io_substrate(false); 2];
         let h = m.configure_plan(plan, &placement, &subs, &[]);
         m.launch(h, &[], &[vec![], vec![]], 0, 64, 1);
-        m.run_offload(h);
+        m.run_offload(h).unwrap();
         for i in 0..64 {
             assert_eq!(m.memimg().array(y)[i], Value::F(2.0 * i as f64 + 1.0));
         }
@@ -677,7 +880,7 @@ mod tests {
             let plan = &ck.offloads[0];
             let h = m.configure_plan(plan, &placement, &[io_substrate(false); 2], &[]);
             m.launch(h, &[], &[vec![], vec![]], 0, 64, 1);
-            m.run_offload(h);
+            m.run_offload(h).unwrap();
             m.noc_stats().bytes[TrafficClass::AccData.index()]
         };
         let split = run([2, 5]);
@@ -701,13 +904,13 @@ mod tests {
                 dep2: NO_DEP,
             })
             .collect();
-        m.run_host_segment(ops);
+        m.run_host_segment(ops).unwrap();
         let t_after_host = m.now;
         assert!(t_after_host > 0);
         let plan = &ck.offloads[0];
         let h = m.configure_plan(plan, &[0, 1], &[io_substrate(false); 2], &[]);
         m.launch(h, &[], &[vec![], vec![]], 0, 64, 1);
-        m.run_offload(h);
+        m.run_offload(h).unwrap();
         assert!(m.now > t_after_host);
         assert_eq!(m.host_stats().retired, 4);
     }
@@ -746,7 +949,7 @@ mod tests {
             .map(|ss| ss.iter().map(|_| Value::I(0)).collect())
             .collect();
         m.launch(h, &[], &carries, 0, 32, 1);
-        m.run_offload(h);
+        m.run_offload(h).unwrap();
         let outs = m.read_liveouts(h);
         assert_eq!(outs.len(), 1);
         assert_eq!(outs[0].1, Value::I((0..32).sum::<i64>()));
@@ -758,8 +961,8 @@ mod tests {
         let plan = &ck.offloads[0];
         let h = m.configure_plan(plan, &[0, 1], &[io_substrate(false); 2], &[]);
         m.launch(h, &[], &[vec![], vec![]], 0, 64, 1);
-        m.run_offload(h);
-        m.drain();
+        m.run_offload(h).unwrap();
+        m.drain().unwrap();
         let c = m.energy_counters();
         assert!(c.io_ops > 0);
         assert!(c.l3_accesses > 0, "ACP traffic must reach L3");

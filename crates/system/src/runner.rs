@@ -93,15 +93,94 @@ pub fn simulate(prog: &Program, init: &dyn Fn(&mut Memory), cfg: &RunConfig) -> 
 
 /// Like [`simulate`], but also returns the simulated final memory image and
 /// scalar values (for debugging and differential tests).
+///
+/// With `DISTDA_CHECK_SKIP=1` every run is executed twice — once with idle
+/// skip-ahead and once tick-by-tick — and the simulated results are
+/// asserted bit-identical (the skip-ahead debug cross-check).
 pub fn simulate_capture(
     prog: &Program,
     init: &dyn Fn(&mut Memory),
     cfg: &RunConfig,
 ) -> (RunResult, Memory, Vec<Value>) {
-    // Reference execution for validation.
-    let mut ref_mem = Memory::for_program(prog);
-    init(&mut ref_mem);
-    let ref_scalars = interp::run(prog, &mut ref_mem);
+    simulate_capture_with_ref(prog, init, cfg, None)
+}
+
+/// [`simulate_capture`] with an optional precomputed reference execution
+/// (final memory image + scalar values from the interpreter). Sweeps run
+/// one workload under many configurations; interpreting the kernel once
+/// and sharing the result removes the dominant per-run cost for short
+/// kernels. `None` recomputes the reference inline.
+pub fn simulate_capture_with_ref(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    reference: Option<&(Memory, Vec<Value>)>,
+) -> (RunResult, Memory, Vec<Value>) {
+    let out = simulate_with_ref(prog, init, cfg, None, reference);
+    if std::env::var("DISTDA_CHECK_SKIP").is_ok_and(|v| v == "1") {
+        let base = simulate_with_ref(prog, init, cfg, Some(false), reference);
+        let key = |r: &RunResult| {
+            format!(
+                "{:?} {:?}",
+                (r.ticks, &r.counters, &r.energy, r.cache_accesses),
+                (
+                    r.mem_ops,
+                    r.total_ops,
+                    r.host_ops,
+                    r.intra_bytes,
+                    r.da_bytes,
+                    r.aa_bytes,
+                    r.noc_bytes,
+                    r.data_moved_bytes,
+                    r.validated,
+                )
+            )
+        };
+        assert_eq!(
+            key(&out.0),
+            key(&base.0),
+            "skip-ahead diverged from tick-by-tick on {} / {}",
+            out.0.kernel,
+            out.0.config
+        );
+    }
+    out
+}
+
+/// [`simulate_capture`] with an explicit skip-ahead override (`None` keeps
+/// the machine default / `DISTDA_SKIP` setting). Used by the skip-ahead
+/// equivalence tests and the debug cross-check.
+pub fn simulate_with_skip(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    skip: Option<bool>,
+) -> (RunResult, Memory, Vec<Value>) {
+    simulate_with_ref(prog, init, cfg, skip, None)
+}
+
+/// [`simulate_with_skip`] with an optional precomputed reference execution
+/// (see [`simulate_capture_with_ref`]).
+pub fn simulate_with_ref(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    skip: Option<bool>,
+    reference: Option<&(Memory, Vec<Value>)>,
+) -> (RunResult, Memory, Vec<Value>) {
+    // Reference execution for validation (shared across a sweep's
+    // configurations when the caller precomputed it).
+    let computed;
+    let (ref_mem, ref_scalars): (&Memory, &[Value]) = match reference {
+        Some((m, s)) => (m, s.as_slice()),
+        None => {
+            let mut m = Memory::for_program(prog);
+            init(&mut m);
+            let s = interp::run(prog, &mut m);
+            computed = (m, s);
+            (&computed.0, computed.1.as_slice())
+        }
+    };
 
     // Compile.
     let compiled: Option<CompiledKernel> = cfg.kind.partition_mode().map(|mode| {
@@ -125,7 +204,10 @@ pub fn simulate_capture(
 
     let mut img = Memory::for_program(prog);
     init(&mut img);
-    let machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224);
+    let mut machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224);
+    if let Some(on) = skip {
+        machine.set_skip(on);
+    }
 
     let mut walker = Walker {
         prog,
@@ -139,16 +221,15 @@ pub fn simulate_capture(
     let body = prog.body.clone();
     walker.exec_block(&body);
     walker.flush();
-    walker.machine.drain();
+    walker.machine.drain().unwrap_or_else(|e| panic!("{e}"));
 
-    let Walker {
-        machine, eval, ..
-    } = walker;
+    let Walker { machine, eval, .. } = walker;
     let eval_scalars = eval.scalars.clone();
 
     // Validation: accelerated memory image and scalars match the reference.
-    let mem_ok = (0..prog.arrays.len())
-        .all(|a| machine.memimg().array(distda_ir::ArrayId(a)) == ref_mem.array(distda_ir::ArrayId(a)));
+    let mem_ok = (0..prog.arrays.len()).all(|a| {
+        machine.memimg().array(distda_ir::ArrayId(a)) == ref_mem.array(distda_ir::ArrayId(a))
+    });
     let scalars_ok = eval.scalars == ref_scalars;
     let validated = mem_ok && scalars_ok;
 
@@ -231,7 +312,9 @@ impl Walker<'_> {
 
     fn flush(&mut self) {
         let ops = self.eval.take_segment();
-        self.machine.run_host_segment(ops);
+        self.machine
+            .run_host_segment(ops)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     fn exec(&mut self, s: &Stmt) {
@@ -311,7 +394,9 @@ impl Walker<'_> {
             .collect();
         self.machine
             .launch(handle, &params, &carries, sv.as_i64(), ev.as_i64(), l.step);
-        self.machine.run_offload(handle);
+        self.machine
+            .run_offload(handle)
+            .unwrap_or_else(|e| panic!("{e}"));
         for (s, v) in self.machine.read_liveouts(handle) {
             self.eval.set_scalar_external(s, v);
         }
@@ -405,7 +490,11 @@ fn is_access_node(part: &distda_compiler::PartitionDef) -> bool {
 pub fn substrates_for(plan: &OffloadPlan, cfg: &RunConfig) -> Vec<Substrate> {
     let accel_clock = ClockDomain::from_ghz(cfg.accel_ghz);
     let uncore = ClockDomain::from_ghz(2.0);
-    let tuning = if cfg.sw_prefetch { (16, 24, 32) } else { (8, 12, 16) };
+    let tuning = if cfg.sw_prefetch {
+        (16, 24, 32)
+    } else {
+        (8, 12, 16)
+    };
     plan.partitions
         .iter()
         .map(|part| {

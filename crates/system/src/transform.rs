@@ -24,7 +24,11 @@ use std::collections::HashMap;
 ///
 /// Panics if the plan is not monolithic.
 pub fn decentralize(plan: &OffloadPlan) -> OffloadPlan {
-    assert_eq!(plan.partitions.len(), 1, "decentralize takes a monolithic plan");
+    assert_eq!(
+        plan.partitions.len(),
+        1,
+        "decentralize takes a monolithic plan"
+    );
     let comp = &plan.partitions[0];
 
     let mut channels: Vec<ChannelDef> = Vec::new();
@@ -45,8 +49,8 @@ pub fn decentralize(plan: &OffloadPlan) -> OffloadPlan {
         .collect();
 
     let keep_access = |acc: u16,
-                           kept: &mut Vec<distda_compiler::plan::AccessDef>,
-                           acc_remap: &mut Vec<Option<u16>>|
+                       kept: &mut Vec<distda_compiler::plan::AccessDef>,
+                       acc_remap: &mut Vec<Option<u16>>|
      -> u16 {
         if let Some(k) = acc_remap[acc as usize] {
             return k;
@@ -365,7 +369,11 @@ mod tests {
         let store_part = da
             .partitions
             .iter()
-            .find(|p| p.nodes.iter().any(|n| matches!(n, PNode::StoreStream { .. })))
+            .find(|p| {
+                p.nodes
+                    .iter()
+                    .any(|n| matches!(n, PNode::StoreStream { .. }))
+            })
             .expect("store partition");
         let recvs = store_part
             .nodes

@@ -20,7 +20,11 @@ pub fn pathfinder(s: &Scale) -> Workload {
             let best = Expr::load(src, j.clone() - Expr::c(1))
                 .min(Expr::load(src, j.clone()))
                 .min(Expr::load(src, j.clone() + Expr::c(1)));
-            b.store(dst, j.clone(), Expr::load(wall, i.clone() * Expr::c(cols) + j) + best);
+            b.store(
+                dst,
+                j.clone(),
+                Expr::load(wall, i.clone() * Expr::c(cols) + j) + best,
+            );
         });
         // Host edges.
         b.store(
@@ -44,6 +48,7 @@ pub fn pathfinder(s: &Scale) -> Workload {
     let (seed, r_, c_) = (s.seed, s.rows, s.cols);
     Workload {
         name: "pf".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
             mem.array_mut(wall)
@@ -85,9 +90,10 @@ pub fn nw_blocked(s: &Scale, block: usize) -> Workload {
             b.for_(lo, hi, 1, |b, j| {
                 let matched = Expr::load(seq1, i.clone()).eq_(Expr::load(seq2, j.clone()));
                 let sim = matched.select(Expr::cf(1.0), Expr::cf(-1.0));
-                let diag =
-                    Expr::load(score, (i.clone() - Expr::c(1)) * Expr::c(n) + j.clone() - Expr::c(1))
-                        + sim;
+                let diag = Expr::load(
+                    score,
+                    (i.clone() - Expr::c(1)) * Expr::c(n) + j.clone() - Expr::c(1),
+                ) + sim;
                 let up = Expr::load(score, (i.clone() - Expr::c(1)) * Expr::c(n) + j.clone())
                     - Expr::cf(penalty);
                 let left = Expr::load(score, i.clone() * Expr::c(n) + j.clone() - Expr::c(1))
@@ -100,6 +106,7 @@ pub fn nw_blocked(s: &Scale, block: usize) -> Workload {
     let (seed, len) = (s.seed, s.seq);
     Workload {
         name: "nw".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
             let mut r = distda_sim::SplitMix64::new(seed + 70);

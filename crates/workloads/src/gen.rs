@@ -80,8 +80,8 @@ pub fn bfs_reference(row_ptr: &[i64], col: &[i64], src: usize) -> (Vec<i64>, usi
     queue.push_back(src);
     let mut ecc = 0;
     while let Some(u) = queue.pop_front() {
-        for e in row_ptr[u] as usize..row_ptr[u + 1] as usize {
-            let v = col[e] as usize;
+        for &c in &col[row_ptr[u] as usize..row_ptr[u + 1] as usize] {
+            let v = c as usize;
             if dist[v] < 0 {
                 dist[v] = dist[u] + 1;
                 ecc = ecc.max(dist[v] as usize);

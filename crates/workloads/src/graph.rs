@@ -53,7 +53,8 @@ pub fn bfs(s: &Scale) -> Workload {
             b.store(
                 visited,
                 v.clone(),
-                upd.clone().select(Expr::c(1), Expr::load(visited, v.clone())),
+                upd.clone()
+                    .select(Expr::c(1), Expr::load(visited, v.clone())),
             );
             b.store(updating, v, Expr::c(0));
         });
@@ -62,6 +63,7 @@ pub fn bfs(s: &Scale) -> Workload {
     let rp = row_ptr;
     Workload {
         name: "bfs".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
             for (k, v) in rp.iter().enumerate() {
@@ -109,8 +111,7 @@ pub fn pagerank(s: &Scale) -> Workload {
                 let u = Expr::load(aj, e);
                 b.set(
                     acc,
-                    Expr::Scalar(acc)
-                        + Expr::load(pr, u.clone()) * Expr::load(invdeg, u),
+                    Expr::Scalar(acc) + Expr::load(pr, u.clone()) * Expr::load(invdeg, u),
                 );
             });
             b.store(
@@ -127,6 +128,7 @@ pub fn pagerank(s: &Scale) -> Workload {
     let rp = row_ptr;
     Workload {
         name: "pr".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
             for (k, v) in rp.iter().enumerate() {
@@ -151,7 +153,11 @@ pub fn pointer_chase(s: &Scale) -> Workload {
     // The paper's pointer-chase works over an 8 MB uniform distribution —
     // well past the 2 MB LLC. Scale the table with the suite but keep it
     // LLC-exceeding except at tiny test scale.
-    let n = if s.nodes >= 1024 { (s.nodes * 256).max(512 * 1024) } else { s.nodes.max(1024) };
+    let n = if s.nodes >= 1024 {
+        (s.nodes * 256).max(512 * 1024)
+    } else {
+        s.nodes.max(1024)
+    };
     let mut b = ProgramBuilder::new("pointer-chase");
     let next = b.array_i64("next", n);
     let out = b.array_i64("out", 1);
@@ -164,6 +170,7 @@ pub fn pointer_chase(s: &Scale) -> Workload {
     let seed = s.seed;
     Workload {
         name: "pch".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
             let chain = gen::permutation_cycle(n, seed + 100);

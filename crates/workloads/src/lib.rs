@@ -27,10 +27,11 @@ pub mod spmv;
 pub mod stencils;
 pub mod vision;
 
-use distda_ir::interp::Memory;
+use distda_ir::interp::{self, Memory};
 use distda_ir::program::Program;
-use distda_system::{simulate, RunConfig, RunResult};
-use std::sync::Arc;
+use distda_ir::value::Value;
+use distda_system::{simulate_capture_with_ref, RunConfig, RunResult};
+use std::sync::{Arc, OnceLock};
 
 pub use dp::{nw, nw_blocked, pathfinder};
 pub use graph::{bfs, pagerank, pointer_chase};
@@ -138,6 +139,11 @@ pub struct Workload {
     pub program: Program,
     /// Installs inputs into a fresh memory image.
     pub init: Arc<dyn Fn(&mut Memory) + Send + Sync>,
+    /// Reference execution (final memory image + scalars), interpreted
+    /// once on first use and shared by every configuration this workload
+    /// is simulated under — the interpreter is deterministic, so caching
+    /// cannot change any result.
+    pub ref_cache: Arc<OnceLock<(Memory, Vec<Value>)>>,
 }
 
 impl std::fmt::Debug for Workload {
@@ -150,17 +156,26 @@ impl std::fmt::Debug for Workload {
 }
 
 impl Workload {
-    /// Simulates this workload under a configuration.
+    /// Simulates this workload under a configuration, validating against
+    /// the (cached) reference execution.
     pub fn simulate(&self, cfg: &RunConfig) -> RunResult {
-        simulate(&self.program, &*self.init, cfg)
+        simulate_capture_with_ref(&self.program, &*self.init, cfg, Some(self.reference_exec())).0
+    }
+
+    /// The cached reference execution: final memory image + scalar values
+    /// from the interpreter, computed on first use.
+    pub fn reference_exec(&self) -> &(Memory, Vec<Value>) {
+        self.ref_cache.get_or_init(|| {
+            let mut mem = Memory::for_program(&self.program);
+            (self.init)(&mut mem);
+            let scalars = interp::run(&self.program, &mut mem);
+            (mem, scalars)
+        })
     }
 
     /// Runs the reference interpreter, returning the final memory image.
     pub fn reference(&self) -> Memory {
-        let mut mem = Memory::for_program(&self.program);
-        (self.init)(&mut mem);
-        distda_ir::interp::run(&self.program, &mut mem);
-        mem
+        self.reference_exec().0.clone()
     }
 }
 

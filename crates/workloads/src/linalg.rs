@@ -46,9 +46,11 @@ pub fn cholesky(s: &Scale) -> Workload {
     let (seed, dim) = (s.seed, s.mat);
     Workload {
         name: "cho".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
-            mem.array_mut(a).copy_from_slice(&gen::spd_matrix(dim, seed + 40));
+            mem.array_mut(a)
+                .copy_from_slice(&gen::spd_matrix(dim, seed + 40));
         }),
     }
 }
@@ -71,7 +73,10 @@ pub fn pca(s: &Scale) -> Workload {
     b.for_(0, c, 1, |b, j| {
         b.set(acc, Expr::cf(0.0));
         b.for_(0, r, 1, |b, k| {
-            b.set(acc, Expr::Scalar(acc) + Expr::load(data, k * Expr::c(c) + j.clone()));
+            b.set(
+                acc,
+                Expr::Scalar(acc) + Expr::load(data, k * Expr::c(c) + j.clone()),
+            );
         });
         b.store(mean, j, Expr::Scalar(acc) / Expr::cf(r as f64));
     });
@@ -96,9 +101,11 @@ pub fn pca(s: &Scale) -> Workload {
     let (seed, cells_) = (s.seed, cells);
     Workload {
         name: "pca".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
-            mem.array_mut(data).copy_from_slice(&gen::unit_floats(cells_, seed + 50));
+            mem.array_mut(data)
+                .copy_from_slice(&gen::unit_floats(cells_, seed + 50));
         }),
     }
 }

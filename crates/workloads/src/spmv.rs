@@ -42,8 +42,7 @@ pub fn spmv(s: &Scale) -> Workload {
         b.for_(lo, hi, 1, |b, e| {
             b.set(
                 acc,
-                Expr::Scalar(acc)
-                    + Expr::load(a, e.clone()) * Expr::load(x, Expr::load(aj, e)),
+                Expr::Scalar(acc) + Expr::load(a, e.clone()) * Expr::load(x, Expr::load(aj, e)),
             );
         });
         b.store(y, i, Expr::Scalar(acc));
@@ -51,6 +50,7 @@ pub fn spmv(s: &Scale) -> Workload {
     let prog = b.build();
     Workload {
         name: "spmv".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
             for (k, v) in rp.iter().enumerate() {
@@ -75,8 +75,8 @@ pub fn spmv_flat(s: &Scale) -> Workload {
     // Expand row indices per nonzero.
     let mut rows = vec![0i64; m];
     for r in 0..n {
-        for e in rp[r] as usize..rp[r + 1] as usize {
-            rows[e] = r as i64;
+        for slot in &mut rows[rp[r] as usize..rp[r + 1] as usize] {
+            *slot = r as i64;
         }
     }
     let mut b = ProgramBuilder::new("spmv-flat");
@@ -94,6 +94,7 @@ pub fn spmv_flat(s: &Scale) -> Workload {
     let prog = b.build();
     Workload {
         name: "spmv-flat".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
             for (k, v) in rows.iter().enumerate() {
@@ -129,7 +130,10 @@ mod tests {
         let expect = oracle(&s);
         let out = spmv(&s).reference();
         for (r, e) in expect.iter().enumerate() {
-            assert!((out.array(ArrayId(4))[r].as_f64() - e).abs() < 1e-9, "row {r}");
+            assert!(
+                (out.array(ArrayId(4))[r].as_f64() - e).abs() < 1e-9,
+                "row {r}"
+            );
         }
     }
 
@@ -139,7 +143,10 @@ mod tests {
         let expect = oracle(&s);
         let out = spmv_flat(&s).reference();
         for (r, e) in expect.iter().enumerate() {
-            assert!((out.array(ArrayId(4))[r].as_f64() - e).abs() < 1e-9, "row {r}");
+            assert!(
+                (out.array(ArrayId(4))[r].as_f64() - e).abs() < 1e-9,
+                "row {r}"
+            );
         }
     }
 }

@@ -57,11 +57,15 @@ pub fn fdtd_2d(s: &Scale) -> Workload {
     let (seed, cells_) = (s.seed, cells);
     Workload {
         name: "fdt".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
-            mem.array_mut(ex).copy_from_slice(&gen::unit_floats(cells_, seed + 10));
-            mem.array_mut(ey).copy_from_slice(&gen::unit_floats(cells_, seed + 11));
-            mem.array_mut(hz).copy_from_slice(&gen::unit_floats(cells_, seed + 12));
+            mem.array_mut(ex)
+                .copy_from_slice(&gen::unit_floats(cells_, seed + 10));
+            mem.array_mut(ey)
+                .copy_from_slice(&gen::unit_floats(cells_, seed + 11));
+            mem.array_mut(hz)
+                .copy_from_slice(&gen::unit_floats(cells_, seed + 12));
         }),
     }
 }
@@ -103,9 +107,11 @@ pub fn adi(s: &Scale) -> Workload {
     let (seed, cells_) = (s.seed, cells);
     Workload {
         name: "adi".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
-            mem.array_mut(x).copy_from_slice(&gen::unit_floats(cells_, seed + 20));
+            mem.array_mut(x)
+                .copy_from_slice(&gen::unit_floats(cells_, seed + 20));
             // Keep divisors away from zero.
             for (k, v) in mem.array_mut(a).iter_mut().enumerate() {
                 *v = Value::F(0.1 + ((k % 7) as f64) * 0.05);
@@ -145,9 +151,11 @@ pub fn seidel_2d(s: &Scale) -> Workload {
     let (seed, cells_) = (s.seed, cells);
     Workload {
         name: "sei".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
-            mem.array_mut(a).copy_from_slice(&gen::unit_floats(cells_, seed + 30));
+            mem.array_mut(a)
+                .copy_from_slice(&gen::unit_floats(cells_, seed + 30));
         }),
     }
 }
@@ -211,8 +219,8 @@ mod tests {
         let ey = mem.array(ArrayId(1));
         // After the final step, before the ey update overwrote rows > 0,
         // row 0 was set to t = steps-1.
-        for j in 0..s.grid {
-            assert_eq!(ey[j].as_f64(), (s.steps - 1) as f64);
+        for v in ey.iter().take(s.grid) {
+            assert_eq!(v.as_f64(), (s.steps - 1) as f64);
         }
     }
 }

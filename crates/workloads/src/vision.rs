@@ -53,6 +53,7 @@ pub fn disparity(s: &Scale) -> Workload {
     let (seed, img) = (s.seed, s.img);
     Workload {
         name: "dis".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
             let l = gen::pixels(img * img, seed);
@@ -130,6 +131,7 @@ pub fn tracking(s: &Scale) -> Workload {
     let (seed, side) = (s.seed, s.img);
     Workload {
         name: "tra".into(),
+        ref_cache: Default::default(),
         program: prog,
         init: Arc::new(move |mem: &mut Memory| {
             let px = gen::pixels(side * side, seed + 2);
@@ -152,8 +154,8 @@ mod tests {
         let disp = mem.array(ArrayId(5));
         let n = s.img * s.img;
         // Interior pixel count with disp in range.
-        for p in 1..n - 1 {
-            let d = disp[p].as_f64();
+        for (p, v) in disp.iter().enumerate().take(n - 1).skip(1) {
+            let d = v.as_f64();
             assert!((0.0..s.shifts as f64).contains(&d), "disp[{p}] = {d}");
         }
     }

@@ -12,12 +12,20 @@ use distda::workloads::{bfs, pagerank, Scale};
 fn main() {
     let scale = Scale::eval();
     for w in [pagerank(&scale), bfs(&scale)] {
-        println!("== {} ({} nodes, edge factor {}) ==", w.name, scale.nodes, scale.edge_factor);
+        println!(
+            "== {} ({} nodes, edge factor {}) ==",
+            w.name, scale.nodes, scale.edge_factor
+        );
         println!(
             "{:<18} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9}",
             "config", "ticks", "core", "accel", "cache", "noc", "dram"
         );
-        for kind in [ConfigKind::OoO, ConfigKind::MonoDAIO, ConfigKind::DistDAIO, ConfigKind::DistDAF] {
+        for kind in [
+            ConfigKind::OoO,
+            ConfigKind::MonoDAIO,
+            ConfigKind::DistDAIO,
+            ConfigKind::DistDAF,
+        ] {
             let r = w.simulate(&RunConfig::named(kind));
             assert!(r.validated);
             let e = &r.energy;

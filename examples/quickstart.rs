@@ -30,9 +30,17 @@ fn main() {
     };
 
     // 3. Simulate under the OoO baseline and the full Dist-DA-F system.
-    println!("{:<18} {:>12} {:>14} {:>12} {:>10}", "config", "ticks", "energy (nJ)", "NoC bytes", "valid");
+    println!(
+        "{:<18} {:>12} {:>14} {:>12} {:>10}",
+        "config", "ticks", "energy (nJ)", "NoC bytes", "valid"
+    );
     let mut baseline = None;
-    for kind in [ConfigKind::OoO, ConfigKind::MonoDAIO, ConfigKind::DistDAIO, ConfigKind::DistDAF] {
+    for kind in [
+        ConfigKind::OoO,
+        ConfigKind::MonoDAIO,
+        ConfigKind::DistDAIO,
+        ConfigKind::DistDAF,
+    ] {
         let cfg = RunConfig::named(kind);
         let r = distda::system::simulate(&prog, &init, &cfg);
         println!(

@@ -51,8 +51,11 @@ fn configuration_charges_mmio_and_time() {
     assert!(m.now > before_time, "configuration occupies the host");
     let words_after_config = m.mmio_words();
     m.launch(h, &[], &[vec![], vec![]], 0, 256, 1);
-    assert!(m.mmio_words() > words_after_config, "cp_set_rf/cp_run cost MMIO");
-    m.run_offload(h);
+    assert!(
+        m.mmio_words() > words_after_config,
+        "cp_set_rf/cp_run cost MMIO"
+    );
+    m.run_offload(h).unwrap();
 }
 
 /// Decoupled producer-consumer execution: the producer partition runs
@@ -68,7 +71,7 @@ fn producer_runs_ahead_bounded_by_buffer() {
     let subs = vec![io_substrate(); plan.partitions.len()];
     let h = m.configure_plan(plan, &[0, 7], &subs, &[]);
     m.launch(h, &[], &[vec![], vec![]], 0, 256, 1);
-    m.run_offload(h);
+    m.run_offload(h).unwrap();
     let ticks = m.now;
     // A naive request-response per element across ~9 hops at ~30+ cycles
     // round trip would exceed 256 * 90 ticks; decoupling must beat half
@@ -90,7 +93,7 @@ fn plans_are_reusable_across_invocations() {
     for chunk in 0..4 {
         let lo = chunk * 64;
         m.launch(h, &[], &[vec![], vec![]], lo, lo + 64, 1);
-        m.run_offload(h);
+        m.run_offload(h).unwrap();
     }
     for i in 0..256 {
         assert_eq!(
@@ -111,12 +114,14 @@ fn configure_flushes_host_cached_objects() {
     let (start, _end) = m.layout().range(&p, ArrayId(0));
     let ops: Vec<DynOp> = (0..32)
         .map(|i| DynOp {
-            kind: OpKind::Store { addr: start + i * 8 },
+            kind: OpKind::Store {
+                addr: start + i * 8,
+            },
             dep1: NO_DEP,
             dep2: NO_DEP,
         })
         .collect();
-    m.run_host_segment(ops);
+    m.run_host_segment(ops).unwrap();
     let plan = &ck.offloads[0];
     let subs = vec![io_substrate(); plan.partitions.len()];
     let ranges = [(start, start + 256 * 8)];
@@ -144,5 +149,5 @@ fn channel_occupancy_never_exceeds_capacity() {
     };
     let h = m.configure_plan(plan, &[0, 1], &subs, &[]);
     m.launch(h, &[], &[vec![], vec![]], 0, 256, 1);
-    m.run_offload(h); // would panic on any credit violation
+    m.run_offload(h).unwrap(); // would panic on any credit violation
 }

@@ -1,5 +1,8 @@
-//! Property-based tests (proptest) on the core data structures and the
+//! Randomized model-based tests on the core data structures and the
 //! end-to-end invariants the system depends on.
+//!
+//! Cases are generated with the repo's own `SplitMix64` so the suite is
+//! deterministic, reproducible across platforms, and dependency-free.
 
 use distda::compiler::{compile, PartitionMode};
 use distda::ir::prelude::*;
@@ -7,53 +10,64 @@ use distda::mem::cache::{Cache, Lookup};
 use distda::mem::params::CacheParams;
 use distda::noc::{Mesh, NocConfig, Packet, TrafficClass};
 use distda::sim::time::ClockDomain;
-use distda::sim::Fifo;
+use distda::sim::{Fifo, SplitMix64};
 use distda::system::{ConfigKind, RunConfig};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// FIFO preserves order and never exceeds capacity.
-    #[test]
-    fn fifo_is_order_preserving(ops in proptest::collection::vec(0u8..3, 1..200), cap in 1usize..16) {
+/// FIFO preserves order and never exceeds capacity.
+#[test]
+fn fifo_is_order_preserving() {
+    let mut rng = SplitMix64::new(0xF1F0);
+    for _case in 0..64 {
+        let cap = 1 + rng.below(15) as usize;
+        let n_ops = 1 + rng.below(199) as usize;
         let mut f = Fifo::new(cap);
         let mut model = std::collections::VecDeque::new();
         let mut next = 0u32;
-        for op in ops {
-            if op < 2 {
+        for _ in 0..n_ops {
+            if rng.below(3) < 2 {
                 // push
                 if f.try_push(next).is_ok() {
                     model.push_back(next);
                 }
                 next += 1;
             } else {
-                prop_assert_eq!(f.pop(), model.pop_front());
+                assert_eq!(f.pop(), model.pop_front());
             }
-            prop_assert!(f.len() <= cap);
-            prop_assert_eq!(f.len(), model.len());
+            assert!(f.len() <= cap);
+            assert_eq!(f.len(), model.len());
         }
         while let Some(v) = f.pop() {
-            prop_assert_eq!(Some(v), model.pop_front());
+            assert_eq!(Some(v), model.pop_front());
         }
     }
+}
 
-    /// The cache tag array tracks presence exactly like a set model.
-    #[test]
-    fn cache_matches_reference_set_model(lines in proptest::collection::vec(0u64..64, 1..300)) {
-        let mut c = Cache::new(CacheParams { size_bytes: 16 * 64, assoc: 2, latency: 1, mshrs: 4 });
+/// The cache tag array tracks presence exactly like a set model.
+#[test]
+fn cache_matches_reference_set_model() {
+    let mut rng = SplitMix64::new(0xCAC4E);
+    for _case in 0..64 {
+        let n_lines = 1 + rng.below(299) as usize;
+        let mut c = Cache::new(CacheParams {
+            size_bytes: 16 * 64,
+            assoc: 2,
+            latency: 1,
+            mshrs: 4,
+        });
         let mut resident: HashSet<u64> = HashSet::new();
-        for line in lines {
+        for _ in 0..n_lines {
+            let line = rng.below(64);
             match c.access(line, false) {
-                Lookup::Hit => prop_assert!(resident.contains(&line), "phantom hit on {line}"),
+                Lookup::Hit => assert!(resident.contains(&line), "phantom hit on {line}"),
                 Lookup::Miss => {
-                    prop_assert!(!resident.contains(&line), "missed resident line {line}");
+                    assert!(!resident.contains(&line), "missed resident line {line}");
                     c.fill(line, false);
                     resident.insert(line);
                     // Mirror an eviction if the set exceeded associativity.
                     let set = line % 8;
-                    let in_set: Vec<u64> = resident.iter().copied().filter(|l| l % 8 == set).collect();
+                    let in_set: Vec<u64> =
+                        resident.iter().copied().filter(|l| l % 8 == set).collect();
                     if in_set.len() > 2 {
                         // Trust the cache: resync residency from probes.
                         for l in in_set {
@@ -64,22 +78,31 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(c.resident_lines() <= 32);
+            assert!(c.resident_lines() <= 32);
         }
     }
+}
 
-    /// Every injected packet is delivered exactly once, to its destination.
-    #[test]
-    fn mesh_delivers_everything(
-        pkts in proptest::collection::vec((0usize..8, 0usize..8, 1u32..256), 1..40)
-    ) {
-        let mut mesh: Mesh<usize> = Mesh::new(4, 2, NocConfig::default(), ClockDomain::from_ghz(2.0));
+/// Every injected packet is delivered exactly once, to its destination.
+#[test]
+fn mesh_delivers_everything() {
+    let mut rng = SplitMix64::new(0x4E54);
+    for _case in 0..64 {
+        let n_pkts = 1 + rng.below(39) as usize;
+        let mut mesh: Mesh<usize> =
+            Mesh::new(4, 2, NocConfig::default(), ClockDomain::from_ghz(2.0));
         let mut expected: Vec<Option<usize>> = Vec::new();
         let mut t = 0u64;
         let mut accepted = 0usize;
-        for (i, (src, dst, bytes)) in pkts.iter().enumerate() {
-            if mesh.try_inject(t, Packet::new(*src, *dst, *bytes, TrafficClass::AccData, i)).is_ok() {
-                expected.push(Some(*dst));
+        for i in 0..n_pkts {
+            let src = rng.below(8) as usize;
+            let dst = rng.below(8) as usize;
+            let bytes = 1 + rng.below(255) as u32;
+            if mesh
+                .try_inject(t, Packet::new(src, dst, bytes, TrafficClass::AccData, i))
+                .is_ok()
+            {
+                expected.push(Some(dst));
                 accepted += 1;
             } else {
                 expected.push(None);
@@ -91,23 +114,31 @@ proptest! {
         while mesh.is_active() {
             mesh.tick(t);
             t += 1;
-            prop_assert!(t < 1_000_000, "mesh failed to drain");
+            assert!(t < 1_000_000, "mesh failed to drain");
         }
         for node in 0..8 {
             for p in mesh.drain_inbox(node) {
-                prop_assert_eq!(expected[p.payload], Some(node), "misrouted packet");
+                assert_eq!(expected[p.payload], Some(node), "misrouted packet");
                 got += 1;
             }
         }
-        prop_assert_eq!(got, accepted, "lost or duplicated packets");
+        assert_eq!(got, accepted, "lost or duplicated packets");
     }
+}
 
-    /// Compiled plans are structurally valid for arbitrary map-style
-    /// kernels, and distributed partitioning anchors one object each.
-    #[test]
-    fn compiled_plans_validate(n_arrays in 2usize..5, scale in 1i64..5, offset in -2i64..3) {
+/// Compiled plans are structurally valid for arbitrary map-style
+/// kernels, and distributed partitioning anchors one object each.
+#[test]
+fn compiled_plans_validate() {
+    let mut rng = SplitMix64::new(0xC0DE);
+    for _case in 0..32 {
+        let n_arrays = 2 + rng.below(3) as usize;
+        let scale = 1 + rng.below(4) as i64;
+        let offset = rng.below(5) as i64 - 2;
         let mut b = ProgramBuilder::new("gen");
-        let arrays: Vec<_> = (0..n_arrays).map(|k| b.array_f64(format!("a{k}"), 64)).collect();
+        let arrays: Vec<_> = (0..n_arrays)
+            .map(|k| b.array_f64(format!("a{k}"), 64))
+            .collect();
         let out = *arrays.last().unwrap();
         b.for_(2, 60, 1, |b, i| {
             let mut acc = Expr::cf(1.0);
@@ -119,22 +150,27 @@ proptest! {
         let p = b.build();
         for mode in [PartitionMode::Distributed, PartitionMode::Monolithic] {
             let ck = compile(&p, mode);
-            prop_assert_eq!(ck.offloads.len(), 1);
+            assert_eq!(ck.offloads.len(), 1);
             let plan = &ck.offloads[0];
-            prop_assert!(plan.validate().is_ok(), "{:?}", plan.validate());
+            assert!(plan.validate().is_ok(), "{:?}", plan.validate());
             if mode == PartitionMode::Distributed {
                 for part in &plan.partitions {
                     let objs: HashSet<_> = part.accesses.iter().map(|a| a.array).collect();
-                    prop_assert!(objs.len() <= 1, "partition touches {} objects", objs.len());
+                    assert!(objs.len() <= 1, "partition touches {} objects", objs.len());
                 }
             }
         }
     }
+}
 
-    /// End-to-end: random affine map kernels produce reference-identical
-    /// results under distributed offload, and simulation is deterministic.
-    #[test]
-    fn simulation_is_correct_and_deterministic(seed in 0u64..1000, stride in 1i64..4) {
+/// End-to-end: random affine map kernels produce reference-identical
+/// results under distributed offload, and simulation is deterministic.
+#[test]
+fn simulation_is_correct_and_deterministic() {
+    let mut rng = SplitMix64::new(0x51AB);
+    for _case in 0..4 {
+        let seed = rng.below(1000);
+        let stride = 1 + rng.below(3) as i64;
         let n = 64usize;
         let mut b = ProgramBuilder::new("prop");
         let x = b.array_f64("x", n * 4);
@@ -145,7 +181,7 @@ proptest! {
         });
         let p = b.build();
         let init = move |mem: &mut Memory| {
-            let mut r = distda::sim::SplitMix64::new(seed);
+            let mut r = SplitMix64::new(seed);
             for v in mem.array_mut(x) {
                 *v = Value::F(r.next_f64());
             }
@@ -153,8 +189,8 @@ proptest! {
         let cfg = RunConfig::named(ConfigKind::DistDAIO);
         let r1 = distda::system::simulate(&p, &init, &cfg);
         let r2 = distda::system::simulate(&p, &init, &cfg);
-        prop_assert!(r1.validated);
-        prop_assert_eq!(r1.ticks, r2.ticks, "nondeterministic timing");
-        prop_assert_eq!(r1.counters.noc_hop_bytes, r2.counters.noc_hop_bytes);
+        assert!(r1.validated);
+        assert_eq!(r1.ticks, r2.ticks, "nondeterministic timing");
+        assert_eq!(r1.counters.noc_hop_bytes, r2.counters.noc_hop_bytes);
     }
 }

@@ -12,8 +12,7 @@ fn check(kind: ConfigKind) {
         assert!(
             r.validated,
             "{} failed validation under {}",
-            w.name,
-            r.config
+            w.name, r.config
         );
         assert!(r.ticks > 0, "{} reported zero time", w.name);
     }
