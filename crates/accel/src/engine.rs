@@ -14,6 +14,7 @@ use distda_compiler::affine::Sym;
 use distda_compiler::plan::{AccessPattern, PNode, PartitionDef};
 use distda_ir::value::Value;
 use distda_sim::time::{ClockDomain, Tick};
+use distda_trace::{EventKind, StallCause, TraceSink};
 use std::collections::{HashMap, HashSet};
 
 /// Bytes per cache line (matches the memory hierarchy).
@@ -164,6 +165,14 @@ pub struct PartitionEngine {
     attempted: bool,
 
     stats: EngineStats,
+
+    sink: TraceSink,
+    /// Open stall span: when the current wait began and why. Transitions
+    /// only happen on processed (never skipped) edges, so the spans are
+    /// identical with skip-ahead on or off.
+    wait_since: Option<(Tick, StallCause)>,
+    /// Open invocation span: `(run tick, iterations at run)`.
+    run_since: Option<(Tick, u64)>,
 }
 
 impl PartitionEngine {
@@ -217,6 +226,23 @@ impl PartitionEngine {
             last_edge: None,
             attempted: false,
             stats: EngineStats::default(),
+            sink: TraceSink::default(),
+            wait_since: None,
+            run_since: None,
+        }
+    }
+
+    /// Attaches a trace sink recording stall and invocation spans. A
+    /// default (disabled) sink costs nothing.
+    pub fn set_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
+    }
+
+    fn cause_of(w: Wait) -> StallCause {
+        match w {
+            Wait::Line { .. } => StallCause::Mem,
+            Wait::Chan { .. } => StallCause::Chan,
+            Wait::WriteCap { .. } => StallCause::WriteCap,
         }
     }
 
@@ -292,6 +318,13 @@ impl PartitionEngine {
         self.wake = Wake::NextEdge;
         self.last_edge = None;
         self.attempted = false;
+        if let Some((t0, c0)) = self.wait_since.take() {
+            self.sink
+                .span(t0, now, EventKind::EngineStall { cause: c0 });
+        }
+        if self.sink.on() {
+            self.run_since = Some((now, self.stats.iterations));
+        }
         self.state = if (step > 0 && start >= end) || (step < 0 && start <= end) {
             State::Draining
         } else {
@@ -577,6 +610,15 @@ impl PartitionEngine {
             State::Draining => {
                 if self.outstanding_writes == 0 && self.wb_retry.is_empty() {
                     self.state = State::Done;
+                    if let Some((t0, it0)) = self.run_since.take() {
+                        self.sink.span(
+                            t0,
+                            now,
+                            EventKind::EngineRun {
+                                iters: self.stats.iterations - it0,
+                            },
+                        );
+                    }
                 }
             }
             State::Running => {
@@ -585,9 +627,31 @@ impl PartitionEngine {
                 }
             }
         }
+        if self.sink.on() {
+            self.trace_wait_transition(now);
+        }
         let progress = self.snapshot() != before;
         self.wake = self.compute_wake(now, progress);
         self.last_edge = Some(now);
+    }
+
+    /// Closes/opens stall spans when the wait record changed on this edge.
+    fn trace_wait_transition(&mut self, now: Tick) {
+        let cur = self.wait.map(Self::cause_of);
+        match (self.wait_since, cur) {
+            (None, Some(c)) => self.wait_since = Some((now, c)),
+            (Some((t0, c0)), None) => {
+                self.sink
+                    .span(t0, now, EventKind::EngineStall { cause: c0 });
+                self.wait_since = None;
+            }
+            (Some((t0, c0)), Some(c)) if c != c0 => {
+                self.sink
+                    .span(t0, now, EventKind::EngineStall { cause: c0 });
+                self.wait_since = Some((now, c));
+            }
+            _ => {}
+        }
     }
 
     fn execute(&mut self, now: Tick, ctx: &mut dyn EngineCtx) {

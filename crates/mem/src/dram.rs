@@ -5,6 +5,7 @@
 //! misses overlap, which the host's memory-level parallelism depends on.
 
 use distda_sim::time::{ClockDomain, Tick};
+use distda_trace::{EventKind, TraceSink};
 use std::collections::VecDeque;
 
 /// A DRAM access completing at some future tick.
@@ -51,6 +52,7 @@ pub struct Dram {
     pub writes: u64,
     /// Ticks the channel spent transferring data (utilization).
     pub busy_ticks: u64,
+    sink: TraceSink,
 }
 
 impl Dram {
@@ -72,12 +74,23 @@ impl Dram {
             reads: 0,
             writes: 0,
             busy_ticks: 0,
+            sink: TraceSink::default(),
         }
     }
 
+    /// Attaches a trace sink recording bursts and queue depth. A default
+    /// (disabled) sink costs nothing.
+    pub fn set_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
+    }
+
     /// Queues an access.
-    pub fn enqueue(&mut self, _now: Tick, line: u64, write: bool, from_cluster: usize) {
+    pub fn enqueue(&mut self, now: Tick, line: u64, write: bool, from_cluster: usize) {
         self.queue.push_back((line, write, from_cluster));
+        if self.sink.on() {
+            self.sink.instant(now, EventKind::DramBurst { line, write });
+            self.sink.sample(now, "pending", self.pending() as f64);
+        }
     }
 
     /// Advances one tick; returns a completed access, if any.

@@ -17,6 +17,7 @@ use std::collections::VecDeque;
 use distda_noc::{Packet, TrafficClass};
 use distda_sim::time::{ClockDomain, Tick};
 use distda_sim::Report;
+use distda_trace::{EventKind, TraceSink, Tracer};
 
 use crate::addrmap::AddressMap;
 use crate::cache::{Cache, CacheStats, Lookup};
@@ -149,6 +150,7 @@ pub struct MemSystem {
     seq: u64,
     out: VecDeque<Packet<MemMsg>>,
     stats: MemSysStats,
+    sink: TraceSink,
 }
 
 impl MemSystem {
@@ -179,11 +181,19 @@ impl MemSystem {
             seq: 0,
             out: VecDeque::new(),
             stats: MemSysStats::default(),
+            sink: TraceSink::default(),
             cfg,
             clock,
             host_node,
             memctrl_node,
         }
+    }
+
+    /// Attaches trace sinks: misses and MSHR pressure go to `mem`, DRAM
+    /// bursts and queue depth to `mem.dram`. Disabled tracers cost nothing.
+    pub fn set_tracer(&mut self, tracer: &Tracer) {
+        self.sink = tracer.sink("mem");
+        self.dram.set_sink(tracer.sink("mem.dram"));
     }
 
     /// Registers a requester port. Each `Host` port gets its own private
@@ -483,7 +493,20 @@ impl MemSystem {
                     id: req.id,
                     write: req.write,
                 };
-                match h.l1_mshr.register(line, waiter, req.write) {
+                let alloc = h.l1_mshr.register(line, waiter, req.write);
+                if self.sink.on() {
+                    self.sink.instant(
+                        now,
+                        EventKind::CacheMiss {
+                            level: 1,
+                            unit: core as u16,
+                            line,
+                        },
+                    );
+                    let occ = self.hosts[core].l1_mshr.len();
+                    self.sink.sample(now, "l1_mshr", occ as f64);
+                }
+                match alloc {
                     MshrAlloc::Allocated => {
                         self.schedule(now + lat, Action::L2Access { core, line })
                     }
@@ -513,18 +536,33 @@ impl MemSystem {
         let h = &mut self.hosts[core];
         match h.l2.access(line, false) {
             Lookup::Hit => self.schedule(now + lat, Action::L1Fill { core, line }),
-            Lookup::Miss => match h.l2_mshr.register(line, (), false) {
-                MshrAlloc::Allocated => {
-                    let ret = ReturnPath {
-                        node: self.host_node,
-                        port: HOST_L2,
-                        id: core as ReqId,
-                    };
-                    self.send_line_req(now + lat, self.host_node, line, false, false, ret);
+            Lookup::Miss => {
+                let alloc = h.l2_mshr.register(line, (), false);
+                if self.sink.on() {
+                    self.sink.instant(
+                        now,
+                        EventKind::CacheMiss {
+                            level: 2,
+                            unit: core as u16,
+                            line,
+                        },
+                    );
+                    let occ = self.hosts[core].l2_mshr.len();
+                    self.sink.sample(now, "l2_mshr", occ as f64);
                 }
-                MshrAlloc::Merged => {}
-                MshrAlloc::Full => unreachable!("checked above"),
-            },
+                match alloc {
+                    MshrAlloc::Allocated => {
+                        let ret = ReturnPath {
+                            node: self.host_node,
+                            port: HOST_L2,
+                            id: core as ReqId,
+                        };
+                        self.send_line_req(now + lat, self.host_node, line, false, false, ret);
+                    }
+                    MshrAlloc::Merged => {}
+                    MshrAlloc::Full => unreachable!("checked above"),
+                }
+            }
         }
     }
 
@@ -688,18 +726,33 @@ impl MemSystem {
                     write,
                 },
             ),
-            Lookup::Miss => match cl.mshr.register(line, (ret, write), write) {
-                MshrAlloc::Allocated => self.schedule(
-                    now + lat,
-                    Action::DramSend {
-                        cluster,
-                        line,
-                        write: false,
-                    },
-                ),
-                MshrAlloc::Merged => {}
-                MshrAlloc::Full => unreachable!("checked above"),
-            },
+            Lookup::Miss => {
+                let alloc = cl.mshr.register(line, (ret, write), write);
+                if self.sink.on() {
+                    self.sink.instant(
+                        now,
+                        EventKind::CacheMiss {
+                            level: 3,
+                            unit: cluster as u16,
+                            line,
+                        },
+                    );
+                    let occ = self.clusters[cluster].mshr.len();
+                    self.sink.sample(now, "cluster_mshr", occ as f64);
+                }
+                match alloc {
+                    MshrAlloc::Allocated => self.schedule(
+                        now + lat,
+                        Action::DramSend {
+                            cluster,
+                            line,
+                            write: false,
+                        },
+                    ),
+                    MshrAlloc::Merged => {}
+                    MshrAlloc::Full => unreachable!("checked above"),
+                }
+            }
         }
     }
 

@@ -11,6 +11,7 @@
 use crate::packet::{NodeId, Packet, TrafficClass};
 use distda_sim::time::{ClockDomain, Tick};
 use distda_sim::Fifo;
+use distda_trace::{EventKind, TraceSink};
 
 /// Per-packet header bytes added on the wire (route + sequencing + CRC).
 pub const HEADER_BYTES: u32 = 8;
@@ -129,6 +130,7 @@ pub struct Mesh<P> {
     inbox: Vec<Vec<Packet<P>>>,
     stats: NocStats,
     in_flight: usize,
+    sink: TraceSink,
 }
 
 impl<P> Mesh<P> {
@@ -155,7 +157,14 @@ impl<P> Mesh<P> {
             inbox: (0..n).map(|_| Vec::new()).collect(),
             stats: NocStats::default(),
             in_flight: 0,
+            sink: TraceSink::default(),
         }
+    }
+
+    /// Attaches a trace sink; injections, deliveries and occupancy are
+    /// recorded on it. A default (disabled) sink costs nothing.
+    pub fn set_sink(&mut self, sink: TraceSink) {
+        self.sink = sink;
     }
 
     /// Number of nodes.
@@ -230,9 +239,11 @@ impl<P> Mesh<P> {
     pub fn try_inject(&mut self, now: Tick, pkt: Packet<P>) -> Result<(), Packet<P>> {
         assert!(pkt.src < self.node_count() && pkt.dst < self.node_count());
         let route = self.route(pkt.src, pkt.dst);
-        let idx = pkt.class.index();
+        let class = pkt.class;
+        let idx = class.index();
         let hops = route.len() as u64;
         let bytes = pkt.bytes;
+        let (src_node, dst_node) = (pkt.src, pkt.dst);
         let flight = InFlight {
             pkt,
             route,
@@ -245,6 +256,19 @@ impl<P> Mesh<P> {
                 self.stats.bytes[idx] += bytes as u64;
                 self.stats.hop_bytes[idx] += (bytes + HEADER_BYTES) as u64 * hops;
                 self.in_flight += 1;
+                if self.sink.on() {
+                    self.sink.instant(
+                        now,
+                        EventKind::NocFlit {
+                            class: class.name(),
+                            src: src_node as u16,
+                            dst: dst_node as u16,
+                            bytes,
+                        },
+                    );
+                    self.sink.count(class.name(), 1);
+                    self.sink.sample(now, "in_flight", self.in_flight as f64);
+                }
                 Ok(())
             }
             Err(f) => Err(f.pkt),
@@ -318,6 +342,11 @@ impl<P> Mesh<P> {
                 self.stats.delivered += 1;
                 self.stats.latency_ticks += now.saturating_sub(f.injected_at);
                 self.in_flight -= 1;
+                if self.sink.on() {
+                    self.sink
+                        .observe("latency_ticks", now.saturating_sub(f.injected_at));
+                    self.sink.sample(now, "in_flight", self.in_flight as f64);
+                }
                 self.inbox[f.pkt.dst].push(f.pkt);
                 false
             }

@@ -81,6 +81,53 @@ impl Report {
         self.entries.is_empty()
     }
 
+    /// Merges another report entrywise: values under the same key are
+    /// summed, keys unique to `other` are inserted.
+    ///
+    /// This is the aggregation primitive for combining per-run reports
+    /// (e.g. one report per sweep cell) into a suite total.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use distda_sim::Report;
+    /// let mut total = Report::new();
+    /// total.add("cycles", 100.0);
+    /// let mut run = Report::new();
+    /// run.add("cycles", 50.0).add("misses", 7.0);
+    /// total.merge(&run);
+    /// assert_eq!(total.get("cycles"), Some(150.0));
+    /// assert_eq!(total.get("misses"), Some(7.0));
+    /// ```
+    pub fn merge(&mut self, other: &Report) -> &mut Self {
+        for (k, v) in &other.entries {
+            self.accumulate(k, *v);
+        }
+        self
+    }
+
+    /// Multiplies every entry by `factor`.
+    ///
+    /// Useful for normalising a merged report (`scale(1.0 / runs)` turns a
+    /// suite total into a per-run mean) or converting units in bulk.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use distda_sim::Report;
+    /// let mut r = Report::new();
+    /// r.add("cycles", 100.0).add("insts", 250.0);
+    /// r.scale(0.5);
+    /// assert_eq!(r.get("cycles"), Some(50.0));
+    /// assert_eq!(r.get("insts"), Some(125.0));
+    /// ```
+    pub fn scale(&mut self, factor: f64) -> &mut Self {
+        for v in self.entries.values_mut() {
+            *v *= factor;
+        }
+        self
+    }
+
     /// Sums all entries whose key starts with `prefix`.
     pub fn sum_prefix(&self, prefix: &str) -> f64 {
         self.entries
@@ -173,6 +220,27 @@ mod tests {
         let mut outer = Report::new();
         outer.merge_prefixed("l1", &inner);
         assert_eq!(outer.get("l1.hits"), Some(10.0));
+    }
+
+    #[test]
+    fn merge_sums_shared_keys_and_inserts_new() {
+        let mut a = Report::new();
+        a.add("x", 1.0).add("y", 2.0);
+        let mut b = Report::new();
+        b.add("y", 3.0).add("z", 4.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), Some(1.0));
+        assert_eq!(a.get("y"), Some(5.0));
+        assert_eq!(a.get("z"), Some(4.0));
+    }
+
+    #[test]
+    fn scale_multiplies_all_entries() {
+        let mut r = Report::new();
+        r.add("a", 2.0).add("b", -4.0);
+        r.scale(2.5);
+        assert_eq!(r.get("a"), Some(5.0));
+        assert_eq!(r.get("b"), Some(-10.0));
     }
 
     #[test]

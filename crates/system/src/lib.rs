@@ -39,7 +39,8 @@ pub use config::{ConfigKind, RunConfig};
 pub use error::SimError;
 pub use machine::{Machine, PlanHandle, Substrate, CHAN_CAPACITY};
 pub use runner::{
-    simulate, simulate_capture, simulate_capture_with_ref, simulate_with_ref, simulate_with_skip,
+    simulate, simulate_capture, simulate_capture_with_ref, simulate_traced,
+    simulate_traced_with_ref, simulate_traced_with_skip, simulate_with_ref, simulate_with_skip,
     RunResult,
 };
 pub use transform::decentralize;

@@ -21,6 +21,7 @@ use distda_ir::value::Value;
 use distda_mem::{MemRequest, MemSystem, PortId, PortKind};
 use distda_noc::{Mesh, NocConfig, Packet, TrafficClass};
 use distda_sim::time::{ClockDomain, Tick};
+use distda_trace::{EventKind, TraceSink, Tracer};
 
 /// Operand slots per channel buffer.
 pub const CHAN_CAPACITY: usize = 64;
@@ -88,6 +89,13 @@ pub struct Machine {
     tick_budget: u64,
     /// Idle skip-ahead: jump the clock over provably idle base ticks.
     skip: bool,
+    tracer: Tracer,
+    /// Machine track: kernel phases, MMIO transfers, offload dispatches.
+    sink: TraceSink,
+    /// Host track: segment loads.
+    host_sink: TraceSink,
+    /// Channel track: per-channel occupancy series.
+    chan_sink: TraceSink,
 }
 
 impl Machine {
@@ -120,7 +128,31 @@ impl Machine {
             mmio_words: 0,
             tick_budget: 60_000_000_000,
             skip: std::env::var("DISTDA_SKIP").map_or(true, |v| v != "0"),
+            tracer: Tracer::disabled(),
+            sink: TraceSink::default(),
+            host_sink: TraceSink::default(),
+            chan_sink: TraceSink::default(),
         }
+    }
+
+    /// Attaches a tracer to every component. Call before
+    /// [`Machine::configure_plan`] so engine sinks are created too; a
+    /// disabled tracer (the default) costs nothing.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.sink = tracer.sink("machine");
+        self.host_sink = tracer.sink("host");
+        self.chan_sink = tracer.sink("machine.chan");
+        self.mem.set_tracer(&tracer);
+        self.mesh.set_sink(tracer.sink("noc"));
+        for (i, slot) in self.engines.iter_mut().enumerate() {
+            slot.eng.set_sink(tracer.sink(&format!("engine.{i}")));
+        }
+        self.tracer = tracer;
+    }
+
+    /// The attached tracer (disabled unless [`Machine::set_tracer`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Enables or disables idle skip-ahead (on by default; `DISTDA_SKIP=0`
@@ -214,6 +246,9 @@ impl Machine {
             );
             let (pf, mr, mw) = sub.tuning;
             eng.set_tuning(pf, mr, mw);
+            if self.tracer.is_enabled() {
+                eng.set_sink(self.tracer.sink(&format!("engine.{}", self.engines.len())));
+            }
             engine_ids.push(self.engines.len());
             carry_scalars.push(part.carry_scalars.clone());
             self.engines.push(EngineSlot {
@@ -239,12 +274,21 @@ impl Machine {
             .iter()
             .map(|&(s, p, r)| (s, engine_ids[p as usize], r))
             .collect();
+        let engine_count = engine_ids.len() as u32;
         self.plans.push(PlanInst {
             engines: engine_ids,
             liveouts,
             carry_scalars,
             params: plan.params.clone(),
         });
+        self.sink.instant(
+            self.now,
+            EventKind::OffloadDispatch {
+                plan: handle as u32,
+                engines: engine_count,
+                config_words,
+            },
+        );
         self.charge_mmio(config_words);
         handle
     }
@@ -267,7 +311,12 @@ impl Machine {
             .mem
             .clock()
             .ticks_for_cycles(words * MMIO_CYCLES_PER_WORD);
+        let t0 = self.now;
         self.advance_ticks(ticks);
+        if words > 0 {
+            self.sink
+                .span(t0, self.now, EventKind::MmioTransfer { words });
+        }
     }
 
     /// Carry scalars of each partition of a configured plan (the values the
@@ -347,6 +396,20 @@ impl Machine {
     ///
     /// Returns [`SimError`] on budget exhaustion or a proven deadlock.
     pub fn run_until(
+        &mut self,
+        phase: &'static str,
+        done: impl Fn(&Machine) -> bool,
+    ) -> Result<(), SimError> {
+        let t0 = self.now;
+        let r = self.run_until_inner(phase, done);
+        if r.is_ok() {
+            self.sink
+                .span(t0, self.now, EventKind::KernelPhase { phase });
+        }
+        r
+    }
+
+    fn run_until_inner(
         &mut self,
         phase: &'static str,
         done: impl Fn(&Machine) -> bool,
@@ -517,6 +580,12 @@ impl Machine {
             return Ok(());
         }
         let now = self.now;
+        self.host_sink.instant(
+            now,
+            EventKind::HostSegment {
+                ops: ops.len() as u64,
+            },
+        );
         self.host.load_segment(now, ops);
         self.run_until("host-segment", |m| m.host.segment_drained(m.now))
     }
@@ -588,6 +657,7 @@ impl Machine {
             net_out,
             memimg,
             layout,
+            chan_sink,
             ..
         } = self;
         for slot in engines.iter_mut() {
@@ -604,6 +674,7 @@ impl Machine {
                 memimg,
                 layout,
                 resp: &mut slot.resp,
+                chan_sink,
             };
             slot.eng.tick(now, &mut ctx);
         }
@@ -710,6 +781,7 @@ struct Ctx<'a> {
     memimg: &'a mut Memory,
     layout: &'a Layout,
     resp: &'a mut Vec<u64>,
+    chan_sink: &'a TraceSink,
 }
 
 impl EngineCtx for Ctx<'_> {
@@ -722,6 +794,10 @@ impl EngineCtx for Ctx<'_> {
         ch.credits -= 1;
         if ch.is_local() {
             ch.queue.try_push(v).expect("credits bound occupancy");
+            if self.chan_sink.on() {
+                self.chan_sink
+                    .sample(self.now, &format!("chan{g}"), ch.queue.len() as f64);
+            }
         } else {
             self.net_out.push_back(Packet::new(
                 ch.producer_cluster,
@@ -738,6 +814,10 @@ impl EngineCtx for Ctx<'_> {
         let g = self.chan_base + chan as usize;
         let ch = &mut self.chans[g];
         let v = ch.queue.pop()?;
+        if self.chan_sink.on() {
+            self.chan_sink
+                .sample(self.now, &format!("chan{g}"), ch.queue.len() as f64);
+        }
         if ch.is_local() {
             ch.credits += 1;
         } else {

@@ -20,6 +20,7 @@ use distda_mem::{MemConfig, MemSystem};
 use distda_noc::TrafficClass;
 use distda_sim::time::{ticks_to_ns, ClockDomain, Tick};
 use distda_sim::Report;
+use distda_trace::Tracer;
 use std::collections::HashMap;
 
 /// Flush the host trace segment when it grows past this many ops.
@@ -116,8 +117,17 @@ pub fn simulate_capture_with_ref(
     cfg: &RunConfig,
     reference: Option<&(Memory, Vec<Value>)>,
 ) -> (RunResult, Memory, Vec<Value>) {
-    let out = simulate_with_ref(prog, init, cfg, None, reference);
+    // `DISTDA_TRACE` turns on tracing for any run that goes through the
+    // standard entry points; the trace is auto-exported under `results/`.
+    let tracer = Tracer::from_env();
+    let out = simulate_traced_with_ref(prog, init, cfg, None, reference, &tracer);
+    if tracer.is_enabled() {
+        auto_export(&tracer, &out.0);
+    }
     if std::env::var("DISTDA_CHECK_SKIP").is_ok_and(|v| v == "1") {
+        // The tick-by-tick cross-check run gets a disabled tracer: its
+        // purpose is comparing simulated results, and tracing it would
+        // double-emit into the same components.
         let base = simulate_with_ref(prog, init, cfg, Some(false), reference);
         let key = |r: &RunResult| {
             format!(
@@ -168,6 +178,67 @@ pub fn simulate_with_ref(
     skip: Option<bool>,
     reference: Option<&(Memory, Vec<Value>)>,
 ) -> (RunResult, Memory, Vec<Value>) {
+    simulate_traced_with_ref(prog, init, cfg, skip, reference, &Tracer::disabled())
+}
+
+/// [`simulate`] with an explicit tracer attached to the machine. The
+/// tracer's components fill up during the run; export them afterwards with
+/// [`distda_trace::chrome::export`] and friends. The run's report gains a
+/// `trace.*` section with the tracer's counters and histogram summaries.
+pub fn simulate_traced(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    tracer: &Tracer,
+) -> RunResult {
+    simulate_traced_with_ref(prog, init, cfg, None, None, tracer).0
+}
+
+/// [`simulate_traced`] with an explicit skip-ahead override, for the trace
+/// determinism tests (skip on/off must export byte-identical traces).
+pub fn simulate_traced_with_skip(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    skip: Option<bool>,
+    tracer: &Tracer,
+) -> RunResult {
+    simulate_traced_with_ref(prog, init, cfg, skip, None, tracer).0
+}
+
+/// Writes the Chrome trace of an env-enabled run to
+/// `results/trace_<kernel>_<config>.json`.
+fn auto_export(tracer: &Tracer, r: &RunResult) {
+    let slug = |s: &str| -> String {
+        s.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect()
+    };
+    let dir = std::path::Path::new("results");
+    let path = dir.join(format!(
+        "trace_{}_{}.json",
+        slug(&r.kernel),
+        slug(&r.config)
+    ));
+    let doc = distda_trace::chrome::export(tracer);
+    if std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&path, doc))
+        .is_err()
+    {
+        eprintln!("warning: could not write trace to {}", path.display());
+    }
+}
+
+/// The full pipeline with every knob: skip override, shared reference,
+/// tracer.
+pub fn simulate_traced_with_ref(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    skip: Option<bool>,
+    reference: Option<&(Memory, Vec<Value>)>,
+    tracer: &Tracer,
+) -> (RunResult, Memory, Vec<Value>) {
     // Reference execution for validation (shared across a sweep's
     // configurations when the caller precomputed it).
     let computed;
@@ -207,6 +278,9 @@ pub fn simulate_with_ref(
     let mut machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224);
     if let Some(on) = skip {
         machine.set_skip(on);
+    }
+    if tracer.is_enabled() {
+        machine.set_tracer(tracer.clone());
     }
 
     let mut walker = Walker {
@@ -269,6 +343,9 @@ pub fn simulate_with_ref(
     report.add("accel.stall_mem", eng.stall_mem as f64);
     report.add("accel.stall_chan", eng.stall_chan as f64);
     report.add("validated", f64::from(u8::from(validated)));
+    if tracer.is_enabled() {
+        report.merge_prefixed("trace", &tracer.metrics_report());
+    }
 
     let result = RunResult {
         kernel: prog.name.clone(),

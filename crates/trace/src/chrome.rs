@@ -1,0 +1,215 @@
+//! Chrome/Perfetto trace-event export.
+//!
+//! Produces the [Trace Event Format] JSON that `chrome://tracing` and
+//! [ui.perfetto.dev](https://ui.perfetto.dev) load directly: one thread
+//! (track) per component, `"M"` metadata records naming each track, nested
+//! `"B"`/`"E"` pairs for kernel phases, `"X"` complete events for other
+//! spans, `"i"` instants, and `"C"` counter records for sampled series.
+//! Timestamps are simulated base ticks reported through the `ts`/`dur`
+//! microsecond fields (1 tick ↦ 1 µs in the viewer).
+//!
+//! The output is deterministic: tracks are ordered by registration, events
+//! within a track by (start, end, name), and all numbers are integers or
+//! shortest-form floats — so byte comparison of two exports is a valid
+//! equality test in the determinism suite.
+//!
+//! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::event::{Event, EventKind};
+use crate::json::escape;
+use crate::{ComponentDump, Tracer};
+use std::fmt::Write as _;
+
+/// Process id used for every track (a run is one "process").
+const PID: u32 = 1;
+
+/// Exports every component registered on `tracer` as one JSON document.
+pub fn export(tracer: &Tracer) -> String {
+    export_components(&tracer.components())
+}
+
+/// Exports pre-snapshotted components (lets callers snapshot once and feed
+/// several exporters).
+pub fn export_components(comps: &[ComponentDump]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for c in comps {
+        write_track(&mut out, c, &mut first);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn write_track(out: &mut String, c: &ComponentDump, first: &mut bool) {
+    let tid = c.track + 1;
+    sep(out, first);
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{PID},\"tid\":{tid},\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape(&c.name)
+    );
+
+    let mut events: Vec<&Event> = c.events.iter().collect();
+    events.sort_by(|a, b| {
+        (a.start, a.end, a.kind.display_name()).cmp(&(b.start, b.end, b.kind.display_name()))
+    });
+
+    for e in &events {
+        match &e.kind {
+            EventKind::KernelPhase { .. } => {
+                // Begin/end pairs: phases nest in the viewer and the pair
+                // balance is checked by the export tests.
+                sep(out, first);
+                write_common(out, e, tid, "B");
+                out.push_str(&format!(",\"ts\":{}", e.start));
+                write_args(out, e);
+                out.push('}');
+                sep(out, first);
+                write_common(out, e, tid, "E");
+                out.push_str(&format!(",\"ts\":{}", e.end));
+                out.push('}');
+            }
+            _ if e.is_instant() => {
+                sep(out, first);
+                write_common(out, e, tid, "i");
+                out.push_str(&format!(",\"ts\":{},\"s\":\"t\"", e.start));
+                write_args(out, e);
+                out.push('}');
+            }
+            _ => {
+                sep(out, first);
+                write_common(out, e, tid, "X");
+                out.push_str(&format!(",\"ts\":{},\"dur\":{}", e.start, e.duration()));
+                write_args(out, e);
+                out.push('}');
+            }
+        }
+    }
+
+    for (name, series) in &c.metrics.series {
+        for (at, v) in &series.points {
+            sep(out, first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"C\",\"name\":\"{}\",\"cat\":\"series\",\"pid\":{PID},\
+                 \"tid\":{tid},\"ts\":{at},\"args\":{{\"value\":{}}}}}",
+                escape(name),
+                fmt_num(*v)
+            );
+        }
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+fn write_common(out: &mut String, e: &Event, tid: u32, ph: &str) {
+    let _ = write!(
+        out,
+        "{{\"ph\":\"{ph}\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{PID},\"tid\":{tid}",
+        escape(&e.kind.display_name()),
+        e.kind.category()
+    );
+}
+
+fn write_args(out: &mut String, e: &Event) {
+    let args = e.kind.args();
+    if args.is_empty() {
+        return;
+    }
+    out.push_str(",\"args\":{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{k}\":{v}");
+    }
+    out.push('}');
+}
+
+fn fmt_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+    use crate::EventKind;
+
+    fn demo_tracer() -> Tracer {
+        let t = Tracer::enabled();
+        let m = t.sink("machine");
+        m.span(0, 100, EventKind::KernelPhase { phase: "offload" });
+        m.instant(10, EventKind::MmioTransfer { words: 4 });
+        m.span(
+            20,
+            30,
+            EventKind::EngineStall {
+                cause: crate::StallCause::Mem,
+            },
+        );
+        let n = t.sink("noc");
+        n.instant(
+            5,
+            EventKind::NocFlit {
+                class: "AccData",
+                src: 0,
+                dst: 3,
+                bytes: 64,
+            },
+        );
+        n.sample(7, "in_flight", 2.0);
+        t
+    }
+
+    #[test]
+    fn export_is_valid_json_with_expected_phases() {
+        let doc = export(&demo_tracer());
+        let v = json::parse(&doc).expect("chrome export parses");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        let phases: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("ph").unwrap().as_str().unwrap())
+            .collect();
+        assert!(phases.contains(&"M"));
+        assert!(phases.contains(&"B"));
+        assert!(phases.contains(&"E"));
+        assert!(phases.contains(&"i"));
+        assert!(phases.contains(&"X"));
+        assert!(phases.contains(&"C"));
+    }
+
+    #[test]
+    fn begin_end_pairs_balance_per_track() {
+        let doc = export(&demo_tracer());
+        let v = json::parse(&doc).unwrap();
+        let mut depth = 0i64;
+        for e in v.get("traceEvents").unwrap().as_arr().unwrap() {
+            match e.get("ph").unwrap().as_str().unwrap() {
+                "B" => depth += 1,
+                "E" => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = export(&demo_tracer());
+        let b = export(&demo_tracer());
+        assert_eq!(a, b);
+    }
+}

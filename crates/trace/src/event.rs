@@ -1,0 +1,250 @@
+//! The typed event taxonomy.
+//!
+//! Every record a component can emit is a variant of [`EventKind`], stamped
+//! with base-tick times in an [`Event`]. Keeping the taxonomy closed (an
+//! enum rather than free-form strings) means emission sites cannot drift
+//! apart in naming, exporters can render stable track/category names, and
+//! the determinism tests can compare traces structurally.
+//!
+//! Events may only be emitted on *observable-work* edges — edges the
+//! machine's idle skip-ahead would never skip (a cache access, a packet
+//! injection, a stall beginning or ending). That discipline is what makes
+//! exported traces byte-identical with skip-ahead on or off.
+
+use distda_sim::Tick;
+
+/// Why an accelerator engine stalled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Waiting for a line fill from the hierarchy.
+    Mem,
+    /// Waiting for channel credit (send) or data (receive).
+    Chan,
+    /// Waiting for outstanding writes to drop below the cap.
+    WriteCap,
+}
+
+impl StallCause {
+    /// Stable short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::Mem => "mem",
+            StallCause::Chan => "chan",
+            StallCause::WriteCap => "write_cap",
+        }
+    }
+}
+
+/// What happened. See the module docs for the emission discipline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A top-level machine phase (`host-segment`, `offload`, `drain`).
+    /// Exported as nested begin/end pairs; these spans are disjoint by
+    /// construction, so summing them attributes every cycle of a run.
+    KernelPhase {
+        /// Phase label.
+        phase: &'static str,
+    },
+    /// An offload plan was configured onto engines (`cp_config`).
+    OffloadDispatch {
+        /// Plan handle.
+        plan: u32,
+        /// Engines allocated.
+        engines: u32,
+        /// MMIO configuration words charged.
+        config_words: u64,
+    },
+    /// Host-side MMIO transfer occupying the host (config, `cp_set_rf`,
+    /// `cp_run`, `cp_load_rf`).
+    MmioTransfer {
+        /// Words moved.
+        words: u64,
+    },
+    /// A host trace segment was loaded onto the out-of-order core.
+    HostSegment {
+        /// Dynamic ops in the segment.
+        ops: u64,
+    },
+    /// A demand miss at some cache level.
+    CacheMiss {
+        /// 1 = L1, 2 = L2, 3 = NUCA cluster.
+        level: u8,
+        /// Core (levels 1-2) or cluster (level 3) index.
+        unit: u16,
+        /// Line address (byte address of the line).
+        line: u64,
+    },
+    /// A DRAM access entered the channel queue.
+    DramBurst {
+        /// Line address.
+        line: u64,
+        /// Whether the access is a write.
+        write: bool,
+    },
+    /// A packet was injected into the mesh.
+    NocFlit {
+        /// Traffic-class name.
+        class: &'static str,
+        /// Source node.
+        src: u16,
+        /// Destination node.
+        dst: u16,
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// An engine sat blocked for the span's duration.
+    EngineStall {
+        /// What it waited on.
+        cause: StallCause,
+    },
+    /// An engine completed one invocation (`cp_run` to done).
+    EngineRun {
+        /// Inner iterations retired by the invocation.
+        iters: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable category name (chrome `cat` field, CSV event column).
+    pub fn category(&self) -> &'static str {
+        match self {
+            EventKind::KernelPhase { .. } => "kernel_phase",
+            EventKind::OffloadDispatch { .. } => "offload_dispatch",
+            EventKind::MmioTransfer { .. } => "mmio",
+            EventKind::HostSegment { .. } => "host_segment",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::DramBurst { .. } => "dram_burst",
+            EventKind::NocFlit { .. } => "noc_flit",
+            EventKind::EngineStall { .. } => "engine_stall",
+            EventKind::EngineRun { .. } => "engine_run",
+        }
+    }
+
+    /// Display name (chrome `name` field).
+    pub fn display_name(&self) -> String {
+        match self {
+            EventKind::KernelPhase { phase } => (*phase).to_string(),
+            EventKind::EngineStall { cause } => format!("stall:{}", cause.name()),
+            EventKind::CacheMiss { level, .. } => format!("miss:L{level}"),
+            EventKind::DramBurst { write, .. } => {
+                if *write {
+                    "dram:wr".to_string()
+                } else {
+                    "dram:rd".to_string()
+                }
+            }
+            EventKind::NocFlit { class, .. } => format!("flit:{class}"),
+            other => other.category().to_string(),
+        }
+    }
+
+    /// Event arguments as sorted `(key, value)` pairs for exporters.
+    pub fn args(&self) -> Vec<(&'static str, String)> {
+        match self {
+            EventKind::KernelPhase { phase } => vec![("phase", format!("\"{phase}\""))],
+            EventKind::OffloadDispatch {
+                plan,
+                engines,
+                config_words,
+            } => vec![
+                ("config_words", config_words.to_string()),
+                ("engines", engines.to_string()),
+                ("plan", plan.to_string()),
+            ],
+            EventKind::MmioTransfer { words } => vec![("words", words.to_string())],
+            EventKind::HostSegment { ops } => vec![("ops", ops.to_string())],
+            EventKind::CacheMiss { level, unit, line } => vec![
+                ("level", level.to_string()),
+                ("line", line.to_string()),
+                ("unit", unit.to_string()),
+            ],
+            EventKind::DramBurst { line, write } => {
+                vec![("line", line.to_string()), ("write", write.to_string())]
+            }
+            EventKind::NocFlit {
+                class,
+                src,
+                dst,
+                bytes,
+            } => vec![
+                ("bytes", bytes.to_string()),
+                ("class", format!("\"{class}\"")),
+                ("dst", dst.to_string()),
+                ("src", src.to_string()),
+            ],
+            EventKind::EngineStall { cause } => {
+                vec![("cause", format!("\"{}\"", cause.name()))]
+            }
+            EventKind::EngineRun { iters } => vec![("iters", iters.to_string())],
+        }
+    }
+}
+
+/// A cycle-stamped record: a span (`start < end`) or an instant
+/// (`start == end`) on one component's track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Base tick the event began.
+    pub start: Tick,
+    /// Base tick the event ended (equal to `start` for instants).
+    pub end: Tick,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Duration in base ticks.
+    pub fn duration(&self) -> Tick {
+        self.end - self.start
+    }
+
+    /// Whether this is an instantaneous event.
+    pub fn is_instant(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_are_stable() {
+        assert_eq!(
+            EventKind::KernelPhase { phase: "offload" }.category(),
+            "kernel_phase"
+        );
+        assert_eq!(
+            EventKind::EngineStall {
+                cause: StallCause::Chan
+            }
+            .display_name(),
+            "stall:chan"
+        );
+    }
+
+    #[test]
+    fn args_are_key_sorted() {
+        let k = EventKind::NocFlit {
+            class: "AccData",
+            src: 0,
+            dst: 7,
+            bytes: 64,
+        };
+        let keys: Vec<_> = k.args().into_iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn span_vs_instant() {
+        let e = Event {
+            start: 3,
+            end: 9,
+            kind: EventKind::MmioTransfer { words: 4 },
+        };
+        assert_eq!(e.duration(), 6);
+        assert!(!e.is_instant());
+    }
+}

@@ -1,0 +1,297 @@
+//! The metrics registry: counters, log-bucketed latency histograms and
+//! sampled time series, kept per component next to its event ring.
+//!
+//! These complement the end-of-run [`distda_sim::Report`]: a report says
+//! *how many* cache misses a run took, the registry's series say *when* the
+//! DRAM queue was deep and the histograms say *how skewed* packet latencies
+//! were. Series are sampled **on change** (never on a timer), which keeps
+//! traces bit-identical under idle skip-ahead.
+
+use distda_sim::{Report, Tick};
+use std::collections::BTreeMap;
+
+/// Number of log2 buckets (covers the full `u64` range).
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` observations.
+///
+/// Bucket `i` counts values `v` with `bucket_of(v) == i`, where bucket 0
+/// holds zero and bucket `i` holds `[2^(i-1), 2^i)`.
+///
+/// # Examples
+///
+/// ```
+/// use distda_trace::metrics::LogHist;
+/// let mut h = LogHist::default();
+/// for v in [0, 1, 2, 3, 900] {
+///     h.observe(v);
+/// }
+/// assert_eq!(h.count, 5);
+/// assert_eq!(h.max, 900);
+/// assert!(h.quantile(0.5) <= 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHist {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl Default for LogHist {
+    fn default() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (`u64::MAX` for the last).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl LogHist {
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A bounded, change-sampled time series (queue occupancy, MSHR pressure,
+/// link flit rates). Consecutive identical values are deduplicated; once
+/// `cap` points are held further points are dropped and counted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// `(tick, value)` points, oldest first.
+    pub points: Vec<(Tick, f64)>,
+    /// Maximum points retained.
+    pub cap: usize,
+    /// Points dropped after the cap was reached.
+    pub dropped: u64,
+    last: Option<f64>,
+}
+
+impl Series {
+    /// Creates a series bounded to `cap` points.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            points: Vec::new(),
+            cap: cap.max(1),
+            dropped: 0,
+            last: None,
+        }
+    }
+
+    /// Records `value` at `at` unless it equals the previous sample.
+    pub fn sample(&mut self, at: Tick, value: f64) {
+        if self.last == Some(value) {
+            return;
+        }
+        self.last = Some(value);
+        if self.points.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.points.push((at, value));
+    }
+}
+
+/// Per-component metrics: counters, histograms and series, keyed by name.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Log-bucketed histograms.
+    pub hists: BTreeMap<String, LogHist>,
+    /// Sampled time series.
+    pub series: BTreeMap<String, Series>,
+    /// Cap applied to newly created series.
+    pub series_cap: usize,
+}
+
+impl Metrics {
+    /// Creates an empty registry whose series hold at most `series_cap`
+    /// points each.
+    pub fn new(series_cap: usize) -> Self {
+        Self {
+            series_cap: series_cap.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Adds `n` to the counter `name`.
+    pub fn count(&mut self, name: &str, n: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                self.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Records `v` into the histogram `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        if let Some(h) = self.hists.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = LogHist::default();
+            h.observe(v);
+            self.hists.insert(name.to_string(), h);
+        }
+    }
+
+    /// Samples the series `name` at `at`.
+    pub fn sample(&mut self, name: &str, at: Tick, value: f64) {
+        if let Some(s) = self.series.get_mut(name) {
+            s.sample(at, value);
+        } else {
+            let mut s = Series::new(self.series_cap);
+            s.sample(at, value);
+            self.series.insert(name.to_string(), s);
+        }
+    }
+
+    /// Folds counters and histogram summaries into a [`Report`]
+    /// (`<name>` for counters; `<name>.count/mean/p50/p99/max` for
+    /// histograms).
+    pub fn report(&self) -> Report {
+        let mut r = Report::new();
+        for (k, v) in &self.counters {
+            r.add(k.clone(), *v as f64);
+        }
+        for (k, h) in &self.hists {
+            r.add(format!("{k}.count"), h.count as f64);
+            r.add(format!("{k}.mean"), h.mean());
+            r.add(format!("{k}.p50"), h.quantile(0.5) as f64);
+            r.add(format!("{k}.p99"), h.quantile(0.99) as f64);
+            r.add(format!("{k}.max"), h.max as f64);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(2), 3);
+    }
+
+    #[test]
+    fn hist_quantiles_bound_observations() {
+        let mut h = LogHist::default();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 1000);
+        let p50 = h.quantile(0.5);
+        assert!((256..=1023).contains(&p50), "p50 bucket bound {p50}");
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn hist_merge_sums() {
+        let mut a = LogHist::default();
+        a.observe(1);
+        let mut b = LogHist::default();
+        b.observe(100);
+        a.merge(&b);
+        assert_eq!(a.count, 2);
+        assert_eq!(a.min, 1);
+        assert_eq!(a.max, 100);
+    }
+
+    #[test]
+    fn series_dedups_and_caps() {
+        let mut s = Series::new(2);
+        s.sample(0, 1.0);
+        s.sample(1, 1.0); // deduped
+        s.sample(2, 2.0);
+        s.sample(3, 3.0); // over cap
+        assert_eq!(s.points, vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(s.dropped, 1);
+    }
+
+    #[test]
+    fn metrics_report_folds_everything() {
+        let mut m = Metrics::new(16);
+        m.count("flits", 3);
+        m.count("flits", 2);
+        m.observe("lat", 7);
+        let r = m.report();
+        assert_eq!(r.get("flits"), Some(5.0));
+        assert_eq!(r.get("lat.count"), Some(1.0));
+        assert_eq!(r.get("lat.max"), Some(7.0));
+    }
+}

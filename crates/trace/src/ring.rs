@@ -1,0 +1,118 @@
+//! A bounded ring buffer for trace events.
+//!
+//! Components emit into a fixed-capacity ring so tracing never grows
+//! unboundedly with simulated time: when the ring is full the *oldest*
+//! record is overwritten (the most recent window of activity is what a
+//! timeline viewer needs) and the drop is counted, so exporters can state
+//! exactly how much history was shed.
+
+/// Fixed-capacity ring keeping the most recent `capacity` records.
+///
+/// # Examples
+///
+/// ```
+/// use distda_trace::ring::Ring;
+/// let mut r = Ring::new(2);
+/// r.push(1);
+/// r.push(2);
+/// r.push(3);
+/// assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+/// assert_eq!(r.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    capacity: usize,
+    /// Index of the oldest element once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// Creates a ring holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be nonzero");
+        Self {
+            buf: Vec::new(),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, overwriting the oldest one when full.
+    pub fn push(&mut self, item: T) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(item);
+        } else {
+            self.buf[self.head] = item;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Records evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Drains the ring into a `Vec`, oldest-first.
+    pub fn to_vec(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_oldest_first() {
+        let mut r = Ring::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.to_vec(), vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn under_capacity_keeps_insertion_order() {
+        let mut r = Ring::new(8);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.to_vec(), vec!["a", "b"]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        let _ = Ring::<u8>::new(0);
+    }
+}

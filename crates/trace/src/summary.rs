@@ -1,0 +1,195 @@
+//! Plain-text summaries: a top-N digest of the busiest events, counters
+//! and latency histograms per component, and a cycle-exact stall/phase
+//! attribution for a run.
+//!
+//! Attribution relies on the machine's emission discipline: the `machine`
+//! track's `kernel_phase` and `mmio` spans are sequential and disjoint by
+//! construction, so summing their durations per label and assigning the
+//! remainder to `other` partitions every base tick of the run exactly.
+
+use crate::event::EventKind;
+use crate::{ComponentDump, Tracer};
+use distda_sim::Tick;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A partition of a run's ticks into labelled buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribution {
+    /// `(label, ticks)` buckets, largest first; includes `other`.
+    pub parts: Vec<(String, Tick)>,
+    /// Total ticks of the run (the sum of all parts).
+    pub total: Tick,
+    /// Whether the event ring shed history, making the split a floor.
+    pub complete: bool,
+}
+
+/// Attributes every tick of a `total`-tick run to a machine phase.
+///
+/// Sums the durations of `kernel_phase` and `mmio` spans on every traced
+/// track whose name starts with `machine`, per display label, and assigns
+/// the unaccounted remainder to `other`.
+pub fn phase_attribution(tracer: &Tracer, total: Tick) -> Attribution {
+    attribution_from(&tracer.components(), total)
+}
+
+/// [`phase_attribution`] over a pre-snapshotted component list.
+pub fn attribution_from(comps: &[ComponentDump], total: Tick) -> Attribution {
+    let mut sums: BTreeMap<String, Tick> = BTreeMap::new();
+    let mut complete = true;
+    for c in comps.iter().filter(|c| c.name.starts_with("machine")) {
+        if c.dropped > 0 {
+            complete = false;
+        }
+        for e in &c.events {
+            let attributed = matches!(
+                e.kind,
+                EventKind::KernelPhase { .. } | EventKind::MmioTransfer { .. }
+            );
+            if attributed && !e.is_instant() {
+                *sums.entry(e.kind.display_name()).or_insert(0) += e.duration();
+            }
+        }
+    }
+    let accounted: Tick = sums.values().sum();
+    let mut parts: Vec<(String, Tick)> = sums.into_iter().collect();
+    parts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    parts.push(("other".to_string(), total.saturating_sub(accounted)));
+    Attribution {
+        parts,
+        total: total.max(accounted),
+        complete,
+    }
+}
+
+/// Renders an attribution as an aligned table with percentages.
+pub fn render_attribution(attr: &Attribution) -> String {
+    let mut out = String::from("cycle attribution\n");
+    let width = attr
+        .parts
+        .iter()
+        .map(|(l, _)| l.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    for (label, ticks) in &attr.parts {
+        let pct = if attr.total == 0 {
+            0.0
+        } else {
+            100.0 * *ticks as f64 / attr.total as f64
+        };
+        let _ = writeln!(out, "  {label:width$}  {ticks:>14}  {pct:6.2}%");
+    }
+    let _ = writeln!(out, "  {:width$}  {:>14}  100.00%", "total", attr.total);
+    if !attr.complete {
+        out.push_str("  (event ring overflowed; labelled shares are lower bounds)\n");
+    }
+    out
+}
+
+/// Renders a top-N digest of every component: busiest span labels by total
+/// duration, largest counters, and histogram summaries.
+pub fn render(tracer: &Tracer, top_n: usize) -> String {
+    render_components(&tracer.components(), top_n)
+}
+
+/// [`render`] over a pre-snapshotted component list.
+pub fn render_components(comps: &[ComponentDump], top_n: usize) -> String {
+    let mut out = String::new();
+    for c in comps {
+        let _ = writeln!(
+            out,
+            "[{}] {} events{}",
+            c.name,
+            c.events.len(),
+            if c.dropped > 0 {
+                format!(" (+{} dropped)", c.dropped)
+            } else {
+                String::new()
+            }
+        );
+
+        // Busiest labels: spans by total duration, instants by count.
+        let mut durs: BTreeMap<String, (Tick, u64)> = BTreeMap::new();
+        for e in &c.events {
+            let entry = durs.entry(e.kind.display_name()).or_insert((0, 0));
+            entry.0 += e.duration();
+            entry.1 += 1;
+        }
+        let mut durs: Vec<(String, (Tick, u64))> = durs.into_iter().collect();
+        durs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        for (label, (ticks, n)) in durs.iter().take(top_n) {
+            let _ = writeln!(out, "  event {label:<16} n={n:<8} ticks={ticks}");
+        }
+
+        let mut counters: Vec<(&String, &u64)> = c.metrics.counters.iter().collect();
+        counters.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        for (name, v) in counters.iter().take(top_n) {
+            let _ = writeln!(out, "  count {name:<16} {v}");
+        }
+
+        for (name, h) in c.metrics.hists.iter().take(top_n) {
+            let _ = writeln!(
+                out,
+                "  hist  {name:<16} n={} mean={:.1} p50={} p99={} max={}",
+                h.count,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, Tracer};
+
+    fn machine_tracer() -> Tracer {
+        let t = Tracer::enabled();
+        let m = t.sink("machine");
+        m.span(
+            0,
+            40,
+            EventKind::KernelPhase {
+                phase: "host-segment",
+            },
+        );
+        m.span(40, 50, EventKind::MmioTransfer { words: 8 });
+        m.span(50, 90, EventKind::KernelPhase { phase: "offload" });
+        t
+    }
+
+    #[test]
+    fn attribution_partitions_total_exactly() {
+        let attr = phase_attribution(&machine_tracer(), 100);
+        let sum: Tick = attr.parts.iter().map(|(_, t)| t).sum();
+        assert_eq!(sum, 100);
+        assert_eq!(attr.total, 100);
+        let other = attr.parts.iter().find(|(l, _)| l == "other").unwrap();
+        assert_eq!(other.1, 10);
+        assert!(attr.complete);
+    }
+
+    #[test]
+    fn attribution_sorts_largest_first() {
+        let attr = phase_attribution(&machine_tracer(), 100);
+        assert_eq!(attr.parts[0].0, "host-segment");
+        assert_eq!(attr.parts[0].1, 40);
+    }
+
+    #[test]
+    fn render_lists_components_and_counters() {
+        let t = machine_tracer();
+        t.sink("noc").count("flits", 12);
+        let text = render(&t, 5);
+        assert!(text.contains("[machine]"));
+        assert!(text.contains("[noc]"));
+        assert!(text.contains("flits"));
+        let attr_text = render_attribution(&phase_attribution(&t, 100));
+        assert!(attr_text.contains("100.00%"));
+    }
+}
