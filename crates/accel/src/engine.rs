@@ -364,6 +364,20 @@ impl PartitionEngine {
         matches!(self.state, State::Idle)
     }
 
+    /// Whether the engine holds no in-flight memory state: no outstanding
+    /// reads or writes, no queued writeback retries, no pending request
+    /// bookkeeping. A drained machine requires this of every engine — an
+    /// engine that reached `Done` with reads still outstanding means the
+    /// machine stopped before the hierarchy delivered everything (the
+    /// drain-leak bug).
+    pub fn is_quiescent(&self) -> bool {
+        self.outstanding_reads == 0
+            && self.outstanding_writes == 0
+            && self.wb_retry.is_empty()
+            && self.pending.is_empty()
+            && self.pending_lines.is_empty()
+    }
+
     /// Reads a carry register (`cp_load_rf` after completion).
     pub fn carry_value(&self, reg: u16) -> Value {
         self.carry[reg as usize]

@@ -1,0 +1,318 @@
+//! Differential validation sweep: runs every (kernel, config, skip) cell
+//! through the simulator with [`CheckPolicy::full`] — golden-model
+//! comparison against the IR interpreter *and* the invariant sanitizer —
+//! and reports each failing cell by coordinates instead of aborting.
+//!
+//! ```text
+//! cargo run --release --bin validate                  # 12 workloads x 6 configs x skip on/off
+//! cargo run --release --bin validate -- --smoke 42    # randomized-kernel smoke at seed 42
+//! ```
+//!
+//! Options:
+//!
+//! - `--scale tiny|eval`: workload input scale (default `tiny`).
+//! - `--kernel NAME` (repeatable): restrict to suite kernels by name
+//!   (default: all twelve).
+//! - `--config LABEL` (repeatable): restrict to configurations by label
+//!   (default: all six).
+//! - `--smoke SEED`: instead of the fixed suite, generate randomized
+//!   kernels (saxpy, dot reduction, indirect gather, 3-point stencil) with
+//!   sizes and constants drawn from `SEED`, and validate those across the
+//!   selected configurations. The same seed always generates the same
+//!   kernels.
+//!
+//! Exit status is nonzero if any cell fails.
+
+use distda_ir::prelude::*;
+use distda_system::{CheckPolicy, ConfigKind, RunConfig};
+use distda_workloads::{gen, suite, Scale, Workload};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Args {
+    scale: String,
+    kernels: Vec<String>,
+    configs: Vec<String>,
+    smoke: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scale: "tiny".to_string(),
+        kernels: Vec::new(),
+        configs: Vec::new(),
+        smoke: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match a.as_str() {
+            "--scale" => args.scale = value("--scale")?,
+            "--kernel" => args.kernels.push(value("--kernel")?),
+            "--config" => args.configs.push(value("--config")?),
+            "--smoke" => {
+                args.smoke = Some(
+                    value("--smoke")?
+                        .parse()
+                        .map_err(|e| format!("--smoke: {e}"))?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err("usage: validate [--scale tiny|eval] [--kernel NAME]... \
+                            [--config LABEL]... [--smoke SEED]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Randomized saxpy: `y[i] = a*x[i] + y[i]`.
+fn smoke_saxpy(n: usize, a: f64, seed: u64) -> Workload {
+    let mut b = ProgramBuilder::new("smoke-saxpy");
+    let x = b.array_f64("x", n);
+    let y = b.array_f64("y", n);
+    b.for_(0, n as i64, 1, |b, i| {
+        let v = Expr::cf(a) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+        b.store(y, i, v);
+    });
+    let prog = b.build();
+    Workload {
+        name: "smoke-saxpy".into(),
+        ref_cache: Default::default(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            for (k, v) in gen::unit_floats(n, seed).into_iter().enumerate() {
+                mem.array_mut(x)[k] = v;
+            }
+            for (k, v) in gen::unit_floats(n, seed + 1).into_iter().enumerate() {
+                mem.array_mut(y)[k] = v;
+            }
+        }),
+    }
+}
+
+/// Randomized dot-product reduction: `out[0] = sum(x[i]*y[i])`.
+fn smoke_dot(n: usize, seed: u64) -> Workload {
+    let mut b = ProgramBuilder::new("smoke-dot");
+    let x = b.array_f64("x", n);
+    let y = b.array_f64("y", n);
+    let out = b.array_f64("out", 1);
+    let acc = b.scalar("acc", 0.0f64);
+    b.for_(0, n as i64, 1, |b, i| {
+        b.set(
+            acc,
+            Expr::Scalar(acc) + Expr::load(x, i.clone()) * Expr::load(y, i),
+        );
+    });
+    b.store(out, Expr::c(0), Expr::Scalar(acc));
+    let prog = b.build();
+    Workload {
+        name: "smoke-dot".into(),
+        ref_cache: Default::default(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            for (k, v) in gen::unit_floats(n, seed).into_iter().enumerate() {
+                mem.array_mut(x)[k] = v;
+            }
+            for (k, v) in gen::unit_floats(n, seed + 1).into_iter().enumerate() {
+                mem.array_mut(y)[k] = v;
+            }
+        }),
+    }
+}
+
+/// Randomized indirect gather: `out[i] = data[idx[i]]` over a permutation.
+fn smoke_gather(n: usize, seed: u64) -> Workload {
+    let mut b = ProgramBuilder::new("smoke-gather");
+    let idx = b.array_i64("idx", n);
+    let data = b.array_f64("data", n);
+    let out = b.array_f64("out", n);
+    b.for_(0, n as i64, 1, |b, i| {
+        let j = Expr::load(idx, i.clone());
+        b.store(out, i, Expr::load(data, j));
+    });
+    let prog = b.build();
+    Workload {
+        name: "smoke-gather".into(),
+        ref_cache: Default::default(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            for (k, v) in gen::permutation_cycle(n, seed).into_iter().enumerate() {
+                mem.array_mut(idx)[k] = Value::I(v);
+            }
+            for (k, v) in gen::unit_floats(n, seed + 1).into_iter().enumerate() {
+                mem.array_mut(data)[k] = v;
+            }
+        }),
+    }
+}
+
+/// Randomized 3-point stencil: `out[i] = c0*a[i-1] + c1*a[i] + c2*a[i+1]`.
+fn smoke_stencil(n: usize, c: [f64; 3], seed: u64) -> Workload {
+    let mut b = ProgramBuilder::new("smoke-stencil3");
+    let a = b.array_f64("a", n);
+    let out = b.array_f64("out", n);
+    b.for_(1, n as i64 - 1, 1, |b, i| {
+        let v = Expr::cf(c[0]) * Expr::load(a, i.clone() - Expr::c(1))
+            + Expr::cf(c[1]) * Expr::load(a, i.clone())
+            + Expr::cf(c[2]) * Expr::load(a, i.clone() + Expr::c(1));
+        b.store(out, i, v);
+    });
+    let prog = b.build();
+    Workload {
+        name: "smoke-stencil3".into(),
+        ref_cache: Default::default(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            for (k, v) in gen::unit_floats(n, seed).into_iter().enumerate() {
+                mem.array_mut(a)[k] = v;
+            }
+        }),
+    }
+}
+
+/// The randomized smoke suite for one seed: sizes and constants drawn from
+/// a [`SplitMix64`](distda_sim::SplitMix64) stream, so the same seed always
+/// reproduces the same kernels.
+fn smoke_suite(seed: u64) -> Vec<Workload> {
+    let mut r = distda_sim::SplitMix64::new(seed);
+    let mut size = |lo: u64, hi: u64| (lo + r.below(hi - lo)) as usize;
+    let saxpy_n = size(64, 512);
+    let dot_n = size(64, 512);
+    let gather_n = size(64, 512);
+    let stencil_n = size(64, 512);
+    let a = 0.5 + r.next_f64() * 4.0;
+    let c = [r.next_f64(), r.next_f64(), r.next_f64()];
+    vec![
+        smoke_saxpy(saxpy_n, a, seed + 10),
+        smoke_dot(dot_n, seed + 20),
+        smoke_gather(gather_n, seed + 30),
+        smoke_stencil(stencil_n, c, seed + 40),
+    ]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = match args.scale.as_str() {
+        "tiny" => Scale::tiny(),
+        "eval" => Scale::eval(),
+        other => {
+            eprintln!("unknown scale: {other} (expected tiny or eval)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut configs: Vec<RunConfig> = Vec::new();
+    if args.configs.is_empty() {
+        configs = ConfigKind::ALL
+            .iter()
+            .map(|&k| RunConfig::named(k))
+            .collect();
+    } else {
+        for label in &args.configs {
+            match ConfigKind::ALL
+                .into_iter()
+                .find(|k| k.label().eq_ignore_ascii_case(label))
+            {
+                Some(k) => configs.push(RunConfig::named(k)),
+                None => {
+                    eprintln!(
+                        "unknown config: {label} (expected one of {})",
+                        ConfigKind::ALL.map(|k| k.label()).join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    let mut workloads = match args.smoke {
+        Some(seed) => {
+            println!("randomized smoke suite, seed {seed}");
+            smoke_suite(seed)
+        }
+        None => suite(&scale),
+    };
+    if !args.kernels.is_empty() {
+        for name in &args.kernels {
+            if !workloads.iter().any(|w| &w.name == name) {
+                eprintln!(
+                    "unknown kernel: {name} (available: {})",
+                    workloads
+                        .iter()
+                        .map(|w| w.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        workloads.retain(|w| args.kernels.contains(&w.name));
+    }
+
+    // Every (workload, config, skip) cell, skip-ahead both on and off: the
+    // fast-forwarded and tick-by-tick simulations must both reproduce the
+    // golden model and hold every conservation invariant.
+    let cells: Vec<(usize, usize, bool)> = (0..workloads.len())
+        .flat_map(|w| (0..configs.len()).flat_map(move |c| [true, false].map(move |s| (w, c, s))))
+        .collect();
+
+    // Interpret each workload once up front (single-threaded) so worker
+    // threads share the cached reference instead of racing to compute it.
+    for w in &workloads {
+        let _ = w.reference_exec();
+    }
+
+    let threads = distda_bench::sweep_threads().min(cells.len()).max(1);
+    let next = AtomicUsize::new(0);
+    let failures: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(wi, ci, skip)) = cells.get(i) else {
+                    break;
+                };
+                let (w, cfg) = (&workloads[wi], &configs[ci]);
+                if let Err(e) = w.try_simulate_checked(cfg, Some(skip), CheckPolicy::full()) {
+                    failures.lock().unwrap().push((
+                        i,
+                        format!(
+                            "{} under {} (skip={}): {e}",
+                            w.name,
+                            cfg.label(),
+                            if skip { "on" } else { "off" }
+                        ),
+                    ));
+                }
+            });
+        }
+    });
+
+    let mut failures = failures.into_inner().unwrap();
+    failures.sort_by_key(|(i, _)| *i);
+    let total = cells.len();
+    if failures.is_empty() {
+        println!(
+            "validate: {total} cells passed ({} kernels x {} configs x skip on/off)",
+            workloads.len(),
+            configs.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("validate: {}/{total} cells FAILED:", failures.len());
+        for (_, msg) in &failures {
+            println!("  {msg}");
+        }
+        ExitCode::FAILURE
+    }
+}

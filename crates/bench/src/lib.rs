@@ -87,24 +87,44 @@ pub fn take_timings() -> Vec<RunTiming> {
     std::mem::take(&mut *TIMINGS.lock().unwrap())
 }
 
+/// One failed cell of a sweep: the pair that failed and why. Collected by
+/// [`try_run_matrix`] so a single bad (kernel, config) combination is
+/// reported with its coordinates instead of aborting the whole sweep.
+#[derive(Debug, Clone)]
+pub struct SweepFailure {
+    /// Kernel name.
+    pub kernel: String,
+    /// Configuration label.
+    pub config: String,
+    /// Rendered [`distda_system::SimError`] (or validation failure).
+    pub error: String,
+}
+
+impl std::fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} under {}: {}", self.kernel, self.config, self.error)
+    }
+}
+
 /// Runs `workloads x configs` across [`sweep_threads`] worker threads,
 /// logging progress to stderr. Each (kernel, config) pair simulates an
 /// independent machine, so results are bit-identical to the sequential
 /// sweep; pairs are inserted into the [`Sweep`] in their nested-loop order
-/// regardless of which worker finished first, keeping row/column order and
-/// iteration order deterministic.
+/// regardless of which worker finished first, keeping row/column order,
+/// iteration order, and the failure list deterministic.
 ///
-/// # Panics
-///
-/// Panics if any run fails validation (a simulation bug, never expected).
-pub fn run_matrix(workloads: &[Workload], configs: &[RunConfig]) -> Sweep {
+/// A failing cell (deadlock, invariant violation, wrong results) becomes a
+/// [`SweepFailure`] naming its (kernel, config) pair; the remaining cells
+/// still run and their results are returned.
+pub fn try_run_matrix(workloads: &[Workload], configs: &[RunConfig]) -> (Sweep, Vec<SweepFailure>) {
     let pairs: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
         .collect();
     let threads = sweep_threads().min(pairs.len()).max(1);
     let next = AtomicUsize::new(0);
     let done = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunResult>>> = pairs.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<RunResult, SweepFailure>>>> =
+        pairs.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -112,20 +132,27 @@ pub fn run_matrix(workloads: &[Workload], configs: &[RunConfig]) -> Sweep {
                 let Some(&(wi, ci)) = pairs.get(i) else { break };
                 let (w, cfg) = (&workloads[wi], &configs[ci]);
                 let t0 = Instant::now();
-                let r = w.simulate(cfg);
-                let host_secs = t0.elapsed().as_secs_f64();
-                assert!(
-                    r.validated,
-                    "{} under {} produced wrong results",
-                    w.name,
-                    cfg.label()
-                );
-                TIMINGS.lock().unwrap().push(RunTiming {
-                    kernel: r.kernel.clone(),
-                    config: r.config.clone(),
-                    host_secs,
-                    ticks: r.ticks,
-                });
+                let outcome = match w.try_simulate(cfg) {
+                    Ok(r) if !r.validated => Err(SweepFailure {
+                        kernel: w.name.clone(),
+                        config: cfg.label(),
+                        error: "produced wrong results (golden-model mismatch)".to_string(),
+                    }),
+                    Ok(r) => {
+                        TIMINGS.lock().unwrap().push(RunTiming {
+                            kernel: r.kernel.clone(),
+                            config: r.config.clone(),
+                            host_secs: t0.elapsed().as_secs_f64(),
+                            ticks: r.ticks,
+                        });
+                        Ok(r)
+                    }
+                    Err(e) => Err(SweepFailure {
+                        kernel: w.name.clone(),
+                        config: cfg.label(),
+                        error: e.to_string(),
+                    }),
+                };
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
                 eprint!(
                     "  sim {:<14} {:<20} [{d}/{}]\r",
@@ -134,18 +161,42 @@ pub fn run_matrix(workloads: &[Workload], configs: &[RunConfig]) -> Sweep {
                     pairs.len()
                 );
                 std::io::stderr().flush().ok();
-                *slots[i].lock().unwrap() = Some(r);
+                *slots[i].lock().unwrap() = Some(outcome);
             });
         }
     });
     eprintln!();
     let mut sweep = Sweep::default();
+    let mut failures = Vec::new();
     for slot in slots {
-        let r = slot
+        match slot
             .into_inner()
             .unwrap()
-            .expect("every claimed pair completed");
-        sweep.insert(r);
+            .expect("every claimed pair completed")
+        {
+            Ok(r) => sweep.insert(r),
+            Err(f) => failures.push(f),
+        }
+    }
+    (sweep, failures)
+}
+
+/// [`try_run_matrix`] for harness code that treats any failing cell as
+/// fatal: the figure binaries want a complete matrix or nothing.
+///
+/// # Panics
+///
+/// Panics if any cell failed, listing every failing (kernel, config) pair
+/// (a simulation bug, never expected).
+pub fn run_matrix(workloads: &[Workload], configs: &[RunConfig]) -> Sweep {
+    let (sweep, failures) = try_run_matrix(workloads, configs);
+    if !failures.is_empty() {
+        let mut msg = format!("{} sweep cell(s) failed:\n", failures.len());
+        for f in &failures {
+            use std::fmt::Write as _;
+            let _ = writeln!(msg, "  {f}");
+        }
+        panic!("{msg}");
     }
     sweep
 }

@@ -236,6 +236,12 @@ impl Cache {
     pub fn resident_lines(&self) -> usize {
         self.ways.iter().filter(|w| w.valid).count()
     }
+
+    /// Geometric capacity in lines (sets x ways); resident lines can never
+    /// exceed this.
+    pub fn capacity_lines(&self) -> usize {
+        self.sets * self.assoc
+    }
 }
 
 #[cfg(test)]

@@ -124,6 +124,11 @@ impl<W> Mshr<W> {
         self.entries.iter().any(|e| e.line == line)
     }
 
+    /// Lines with outstanding misses, in registration order.
+    pub fn pending_lines(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.line).collect()
+    }
+
     /// Current occupancy.
     pub fn len(&self) -> usize {
         self.entries.len()

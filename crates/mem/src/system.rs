@@ -14,6 +14,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 
+use distda_check::Sanitizer;
 use distda_noc::{Packet, TrafficClass};
 use distda_sim::time::{ClockDomain, Tick};
 use distda_sim::Report;
@@ -151,6 +152,7 @@ pub struct MemSystem {
     out: VecDeque<Packet<MemMsg>>,
     stats: MemSysStats,
     sink: TraceSink,
+    san: Sanitizer,
 }
 
 impl MemSystem {
@@ -182,6 +184,7 @@ impl MemSystem {
             out: VecDeque::new(),
             stats: MemSysStats::default(),
             sink: TraceSink::default(),
+            san: Sanitizer::disabled(),
             cfg,
             clock,
             host_node,
@@ -194,6 +197,12 @@ impl MemSystem {
     pub fn set_tracer(&mut self, tracer: &Tracer) {
         self.sink = tracer.sink("mem");
         self.dram.set_sink(tracer.sink("mem.dram"));
+    }
+
+    /// Attaches an invariant sanitizer consulted by
+    /// [`MemSystem::check_drained`]. A disabled sanitizer costs nothing.
+    pub fn set_sanitizer(&mut self, san: Sanitizer) {
+        self.san = san;
     }
 
     /// Registers a requester port. Each `Host` port gets its own private
@@ -368,6 +377,104 @@ impl MemSystem {
     /// Whether work remains in flight inside the hierarchy.
     pub fn is_active(&self) -> bool {
         !self.actions.is_empty() || self.dram.pending() > 0 || !self.out.is_empty()
+    }
+
+    /// Responses produced but not yet drained by their requesters.
+    ///
+    /// Not part of [`MemSystem::is_active`] (the requester, not the
+    /// hierarchy, must collect them), but a drained machine must have
+    /// collected every one — leaving them outstanding is the drain-leak
+    /// bug this accessor exists to close.
+    pub fn pending_responses(&self) -> usize {
+        self.resp_pending
+    }
+
+    /// Audits the hierarchy's drained-state invariants: every MSHR
+    /// released, every response collected, no queued action, packet or
+    /// DRAM burst, and cache occupancy within geometry. Flags violations
+    /// on the attached sanitizer.
+    pub fn check_drained(&self, now: Tick) {
+        if !self.san.on() {
+            return;
+        }
+        for (core, h) in self.hosts.iter().enumerate() {
+            self.san
+                .check(h.l1_mshr.is_empty(), "mem", "mshr-drain", now, || {
+                    format!(
+                        "host core {core} L1 MSHR holds lines {:#x?}",
+                        h.l1_mshr.pending_lines()
+                    )
+                });
+            self.san
+                .check(h.l2_mshr.is_empty(), "mem", "mshr-drain", now, || {
+                    format!(
+                        "host core {core} L2 MSHR holds lines {:#x?}",
+                        h.l2_mshr.pending_lines()
+                    )
+                });
+            for (name, c) in [("L1", &h.l1), ("L2", &h.l2)] {
+                self.san.check(
+                    c.resident_lines() <= c.capacity_lines(),
+                    "mem",
+                    "cache-occupancy",
+                    now,
+                    || {
+                        format!(
+                            "host core {core} {name}: {} resident > {} capacity",
+                            c.resident_lines(),
+                            c.capacity_lines()
+                        )
+                    },
+                );
+            }
+        }
+        for (i, cl) in self.clusters.iter().enumerate() {
+            self.san
+                .check(cl.mshr.is_empty(), "mem", "mshr-drain", now, || {
+                    format!(
+                        "cluster {i} MSHR holds lines {:#x?}",
+                        cl.mshr.pending_lines()
+                    )
+                });
+            self.san.check(
+                cl.cache.resident_lines() <= cl.cache.capacity_lines(),
+                "mem",
+                "cache-occupancy",
+                now,
+                || {
+                    format!(
+                        "cluster {i}: {} resident > {} capacity",
+                        cl.cache.resident_lines(),
+                        cl.cache.capacity_lines()
+                    )
+                },
+            );
+        }
+        self.san
+            .check(self.resp_pending == 0, "mem", "response-drain", now, || {
+                format!("{} responses never collected", self.resp_pending)
+            });
+        self.san
+            .check(!self.is_active(), "mem", "hierarchy-drain", now, || {
+                format!(
+                    "still active: {} actions, {} dram bursts, {} outgoing packets",
+                    self.actions.len(),
+                    self.dram.pending(),
+                    self.out.len()
+                )
+            });
+        self.san.check(
+            self.stats.requests == self.stats.responses,
+            "mem",
+            "request-response-balance",
+            now,
+            || {
+                format!(
+                    "{} requests accepted but {} responses produced",
+                    self.stats.requests, self.stats.responses
+                )
+            },
+        );
     }
 
     /// Earliest tick `>= now` at which [`MemSystem::tick`] would do

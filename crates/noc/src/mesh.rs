@@ -9,6 +9,7 @@
 //! results depend on without simulating VC allocation.
 
 use crate::packet::{NodeId, Packet, TrafficClass};
+use distda_check::Sanitizer;
 use distda_sim::time::{ClockDomain, Tick};
 use distda_sim::Fifo;
 use distda_trace::{EventKind, TraceSink};
@@ -131,6 +132,7 @@ pub struct Mesh<P> {
     stats: NocStats,
     in_flight: usize,
     sink: TraceSink,
+    san: Sanitizer,
 }
 
 impl<P> Mesh<P> {
@@ -158,6 +160,7 @@ impl<P> Mesh<P> {
             stats: NocStats::default(),
             in_flight: 0,
             sink: TraceSink::default(),
+            san: Sanitizer::disabled(),
         }
     }
 
@@ -165,6 +168,51 @@ impl<P> Mesh<P> {
     /// recorded on it. A default (disabled) sink costs nothing.
     pub fn set_sink(&mut self, sink: TraceSink) {
         self.sink = sink;
+    }
+
+    /// Attaches an invariant sanitizer; ejections check timestamp
+    /// monotonicity and [`Mesh::check_conservation`] audits flit
+    /// accounting. A disabled sanitizer costs nothing.
+    pub fn set_sanitizer(&mut self, san: Sanitizer) {
+        self.san = san;
+    }
+
+    /// Audits flit conservation: packets injected must equal packets
+    /// delivered plus packets still queued, and the cached `in_flight`
+    /// count must agree with the queues. Flags violations on the attached
+    /// sanitizer.
+    pub fn check_conservation(&self, now: Tick) {
+        if !self.san.on() {
+            return;
+        }
+        let injected: u64 = self.stats.packets.iter().sum();
+        let queued: usize = self.links.iter().map(|l| l.queue.len()).sum::<usize>()
+            + self.inject.iter().map(|q| q.len()).sum::<usize>();
+        let inboxed: usize = self.inbox.iter().map(|b| b.len()).sum();
+        self.san.check(
+            self.in_flight == queued,
+            "noc",
+            "in-flight-count",
+            now,
+            || {
+                format!(
+                    "cached in_flight {} != {} packets in link/inject queues",
+                    self.in_flight, queued
+                )
+            },
+        );
+        self.san.check(
+            injected == self.stats.delivered + queued as u64,
+            "noc",
+            "flit-conservation",
+            now,
+            || {
+                format!(
+                    "injected {} != delivered {} + queued {} (inboxed {})",
+                    injected, self.stats.delivered, queued, inboxed
+                )
+            },
+        );
     }
 
     /// Number of nodes.
@@ -340,11 +388,13 @@ impl<P> Mesh<P> {
                 }
                 .expect("head checked above");
                 self.stats.delivered += 1;
-                self.stats.latency_ticks += now.saturating_sub(f.injected_at);
+                let elapsed =
+                    self.san
+                        .checked_elapsed("noc", "monotone-delivery", now, f.injected_at);
+                self.stats.latency_ticks += elapsed;
                 self.in_flight -= 1;
                 if self.sink.on() {
-                    self.sink
-                        .observe("latency_ticks", now.saturating_sub(f.injected_at));
+                    self.sink.observe("latency_ticks", elapsed);
                     self.sink.sample(now, "in_flight", self.in_flight as f64);
                 }
                 self.inbox[f.pkt.dst].push(f.pkt);

@@ -54,41 +54,38 @@ pub fn allocate(
     mem: &mut MemSystem,
 ) -> Allocation {
     let n = prog.arrays.len();
-    match strategy {
-        AllocStrategy::Interleaved => Allocation {
-            layout: Layout::new(prog, 0x1000_0000),
-            home: vec![None; n],
-        },
-        AllocStrategy::RoundRobin | AllocStrategy::Affinity => {
-            let order: Vec<ArrayId> = match strategy {
-                AllocStrategy::RoundRobin => (0..n).map(ArrayId).collect(),
-                AllocStrategy::Affinity => affinity_order(n, plans),
-                AllocStrategy::Interleaved => unreachable!(),
-            };
-            let mut home = vec![None; n];
-            let mut cursor = vec![0u64; clusters];
-            let mut bases = vec![0u64; n];
-            for (k, a) in order.iter().enumerate() {
-                let c = k % clusters;
-                let bytes = (prog.arrays[a.0].len as u64 * Program::ELEM_BYTES + 63) & !63;
-                assert!(
-                    cursor[c] + bytes <= SLAB_PER_CLUSTER,
-                    "object {} overflows cluster slab",
-                    prog.arrays[a.0].name
-                );
-                let base = SLAB_BASE + c as u64 * SLAB_PER_CLUSTER + cursor[c];
-                cursor[c] += bytes;
-                bases[a.0] = base;
-                home[a.0] = Some(c);
-                if bytes > 0 {
-                    mem.addr_map_mut().pin_region(base, base + bytes, c);
-                }
-            }
-            Allocation {
-                layout: Layout::from_bases(bases),
-                home,
+    let order: Vec<ArrayId> = match strategy {
+        AllocStrategy::Interleaved => {
+            return Allocation {
+                layout: Layout::new(prog, 0x1000_0000),
+                home: vec![None; n],
             }
         }
+        AllocStrategy::RoundRobin => (0..n).map(ArrayId).collect(),
+        AllocStrategy::Affinity => affinity_order(n, plans),
+    };
+    let mut home = vec![None; n];
+    let mut cursor = vec![0u64; clusters];
+    let mut bases = vec![0u64; n];
+    for (k, a) in order.iter().enumerate() {
+        let c = k % clusters;
+        let bytes = (prog.arrays[a.0].len as u64 * Program::ELEM_BYTES + 63) & !63;
+        assert!(
+            cursor[c] + bytes <= SLAB_PER_CLUSTER,
+            "object {} overflows cluster slab",
+            prog.arrays[a.0].name
+        );
+        let base = SLAB_BASE + c as u64 * SLAB_PER_CLUSTER + cursor[c];
+        cursor[c] += bytes;
+        bases[a.0] = base;
+        home[a.0] = Some(c);
+        if bytes > 0 {
+            mem.addr_map_mut().pin_region(base, base + bytes, c);
+        }
+    }
+    Allocation {
+        layout: Layout::from_bases(bases),
+        home,
     }
 }
 

@@ -137,6 +137,32 @@ impl RunConfig {
         }
     }
 
+    /// Checks the configuration for internal consistency.
+    ///
+    /// Decentralized-access and distributed configurations require
+    /// cluster-anchored allocation: their access plans route requests to
+    /// each object's home cluster, so `Interleaved` (no homes) would leave
+    /// every partition with nowhere to run. This used to be an
+    /// `unreachable!()` deep in allocation; now it is a typed error the
+    /// runner reports before simulating anything.
+    pub fn validate(&self) -> Result<(), crate::error::SimError> {
+        let needs_homes = matches!(
+            self.kind,
+            ConfigKind::MonoDAIO | ConfigKind::MonoDAF | ConfigKind::DistDAIO | ConfigKind::DistDAF
+        );
+        if needs_homes && self.alloc == AllocStrategy::Interleaved {
+            return Err(crate::error::SimError::InvalidConfig {
+                detail: format!(
+                    "{} requires cluster-anchored allocation (RoundRobin or Affinity), \
+                     but alloc is Interleaved: decentralized access plans need a home \
+                     cluster per object",
+                    self.label()
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Display label (`Dist-DA-F@1GHz` style).
     pub fn label(&self) -> String {
         if self.kind == ConfigKind::OoO {
@@ -189,5 +215,27 @@ mod tests {
     fn variants_label_correctly() {
         assert_eq!(RunConfig::dist_da_io_sw().label(), "Dist-DA-IO+SW@2GHz");
         assert_eq!(RunConfig::dist_da_f_alloc().label(), "Dist-DA-F+A@1GHz");
+    }
+
+    #[test]
+    fn interleaved_alloc_only_valid_without_decentralized_accesses() {
+        use crate::error::SimError;
+        for kind in ConfigKind::ALL {
+            let cfg = RunConfig {
+                alloc: AllocStrategy::Interleaved,
+                ..RunConfig::named(kind)
+            };
+            let ok = matches!(kind, ConfigKind::OoO | ConfigKind::MonoCA);
+            match cfg.validate() {
+                Ok(()) => assert!(ok, "{} should reject Interleaved", cfg.label()),
+                Err(SimError::InvalidConfig { detail }) => {
+                    assert!(!ok, "{} should accept Interleaved", cfg.label());
+                    assert!(detail.contains(&cfg.label()));
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+            // The paper defaults always validate.
+            RunConfig::named(kind).validate().unwrap();
+        }
     }
 }

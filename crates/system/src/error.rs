@@ -35,6 +35,37 @@ pub enum SimError {
         /// Description of every component still stalled.
         stalled: String,
     },
+    /// The invariant sanitizer recorded one or more conservation-law
+    /// violations (lost flits, leaked MSHRs, over-credited channels,
+    /// timestamp inversions, ...).
+    InvariantViolation {
+        /// Which run loop (or drain check) detected the violations.
+        phase: &'static str,
+        /// Tick at which the run was stopped.
+        now: Tick,
+        /// Total number of violations recorded.
+        count: usize,
+        /// Rendered violation log, one per line.
+        report: String,
+    },
+    /// Differential validation failed: the simulated machine's memory
+    /// image (or live-out scalars) disagree with the IR interpreter's
+    /// golden execution of the same program.
+    ValidationMismatch {
+        /// Workload name.
+        kernel: String,
+        /// Configuration label.
+        config: String,
+        /// First mismatching object/scalar with expected vs actual.
+        detail: String,
+    },
+    /// The run configuration is inconsistent and cannot be simulated
+    /// (e.g. a distributed-accelerator config with interleaved DRAM
+    /// allocation, which leaves arrays without cluster homes).
+    InvalidConfig {
+        /// What is wrong with the configuration.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -51,6 +82,26 @@ impl std::fmt::Display for SimError {
             ),
             SimError::Deadlock { phase, now, stalled } => {
                 write!(f, "deadlock in {phase} at tick {now}; stalled: {stalled}")
+            }
+            SimError::InvariantViolation {
+                phase,
+                now,
+                count,
+                report,
+            } => write!(
+                f,
+                "{count} invariant violation(s) in {phase} at tick {now}:\n{report}"
+            ),
+            SimError::ValidationMismatch {
+                kernel,
+                config,
+                detail,
+            } => write!(
+                f,
+                "differential validation mismatch for {kernel} under {config}: {detail}"
+            ),
+            SimError::InvalidConfig { detail } => {
+                write!(f, "invalid configuration: {detail}")
             }
         }
     }

@@ -12,6 +12,7 @@ use crate::error::SimError;
 use crate::host::HostCore;
 use crate::netmsg::{ChanState, NetMsg};
 use distda_accel::{EngineCtx, IssueModel, PartitionEngine, Wake};
+use distda_check::Sanitizer;
 use distda_compiler::plan::OffloadPlan;
 use distda_energy::EnergyCounters;
 use distda_ir::expr::ArrayId;
@@ -96,6 +97,8 @@ pub struct Machine {
     host_sink: TraceSink,
     /// Channel track: per-channel occupancy series.
     chan_sink: TraceSink,
+    /// Invariant sanitizer; disabled by default (zero cost).
+    san: Sanitizer,
 }
 
 impl Machine {
@@ -132,6 +135,7 @@ impl Machine {
             sink: TraceSink::default(),
             host_sink: TraceSink::default(),
             chan_sink: TraceSink::default(),
+            san: Sanitizer::disabled(),
         }
     }
 
@@ -153,6 +157,31 @@ impl Machine {
     /// The attached tracer (disabled unless [`Machine::set_tracer`] ran).
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// Attaches an invariant sanitizer to every component. With it on, the
+    /// run loops stop with [`SimError::InvariantViolation`] as soon as a
+    /// conservation law breaks, and [`Machine::drain`] audits the drained
+    /// state. A disabled sanitizer (the default) costs nothing.
+    pub fn set_sanitizer(&mut self, san: Sanitizer) {
+        self.mem.set_sanitizer(san.clone());
+        self.mesh.set_sanitizer(san.clone());
+        self.san = san;
+    }
+
+    /// Fails with [`SimError::InvariantViolation`] if the sanitizer has
+    /// recorded anything.
+    fn check_sanitizer(&self, phase: &'static str) -> Result<(), SimError> {
+        let count = self.san.count();
+        if count > 0 {
+            return Err(SimError::InvariantViolation {
+                phase,
+                now: self.now,
+                count,
+                report: self.san.render(),
+            });
+        }
+        Ok(())
     }
 
     /// Enables or disables idle skip-ahead (on by default; `DISTDA_SKIP=0`
@@ -405,6 +434,9 @@ impl Machine {
         if r.is_ok() {
             self.sink
                 .span(t0, self.now, EventKind::KernelPhase { phase });
+            // A violation flagged on the final tick (after the loop's last
+            // check) must still fail the phase.
+            self.check_sanitizer(phase)?;
         }
         r
     }
@@ -415,6 +447,7 @@ impl Machine {
         done: impl Fn(&Machine) -> bool,
     ) -> Result<(), SimError> {
         loop {
+            self.check_sanitizer(phase)?;
             if done(self) {
                 return Ok(());
             }
@@ -613,14 +646,115 @@ impl Machine {
 
     /// Drains all in-flight work (end of program).
     ///
+    /// The exit condition also requires every produced memory response to
+    /// be collected, every mesh inbox to be empty, and every engine to be
+    /// quiescent. The old condition stopped on the very tick the hierarchy
+    /// pushed its last response — before any engine consumed it — so a
+    /// "drained" machine could still hold outstanding reads and undelivered
+    /// responses (invisible in the stats, but a real leak the sanitizer now
+    /// rejects). Likewise [`distda_noc::Mesh::is_active`] excludes packets
+    /// already ejected into a node inbox, so stopping on the tick the mesh
+    /// delivered its last packet stranded that packet undelivered (seen as
+    /// an MSHR entry whose DRAM request never reached the controller).
+    ///
     /// # Errors
     ///
     /// Returns [`SimError`] if in-flight work cannot drain within the
-    /// budget.
+    /// budget, or if the sanitizer finds the drained state violating a
+    /// conservation invariant.
     pub fn drain(&mut self) -> Result<(), SimError> {
         self.run_until("drain", |m| {
-            !m.mem.is_active() && !m.mesh.is_active() && m.net_out.is_empty()
-        })
+            !m.mem.is_active()
+                && m.mem.pending_responses() == 0
+                && !m.mesh.is_active()
+                && !m.mesh.has_inbox_pending()
+                && m.net_out.is_empty()
+                && m.engines_quiescent()
+        })?;
+        self.check_drained();
+        self.check_sanitizer("drain")
+    }
+
+    /// Whether every engine has released all in-flight memory state and
+    /// has no response waiting at its port.
+    fn engines_quiescent(&self) -> bool {
+        self.engines
+            .iter()
+            .all(|s| s.eng.is_quiescent() && s.resp.is_empty())
+    }
+
+    /// Audits the drained machine against every conservation invariant
+    /// (no-op with the sanitizer off).
+    fn check_drained(&self) {
+        if !self.san.on() {
+            return;
+        }
+        let now = self.now;
+        self.mesh.check_conservation(now);
+        for node in 0..self.mesh.node_count() {
+            self.san.check(
+                self.mesh.inbox_len(node) == 0,
+                "noc",
+                "inbox-drain",
+                now,
+                || {
+                    format!(
+                        "node {node} inbox holds {} undelivered packets",
+                        self.mesh.inbox_len(node)
+                    )
+                },
+            );
+        }
+        self.mem.check_drained(now);
+        for (g, ch) in self.chans.iter().enumerate() {
+            self.san.check(
+                ch.queue.is_empty(),
+                "machine.chan",
+                "channel-drain",
+                now,
+                || format!("channel {g} still holds {} operands", ch.queue.len()),
+            );
+            self.san.check(
+                ch.credits + ch.credit_debt == CHAN_CAPACITY,
+                "machine.chan",
+                "credit-conservation",
+                now,
+                || {
+                    format!(
+                        "channel {g}: credits {} + debt {} != capacity {CHAN_CAPACITY}",
+                        ch.credits, ch.credit_debt
+                    )
+                },
+            );
+        }
+        for (i, slot) in self.engines.iter().enumerate() {
+            self.san.check(
+                slot.eng.is_done() || slot.eng.is_idle(),
+                "engine",
+                "engine-settled",
+                now,
+                || format!("engine {i} mid-invocation: {}", slot.eng.stall_debug()),
+            );
+            self.san.check(
+                slot.eng.is_quiescent(),
+                "engine",
+                "engine-quiescent",
+                now,
+                || {
+                    format!(
+                        "engine {i} leaked in-flight memory: {}",
+                        slot.eng.stall_debug()
+                    )
+                },
+            );
+            self.san.check(
+                slot.resp.is_empty(),
+                "engine",
+                "response-drain",
+                now,
+                || format!("engine {i}: {} responses never consumed", slot.resp.len()),
+            );
+        }
     }
 
     /// One base tick.
@@ -635,13 +769,48 @@ impl Machine {
                         self.mem.deliver(now, wrapped);
                     }
                     NetMsg::ChanData { chan, v } => {
-                        self.chans[chan as usize]
-                            .queue
-                            .try_push(v)
-                            .expect("channel credited");
+                        if self.chans[chan as usize].queue.try_push(v).is_err() {
+                            // Credits bound occupancy; an arrival beyond
+                            // capacity means a credit was double-issued.
+                            // With the sanitizer on this becomes a typed
+                            // error (the operand is dropped — the run is
+                            // already condemned); off, fail loudly as
+                            // before.
+                            if self.san.on() {
+                                self.san.flag(
+                                    "machine.chan",
+                                    "credit-overflow",
+                                    now,
+                                    format!(
+                                        "channel {chan} received an operand beyond its credited capacity"
+                                    ),
+                                );
+                            } else {
+                                panic!("channel {chan} overflowed its credited capacity");
+                            }
+                        }
                     }
                     NetMsg::ChanCredit { chan, n } => {
                         self.chans[chan as usize].credits += n as usize;
+                        if self.san.on() {
+                            let ch = &self.chans[chan as usize];
+                            self.san.check(
+                                ch.credits + ch.credit_debt + ch.queue.len()
+                                    <= ch.queue.capacity(),
+                                "machine.chan",
+                                "credit-conservation",
+                                now,
+                                || {
+                                    format!(
+                                        "channel {chan}: credits {} + debt {} + queued {} > capacity {}",
+                                        ch.credits,
+                                        ch.credit_debt,
+                                        ch.queue.len(),
+                                        ch.queue.capacity()
+                                    )
+                                },
+                            );
+                        }
                     }
                     NetMsg::Mmio => {}
                 }

@@ -5,10 +5,12 @@
 
 use crate::alloc::{allocate, Allocation};
 use crate::config::{ConfigKind, RunConfig};
+use crate::error::SimError;
 use crate::hosteval::HostEval;
 use crate::machine::{Machine, PlanHandle, Substrate};
 use crate::transform::decentralize;
 use distda_accel::{cgra_map, CgraConfig, IssueModel};
+use distda_check::Sanitizer;
 use distda_compiler::affine::Sym;
 use distda_compiler::plan::OffloadPlan;
 use distda_compiler::{compile, CompiledKernel, PNode};
@@ -25,6 +27,42 @@ use std::collections::HashMap;
 
 /// Flush the host trace segment when it grows past this many ops.
 const SEGMENT_FLUSH_OPS: usize = 1 << 20;
+
+/// Which correctness machinery a run engages (the `distda-check`
+/// subsystem).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckPolicy {
+    /// Attach an enabled invariant sanitizer to the machine: conservation
+    /// violations become [`SimError::InvariantViolation`] instead of
+    /// silent corruption or panics.
+    pub sanitize: bool,
+    /// Treat a golden-model mismatch (simulated memory image or live-out
+    /// scalars != the IR interpreter's) as
+    /// [`SimError::ValidationMismatch`] instead of only recording
+    /// `validated = false`.
+    pub strict_validate: bool,
+}
+
+impl CheckPolicy {
+    /// The environment-driven policy every standard entry point uses:
+    /// `sanitize` follows `DISTDA_SANITIZE` (default: on in debug builds),
+    /// `strict_validate` follows `DISTDA_VALIDATE` (default: off).
+    pub fn from_env() -> Self {
+        Self {
+            sanitize: distda_check::env_wants_sanitize(),
+            strict_validate: distda_check::env_wants_validate(),
+        }
+    }
+
+    /// Everything on — what the `validate` bin and the differential tests
+    /// use regardless of environment.
+    pub fn full() -> Self {
+        Self {
+            sanitize: true,
+            strict_validate: true,
+        }
+    }
+}
 
 /// Everything measured in one simulated run.
 #[derive(Debug, Clone)]
@@ -87,9 +125,28 @@ impl RunResult {
 ///
 /// # Panics
 ///
-/// Panics if the machine deadlocks (internal tick budget).
+/// Panics if the machine deadlocks (internal tick budget), the sanitizer
+/// flags an invariant violation, or strict validation is enabled and
+/// fails. Use [`try_simulate`] to handle these as [`SimError`]s.
 pub fn simulate(prog: &Program, init: &dyn Fn(&mut Memory), cfg: &RunConfig) -> RunResult {
     simulate_capture(prog, init, cfg).0
+}
+
+/// Fallible [`simulate`]: deadlocks, budget exhaustion, invariant
+/// violations, invalid configurations and (under `DISTDA_VALIDATE`)
+/// golden-model mismatches come back as [`SimError`] instead of a panic,
+/// so one failing cell of a sweep can be reported without aborting the
+/// rest.
+///
+/// # Errors
+///
+/// Returns [`SimError`] as described above.
+pub fn try_simulate(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+) -> Result<RunResult, SimError> {
+    try_simulate_capture_with_ref(prog, init, cfg, None).map(|out| out.0)
 }
 
 /// Like [`simulate`], but also returns the simulated final memory image and
@@ -117,10 +174,29 @@ pub fn simulate_capture_with_ref(
     cfg: &RunConfig,
     reference: Option<&(Memory, Vec<Value>)>,
 ) -> (RunResult, Memory, Vec<Value>) {
+    try_simulate_capture_with_ref(prog, init, cfg, reference).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`simulate_capture_with_ref`]: the standard pipeline —
+/// env-driven tracer with auto-export, env-driven [`CheckPolicy`], and the
+/// `DISTDA_CHECK_SKIP` skip-ahead cross-check — with every failure
+/// returned as [`SimError`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] on deadlock, budget exhaustion, invariant
+/// violation, invalid configuration, or strict-validation mismatch.
+pub fn try_simulate_capture_with_ref(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    reference: Option<&(Memory, Vec<Value>)>,
+) -> Result<(RunResult, Memory, Vec<Value>), SimError> {
     // `DISTDA_TRACE` turns on tracing for any run that goes through the
     // standard entry points; the trace is auto-exported under `results/`.
     let tracer = Tracer::from_env();
-    let out = simulate_traced_with_ref(prog, init, cfg, None, reference, &tracer);
+    let policy = CheckPolicy::from_env();
+    let out = try_simulate_checked(prog, init, cfg, None, reference, &tracer, policy)?;
     if tracer.is_enabled() {
         auto_export(&tracer, &out.0);
     }
@@ -128,7 +204,15 @@ pub fn simulate_capture_with_ref(
         // The tick-by-tick cross-check run gets a disabled tracer: its
         // purpose is comparing simulated results, and tracing it would
         // double-emit into the same components.
-        let base = simulate_with_ref(prog, init, cfg, Some(false), reference);
+        let base = try_simulate_checked(
+            prog,
+            init,
+            cfg,
+            Some(false),
+            reference,
+            &Tracer::disabled(),
+            policy,
+        )?;
         let key = |r: &RunResult| {
             format!(
                 "{:?} {:?}",
@@ -154,7 +238,7 @@ pub fn simulate_capture_with_ref(
             out.0.config
         );
     }
-    out
+    Ok(out)
 }
 
 /// [`simulate_capture`] with an explicit skip-ahead override (`None` keeps
@@ -167,6 +251,32 @@ pub fn simulate_with_skip(
     skip: Option<bool>,
 ) -> (RunResult, Memory, Vec<Value>) {
     simulate_with_ref(prog, init, cfg, skip, None)
+}
+
+/// Fallible [`simulate_with_skip`] with an explicit [`CheckPolicy`] —
+/// what the `validate` bin sweeps (skip on and off, everything checked).
+///
+/// # Errors
+///
+/// Returns [`SimError`] on deadlock, budget exhaustion, invariant
+/// violation, invalid configuration, or strict-validation mismatch.
+pub fn try_simulate_with_policy(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    skip: Option<bool>,
+    reference: Option<&(Memory, Vec<Value>)>,
+    policy: CheckPolicy,
+) -> Result<(RunResult, Memory, Vec<Value>), SimError> {
+    try_simulate_checked(
+        prog,
+        init,
+        cfg,
+        skip,
+        reference,
+        &Tracer::disabled(),
+        policy,
+    )
 }
 
 /// [`simulate_with_skip`] with an optional precomputed reference execution
@@ -229,8 +339,9 @@ fn auto_export(tracer: &Tracer, r: &RunResult) {
     }
 }
 
-/// The full pipeline with every knob: skip override, shared reference,
-/// tracer.
+/// The full pipeline with every knob except a [`CheckPolicy`] (the
+/// environment's policy applies). Panics on any [`SimError`]; see
+/// [`try_simulate_checked`].
 pub fn simulate_traced_with_ref(
     prog: &Program,
     init: &dyn Fn(&mut Memory),
@@ -239,6 +350,43 @@ pub fn simulate_traced_with_ref(
     reference: Option<&(Memory, Vec<Value>)>,
     tracer: &Tracer,
 ) -> (RunResult, Memory, Vec<Value>) {
+    try_simulate_checked(
+        prog,
+        init,
+        cfg,
+        skip,
+        reference,
+        tracer,
+        CheckPolicy::from_env(),
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The root of every entry point: the full pipeline with every knob —
+/// skip override, shared reference, tracer, [`CheckPolicy`].
+///
+/// With `policy.sanitize`, an enabled [`Sanitizer`] is attached to the
+/// machine: the run loops stop on the first conservation-law violation,
+/// and the drained machine is audited (MSHRs, responses, credits, flits,
+/// cache occupancy, tick attribution). With `policy.strict_validate`, a
+/// disagreement with the IR interpreter's golden execution becomes
+/// [`SimError::ValidationMismatch`] naming the first mismatching
+/// object/element.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on deadlock, budget exhaustion, invariant
+/// violation, invalid configuration, or strict-validation mismatch.
+pub fn try_simulate_checked(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    skip: Option<bool>,
+    reference: Option<&(Memory, Vec<Value>)>,
+    tracer: &Tracer,
+    policy: CheckPolicy,
+) -> Result<(RunResult, Memory, Vec<Value>), SimError> {
+    cfg.validate()?;
     // Reference execution for validation (shared across a sweep's
     // configurations when the caller precomputed it).
     let computed;
@@ -282,6 +430,14 @@ pub fn simulate_traced_with_ref(
     if tracer.is_enabled() {
         machine.set_tracer(tracer.clone());
     }
+    let san = if policy.sanitize {
+        Sanitizer::enabled()
+    } else {
+        Sanitizer::disabled()
+    };
+    if san.on() {
+        machine.set_sanitizer(san.clone());
+    }
 
     let mut walker = Walker {
         prog,
@@ -293,9 +449,9 @@ pub fn simulate_traced_with_ref(
         handles: HashMap::new(),
     };
     let body = prog.body.clone();
-    walker.exec_block(&body);
-    walker.flush();
-    walker.machine.drain().unwrap_or_else(|e| panic!("{e}"));
+    walker.exec_block(&body)?;
+    walker.flush()?;
+    walker.machine.drain()?;
 
     let Walker { machine, eval, .. } = walker;
     let eval_scalars = eval.scalars.clone();
@@ -306,6 +462,13 @@ pub fn simulate_traced_with_ref(
     });
     let scalars_ok = eval.scalars == ref_scalars;
     let validated = mem_ok && scalars_ok;
+    if policy.strict_validate && !validated {
+        return Err(SimError::ValidationMismatch {
+            kernel: prog.name.clone(),
+            config: cfg.label(),
+            detail: mismatch_detail(prog, machine.memimg(), ref_mem, &eval_scalars, ref_scalars),
+        });
+    }
 
     // Metrics.
     let counters = machine.energy_counters();
@@ -332,6 +495,36 @@ pub fn simulate_traced_with_ref(
     let data_moved_bytes = 64 * (l1.fills + l2.fills + dr + dw) + noc.total_hop_bytes();
 
     let ticks = machine.now;
+    // Tick-attribution partition invariant: with full event history, the
+    // machine-track phase spans plus the `other` remainder must account
+    // for exactly the run's ticks — neither a shortfall nor an
+    // over-accounting masked by the old `saturating_sub`.
+    if san.on() && tracer.is_enabled() {
+        let attr = distda_trace::summary::phase_attribution(tracer, ticks);
+        if attr.complete {
+            let sum: Tick = attr.parts.iter().map(|(_, t)| *t).sum();
+            san.check(
+                sum == ticks && !attr.over_accounted,
+                "trace",
+                "attribution-partition",
+                ticks,
+                || {
+                    format!(
+                        "phase attribution sums to {sum} of {ticks} ticks (over_accounted={})",
+                        attr.over_accounted
+                    )
+                },
+            );
+        }
+        if san.count() > 0 {
+            return Err(SimError::InvariantViolation {
+                phase: "post-run",
+                now: ticks,
+                count: san.count(),
+                report: san.render(),
+            });
+        }
+    }
     let mut report = Report::new();
     report.merge_prefixed("mem", &machine.mem().report());
     report.merge_prefixed("noc", &noc.report());
@@ -367,7 +560,45 @@ pub fn simulate_traced_with_ref(
         report,
     };
     let final_mem = machine.into_memimg();
-    (result, final_mem, eval_scalars)
+    Ok((result, final_mem, eval_scalars))
+}
+
+/// Describes the first disagreement between the simulated machine's final
+/// state and the golden model's, for [`SimError::ValidationMismatch`].
+fn mismatch_detail(
+    prog: &Program,
+    sim: &Memory,
+    reference: &Memory,
+    sim_scalars: &[Value],
+    ref_scalars: &[Value],
+) -> String {
+    for a in 0..prog.arrays.len() {
+        let id = distda_ir::ArrayId(a);
+        let (s, r) = (sim.array(id), reference.array(id));
+        let diffs = s.iter().zip(r.iter()).filter(|(x, y)| x != y).count();
+        if diffs > 0 || s.len() != r.len() {
+            let i = s
+                .iter()
+                .zip(r.iter())
+                .position(|(x, y)| x != y)
+                .unwrap_or(s.len().min(r.len()));
+            return format!(
+                "array {}[{}]: simulated {:?} != reference {:?} ({} of {} elements differ)",
+                prog.arrays[a].name,
+                i,
+                s.get(i),
+                r.get(i),
+                diffs,
+                r.len()
+            );
+        }
+    }
+    for (i, (s, r)) in sim_scalars.iter().zip(ref_scalars.iter()).enumerate() {
+        if s != r {
+            return format!("scalar {i}: simulated {s:?} != reference {r:?}");
+        }
+    }
+    "state differs but no element-level mismatch found".to_string()
 }
 
 struct Walker<'a> {
@@ -381,35 +612,36 @@ struct Walker<'a> {
 }
 
 impl Walker<'_> {
-    fn exec_block(&mut self, stmts: &[Stmt]) {
+    fn exec_block(&mut self, stmts: &[Stmt]) -> Result<(), SimError> {
         for s in stmts {
-            self.exec(s);
+            self.exec(s)?;
         }
+        Ok(())
     }
 
-    fn flush(&mut self) {
+    fn flush(&mut self) -> Result<(), SimError> {
         let ops = self.eval.take_segment();
-        self.machine
-            .run_host_segment(ops)
-            .unwrap_or_else(|e| panic!("{e}"));
+        self.machine.run_host_segment(ops)
     }
 
-    fn exec(&mut self, s: &Stmt) {
+    fn exec(&mut self, s: &Stmt) -> Result<(), SimError> {
         match s {
             Stmt::Store(a, idx, val) => {
                 let mem = self.machine.memimg_mut();
                 self.eval.store(*a, idx, val, mem);
+                Ok(())
             }
             Stmt::SetScalar(sid, e) => {
                 let mem = self.machine.memimg_mut();
                 self.eval.set_scalar(*sid, e, mem);
+                Ok(())
             }
             Stmt::If(c, t, e) => {
                 let (v, _) = self.eval.eval(c, self.machine.memimg_mut());
                 if v.truthy() {
-                    self.exec_block(t);
+                    self.exec_block(t)
                 } else {
-                    self.exec_block(e);
+                    self.exec_block(e)
                 }
             }
             Stmt::Loop(l) => {
@@ -426,7 +658,7 @@ impl Walker<'_> {
         }
     }
 
-    fn run_host_loop(&mut self, l: &distda_ir::Loop) {
+    fn run_host_loop(&mut self, l: &distda_ir::Loop) -> Result<(), SimError> {
         let (sv, _) = self.eval.eval(&l.start, self.machine.memimg_mut());
         let (ev, _) = self.eval.eval(&l.end, self.machine.memimg_mut());
         let (start, end) = (sv.as_i64(), ev.as_i64());
@@ -434,19 +666,20 @@ impl Walker<'_> {
         while (l.step > 0 && i < end) || (l.step < 0 && i > end) {
             self.eval.loop_vars[l.var.0] = i;
             self.eval.emit_loop_overhead();
-            self.exec_block(&l.body);
+            self.exec_block(&l.body)?;
             if self.eval.segment_len() > SEGMENT_FLUSH_OPS {
-                self.flush();
+                self.flush()?;
             }
             i += l.step;
         }
+        Ok(())
     }
 
-    fn run_offload(&mut self, l: &distda_ir::Loop, plan: &OffloadPlan) {
+    fn run_offload(&mut self, l: &distda_ir::Loop, plan: &OffloadPlan) -> Result<(), SimError> {
         // Host evaluates bounds (may read memory, e.g. CSR row pointers).
         let (sv, _) = self.eval.eval(&l.start, self.machine.memimg_mut());
         let (ev, _) = self.eval.eval(&l.end, self.machine.memimg_mut());
-        self.flush();
+        self.flush()?;
         let handle = match self.handles.get(&l.id) {
             Some(&h) => h,
             None => {
@@ -471,12 +704,11 @@ impl Walker<'_> {
             .collect();
         self.machine
             .launch(handle, &params, &carries, sv.as_i64(), ev.as_i64(), l.step);
-        self.machine
-            .run_offload(handle)
-            .unwrap_or_else(|e| panic!("{e}"));
+        self.machine.run_offload(handle)?;
         for (s, v) in self.machine.read_liveouts(handle) {
             self.eval.set_scalar_external(s, v);
         }
+        Ok(())
     }
 
     fn configure(&mut self, plan: &OffloadPlan) -> PlanHandle {

@@ -22,6 +22,11 @@ pub struct Attribution {
     pub total: Tick,
     /// Whether the event ring shed history, making the split a floor.
     pub complete: bool,
+    /// Labelled spans summed to *more* than the claimed run length —
+    /// overlapping phase spans or a wrong total. The `other` bucket
+    /// saturates to zero in that case, which used to mask the condition
+    /// entirely; the flag keeps the invariant checkable.
+    pub over_accounted: bool,
 }
 
 /// Attributes every tick of a `total`-tick run to a machine phase.
@@ -59,6 +64,7 @@ pub fn attribution_from(comps: &[ComponentDump], total: Tick) -> Attribution {
         parts,
         total: total.max(accounted),
         complete,
+        over_accounted: accounted > total,
     }
 }
 
@@ -83,6 +89,9 @@ pub fn render_attribution(attr: &Attribution) -> String {
     let _ = writeln!(out, "  {:width$}  {:>14}  100.00%", "total", attr.total);
     if !attr.complete {
         out.push_str("  (event ring overflowed; labelled shares are lower bounds)\n");
+    }
+    if attr.over_accounted {
+        out.push_str("  (WARNING: labelled spans exceed the run length)\n");
     }
     out
 }
@@ -179,6 +188,18 @@ mod tests {
         let attr = phase_attribution(&machine_tracer(), 100);
         assert_eq!(attr.parts[0].0, "host-segment");
         assert_eq!(attr.parts[0].1, 40);
+    }
+
+    #[test]
+    fn over_accounting_is_flagged_not_masked() {
+        // Spans sum to 90 ticks; claim the run was only 50.
+        let attr = phase_attribution(&machine_tracer(), 50);
+        assert!(attr.over_accounted);
+        assert_eq!(attr.total, 90);
+        let other = attr.parts.iter().find(|(l, _)| l == "other").unwrap();
+        assert_eq!(other.1, 0);
+        assert!(render_attribution(&attr).contains("WARNING"));
+        assert!(!phase_attribution(&machine_tracer(), 100).over_accounted);
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub mod vision;
 use distda_ir::interp::{self, Memory};
 use distda_ir::program::Program;
 use distda_ir::value::Value;
-use distda_system::{simulate_capture_with_ref, RunConfig, RunResult};
+use distda_system::{
+    simulate_capture_with_ref, try_simulate_capture_with_ref, try_simulate_with_policy,
+    CheckPolicy, RunConfig, RunResult, SimError,
+};
 use std::sync::{Arc, OnceLock};
 
 pub use dp::{nw, nw_blocked, pathfinder};
@@ -160,6 +163,44 @@ impl Workload {
     /// the (cached) reference execution.
     pub fn simulate(&self, cfg: &RunConfig) -> RunResult {
         simulate_capture_with_ref(&self.program, &*self.init, cfg, Some(self.reference_exec())).0
+    }
+
+    /// Fallible [`Workload::simulate`]: deadlocks, invariant violations and
+    /// invalid configurations come back as [`SimError`] so a sweep can
+    /// report one failing cell and keep going.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on any simulation failure.
+    pub fn try_simulate(&self, cfg: &RunConfig) -> Result<RunResult, SimError> {
+        try_simulate_capture_with_ref(&self.program, &*self.init, cfg, Some(self.reference_exec()))
+            .map(|out| out.0)
+    }
+
+    /// [`Workload::try_simulate`] with an explicit skip-ahead override and
+    /// [`CheckPolicy`] — the differential-validation entry point: under
+    /// [`CheckPolicy::full`] a golden-model mismatch or conservation
+    /// violation is a typed error, not a flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on any simulation failure, including (under
+    /// `policy.strict_validate`) golden-model mismatches.
+    pub fn try_simulate_checked(
+        &self,
+        cfg: &RunConfig,
+        skip: Option<bool>,
+        policy: CheckPolicy,
+    ) -> Result<RunResult, SimError> {
+        try_simulate_with_policy(
+            &self.program,
+            &*self.init,
+            cfg,
+            skip,
+            Some(self.reference_exec()),
+            policy,
+        )
+        .map(|out| out.0)
     }
 
     /// The cached reference execution: final memory image + scalar values

@@ -5,9 +5,10 @@
 //!
 //! See the crate-level docs of each member for details:
 //! [`sim`], [`noc`], [`mem`], [`ir`], [`compiler`], [`accel`], [`energy`],
-//! [`system`], [`workloads`].
+//! [`system`], [`workloads`], [`check`].
 
 pub use distda_accel as accel;
+pub use distda_check as check;
 pub use distda_compiler as compiler;
 pub use distda_energy as energy;
 pub use distda_ir as ir;

@@ -76,3 +76,59 @@ fn case_study_kernels_validate() {
         }
     }
 }
+
+/// The differential-validation contract with everything strict: a
+/// golden-model mismatch, conservation-invariant violation, or drain leak
+/// is a typed error, for every configuration, with idle skip-ahead both on
+/// and off. Guards the drain-state leaks the sanitizer originally flagged
+/// (undelivered responses; packets stranded in a mesh inbox on the final
+/// drain tick).
+#[test]
+fn strict_checked_runs_hold_every_invariant_across_configs() {
+    use distda::system::CheckPolicy;
+    let scale = Scale::tiny();
+    // pointer-chase serializes DRAM misses, fdtd-2d streams through the
+    // prefetcher (the path that stranded a DRAM request in an inbox), and
+    // bfs exercises indirect traffic from the engines.
+    for w in [
+        distda::workloads::pointer_chase(&scale),
+        distda::workloads::fdtd_2d(&scale),
+        distda::workloads::bfs(&scale),
+    ] {
+        for kind in ConfigKind::ALL {
+            for skip in [true, false] {
+                let r = w
+                    .try_simulate_checked(&RunConfig::named(kind), Some(skip), CheckPolicy::full())
+                    .unwrap_or_else(|e| panic!("{} under {:?} (skip={skip}): {e}", w.name, kind));
+                assert!(r.validated);
+            }
+        }
+    }
+}
+
+/// Interleaved allocation leaves no home-cluster table, so configurations
+/// that consult it must be rejected with a typed error up front — this
+/// used to be an `unreachable!()` panic deep in the allocator.
+#[test]
+fn interleaved_alloc_under_decentralized_config_is_a_typed_error() {
+    use distda::system::{AllocStrategy, SimError};
+    let scale = Scale::tiny();
+    let w = distda::workloads::pointer_chase(&scale);
+    let cfg = RunConfig {
+        alloc: AllocStrategy::Interleaved,
+        ..RunConfig::named(ConfigKind::DistDAF)
+    };
+    match w.try_simulate(&cfg) {
+        Err(SimError::InvalidConfig { detail }) => {
+            assert!(detail.contains("Interleaved"), "detail: {detail}");
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    // The plain Mono-CA baseline allocates interleaved by design and must
+    // keep working.
+    let ca = RunConfig {
+        alloc: AllocStrategy::Interleaved,
+        ..RunConfig::named(ConfigKind::MonoCA)
+    };
+    assert!(w.try_simulate(&ca).expect("Mono-CA interleaved").validated);
+}
