@@ -365,7 +365,16 @@ pub fn table06(scale: &Scale) -> String {
         assert!(ooo.validated && dist.validated);
         let accel_ops = dist.total_ops - dist.host_ops;
         let host_mem = dist.report.get("host.mem_ops").unwrap_or(0.0) as u64;
-        let accel_mem = dist.mem_ops.saturating_sub(host_mem);
+        // `RunResult::mem_ops` is host mem ops + engine mem ops, and the
+        // "host.mem_ops" report entry is the same host count round-tripped
+        // through f64 (exact below 2^53), so the host share can never
+        // exceed the total.
+        debug_assert!(
+            host_mem <= dist.mem_ops,
+            "host mem ops {host_mem} exceed total {}",
+            dist.mem_ops
+        );
+        let accel_mem = dist.mem_ops - host_mem;
         let cc = 100.0 * accel_ops as f64 / ooo.total_ops.max(1) as f64;
         let dc = 100.0 * accel_mem as f64 / ooo.mem_ops.max(1) as f64;
         let init = 100.0 * dist.counters.mmio_words as f64 / ooo.mem_ops.max(1) as f64;

@@ -55,15 +55,11 @@ impl Sweep {
 /// Worker count for parallel sweeps: `DISTDA_THREADS` if set to a positive
 /// integer, otherwise the host's available parallelism.
 pub fn sweep_threads() -> usize {
-    std::env::var("DISTDA_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    distda_sim::env::threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Wall-clock record of one simulated (kernel, config) run.

@@ -166,7 +166,9 @@ pub fn bfs_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult {
                 .filter_map(|(t, b)| b.map(|_| handles[t]))
                 .collect();
             machine
-                .run_until("mt-bfs", |m| busy_handles.iter().any(|&h| m.plan_done(h)))
+                .run_until("mt-bfs", |_, m| {
+                    busy_handles.iter().any(|&h| m.plan_done(h))
+                })
                 .unwrap_or_else(|e| panic!("{e}"));
         }
         // Frontier rotation on the host (fast bookkeeping, not modeled as
@@ -195,7 +197,7 @@ pub fn bfs_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult {
         .all(|(g, e)| *g == *e || (*e == 0 && *g <= 0));
     MtResult {
         threads,
-        ticks: machine.now,
+        ticks: machine.now(),
         validated,
     }
 }
@@ -279,7 +281,7 @@ pub fn pathfinder_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult
             launched.push(*h);
         }
         machine
-            .run_until("mt-pathfinder", |m| {
+            .run_until("mt-pathfinder", |_, m| {
                 launched.iter().all(|h| m.plan_done(*h))
             })
             .unwrap_or_else(|e| panic!("{e}"));
@@ -327,7 +329,7 @@ pub fn pathfinder_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult
         (0..cols).all(|j| (machine.memimg().array(src)[j].as_f64() - s[j]).abs() < 1e-9);
     MtResult {
         threads,
-        ticks: machine.now,
+        ticks: machine.now(),
         validated,
     }
 }

@@ -11,8 +11,9 @@
 //!
 //! A disabled [`Sanitizer`] (the default in release builds) is a `None`
 //! handle: every check short-circuits on one branch, so the hot paths pay
-//! nothing. `DISTDA_SANITIZE=1` forces it on, `DISTDA_SANITIZE=0` forces
-//! it off, and when unset it follows `cfg!(debug_assertions)` so every
+//! nothing. The `DISTDA_SANITIZE` environment knob (parsed by
+//! `distda_sim::env`, which sits above this crate) forces it on (`1`) or
+//! off (`0`); when unset it follows `cfg!(debug_assertions)` so every
 //! debug test run is sanitized for free.
 //!
 //! ```
@@ -23,9 +24,14 @@
 //! assert!(san.render().contains("flit-conservation"));
 //! ```
 
-use distda_sim::time::Tick;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Base-clock tick count (6 GHz base tick in the Dist-DA machine).
+///
+/// Kept as a local alias so this crate sits below `distda-sim` in the
+/// dependency order; `distda_sim::Tick` is the same `u64`.
+pub type Tick = u64;
 
 /// One recorded invariant violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,16 +82,6 @@ impl Sanitizer {
     pub fn enabled() -> Self {
         Self {
             inner: Some(Arc::new(Inner::default())),
-        }
-    }
-
-    /// Enabled or disabled per the `DISTDA_SANITIZE` policy (see crate
-    /// docs).
-    pub fn from_env() -> Self {
-        if env_wants_sanitize() {
-            Self::enabled()
-        } else {
-            Self::disabled()
         }
     }
 
@@ -180,22 +176,6 @@ impl Sanitizer {
         }
         out
     }
-}
-
-/// The `DISTDA_SANITIZE` policy: `"0"` forces off, any other value forces
-/// on, unset follows `cfg!(debug_assertions)`.
-pub fn env_wants_sanitize() -> bool {
-    match std::env::var("DISTDA_SANITIZE") {
-        Ok(v) => v != "0",
-        Err(_) => cfg!(debug_assertions),
-    }
-}
-
-/// Whether `DISTDA_VALIDATE` asks for strict differential validation
-/// (mismatch against the golden model becomes a typed error instead of a
-/// `validated = false` flag): set and not `"0"`.
-pub fn env_wants_validate() -> bool {
-    std::env::var("DISTDA_VALIDATE").is_ok_and(|v| v != "0")
 }
 
 #[cfg(test)]

@@ -1152,6 +1152,44 @@ impl MemSystem {
     }
 }
 
+/// The memory system as a self-contained
+/// [`Component`](distda_sim::Component): it owns its caches, MSHRs, DRAM
+/// model and outgoing-packet queue, so it implements the protocol for any
+/// world. A composed machine whose other components push requests into it
+/// mid-tick wraps it in an adapter over shared world state instead; this
+/// impl serves standalone scheduling and conformance tests.
+impl<W> distda_sim::Component<W> for MemSystem {
+    fn name(&self) -> &str {
+        "mem"
+    }
+
+    fn attach(&mut self, _world: &mut W, instr: &distda_sim::Instruments) {
+        self.set_tracer(&instr.tracer);
+        self.set_sanitizer(instr.san.clone());
+    }
+
+    fn tick(&mut self, now: Tick, _world: &mut W, _instr: &mut distda_sim::Instruments) {
+        MemSystem::tick(self, now);
+    }
+
+    fn next_event(&self, now: Tick, _world: &W) -> Option<Tick> {
+        MemSystem::next_event(self, now)
+    }
+
+    fn is_quiescent(&self, _now: Tick, _world: &W) -> bool {
+        !self.is_active() && self.pending_responses() == 0
+    }
+
+    fn audit_drained(&self, now: Tick, _world: &W, _san: &Sanitizer) {
+        self.check_drained(now);
+    }
+
+    fn stall(&self, _now: Tick, _world: &W) -> Option<String> {
+        self.is_active()
+            .then(|| "memory hierarchy active".to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -475,6 +475,66 @@ impl<P> Mesh<P> {
     pub fn stats(&self) -> &NocStats {
         &self.stats
     }
+
+    /// Audits the drained mesh: flit conservation
+    /// ([`Mesh::check_conservation`]) plus every inbox empty. Flags
+    /// violations on the attached sanitizer; a no-op when it is disabled.
+    pub fn check_drained(&self, now: Tick) {
+        if !self.san.on() {
+            return;
+        }
+        self.check_conservation(now);
+        for node in 0..self.node_count() {
+            self.san.check(
+                self.inbox[node].is_empty(),
+                "noc",
+                "inbox-drain",
+                now,
+                || {
+                    format!(
+                        "node {node} inbox holds {} undelivered packets",
+                        self.inbox[node].len()
+                    )
+                },
+            );
+        }
+    }
+}
+
+/// The mesh as a self-contained [`Component`](distda_sim::Component): it
+/// carries its own queues and clock, so it implements the protocol for
+/// any world. Composed machines that route packets *into* the mesh from
+/// world state (injection queues, inboxes) wrap it in their own adapter
+/// instead; this impl serves standalone scheduling and conformance tests.
+impl<W, P> distda_sim::Component<W> for Mesh<P> {
+    fn name(&self) -> &str {
+        "noc"
+    }
+
+    fn attach(&mut self, _world: &mut W, instr: &distda_sim::Instruments) {
+        self.set_sink(instr.tracer.sink("noc"));
+        self.set_sanitizer(instr.san.clone());
+    }
+
+    fn tick(&mut self, now: Tick, _world: &mut W, _instr: &mut distda_sim::Instruments) {
+        Mesh::tick(self, now);
+    }
+
+    fn next_event(&self, now: Tick, _world: &W) -> Option<Tick> {
+        Mesh::next_event(self, now)
+    }
+
+    fn is_quiescent(&self, _now: Tick, _world: &W) -> bool {
+        !self.is_active() && !self.has_inbox_pending()
+    }
+
+    fn audit_drained(&self, now: Tick, _world: &W, _san: &Sanitizer) {
+        self.check_drained(now);
+    }
+
+    fn stall(&self, _now: Tick, _world: &W) -> Option<String> {
+        self.is_active().then(|| "mesh active".to_string())
+    }
 }
 
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,191 @@
+//! Typed access to every `DISTDA_*` environment knob.
+//!
+//! All runtime configuration of the simulator goes through process
+//! environment variables so that sweeps, tests and CI can flip behaviour
+//! without plumbing flags through every constructor. This module is the
+//! *single* place those variables are read and parsed; the rest of the
+//! workspace calls the typed accessors below instead of
+//! `std::env::var("DISTDA_...")` directly.
+//!
+//! | Knob | Values | Default | Effect |
+//! |------|--------|---------|--------|
+//! | `DISTDA_SKIP` | `0` off, else on | on | Idle skip-ahead in the run loop |
+//! | `DISTDA_CHECK_SKIP` | `1` on | off | Run twice (skip on/off) and diff results |
+//! | `DISTDA_SANITIZE` | `0` off, else on | `cfg!(debug_assertions)` | Invariant sanitizer |
+//! | `DISTDA_VALIDATE` | `0` off, else on | off | Strict differential validation errors |
+//! | `DISTDA_THREADS` | positive integer | autodetect | Sweep worker count |
+//! | `DISTDA_TRACE` | `1`/`all`, prefix list, `0` | off | Tracing filter spec |
+//! | `DISTDA_TRACE_CAP` | positive integer | 65536 | Per-component event-ring capacity |
+//!
+//! Each accessor is a thin wrapper over a pure `parse_*` function taking
+//! `Option<&str>`, so the parsing rules are unit-testable without touching
+//! the process-global environment.
+
+use distda_check::Sanitizer;
+use distda_trace::{Tracer, DEFAULT_EVENT_CAP};
+
+fn var(name: &str) -> Option<String> {
+    std::env::var(name).ok()
+}
+
+/// `DISTDA_SKIP` rule: on unless explicitly `"0"` (unset means on).
+pub fn parse_skip(val: Option<&str>) -> bool {
+    val != Some("0")
+}
+
+/// `DISTDA_CHECK_SKIP` rule: on only when exactly `"1"`.
+pub fn parse_check_skip(val: Option<&str>) -> bool {
+    val == Some("1")
+}
+
+/// `DISTDA_SANITIZE` rule: `"0"` forces off, any other set value forces
+/// on, unset follows `cfg!(debug_assertions)`.
+pub fn parse_sanitize(val: Option<&str>) -> bool {
+    match val {
+        Some(v) => v != "0",
+        None => cfg!(debug_assertions),
+    }
+}
+
+/// `DISTDA_VALIDATE` rule: on when set and not `"0"`.
+pub fn parse_validate(val: Option<&str>) -> bool {
+    val.is_some_and(|v| v != "0")
+}
+
+/// `DISTDA_THREADS` rule: a positive integer, anything else means
+/// "unset" (autodetect).
+pub fn parse_threads(val: Option<&str>) -> Option<usize> {
+    val.and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+/// `DISTDA_TRACE_CAP` rule: a parseable `usize`, else the default ring
+/// capacity.
+pub fn parse_trace_cap(val: Option<&str>) -> usize {
+    val.and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(DEFAULT_EVENT_CAP)
+}
+
+/// Builds a [`Tracer`] from a `DISTDA_TRACE` spec and `DISTDA_TRACE_CAP`
+/// value. An unset spec disables tracing outright (the cap is ignored).
+pub fn parse_tracer(spec: Option<&str>, cap: Option<&str>) -> Tracer {
+    match spec {
+        None => Tracer::disabled(),
+        Some(spec) => Tracer::with_filter_cap(spec, parse_trace_cap(cap)),
+    }
+}
+
+/// Whether the run loop may skip ahead over idle ticks (`DISTDA_SKIP`).
+pub fn skip() -> bool {
+    parse_skip(var("DISTDA_SKIP").as_deref())
+}
+
+/// Whether runs should be executed twice — skip-ahead on and off — and
+/// their results diffed (`DISTDA_CHECK_SKIP`).
+pub fn check_skip() -> bool {
+    parse_check_skip(var("DISTDA_CHECK_SKIP").as_deref())
+}
+
+/// Whether the invariant sanitizer records checks (`DISTDA_SANITIZE`).
+pub fn sanitize() -> bool {
+    parse_sanitize(var("DISTDA_SANITIZE").as_deref())
+}
+
+/// Whether differential validation mismatches are strict errors
+/// (`DISTDA_VALIDATE`).
+pub fn validate() -> bool {
+    parse_validate(var("DISTDA_VALIDATE").as_deref())
+}
+
+/// Sweep worker count override (`DISTDA_THREADS`), `None` to autodetect.
+pub fn threads() -> Option<usize> {
+    parse_threads(var("DISTDA_THREADS").as_deref())
+}
+
+/// A [`Tracer`] per `DISTDA_TRACE` / `DISTDA_TRACE_CAP`; disabled when
+/// `DISTDA_TRACE` is unset.
+pub fn tracer() -> Tracer {
+    parse_tracer(
+        var("DISTDA_TRACE").as_deref(),
+        var("DISTDA_TRACE_CAP").as_deref(),
+    )
+}
+
+/// A [`Sanitizer`] per the `DISTDA_SANITIZE` policy.
+pub fn sanitizer() -> Sanitizer {
+    if sanitize() {
+        Sanitizer::enabled()
+    } else {
+        Sanitizer::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_defaults_on_and_only_zero_disables() {
+        assert!(parse_skip(None));
+        assert!(parse_skip(Some("1")));
+        assert!(parse_skip(Some("yes")));
+        assert!(!parse_skip(Some("0")));
+    }
+
+    #[test]
+    fn check_skip_requires_exactly_one() {
+        assert!(!parse_check_skip(None));
+        assert!(!parse_check_skip(Some("0")));
+        assert!(!parse_check_skip(Some("true")));
+        assert!(parse_check_skip(Some("1")));
+    }
+
+    #[test]
+    fn sanitize_follows_debug_assertions_when_unset() {
+        assert_eq!(parse_sanitize(None), cfg!(debug_assertions));
+        assert!(parse_sanitize(Some("1")));
+        assert!(parse_sanitize(Some("anything")));
+        assert!(!parse_sanitize(Some("0")));
+    }
+
+    #[test]
+    fn validate_defaults_off() {
+        assert!(!parse_validate(None));
+        assert!(!parse_validate(Some("0")));
+        assert!(parse_validate(Some("1")));
+        assert!(parse_validate(Some("strict")));
+    }
+
+    #[test]
+    fn threads_accepts_only_positive_integers() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("-2")), None);
+        assert_eq!(parse_threads(Some("abc")), None);
+        assert_eq!(parse_threads(Some("8")), Some(8));
+    }
+
+    #[test]
+    fn trace_cap_falls_back_to_default() {
+        assert_eq!(parse_trace_cap(None), DEFAULT_EVENT_CAP);
+        assert_eq!(parse_trace_cap(Some("not-a-number")), DEFAULT_EVENT_CAP);
+        assert_eq!(parse_trace_cap(Some("1024")), 1024);
+    }
+
+    #[test]
+    fn tracer_spec_rules() {
+        assert!(!parse_tracer(None, None).is_enabled());
+        assert!(!parse_tracer(Some("0"), None).is_enabled());
+        assert!(parse_tracer(Some("all"), None).is_enabled());
+        assert!(parse_tracer(Some("1"), Some("256")).is_enabled());
+        let t = parse_tracer(Some("mem,noc"), None);
+        assert!(t.sink("mem.dram").on());
+        assert!(!t.sink("machine").on());
+    }
+
+    #[test]
+    fn sanitizer_constructor_matches_policy() {
+        // Can't portably mutate the environment in tests; at least check
+        // the constructor agrees with the policy function.
+        assert_eq!(sanitizer().on(), sanitize());
+    }
+}

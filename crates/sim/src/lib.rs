@@ -19,11 +19,22 @@
 //! assert_eq!(GHZ_BASE, 6.0);
 //! ```
 
+pub mod component;
+pub mod conformance;
+pub mod env;
 pub mod fifo;
 pub mod rng;
-pub mod stats;
 pub mod time;
 
+/// Statistics reporting ([`Report`], [`geomean`]).
+///
+/// The implementation lives in `distda-trace` (the lowest layer of the
+/// instrumentation stack) so that tracing can build reports without
+/// depending on this crate; re-exported here because `distda_sim::stats`
+/// is the historical path every consumer uses.
+pub use distda_trace::stats;
+
+pub use component::{Component, Instruments, Scheduler, Stop};
 pub use fifo::Fifo;
 pub use rng::SplitMix64;
 pub use stats::{geomean, Report};

@@ -37,7 +37,7 @@ pub mod transform;
 pub use alloc::{allocate, AllocStrategy, Allocation};
 pub use config::{ConfigKind, RunConfig};
 pub use error::SimError;
-pub use machine::{Machine, PlanHandle, Substrate, CHAN_CAPACITY};
+pub use machine::{Machine, MachineState, PlanHandle, Substrate, CHAN_CAPACITY};
 pub use runner::{
     simulate, simulate_capture, simulate_capture_with_ref, simulate_traced,
     simulate_traced_with_ref, simulate_traced_with_skip, simulate_with_ref, simulate_with_skip,

@@ -7,6 +7,18 @@
 //! `cp_config_stream/random`), [`Machine::launch`] (`cp_set_rf`, `cp_run`)
 //! and [`Machine::read_liveouts`] (`cp_load_rf`), with MMIO traffic and
 //! host occupancy charged for each.
+//!
+//! ## Composition
+//!
+//! Structurally the machine is a [`Scheduler`] over a [`MachineState`]
+//! world. Each intra-tick phase — inbox delivery, host issue, engine
+//! execution, memory hierarchy, packet injection, mesh routing — is a
+//! registered [`Component`] with a fixed stage number; the scheduler owns
+//! the clock, the skip-ahead wake probe, the tick budget, the drain loop
+//! and the drain audit. Adding a component to the machine is a single
+//! [`Scheduler::register`] call: the tick loop, wake probe, drain
+//! predicate and drain audit all follow from the component's own
+//! protocol implementation, so none of them can silently forget it.
 
 use crate::error::SimError;
 use crate::host::HostCore;
@@ -21,6 +33,7 @@ use distda_ir::trace::{DynOp, Layout};
 use distda_ir::value::Value;
 use distda_mem::{MemRequest, MemSystem, PortId, PortKind};
 use distda_noc::{Mesh, NocConfig, Packet, TrafficClass};
+use distda_sim::component::{Component, Instruments, Scheduler, Stop};
 use distda_sim::time::{ClockDomain, Tick};
 use distda_trace::{EventKind, TraceSink, Tracer};
 
@@ -28,6 +41,25 @@ use distda_trace::{EventKind, TraceSink, Tracer};
 pub const CHAN_CAPACITY: usize = 64;
 /// Host cycles charged per MMIO configuration word.
 const MMIO_CYCLES_PER_WORD: u64 = 1;
+/// Base ticks (10 simulated seconds) before a run loop is declared hung.
+const TICK_BUDGET: u64 = 60_000_000_000;
+
+/// Intra-tick phase stages. Components tick in ascending stage order;
+/// the numbers are spaced so future components can slot between phases.
+mod stage {
+    /// Deliver last tick's mesh arrivals to memory/channels.
+    pub const DELIVERY: u32 = 0;
+    /// Host core issues.
+    pub const HOST: u32 = 10;
+    /// Accelerator engines execute (registered later, one per engine).
+    pub const ENGINE: u32 = 20;
+    /// Memory hierarchy advances and injects its outgoing packets.
+    pub const MEM: u32 = 30;
+    /// Machine-level packets (channel data/credits, MMIO) inject.
+    pub const NET_OUT: u32 = 40;
+    /// Mesh routes.
+    pub const MESH: u32 = 50;
+}
 
 /// Handle to a configured offload plan.
 pub type PlanHandle = usize;
@@ -70,12 +102,14 @@ struct PlanInst {
     params: Vec<distda_compiler::affine::Sym>,
 }
 
-/// The machine. Construct with [`Machine::new`], configure plans, then
-/// alternate host segments and offload invocations.
+/// The shared world state every machine component operates on: the
+/// structural units (mesh, memory hierarchy, host core, engines, operand
+/// channels) plus the functional image and address layout.
+///
+/// Run-loop exit conditions receive `&MachineState` (plus the current
+/// tick), so everything a condition might poll is readable here.
 #[derive(Debug)]
-pub struct Machine {
-    /// Current base tick.
-    pub now: Tick,
+pub struct MachineState {
     mesh: Mesh<NetMsg>,
     mem: MemSystem,
     host: HostCore,
@@ -87,317 +121,15 @@ pub struct Machine {
     net_out: std::collections::VecDeque<Packet<NetMsg>>,
     host_node: usize,
     mmio_words: u64,
-    tick_budget: u64,
-    /// Idle skip-ahead: jump the clock over provably idle base ticks.
-    skip: bool,
-    tracer: Tracer,
     /// Machine track: kernel phases, MMIO transfers, offload dispatches.
     sink: TraceSink,
     /// Host track: segment loads.
     host_sink: TraceSink,
     /// Channel track: per-channel occupancy series.
     chan_sink: TraceSink,
-    /// Invariant sanitizer; disabled by default (zero cost).
-    san: Sanitizer,
 }
 
-impl Machine {
-    /// Builds the Table III machine: 4x2 mesh, host at node 0, memory
-    /// controller at node 7. The caller supplies the (already allocated)
-    /// memory system, functional image and layout.
-    pub fn new(
-        mem: MemSystem,
-        memimg: Memory,
-        layout: Layout,
-        host_width: u32,
-        host_rob: usize,
-    ) -> Self {
-        let uncore = mem.clock();
-        let mut mem = mem;
-        let host_port = mem.register_port(PortKind::Host);
-        let host = HostCore::new(uncore, host_width, host_rob, host_port);
-        Self {
-            now: 0,
-            mesh: Mesh::new(4, 2, NocConfig::default(), uncore),
-            mem,
-            host,
-            memimg,
-            layout,
-            chans: Vec::new(),
-            engines: Vec::new(),
-            plans: Vec::new(),
-            net_out: std::collections::VecDeque::new(),
-            host_node: 0,
-            mmio_words: 0,
-            tick_budget: 60_000_000_000,
-            skip: std::env::var("DISTDA_SKIP").map_or(true, |v| v != "0"),
-            tracer: Tracer::disabled(),
-            sink: TraceSink::default(),
-            host_sink: TraceSink::default(),
-            chan_sink: TraceSink::default(),
-            san: Sanitizer::disabled(),
-        }
-    }
-
-    /// Attaches a tracer to every component. Call before
-    /// [`Machine::configure_plan`] so engine sinks are created too; a
-    /// disabled tracer (the default) costs nothing.
-    pub fn set_tracer(&mut self, tracer: Tracer) {
-        self.sink = tracer.sink("machine");
-        self.host_sink = tracer.sink("host");
-        self.chan_sink = tracer.sink("machine.chan");
-        self.mem.set_tracer(&tracer);
-        self.mesh.set_sink(tracer.sink("noc"));
-        for (i, slot) in self.engines.iter_mut().enumerate() {
-            slot.eng.set_sink(tracer.sink(&format!("engine.{i}")));
-        }
-        self.tracer = tracer;
-    }
-
-    /// The attached tracer (disabled unless [`Machine::set_tracer`] ran).
-    pub fn tracer(&self) -> &Tracer {
-        &self.tracer
-    }
-
-    /// Attaches an invariant sanitizer to every component. With it on, the
-    /// run loops stop with [`SimError::InvariantViolation`] as soon as a
-    /// conservation law breaks, and [`Machine::drain`] audits the drained
-    /// state. A disabled sanitizer (the default) costs nothing.
-    pub fn set_sanitizer(&mut self, san: Sanitizer) {
-        self.mem.set_sanitizer(san.clone());
-        self.mesh.set_sanitizer(san.clone());
-        self.san = san;
-    }
-
-    /// Fails with [`SimError::InvariantViolation`] if the sanitizer has
-    /// recorded anything.
-    fn check_sanitizer(&self, phase: &'static str) -> Result<(), SimError> {
-        let count = self.san.count();
-        if count > 0 {
-            return Err(SimError::InvariantViolation {
-                phase,
-                now: self.now,
-                count,
-                report: self.san.render(),
-            });
-        }
-        Ok(())
-    }
-
-    /// Enables or disables idle skip-ahead (on by default; `DISTDA_SKIP=0`
-    /// disables it process-wide). Simulated results are bit-identical
-    /// either way — skipping only avoids spending host time on base ticks
-    /// during which no component can do observable work.
-    pub fn set_skip(&mut self, on: bool) {
-        self.skip = on;
-    }
-
-    /// The functional memory image.
-    pub fn memimg(&self) -> &Memory {
-        &self.memimg
-    }
-
-    /// Mutable functional memory (used by the host evaluator).
-    pub fn memimg_mut(&mut self) -> &mut Memory {
-        &mut self.memimg
-    }
-
-    /// Consumes the machine, returning the final memory image.
-    pub fn into_memimg(self) -> Memory {
-        self.memimg
-    }
-
-    /// The address layout.
-    pub fn layout(&self) -> &Layout {
-        &self.layout
-    }
-
-    /// The memory hierarchy (for statistics).
-    pub fn mem(&self) -> &MemSystem {
-        &self.mem
-    }
-
-    /// NoC statistics.
-    pub fn noc_stats(&self) -> &distda_noc::NocStats {
-        self.mesh.stats()
-    }
-
-    /// Host core statistics.
-    pub fn host_stats(&self) -> crate::host::HostStats {
-        self.host.stats()
-    }
-
-    /// Total MMIO configuration words issued.
-    pub fn mmio_words(&self) -> u64 {
-        self.mmio_words
-    }
-
-    /// `cp_config` + `cp_config_stream/random`: allocates engines for a
-    /// plan, placing partition `i` at `placement[i]` with `substrates[i]`.
-    /// Flushes host-cached copies of every accessed object (Section IV-D)
-    /// and charges configuration MMIO.
-    ///
-    /// # Panics
-    ///
-    /// Panics if placements/substrates lengths mismatch the plan.
-    pub fn configure_plan(
-        &mut self,
-        plan: &OffloadPlan,
-        placement: &[usize],
-        substrates: &[Substrate],
-        object_ranges: &[(u64, u64)],
-    ) -> PlanHandle {
-        assert_eq!(placement.len(), plan.partitions.len());
-        assert_eq!(substrates.len(), plan.partitions.len());
-        let chan_base = self.chans.len();
-        for ch in &plan.channels {
-            self.chans.push(ChanState::new(
-                placement[ch.producer as usize],
-                placement[ch.consumer as usize],
-                CHAN_CAPACITY,
-            ));
-        }
-        let handle = self.plans.len();
-        let mut engine_ids = Vec::new();
-        let mut carry_scalars = Vec::new();
-        let mut config_words = 0u64;
-        for (i, part) in plan.partitions.iter().enumerate() {
-            let sub = substrates[i];
-            let port = self.mem.register_port(PortKind::Acp {
-                cluster: placement[i],
-            });
-            let mut eng = PartitionEngine::new(
-                part.clone(),
-                plan.params.clone(),
-                sub.model,
-                sub.clock,
-                sub.buffer_lines,
-            );
-            let (pf, mr, mw) = sub.tuning;
-            eng.set_tuning(pf, mr, mw);
-            if self.tracer.is_enabled() {
-                eng.set_sink(self.tracer.sink(&format!("engine.{}", self.engines.len())));
-            }
-            engine_ids.push(self.engines.len());
-            carry_scalars.push(part.carry_scalars.clone());
-            self.engines.push(EngineSlot {
-                eng,
-                cluster: placement[i],
-                port,
-                resp: Vec::new(),
-                chan_base,
-                is_access_node: sub.is_access_node,
-                is_cgra: matches!(sub.model, IssueModel::Cgra { .. }),
-            });
-            // Configuration traffic: microcode + one word per access.
-            let words = (part.microcode_bytes() / 8 + part.accesses.len() + 1) as u64;
-            config_words += words;
-            self.push_mmio_packet(placement[i], (words * 8) as u32);
-        }
-        // Offload-boundary flush of host-cached object lines.
-        for &(s, e) in object_ranges {
-            self.mem.flush_host_range(s, e);
-        }
-        let liveouts = plan
-            .liveouts
-            .iter()
-            .map(|&(s, p, r)| (s, engine_ids[p as usize], r))
-            .collect();
-        let engine_count = engine_ids.len() as u32;
-        self.plans.push(PlanInst {
-            engines: engine_ids,
-            liveouts,
-            carry_scalars,
-            params: plan.params.clone(),
-        });
-        self.sink.instant(
-            self.now,
-            EventKind::OffloadDispatch {
-                plan: handle as u32,
-                engines: engine_count,
-                config_words,
-            },
-        );
-        self.charge_mmio(config_words);
-        handle
-    }
-
-    fn push_mmio_packet(&mut self, cluster: usize, bytes: u32) {
-        if cluster != self.host_node {
-            self.net_out.push_back(Packet::new(
-                self.host_node,
-                cluster,
-                bytes,
-                TrafficClass::HostCtrl,
-                NetMsg::Mmio,
-            ));
-        }
-    }
-
-    fn charge_mmio(&mut self, words: u64) {
-        self.mmio_words += words;
-        let ticks = self
-            .mem
-            .clock()
-            .ticks_for_cycles(words * MMIO_CYCLES_PER_WORD);
-        let t0 = self.now;
-        self.advance_ticks(ticks);
-        if words > 0 {
-            self.sink
-                .span(t0, self.now, EventKind::MmioTransfer { words });
-        }
-    }
-
-    /// Carry scalars of each partition of a configured plan (the values the
-    /// host must pass to [`Machine::launch`]).
-    pub fn plan_carry_scalars(&self, handle: PlanHandle) -> &[Vec<distda_ir::expr::ScalarId>] {
-        &self.plans[handle].carry_scalars
-    }
-
-    /// The plan's parameter table.
-    pub fn plan_params(&self, handle: PlanHandle) -> &[distda_compiler::affine::Sym] {
-        &self.plans[handle].params
-    }
-
-    /// `cp_set_rf` + `cp_run` on every partition of a plan.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any engine of the plan is still busy.
-    pub fn launch(
-        &mut self,
-        handle: PlanHandle,
-        params: &[Value],
-        carry_init: &[Vec<Value>],
-        start: i64,
-        end: i64,
-        step: i64,
-    ) {
-        // Between invocations all queues have drained; restore any credits
-        // still batched on the consumer side.
-        for ch in &mut self.chans {
-            if ch.credit_debt > 0 {
-                ch.credits += ch.credit_debt;
-                ch.credit_debt = 0;
-            }
-        }
-        let engine_ids = self.plans[handle].engines.clone();
-        let mut words = 0u64;
-        for (k, &ei) in engine_ids.iter().enumerate() {
-            let now = self.now;
-            let cluster = self.engines[ei].cluster;
-            self.engines[ei]
-                .eng
-                .run(now, params, &carry_init[k], start, end, step);
-            words += params.len() as u64 + carry_init[k].len() as u64 + 2;
-            self.push_mmio_packet(
-                cluster,
-                ((params.len() + carry_init[k].len() + 2) * 8) as u32,
-            );
-        }
-        self.charge_mmio(words);
-    }
-
+impl MachineState {
     /// Whether every engine of a plan has finished its invocation.
     pub fn plan_done(&self, handle: PlanHandle) -> bool {
         self.plans[handle]
@@ -406,378 +138,48 @@ impl Machine {
             .all(|&ei| self.engines[ei].eng.is_done())
     }
 
-    /// Runs the machine until the plan's engines finish (the host blocking
-    /// on `cp_consume`, Section V-B).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError`] if the tick budget is exhausted or skip-ahead
-    /// proves the plan can never finish.
-    pub fn run_offload(&mut self, handle: PlanHandle) -> Result<(), SimError> {
-        self.run_until("offload", |m| m.plan_done(handle))
+    /// The functional memory image.
+    pub fn memimg(&self) -> &Memory {
+        &self.memimg
     }
 
-    /// Runs the machine until `done` holds, checked before every tick, with
-    /// the budget/deadlock guards of the other run loops. `phase` labels
-    /// any resulting [`SimError`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError`] on budget exhaustion or a proven deadlock.
-    pub fn run_until(
-        &mut self,
-        phase: &'static str,
-        done: impl Fn(&Machine) -> bool,
-    ) -> Result<(), SimError> {
-        let t0 = self.now;
-        let r = self.run_until_inner(phase, done);
-        if r.is_ok() {
-            self.sink
-                .span(t0, self.now, EventKind::KernelPhase { phase });
-            // A violation flagged on the final tick (after the loop's last
-            // check) must still fail the phase.
-            self.check_sanitizer(phase)?;
-        }
-        r
+    /// Whether the host core's current trace segment has drained by `now`.
+    pub fn host_segment_drained(&self, now: Tick) -> bool {
+        self.host.segment_drained(now)
+    }
+}
+
+/// Stage [`stage::DELIVERY`]: hands last tick's mesh arrivals to their
+/// owners — memory-protocol messages to the hierarchy, operands and
+/// credits to the channel buffers (checking credit conservation), MMIO
+/// packets to nobody (their effect was applied at issue; the packet
+/// exists for traffic accounting).
+struct DeliveryComp;
+
+impl Component<MachineState> for DeliveryComp {
+    fn name(&self) -> &str {
+        "delivery"
     }
 
-    fn run_until_inner(
-        &mut self,
-        phase: &'static str,
-        done: impl Fn(&Machine) -> bool,
-    ) -> Result<(), SimError> {
-        loop {
-            self.check_sanitizer(phase)?;
-            if done(self) {
-                return Ok(());
-            }
-            if self.now >= self.tick_budget {
-                return Err(SimError::TickBudgetExhausted {
-                    phase,
-                    now: self.now,
-                    budget: self.tick_budget,
-                    stalled: self.stall_report(),
-                });
-            }
-            if self.skip {
-                match self.next_wake() {
-                    None => {
-                        return Err(SimError::Deadlock {
-                            phase,
-                            now: self.now,
-                            stalled: self.stall_report(),
-                        })
-                    }
-                    Some(w) if w > self.now => {
-                        // Jump, then tick at the wake tick without
-                        // re-probing (the probe would just report `w`
-                        // again). The done/budget checks must still run
-                        // at the new time first: tick-by-tick execution
-                        // would have evaluated them before reaching the
-                        // tick at `w`.
-                        self.now = w;
-                        if done(self) {
-                            return Ok(());
-                        }
-                        if self.now >= self.tick_budget {
-                            return Err(SimError::TickBudgetExhausted {
-                                phase,
-                                now: self.now,
-                                budget: self.tick_budget,
-                                stalled: self.stall_report(),
-                            });
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            self.tick();
-        }
-    }
-
-    /// Earliest base tick `>= self.now` at which [`Machine::tick`] would do
-    /// observable work, or `None` if no component will ever act again
-    /// without new input. This folds every component's `next_event` /
-    /// [`Wake`] report; any in-flight message (mesh, memory, channel,
-    /// undrained response) forces an immediate tick so skip-ahead executes
-    /// exactly the ticks the lock-step loop would have made observable.
-    fn next_wake(&self) -> Option<Tick> {
-        use distda_sim::time::earliest;
-        let now = self.now;
-        if !self.net_out.is_empty() {
-            return Some(now);
-        }
-        // Every candidate below is clamped to `>= now`, so a component
-        // reporting `now` is already the global minimum — stop folding.
-        // This keeps the per-tick wake probe O(1) while the machine is
-        // busy, where the probe cannot pay for itself by skipping.
-        let mut w = self.mem.next_event(now);
-        if w == Some(now) {
-            return w;
-        }
-        w = earliest(w, self.mesh.next_event(now));
-        if w == Some(now) {
-            return w;
-        }
-        w = earliest(w, self.host.next_event(now));
-        if w == Some(now) {
-            return w;
-        }
-        for slot in &self.engines {
-            let clock = slot.eng.clock();
-            let cand = if !slot.resp.is_empty() {
-                // A response is waiting at the engine's port; it must be
-                // handed over on the engine's next edge.
-                Some(clock.next_edge(now))
-            } else {
-                match slot.eng.wake() {
-                    Wake::Never => None,
-                    Wake::NextEdge => Some(clock.next_edge(now)),
-                    Wake::At(t) => Some(clock.next_edge(t.max(now))),
-                    Wake::External(chan) => {
-                        let ready = match chan {
-                            Some((c, is_send)) => {
-                                let ch = &self.chans[slot.chan_base + c as usize];
-                                if is_send {
-                                    ch.credits > 0
-                                } else {
-                                    !ch.queue.is_empty()
-                                }
-                            }
-                            None => false,
-                        };
-                        ready.then(|| clock.next_edge(now))
-                    }
-                }
-            };
-            w = earliest(w, cand);
-            if w == Some(now) {
-                return w;
-            }
-        }
-        w
-    }
-
-    /// Describes everything still in flight, for [`SimError`] reports.
-    fn stall_report(&self) -> String {
-        let mut parts = Vec::new();
-        for (i, s) in self.engines.iter().enumerate() {
-            if !s.eng.is_done() && !s.eng.is_idle() {
-                parts.push(format!(
-                    "engine {i} (cluster {}): {}",
-                    s.cluster,
-                    s.eng.stall_debug()
-                ));
-            }
-        }
-        if !self.host.segment_drained(self.now) {
-            parts.push("host segment undrained".to_string());
-        }
-        if self.mem.is_active() {
-            parts.push("memory hierarchy active".to_string());
-        }
-        if self.mesh.is_active() {
-            parts.push("mesh active".to_string());
-        }
-        if !self.net_out.is_empty() {
-            parts.push(format!(
-                "{} packets queued for injection",
-                self.net_out.len()
-            ));
-        }
-        if parts.is_empty() {
-            "nothing visibly stalled".to_string()
-        } else {
-            parts.join("; ")
-        }
-    }
-
-    /// `cp_load_rf`: reads live-out scalars after completion.
-    pub fn read_liveouts(&mut self, handle: PlanHandle) -> Vec<(distda_ir::expr::ScalarId, Value)> {
-        let outs: Vec<_> = self.plans[handle]
-            .liveouts
-            .iter()
-            .map(|&(s, ei, reg)| (s, self.engines[ei].eng.carry_value(reg)))
-            .collect();
-        self.charge_mmio(outs.len() as u64);
-        outs
-    }
-
-    /// Executes a host trace segment to completion.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError`] if the segment cannot drain within the budget.
-    pub fn run_host_segment(&mut self, ops: Vec<DynOp>) -> Result<(), SimError> {
-        if ops.is_empty() {
-            return Ok(());
-        }
-        let now = self.now;
-        self.host_sink.instant(
-            now,
-            EventKind::HostSegment {
-                ops: ops.len() as u64,
-            },
-        );
-        self.host.load_segment(now, ops);
-        self.run_until("host-segment", |m| m.host.segment_drained(m.now))
-    }
-
-    /// Advances the machine `n` base ticks.
-    pub fn advance_ticks(&mut self, n: u64) {
-        let target = self.now + n;
-        while self.now < target {
-            if self.skip {
-                match self.next_wake() {
-                    None => {
-                        self.now = target;
-                        return;
-                    }
-                    Some(w) if w > self.now => {
-                        self.now = w.min(target);
-                        continue;
-                    }
-                    _ => {}
-                }
-            }
-            self.tick();
-        }
-    }
-
-    /// Drains all in-flight work (end of program).
-    ///
-    /// The exit condition also requires every produced memory response to
-    /// be collected, every mesh inbox to be empty, and every engine to be
-    /// quiescent. The old condition stopped on the very tick the hierarchy
-    /// pushed its last response — before any engine consumed it — so a
-    /// "drained" machine could still hold outstanding reads and undelivered
-    /// responses (invisible in the stats, but a real leak the sanitizer now
-    /// rejects). Likewise [`distda_noc::Mesh::is_active`] excludes packets
-    /// already ejected into a node inbox, so stopping on the tick the mesh
-    /// delivered its last packet stranded that packet undelivered (seen as
-    /// an MSHR entry whose DRAM request never reached the controller).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimError`] if in-flight work cannot drain within the
-    /// budget, or if the sanitizer finds the drained state violating a
-    /// conservation invariant.
-    pub fn drain(&mut self) -> Result<(), SimError> {
-        self.run_until("drain", |m| {
-            !m.mem.is_active()
-                && m.mem.pending_responses() == 0
-                && !m.mesh.is_active()
-                && !m.mesh.has_inbox_pending()
-                && m.net_out.is_empty()
-                && m.engines_quiescent()
-        })?;
-        self.check_drained();
-        self.check_sanitizer("drain")
-    }
-
-    /// Whether every engine has released all in-flight memory state and
-    /// has no response waiting at its port.
-    fn engines_quiescent(&self) -> bool {
-        self.engines
-            .iter()
-            .all(|s| s.eng.is_quiescent() && s.resp.is_empty())
-    }
-
-    /// Audits the drained machine against every conservation invariant
-    /// (no-op with the sanitizer off).
-    fn check_drained(&self) {
-        if !self.san.on() {
-            return;
-        }
-        let now = self.now;
-        self.mesh.check_conservation(now);
-        for node in 0..self.mesh.node_count() {
-            self.san.check(
-                self.mesh.inbox_len(node) == 0,
-                "noc",
-                "inbox-drain",
-                now,
-                || {
-                    format!(
-                        "node {node} inbox holds {} undelivered packets",
-                        self.mesh.inbox_len(node)
-                    )
-                },
-            );
-        }
-        self.mem.check_drained(now);
-        for (g, ch) in self.chans.iter().enumerate() {
-            self.san.check(
-                ch.queue.is_empty(),
-                "machine.chan",
-                "channel-drain",
-                now,
-                || format!("channel {g} still holds {} operands", ch.queue.len()),
-            );
-            self.san.check(
-                ch.credits + ch.credit_debt == CHAN_CAPACITY,
-                "machine.chan",
-                "credit-conservation",
-                now,
-                || {
-                    format!(
-                        "channel {g}: credits {} + debt {} != capacity {CHAN_CAPACITY}",
-                        ch.credits, ch.credit_debt
-                    )
-                },
-            );
-        }
-        for (i, slot) in self.engines.iter().enumerate() {
-            self.san.check(
-                slot.eng.is_done() || slot.eng.is_idle(),
-                "engine",
-                "engine-settled",
-                now,
-                || format!("engine {i} mid-invocation: {}", slot.eng.stall_debug()),
-            );
-            self.san.check(
-                slot.eng.is_quiescent(),
-                "engine",
-                "engine-quiescent",
-                now,
-                || {
-                    format!(
-                        "engine {i} leaked in-flight memory: {}",
-                        slot.eng.stall_debug()
-                    )
-                },
-            );
-            self.san.check(
-                slot.resp.is_empty(),
-                "engine",
-                "response-drain",
-                now,
-                || format!("engine {i}: {} responses never consumed", slot.resp.len()),
-            );
-        }
-    }
-
-    /// One base tick.
-    pub fn tick(&mut self) {
-        let now = self.now;
-        // 1. Deliver last tick's mesh arrivals.
-        for node in 0..self.mesh.node_count() {
-            for pkt in self.mesh.drain_inbox(node) {
+    fn tick(&mut self, now: Tick, st: &mut MachineState, instr: &mut Instruments) {
+        let san = &instr.san;
+        for node in 0..st.mesh.node_count() {
+            for pkt in st.mesh.drain_inbox(node) {
                 match pkt.payload {
                     NetMsg::Mem(m) => {
                         let wrapped = Packet::new(pkt.src, pkt.dst, pkt.bytes, pkt.class, m);
-                        self.mem.deliver(now, wrapped);
+                        st.mem.deliver(now, wrapped);
                     }
                     NetMsg::ChanData { chan, v } => {
-                        if self.chans[chan as usize].queue.try_push(v).is_err() {
+                        if st.chans[chan as usize].queue.try_push(v).is_err() {
                             // Credits bound occupancy; an arrival beyond
                             // capacity means a credit was double-issued.
                             // With the sanitizer on this becomes a typed
                             // error (the operand is dropped — the run is
                             // already condemned); off, fail loudly as
                             // before.
-                            if self.san.on() {
-                                self.san.flag(
+                            if san.on() {
+                                san.flag(
                                     "machine.chan",
                                     "credit-overflow",
                                     now,
@@ -791,10 +193,10 @@ impl Machine {
                         }
                     }
                     NetMsg::ChanCredit { chan, n } => {
-                        self.chans[chan as usize].credits += n as usize;
-                        if self.san.on() {
-                            let ch = &self.chans[chan as usize];
-                            self.san.check(
+                        st.chans[chan as usize].credits += n as usize;
+                        if san.on() {
+                            let ch = &st.chans[chan as usize];
+                            san.check(
                                 ch.credits + ch.credit_debt + ch.queue.len()
                                     <= ch.queue.capacity(),
                                 "machine.chan",
@@ -816,10 +218,120 @@ impl Machine {
                 }
             }
         }
-        // 2. Host issues.
-        self.host.tick(now, &mut self.mem);
-        // 3. Engines.
-        let Machine {
+    }
+
+    fn next_event(&self, now: Tick, st: &MachineState) -> Option<Tick> {
+        st.mesh.has_inbox_pending().then_some(now)
+    }
+
+    fn is_quiescent(&self, _now: Tick, st: &MachineState) -> bool {
+        !st.mesh.has_inbox_pending()
+    }
+}
+
+/// Stage [`stage::HOST`]: the out-of-order host core collects memory
+/// responses and issues into the hierarchy.
+struct HostComp;
+
+impl Component<MachineState> for HostComp {
+    fn name(&self) -> &str {
+        "host"
+    }
+
+    fn attach(&mut self, st: &mut MachineState, instr: &Instruments) {
+        st.host_sink = instr.tracer.sink("host");
+    }
+
+    fn tick(&mut self, now: Tick, st: &mut MachineState, _instr: &mut Instruments) {
+        let MachineState { host, mem, .. } = st;
+        host.tick(now, mem);
+    }
+
+    fn next_event(&self, now: Tick, st: &MachineState) -> Option<Tick> {
+        st.host.next_event(now)
+    }
+
+    fn is_quiescent(&self, now: Tick, st: &MachineState) -> bool {
+        st.host.segment_drained(now)
+    }
+
+    fn stall(&self, now: Tick, st: &MachineState) -> Option<String> {
+        (!st.host.segment_drained(now)).then(|| "host segment undrained".to_string())
+    }
+}
+
+/// Passive component owning the operand-channel *audit*: channels are
+/// advanced by the engines (producer/consumer sides) and the delivery
+/// stage, never tick on their own, and were never part of the machine's
+/// exit conditions — but a drained machine must leave every queue empty
+/// and every credit conserved, which this component asserts.
+struct ChannelsComp;
+
+impl Component<MachineState> for ChannelsComp {
+    fn name(&self) -> &str {
+        "machine.chan"
+    }
+
+    fn attach(&mut self, st: &mut MachineState, instr: &Instruments) {
+        st.chan_sink = instr.tracer.sink("machine.chan");
+    }
+
+    fn tick(&mut self, _now: Tick, _st: &mut MachineState, _instr: &mut Instruments) {}
+
+    fn next_event(&self, _now: Tick, _st: &MachineState) -> Option<Tick> {
+        None
+    }
+
+    fn is_quiescent(&self, _now: Tick, _st: &MachineState) -> bool {
+        true
+    }
+
+    fn audit_drained(&self, now: Tick, st: &MachineState, san: &Sanitizer) {
+        for (g, ch) in st.chans.iter().enumerate() {
+            san.check(
+                ch.queue.is_empty(),
+                "machine.chan",
+                "channel-drain",
+                now,
+                || format!("channel {g} still holds {} operands", ch.queue.len()),
+            );
+            san.check(
+                ch.credits + ch.credit_debt == CHAN_CAPACITY,
+                "machine.chan",
+                "credit-conservation",
+                now,
+                || {
+                    format!(
+                        "channel {g}: credits {} + debt {} != capacity {CHAN_CAPACITY}",
+                        ch.credits, ch.credit_debt
+                    )
+                },
+            );
+        }
+    }
+}
+
+/// Stage [`stage::ENGINE`], one per configured engine: collects the
+/// engine's port responses and executes one tick against its
+/// [`EngineCtx`] view of the world.
+struct EngineComp {
+    index: usize,
+    name: String,
+}
+
+impl Component<MachineState> for EngineComp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn attach(&mut self, st: &mut MachineState, instr: &Instruments) {
+        st.engines[self.index]
+            .eng
+            .set_sink(instr.tracer.sink(&self.name));
+    }
+
+    fn tick(&mut self, now: Tick, st: &mut MachineState, _instr: &mut Instruments) {
+        let MachineState {
             engines,
             mem,
             chans,
@@ -828,67 +340,722 @@ impl Machine {
             layout,
             chan_sink,
             ..
-        } = self;
-        for slot in engines.iter_mut() {
-            for r in mem.take_responses(slot.port) {
-                slot.resp.push(r.id);
-            }
-            let mut ctx = Ctx {
-                now,
-                port: slot.port,
-                chan_base: slot.chan_base,
-                mem,
-                chans,
-                net_out,
-                memimg,
-                layout,
-                resp: &mut slot.resp,
-                chan_sink,
-            };
-            slot.eng.tick(now, &mut ctx);
+        } = st;
+        let slot = &mut engines[self.index];
+        for r in mem.take_responses(slot.port) {
+            slot.resp.push(r.id);
         }
-        // 4. Memory hierarchy.
-        self.mem.tick(now);
-        // 5. Inject memory packets.
-        while let Some(p) = self.mem.pop_outgoing() {
+        let mut ctx = Ctx {
+            now,
+            port: slot.port,
+            chan_base: slot.chan_base,
+            mem,
+            chans,
+            net_out,
+            memimg,
+            layout,
+            resp: &mut slot.resp,
+            chan_sink,
+        };
+        slot.eng.tick(now, &mut ctx);
+    }
+
+    fn next_event(&self, now: Tick, st: &MachineState) -> Option<Tick> {
+        let slot = &st.engines[self.index];
+        let clock = slot.eng.clock();
+        if !slot.resp.is_empty() {
+            // A response is waiting at the engine's port; it must be
+            // handed over on the engine's next edge.
+            return Some(clock.next_edge(now));
+        }
+        match slot.eng.wake() {
+            Wake::Never => None,
+            Wake::NextEdge => Some(clock.next_edge(now)),
+            Wake::At(t) => Some(clock.next_edge(t.max(now))),
+            Wake::External(chan) => {
+                let ready = match chan {
+                    Some((c, is_send)) => {
+                        let ch = &st.chans[slot.chan_base + c as usize];
+                        if is_send {
+                            ch.credits > 0
+                        } else {
+                            !ch.queue.is_empty()
+                        }
+                    }
+                    None => false,
+                };
+                ready.then(|| clock.next_edge(now))
+            }
+        }
+    }
+
+    fn is_quiescent(&self, _now: Tick, st: &MachineState) -> bool {
+        let slot = &st.engines[self.index];
+        slot.eng.is_quiescent() && slot.resp.is_empty()
+    }
+
+    fn audit_drained(&self, now: Tick, st: &MachineState, san: &Sanitizer) {
+        let i = self.index;
+        let slot = &st.engines[i];
+        san.check(
+            slot.eng.is_done() || slot.eng.is_idle(),
+            "engine",
+            "engine-settled",
+            now,
+            || format!("engine {i} mid-invocation: {}", slot.eng.stall_debug()),
+        );
+        san.check(
+            slot.eng.is_quiescent(),
+            "engine",
+            "engine-quiescent",
+            now,
+            || {
+                format!(
+                    "engine {i} leaked in-flight memory: {}",
+                    slot.eng.stall_debug()
+                )
+            },
+        );
+        san.check(
+            slot.resp.is_empty(),
+            "engine",
+            "response-drain",
+            now,
+            || format!("engine {i}: {} responses never consumed", slot.resp.len()),
+        );
+    }
+
+    fn stall(&self, _now: Tick, st: &MachineState) -> Option<String> {
+        let slot = &st.engines[self.index];
+        (!slot.eng.is_done() && !slot.eng.is_idle()).then(|| {
+            format!(
+                "engine {} (cluster {}): {}",
+                self.index,
+                slot.cluster,
+                slot.eng.stall_debug()
+            )
+        })
+    }
+}
+
+/// Stage [`stage::MEM`]: the memory hierarchy advances, then injects its
+/// outgoing protocol packets into the mesh (back-pressured: a refused
+/// packet returns to the front of the queue).
+struct MemComp;
+
+impl Component<MachineState> for MemComp {
+    fn name(&self) -> &str {
+        "mem"
+    }
+
+    fn attach(&mut self, st: &mut MachineState, instr: &Instruments) {
+        st.mem.set_tracer(&instr.tracer);
+        st.mem.set_sanitizer(instr.san.clone());
+    }
+
+    fn tick(&mut self, now: Tick, st: &mut MachineState, _instr: &mut Instruments) {
+        st.mem.tick(now);
+        while let Some(p) = st.mem.pop_outgoing() {
             let wrapped = Packet::new(p.src, p.dst, p.bytes, p.class, NetMsg::Mem(p.payload));
-            if let Err(back) = self.mesh.try_inject(now, wrapped) {
+            if let Err(back) = st.mesh.try_inject(now, wrapped) {
                 let NetMsg::Mem(m) = back.payload else {
                     unreachable!()
                 };
-                self.mem.push_front_outgoing(Packet::new(
+                st.mem.push_front_outgoing(Packet::new(
                     back.src, back.dst, back.bytes, back.class, m,
                 ));
                 break;
             }
         }
-        // 6. Inject machine packets (channel data/credits, MMIO).
-        while let Some(p) = self.net_out.pop_front() {
-            if let Err(back) = self.mesh.try_inject(now, p) {
-                self.net_out.push_front(back);
+    }
+
+    fn next_event(&self, now: Tick, st: &MachineState) -> Option<Tick> {
+        st.mem.next_event(now)
+    }
+
+    fn is_quiescent(&self, _now: Tick, st: &MachineState) -> bool {
+        !st.mem.is_active() && st.mem.pending_responses() == 0
+    }
+
+    fn audit_drained(&self, now: Tick, st: &MachineState, _san: &Sanitizer) {
+        st.mem.check_drained(now);
+    }
+
+    fn stall(&self, _now: Tick, st: &MachineState) -> Option<String> {
+        st.mem
+            .is_active()
+            .then(|| "memory hierarchy active".to_string())
+    }
+}
+
+/// Stage [`stage::NET_OUT`]: machine-level packets (channel operands,
+/// credits, MMIO) inject into the mesh, back-pressured like memory
+/// traffic.
+struct NetOutComp;
+
+impl Component<MachineState> for NetOutComp {
+    fn name(&self) -> &str {
+        "net-out"
+    }
+
+    fn tick(&mut self, now: Tick, st: &mut MachineState, _instr: &mut Instruments) {
+        while let Some(p) = st.net_out.pop_front() {
+            if let Err(back) = st.mesh.try_inject(now, p) {
+                st.net_out.push_front(back);
                 break;
             }
         }
-        // 7. Mesh.
-        self.mesh.tick(now);
-        self.now += 1;
+    }
+
+    fn next_event(&self, now: Tick, st: &MachineState) -> Option<Tick> {
+        (!st.net_out.is_empty()).then_some(now)
+    }
+
+    fn is_quiescent(&self, _now: Tick, st: &MachineState) -> bool {
+        st.net_out.is_empty()
+    }
+
+    fn stall(&self, _now: Tick, st: &MachineState) -> Option<String> {
+        (!st.net_out.is_empty())
+            .then(|| format!("{} packets queued for injection", st.net_out.len()))
+    }
+}
+
+/// Stage [`stage::MESH`]: the mesh routes in-flight packets.
+struct MeshComp;
+
+impl Component<MachineState> for MeshComp {
+    fn name(&self) -> &str {
+        "noc"
+    }
+
+    fn attach(&mut self, st: &mut MachineState, instr: &Instruments) {
+        st.mesh.set_sink(instr.tracer.sink("noc"));
+        st.mesh.set_sanitizer(instr.san.clone());
+    }
+
+    fn tick(&mut self, now: Tick, st: &mut MachineState, _instr: &mut Instruments) {
+        st.mesh.tick(now);
+    }
+
+    fn next_event(&self, now: Tick, st: &MachineState) -> Option<Tick> {
+        st.mesh.next_event(now)
+    }
+
+    fn is_quiescent(&self, _now: Tick, st: &MachineState) -> bool {
+        !st.mesh.is_active() && !st.mesh.has_inbox_pending()
+    }
+
+    fn audit_drained(&self, now: Tick, st: &MachineState, _san: &Sanitizer) {
+        st.mesh.check_drained(now);
+    }
+
+    fn stall(&self, _now: Tick, st: &MachineState) -> Option<String> {
+        st.mesh.is_active().then(|| "mesh active".to_string())
+    }
+}
+
+/// The machine: a [`Scheduler`] composed over [`MachineState`]. Construct
+/// with [`Machine::new`], configure plans, then alternate host segments
+/// and offload invocations.
+#[derive(Debug)]
+pub struct Machine {
+    sched: Scheduler<MachineState>,
+    st: MachineState,
+}
+
+impl Machine {
+    /// Builds the Table III machine: 4x2 mesh, host at node 0, memory
+    /// controller at node 7. The caller supplies the (already allocated)
+    /// memory system, functional image and layout.
+    pub fn new(
+        mem: MemSystem,
+        memimg: Memory,
+        layout: Layout,
+        host_width: u32,
+        host_rob: usize,
+    ) -> Self {
+        let uncore = mem.clock();
+        let mut mem = mem;
+        let host_port = mem.register_port(PortKind::Host);
+        let host = HostCore::new(uncore, host_width, host_rob, host_port);
+        let mut st = MachineState {
+            mesh: Mesh::new(4, 2, NocConfig::default(), uncore),
+            mem,
+            host,
+            memimg,
+            layout,
+            chans: Vec::new(),
+            engines: Vec::new(),
+            plans: Vec::new(),
+            net_out: std::collections::VecDeque::new(),
+            host_node: 0,
+            mmio_words: 0,
+            sink: TraceSink::default(),
+            host_sink: TraceSink::default(),
+            chan_sink: TraceSink::default(),
+        };
+        let mut sched = Scheduler::new(TICK_BUDGET, distda_sim::env::skip());
+        // Registration order is also instrument-attach order (stable trace
+        // track IDs); stages give the intra-tick phase order.
+        sched.register(stage::DELIVERY, Box::new(DeliveryComp), &mut st);
+        sched.register(stage::HOST, Box::new(HostComp), &mut st);
+        sched.register(stage::NET_OUT, Box::new(ChannelsComp), &mut st);
+        sched.register(stage::MEM, Box::new(MemComp), &mut st);
+        sched.register(stage::NET_OUT, Box::new(NetOutComp), &mut st);
+        sched.register(stage::MESH, Box::new(MeshComp), &mut st);
+        Self { sched, st }
+    }
+
+    /// Current base tick.
+    pub fn now(&self) -> Tick {
+        self.sched.now()
+    }
+
+    /// Attaches a tracer to every component. Call before
+    /// [`Machine::configure_plan`] so engine sinks are created too; a
+    /// disabled tracer (the default) costs nothing.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        // The machine's own track registers first so track IDs are stable.
+        self.st.sink = tracer.sink("machine");
+        let san = self.sched.instruments().san.clone();
+        self.sched
+            .set_instruments(&mut self.st, Instruments { tracer, san });
+    }
+
+    /// The attached tracer (disabled unless [`Machine::set_tracer`] ran).
+    pub fn tracer(&self) -> &Tracer {
+        &self.sched.instruments().tracer
+    }
+
+    /// Attaches an invariant sanitizer to every component. With it on, the
+    /// run loops stop with [`SimError::InvariantViolation`] as soon as a
+    /// conservation law breaks, and [`Machine::drain`] audits the drained
+    /// state. A disabled sanitizer (the default) costs nothing.
+    pub fn set_sanitizer(&mut self, san: Sanitizer) {
+        let tracer = self.sched.instruments().tracer.clone();
+        self.sched
+            .set_instruments(&mut self.st, Instruments { tracer, san });
+    }
+
+    fn san(&self) -> &Sanitizer {
+        &self.sched.instruments().san
+    }
+
+    /// Fails with [`SimError::InvariantViolation`] if the sanitizer has
+    /// recorded anything.
+    fn check_sanitizer(&self, phase: &'static str) -> Result<(), SimError> {
+        let count = self.san().count();
+        if count > 0 {
+            return Err(SimError::InvariantViolation {
+                phase,
+                now: self.now(),
+                count,
+                report: self.san().render(),
+            });
+        }
+        Ok(())
+    }
+
+    fn map_stop(phase: &'static str, stop: Stop) -> SimError {
+        match stop {
+            Stop::Budget {
+                now,
+                budget,
+                stalled,
+            } => SimError::TickBudgetExhausted {
+                phase,
+                now,
+                budget,
+                stalled,
+            },
+            Stop::Deadlock { now, stalled } => SimError::Deadlock {
+                phase,
+                now,
+                stalled,
+            },
+            Stop::Invariant { now, count, report } => SimError::InvariantViolation {
+                phase,
+                now,
+                count,
+                report,
+            },
+        }
+    }
+
+    /// Enables or disables idle skip-ahead (on by default; `DISTDA_SKIP=0`
+    /// disables it process-wide). Simulated results are bit-identical
+    /// either way — skipping only avoids spending host time on base ticks
+    /// during which no component can do observable work.
+    pub fn set_skip(&mut self, on: bool) {
+        self.sched.set_skip(on);
+    }
+
+    /// The scheduler (clock, registered components, instruments).
+    pub fn scheduler(&self) -> &Scheduler<MachineState> {
+        &self.sched
+    }
+
+    /// The machine's world state.
+    pub fn state(&self) -> &MachineState {
+        &self.st
+    }
+
+    /// The functional memory image.
+    pub fn memimg(&self) -> &Memory {
+        &self.st.memimg
+    }
+
+    /// Mutable functional memory (used by the host evaluator).
+    pub fn memimg_mut(&mut self) -> &mut Memory {
+        &mut self.st.memimg
+    }
+
+    /// Consumes the machine, returning the final memory image.
+    pub fn into_memimg(self) -> Memory {
+        self.st.memimg
+    }
+
+    /// The address layout.
+    pub fn layout(&self) -> &Layout {
+        &self.st.layout
+    }
+
+    /// The memory hierarchy (for statistics).
+    pub fn mem(&self) -> &MemSystem {
+        &self.st.mem
+    }
+
+    /// NoC statistics.
+    pub fn noc_stats(&self) -> &distda_noc::NocStats {
+        self.st.mesh.stats()
+    }
+
+    /// Host core statistics.
+    pub fn host_stats(&self) -> crate::host::HostStats {
+        self.st.host.stats()
+    }
+
+    /// Total MMIO configuration words issued.
+    pub fn mmio_words(&self) -> u64 {
+        self.st.mmio_words
+    }
+
+    /// `cp_config` + `cp_config_stream/random`: allocates engines for a
+    /// plan, placing partition `i` at `placement[i]` with `substrates[i]`.
+    /// Flushes host-cached copies of every accessed object (Section IV-D)
+    /// and charges configuration MMIO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if placements/substrates lengths mismatch the plan.
+    pub fn configure_plan(
+        &mut self,
+        plan: &OffloadPlan,
+        placement: &[usize],
+        substrates: &[Substrate],
+        object_ranges: &[(u64, u64)],
+    ) -> PlanHandle {
+        assert_eq!(placement.len(), plan.partitions.len());
+        assert_eq!(substrates.len(), plan.partitions.len());
+        let chan_base = self.st.chans.len();
+        for ch in &plan.channels {
+            self.st.chans.push(ChanState::new(
+                placement[ch.producer as usize],
+                placement[ch.consumer as usize],
+                CHAN_CAPACITY,
+            ));
+        }
+        let handle = self.st.plans.len();
+        let mut engine_ids = Vec::new();
+        let mut carry_scalars = Vec::new();
+        let mut config_words = 0u64;
+        for (i, part) in plan.partitions.iter().enumerate() {
+            let sub = substrates[i];
+            let port = self.st.mem.register_port(PortKind::Acp {
+                cluster: placement[i],
+            });
+            let mut eng = PartitionEngine::new(
+                part.clone(),
+                plan.params.clone(),
+                sub.model,
+                sub.clock,
+                sub.buffer_lines,
+            );
+            let (pf, mr, mw) = sub.tuning;
+            eng.set_tuning(pf, mr, mw);
+            let index = self.st.engines.len();
+            engine_ids.push(index);
+            carry_scalars.push(part.carry_scalars.clone());
+            self.st.engines.push(EngineSlot {
+                eng,
+                cluster: placement[i],
+                port,
+                resp: Vec::new(),
+                chan_base,
+                is_access_node: sub.is_access_node,
+                is_cgra: matches!(sub.model, IssueModel::Cgra { .. }),
+            });
+            // Registration wires the engine into the tick loop, wake
+            // probe, drain predicate and drain audit — and attaches the
+            // current instruments (its trace sink).
+            self.sched.register(
+                stage::ENGINE,
+                Box::new(EngineComp {
+                    index,
+                    name: format!("engine.{index}"),
+                }),
+                &mut self.st,
+            );
+            // Configuration traffic: microcode + one word per access.
+            let words = (part.microcode_bytes() / 8 + part.accesses.len() + 1) as u64;
+            config_words += words;
+            self.push_mmio_packet(placement[i], (words * 8) as u32);
+        }
+        // Offload-boundary flush of host-cached object lines.
+        for &(s, e) in object_ranges {
+            self.st.mem.flush_host_range(s, e);
+        }
+        let liveouts = plan
+            .liveouts
+            .iter()
+            .map(|&(s, p, r)| (s, engine_ids[p as usize], r))
+            .collect();
+        let engine_count = engine_ids.len() as u32;
+        self.st.plans.push(PlanInst {
+            engines: engine_ids,
+            liveouts,
+            carry_scalars,
+            params: plan.params.clone(),
+        });
+        self.st.sink.instant(
+            self.now(),
+            EventKind::OffloadDispatch {
+                plan: handle as u32,
+                engines: engine_count,
+                config_words,
+            },
+        );
+        self.charge_mmio(config_words);
+        handle
+    }
+
+    fn push_mmio_packet(&mut self, cluster: usize, bytes: u32) {
+        if cluster != self.st.host_node {
+            self.st.net_out.push_back(Packet::new(
+                self.st.host_node,
+                cluster,
+                bytes,
+                TrafficClass::HostCtrl,
+                NetMsg::Mmio,
+            ));
+        }
+    }
+
+    fn charge_mmio(&mut self, words: u64) {
+        self.st.mmio_words += words;
+        let ticks = self
+            .st
+            .mem
+            .clock()
+            .ticks_for_cycles(words * MMIO_CYCLES_PER_WORD);
+        let t0 = self.now();
+        self.advance_ticks(ticks);
+        if words > 0 {
+            self.st
+                .sink
+                .span(t0, self.now(), EventKind::MmioTransfer { words });
+        }
+    }
+
+    /// Carry scalars of each partition of a configured plan (the values the
+    /// host must pass to [`Machine::launch`]).
+    pub fn plan_carry_scalars(&self, handle: PlanHandle) -> &[Vec<distda_ir::expr::ScalarId>] {
+        &self.st.plans[handle].carry_scalars
+    }
+
+    /// The plan's parameter table.
+    pub fn plan_params(&self, handle: PlanHandle) -> &[distda_compiler::affine::Sym] {
+        &self.st.plans[handle].params
+    }
+
+    /// `cp_set_rf` + `cp_run` on every partition of a plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any engine of the plan is still busy.
+    pub fn launch(
+        &mut self,
+        handle: PlanHandle,
+        params: &[Value],
+        carry_init: &[Vec<Value>],
+        start: i64,
+        end: i64,
+        step: i64,
+    ) {
+        // Between invocations all queues have drained; restore any credits
+        // still batched on the consumer side.
+        for ch in &mut self.st.chans {
+            if ch.credit_debt > 0 {
+                ch.credits += ch.credit_debt;
+                ch.credit_debt = 0;
+            }
+        }
+        let engine_ids = self.st.plans[handle].engines.clone();
+        let mut words = 0u64;
+        for (k, &ei) in engine_ids.iter().enumerate() {
+            let now = self.now();
+            let cluster = self.st.engines[ei].cluster;
+            self.st.engines[ei]
+                .eng
+                .run(now, params, &carry_init[k], start, end, step);
+            words += params.len() as u64 + carry_init[k].len() as u64 + 2;
+            self.push_mmio_packet(
+                cluster,
+                ((params.len() + carry_init[k].len() + 2) * 8) as u32,
+            );
+        }
+        self.charge_mmio(words);
+    }
+
+    /// Whether every engine of a plan has finished its invocation.
+    pub fn plan_done(&self, handle: PlanHandle) -> bool {
+        self.st.plan_done(handle)
+    }
+
+    /// Runs the machine until the plan's engines finish (the host blocking
+    /// on `cp_consume`, Section V-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the tick budget is exhausted or skip-ahead
+    /// proves the plan can never finish.
+    pub fn run_offload(&mut self, handle: PlanHandle) -> Result<(), SimError> {
+        self.run_until("offload", move |_, st| st.plan_done(handle))
+    }
+
+    /// Runs the machine until `done(now, state)` holds, checked before
+    /// every tick, with the budget/deadlock guards of the other run
+    /// loops. `phase` labels any resulting [`SimError`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on budget exhaustion or a proven deadlock.
+    pub fn run_until(
+        &mut self,
+        phase: &'static str,
+        done: impl FnMut(Tick, &MachineState) -> bool,
+    ) -> Result<(), SimError> {
+        let t0 = self.now();
+        let r = self
+            .sched
+            .run_until(&mut self.st, done)
+            .map_err(|s| Self::map_stop(phase, s));
+        if r.is_ok() {
+            self.st
+                .sink
+                .span(t0, self.now(), EventKind::KernelPhase { phase });
+            // A violation flagged on the final tick (after the loop's last
+            // check) must still fail the phase.
+            self.check_sanitizer(phase)?;
+        }
+        r
+    }
+
+    /// `cp_load_rf`: reads live-out scalars after completion.
+    pub fn read_liveouts(&mut self, handle: PlanHandle) -> Vec<(distda_ir::expr::ScalarId, Value)> {
+        let outs: Vec<_> = self.st.plans[handle]
+            .liveouts
+            .iter()
+            .map(|&(s, ei, reg)| (s, self.st.engines[ei].eng.carry_value(reg)))
+            .collect();
+        self.charge_mmio(outs.len() as u64);
+        outs
+    }
+
+    /// Executes a host trace segment to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the segment cannot drain within the budget.
+    pub fn run_host_segment(&mut self, ops: Vec<DynOp>) -> Result<(), SimError> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        let now = self.now();
+        self.st.host_sink.instant(
+            now,
+            EventKind::HostSegment {
+                ops: ops.len() as u64,
+            },
+        );
+        self.st.host.load_segment(now, ops);
+        self.run_until("host-segment", |now, st| st.host.segment_drained(now))
+    }
+
+    /// Advances the machine `n` base ticks.
+    pub fn advance_ticks(&mut self, n: u64) {
+        self.sched.advance_ticks(&mut self.st, n);
+    }
+
+    /// Drains all in-flight work (end of program): runs until every
+    /// registered component is quiescent, then audits the drained state
+    /// against every conservation invariant (a fold of each component's
+    /// audit; a no-op with the sanitizer off).
+    ///
+    /// The exit condition requires every produced memory response to be
+    /// collected, every mesh inbox to be empty, and every engine to be
+    /// quiescent — quiescence is each component's own
+    /// [`Component::is_quiescent`], so a component with a hidden queue
+    /// cannot be forgotten by this loop (the bug class that twice
+    /// produced "drained" machines with stranded packets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if in-flight work cannot drain within the
+    /// budget, or if the sanitizer finds the drained state violating a
+    /// conservation invariant.
+    pub fn drain(&mut self) -> Result<(), SimError> {
+        let t0 = self.now();
+        self.sched
+            .drain(&mut self.st)
+            .map_err(|s| Self::map_stop("drain", s))?;
+        self.st
+            .sink
+            .span(t0, self.now(), EventKind::KernelPhase { phase: "drain" });
+        Ok(())
+    }
+
+    /// One base tick.
+    pub fn tick(&mut self) {
+        self.sched.tick(&mut self.st);
+    }
+
+    /// Drives the machine to quiescence under the component-conformance
+    /// harness (see [`distda_sim::conformance`]), returning every
+    /// protocol violation observed: wake times in the past, broken wake
+    /// promises, components active with no scheduled event, or failure
+    /// to drain within `budget` ticks. Test-oriented; prefer
+    /// [`Machine::drain`] in simulation flows.
+    pub fn run_conformance(&mut self, budget: u64) -> Vec<distda_sim::conformance::Violation> {
+        distda_sim::conformance::run_to_quiescence(&mut self.sched, &mut self.st, budget)
     }
 
     /// Aggregates energy-relevant event counts.
     pub fn energy_counters(&self) -> EnergyCounters {
         let mut c = EnergyCounters {
-            host_ops: self.host.stats().retired,
+            host_ops: self.st.host.stats().retired,
             ..Default::default()
         };
-        c.l1_accesses = self.mem.l1_stats().accesses;
-        c.l2_accesses = self.mem.l2_stats().accesses;
-        c.l3_accesses = self.mem.l3_stats().accesses;
-        let (dr, dw) = self.mem.dram_counts();
+        c.l1_accesses = self.st.mem.l1_stats().accesses;
+        c.l2_accesses = self.st.mem.l2_stats().accesses;
+        c.l3_accesses = self.st.mem.l3_stats().accesses;
+        let (dr, dw) = self.st.mem.dram_counts();
         c.dram_accesses = dr + dw;
-        c.noc_hop_bytes = self.mesh.stats().total_hop_bytes();
-        c.flushed_lines = self.mem.sys_stats().flushed_lines;
-        c.mmio_words = self.mmio_words;
-        for s in &self.engines {
+        c.noc_hop_bytes = self.st.mesh.stats().total_hop_bytes();
+        c.flushed_lines = self.st.mem.sys_stats().flushed_lines;
+        c.mmio_words = self.st.mmio_words;
+        for s in &self.st.engines {
             let es = s.eng.stats();
             // Element accesses and line moves are access-unit work in every
             // configuration (the FSM performs them, Figure 2c) — stream
@@ -911,7 +1078,7 @@ impl Machine {
     /// Sums engine traffic: (intra bytes, D-A bytes, A-A bytes) — Figure 9.
     pub fn access_distribution(&self) -> (u64, u64, u64) {
         let mut t = (0, 0, 0);
-        for s in &self.engines {
+        for s in &self.st.engines {
             let es = s.eng.stats();
             t.0 += es.intra_bytes;
             t.1 += es.da_bytes;
@@ -923,7 +1090,7 @@ impl Machine {
     /// Sums accelerator-side statistics.
     pub fn engine_totals(&self) -> distda_accel::EngineStats {
         let mut t = distda_accel::EngineStats::default();
-        for s in &self.engines {
+        for s in &self.st.engines {
             let es = s.eng.stats();
             t.iterations += es.iterations;
             t.busy_cycles += es.busy_cycles;
@@ -1154,13 +1321,13 @@ mod tests {
             })
             .collect();
         m.run_host_segment(ops).unwrap();
-        let t_after_host = m.now;
+        let t_after_host = m.now();
         assert!(t_after_host > 0);
         let plan = &ck.offloads[0];
         let h = m.configure_plan(plan, &[0, 1], &[io_substrate(false); 2], &[]);
         m.launch(h, &[], &[vec![], vec![]], 0, 64, 1);
         m.run_offload(h).unwrap();
-        assert!(m.now > t_after_host);
+        assert!(m.now() > t_after_host);
         assert_eq!(m.host_stats().retired, 4);
     }
 
@@ -1219,5 +1386,45 @@ mod tests {
         assert!(c.mmio_words > 0);
         let (intra, da, aa) = m.access_distribution();
         assert!(intra > 0 && da > 0 && aa > 0);
+    }
+
+    #[test]
+    fn adding_components_needs_only_registration() {
+        // The tick loop, wake probe, drain predicate and drain audit all
+        // derive from the registered component set: a machine configured
+        // with more engines has more registered components, with no other
+        // machine code aware of the count.
+        let (_p, ck, m, _x, _y) = axpy_setup();
+        let before: Vec<String> = m
+            .scheduler()
+            .components()
+            .map(|c| c.name().to_string())
+            .collect();
+        assert_eq!(
+            before,
+            ["delivery", "host", "mem", "machine.chan", "net-out", "noc"]
+        );
+        let (_p2, ck2, mut m2, _x2, _y2) = axpy_setup();
+        let plan = &ck2.offloads[0];
+        let h = m2.configure_plan(plan, &[0, 1], &[io_substrate(false); 2], &[]);
+        let after: Vec<String> = m2
+            .scheduler()
+            .components()
+            .map(|c| c.name().to_string())
+            .collect();
+        assert_eq!(
+            after,
+            [
+                "delivery",
+                "host",
+                "engine.0",
+                "engine.1",
+                "mem",
+                "machine.chan",
+                "net-out",
+                "noc"
+            ]
+        );
+        let _ = (h, ck);
     }
 }

@@ -49,8 +49,8 @@ impl CheckPolicy {
     /// `strict_validate` follows `DISTDA_VALIDATE` (default: off).
     pub fn from_env() -> Self {
         Self {
-            sanitize: distda_check::env_wants_sanitize(),
-            strict_validate: distda_check::env_wants_validate(),
+            sanitize: distda_sim::env::sanitize(),
+            strict_validate: distda_sim::env::validate(),
         }
     }
 
@@ -194,13 +194,13 @@ pub fn try_simulate_capture_with_ref(
 ) -> Result<(RunResult, Memory, Vec<Value>), SimError> {
     // `DISTDA_TRACE` turns on tracing for any run that goes through the
     // standard entry points; the trace is auto-exported under `results/`.
-    let tracer = Tracer::from_env();
+    let tracer = distda_sim::env::tracer();
     let policy = CheckPolicy::from_env();
     let out = try_simulate_checked(prog, init, cfg, None, reference, &tracer, policy)?;
     if tracer.is_enabled() {
         auto_export(&tracer, &out.0);
     }
-    if std::env::var("DISTDA_CHECK_SKIP").is_ok_and(|v| v == "1") {
+    if distda_sim::env::check_skip() {
         // The tick-by-tick cross-check run gets a disabled tracer: its
         // purpose is comparing simulated results, and tracing it would
         // double-emit into the same components.
@@ -494,7 +494,7 @@ pub fn try_simulate_checked(
     // reduction measures.
     let data_moved_bytes = 64 * (l1.fills + l2.fills + dr + dw) + noc.total_hop_bytes();
 
-    let ticks = machine.now;
+    let ticks = machine.now();
     // Tick-attribution partition invariant: with full event history, the
     // machine-track phase spans plus the `other` remainder must account
     // for exactly the run's ticks — neither a shortfall nor an

@@ -11,7 +11,7 @@
 //! injection, a stall beginning or ending). That discipline is what makes
 //! exported traces byte-identical with skip-ahead on or off.
 
-use distda_sim::Tick;
+use crate::Tick;
 
 /// Why an accelerator engine stalled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -24,8 +24,10 @@
 //!
 //! ## Enabling
 //!
-//! Programmatically ([`Tracer::enabled`], [`Tracer::with_filter`]) or via
-//! the `DISTDA_TRACE` environment knob ([`Tracer::from_env`]):
+//! Programmatically ([`Tracer::enabled`], [`Tracer::with_filter`],
+//! [`Tracer::with_filter_cap`]) or via the `DISTDA_TRACE` /
+//! `DISTDA_TRACE_CAP` environment knobs, parsed by `distda_sim::env`
+//! (which constructs the tracer through [`Tracer::with_filter_cap`]):
 //!
 //! - `DISTDA_TRACE=1` (or `all`) — trace every component;
 //! - `DISTDA_TRACE=mem,noc` — per-component filtering by name prefix
@@ -50,13 +52,20 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod ring;
+pub mod stats;
 pub mod summary;
 
 pub use event::{Event, EventKind, StallCause};
 pub use metrics::{LogHist, Metrics, Series};
 pub use ring::Ring;
+pub use stats::{geomean, Report};
 
-use distda_sim::{Report, Tick};
+/// Base-clock tick count (6 GHz base tick in the Dist-DA machine).
+///
+/// Kept as a local alias so this crate sits below `distda-sim` in the
+/// dependency order; `distda_sim::Tick` is the same `u64`.
+pub type Tick = u64;
+
 use std::sync::{Arc, Mutex};
 
 /// Default per-component event-ring capacity.
@@ -137,17 +146,19 @@ impl Tracer {
 
     /// A tracer recording every component with default capacities.
     pub fn enabled() -> Self {
-        Self::with_spec("all", DEFAULT_EVENT_CAP)
+        Self::with_filter_cap("all", DEFAULT_EVENT_CAP)
     }
 
     /// A tracer from a filter spec: `"all"`/`"1"` traces everything, a
     /// comma-separated list traces components whose name matches a listed
     /// prefix, `""`/`"0"` disables.
     pub fn with_filter(spec: &str) -> Self {
-        Self::with_spec(spec, DEFAULT_EVENT_CAP)
+        Self::with_filter_cap(spec, DEFAULT_EVENT_CAP)
     }
 
-    fn with_spec(spec: &str, event_cap: usize) -> Self {
+    /// Like [`Tracer::with_filter`], with an explicit per-component
+    /// event-ring capacity (clamped to at least 16).
+    pub fn with_filter_cap(spec: &str, event_cap: usize) -> Self {
         let spec = spec.trim();
         if spec.is_empty() || spec == "0" {
             return Self::disabled();
@@ -169,21 +180,6 @@ impl Tracer {
                 series_cap: DEFAULT_SERIES_CAP,
                 components: Mutex::new(Vec::new()),
             })),
-        }
-    }
-
-    /// Builds a tracer from `DISTDA_TRACE` / `DISTDA_TRACE_CAP` (see the
-    /// crate docs). Disabled when `DISTDA_TRACE` is unset.
-    pub fn from_env() -> Self {
-        match std::env::var("DISTDA_TRACE") {
-            Err(_) => Self::disabled(),
-            Ok(spec) => {
-                let cap = std::env::var("DISTDA_TRACE_CAP")
-                    .ok()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .unwrap_or(DEFAULT_EVENT_CAP);
-                Self::with_spec(&spec, cap)
-            }
         }
     }
 

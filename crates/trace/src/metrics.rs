@@ -1,13 +1,13 @@
 //! The metrics registry: counters, log-bucketed latency histograms and
 //! sampled time series, kept per component next to its event ring.
 //!
-//! These complement the end-of-run [`distda_sim::Report`]: a report says
+//! These complement the end-of-run [`Report`]: a report says
 //! *how many* cache misses a run took, the registry's series say *when* the
 //! DRAM queue was deep and the histograms say *how skewed* packet latencies
 //! were. Series are sampled **on change** (never on a timer), which keeps
 //! traces bit-identical under idle skip-ahead.
 
-use distda_sim::{Report, Tick};
+use crate::{Report, Tick};
 use std::collections::BTreeMap;
 
 /// Number of log2 buckets (covers the full `u64` range).

@@ -13,7 +13,7 @@ use std::fmt;
 /// # Examples
 ///
 /// ```
-/// use distda_sim::Report;
+/// use distda_trace::Report;
 /// let mut r = Report::new();
 /// r.add("cycles", 100.0);
 /// r.add("insts", 250.0);
@@ -90,7 +90,7 @@ impl Report {
     /// # Examples
     ///
     /// ```
-    /// use distda_sim::Report;
+    /// use distda_trace::Report;
     /// let mut total = Report::new();
     /// total.add("cycles", 100.0);
     /// let mut run = Report::new();
@@ -114,7 +114,7 @@ impl Report {
     /// # Examples
     ///
     /// ```
-    /// use distda_sim::Report;
+    /// use distda_trace::Report;
     /// let mut r = Report::new();
     /// r.add("cycles", 100.0).add("insts", 250.0);
     /// r.scale(0.5);
@@ -164,7 +164,7 @@ impl FromIterator<(String, f64)> for Report {
 /// # Examples
 ///
 /// ```
-/// use distda_sim::geomean;
+/// use distda_trace::geomean;
 /// assert!((geomean([2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
 /// assert_eq!(geomean([]), None);
 /// ```

@@ -8,8 +8,8 @@
 //! remainder to `other` partitions every base tick of the run exactly.
 
 use crate::event::EventKind;
+use crate::Tick;
 use crate::{ComponentDump, Tracer};
-use distda_sim::Tick;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -59,12 +59,19 @@ pub fn attribution_from(comps: &[ComponentDump], total: Tick) -> Attribution {
     let accounted: Tick = sums.values().sum();
     let mut parts: Vec<(String, Tick)> = sums.into_iter().collect();
     parts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    parts.push(("other".to_string(), total.saturating_sub(accounted)));
+    // Underflow is possible here by design: overlapping spans (or a
+    // `total` measured over a narrower window than the trace) can
+    // over-account the run. That case is reported explicitly through
+    // `over_accounted` — `other` clamps to zero instead of wrapping, and
+    // `total` widens to cover what was actually attributed.
+    let over_accounted = accounted > total;
+    let other = if over_accounted { 0 } else { total - accounted };
+    parts.push(("other".to_string(), other));
     Attribution {
         parts,
         total: total.max(accounted),
         complete,
-        over_accounted: accounted > total,
+        over_accounted,
     }
 }
 

@@ -43,12 +43,12 @@ fn io_substrate() -> Substrate {
 fn configuration_charges_mmio_and_time() {
     let (_p, ck, mut m) = pipeline_setup();
     let before_words = m.mmio_words();
-    let before_time = m.now;
+    let before_time = m.now();
     let plan = &ck.offloads[0];
     let subs = vec![io_substrate(); plan.partitions.len()];
     let h = m.configure_plan(plan, &[0, 1], &subs, &[]);
     assert!(m.mmio_words() > before_words, "cp_config must cost MMIO");
-    assert!(m.now > before_time, "configuration occupies the host");
+    assert!(m.now() > before_time, "configuration occupies the host");
     let words_after_config = m.mmio_words();
     m.launch(h, &[], &[vec![], vec![]], 0, 256, 1);
     assert!(
@@ -72,7 +72,7 @@ fn producer_runs_ahead_bounded_by_buffer() {
     let h = m.configure_plan(plan, &[0, 7], &subs, &[]);
     m.launch(h, &[], &[vec![], vec![]], 0, 256, 1);
     m.run_offload(h).unwrap();
-    let ticks = m.now;
+    let ticks = m.now();
     // A naive request-response per element across ~9 hops at ~30+ cycles
     // round trip would exceed 256 * 90 ticks; decoupling must beat half
     // of that comfortably.
