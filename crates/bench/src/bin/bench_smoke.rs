@@ -1,0 +1,56 @@
+//! The CI smoke sweep: the full 12-benchmark suite at tiny scale under
+//! two representative configurations, producing the whole observability
+//! artifact family in seconds — the deterministic smoke run log, the
+//! smoke `BENCH_simspeed` document the regression gate diffs, run
+//! manifests, and an OpenMetrics snapshot of every run.
+//!
+//! ```text
+//! DISTDA_PROGRESS=1 cargo run --release --bin bench_smoke
+//! cargo run --release --bin obs -- gate \
+//!     --baseline ci/simspeed_smoke_baseline.json \
+//!     --current results/BENCH_simspeed_smoke.json \
+//!     --manifests results/manifests/runs.jsonl
+//! ```
+
+use distda_bench::{try_run_matrix, write_simspeed_smoke};
+use distda_obs::Registry;
+use distda_system::{ConfigKind, RunConfig};
+use distda_workloads::{suite, Scale};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let t0 = std::time::Instant::now();
+    let workloads = suite(&Scale::tiny());
+    let configs = vec![
+        RunConfig::named(ConfigKind::OoO),
+        RunConfig::named(ConfigKind::DistDAIO),
+    ];
+    let (sweep, failures) = try_run_matrix(&workloads, &configs);
+
+    let mut reg = Registry::new();
+    for r in sweep.results.values() {
+        reg.ingest_run(r);
+    }
+    let om_path = "results/smoke.om";
+    if std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write(om_path, reg.openmetrics()))
+        .is_ok()
+    {
+        eprintln!("wrote {om_path}");
+    }
+
+    write_simspeed_smoke(t0.elapsed().as_secs_f64());
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAILED: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "smoke: {} runs ok in {:.2}s",
+        sweep.results.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}

@@ -22,7 +22,11 @@
 //! - `--top N`: summary depth (default 5).
 //! - `--check`: re-parse the exported JSON and verify the attribution
 //!   partitions the run's ticks exactly; exit nonzero on failure.
+//! - `--openmetrics`: additionally bridge the trace's counters and
+//!   histograms (plus the run's headline metrics) into the fleet metrics
+//!   registry and write `<stem>.om` in the OpenMetrics text format.
 
+use distda_obs::Registry;
 use distda_system::{ConfigKind, RunConfig};
 use distda_trace::{chrome, csvout, json, summary, Tracer};
 use distda_workloads::{suite, Scale};
@@ -37,6 +41,7 @@ struct Args {
     out: PathBuf,
     top: usize,
     check: bool,
+    openmetrics: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +53,7 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("results"),
         top: 5,
         check: false,
+        openmetrics: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -60,10 +66,11 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = PathBuf::from(value("--out")?),
             "--top" => args.top = value("--top")?.parse().map_err(|e| format!("--top: {e}"))?,
             "--check" => args.check = true,
+            "--openmetrics" => args.openmetrics = true,
             "--help" | "-h" => {
                 return Err("usage: trace [--kernel NAME]... [--config LABEL] \
                             [--scale tiny|eval] [--filter SPEC] [--out DIR] \
-                            [--top N] [--check]"
+                            [--top N] [--check] [--openmetrics]"
                     .to_string())
             }
             other => return Err(format!("unknown argument: {other}")),
@@ -158,6 +165,19 @@ fn main() -> ExitCode {
         print!("{}", summary::render_components(&comps, args.top));
         let attr = summary::attribution_from(&comps, r.ticks);
         print!("{}", summary::render_attribution(&attr));
+
+        if args.openmetrics {
+            let mut reg = Registry::new();
+            reg.ingest_run(&r);
+            reg.ingest_trace_components(&[("kernel", &r.kernel), ("config", &r.config)], &comps);
+            let om_path = args.out.join(format!("{stem}.om"));
+            if let Err(e) = std::fs::write(&om_path, reg.openmetrics()) {
+                eprintln!("cannot write {}: {e}", om_path.display());
+                failures += 1;
+            } else {
+                println!("openmetrics: {}", om_path.display());
+            }
+        }
 
         if args.check {
             match json::parse(&doc) {

@@ -8,6 +8,8 @@
 pub mod figures;
 pub mod mt;
 
+use distda_obs::manifest::{config_hash, ManifestRecord};
+use distda_obs::Progress;
 use distda_sim::geomean;
 use distda_system::{ConfigKind, RunConfig, RunResult};
 use distda_workloads::{suite, Scale, Workload};
@@ -69,6 +71,8 @@ pub struct RunTiming {
     pub kernel: String,
     /// Configuration label.
     pub config: String,
+    /// Structural hash of the full [`RunConfig`] (manifest identity).
+    pub config_hash: String,
     /// Host seconds spent simulating this run.
     pub host_secs: f64,
     /// Simulated base ticks the run covered.
@@ -113,6 +117,23 @@ impl std::fmt::Display for SweepFailure {
 /// [`SweepFailure`] naming its (kernel, config) pair; the remaining cells
 /// still run and their results are returned.
 pub fn try_run_matrix(workloads: &[Workload], configs: &[RunConfig]) -> (Sweep, Vec<SweepFailure>) {
+    let progress = Progress::from_env(workloads.len() * configs.len());
+    let out = try_run_matrix_with_progress(workloads, configs, progress.as_ref());
+    if let Some(p) = progress {
+        p.finish();
+    }
+    out
+}
+
+/// [`try_run_matrix`] with an explicit [`Progress`] reporter instead of
+/// the `DISTDA_PROGRESS` policy — the programmatic entry point the
+/// observability tests use. When a reporter is attached the legacy
+/// per-cell `\r` counter is suppressed (the reporter owns stderr).
+pub fn try_run_matrix_with_progress(
+    workloads: &[Workload],
+    configs: &[RunConfig],
+    progress: Option<&Progress>,
+) -> (Sweep, Vec<SweepFailure>) {
     let pairs: Vec<(usize, usize)> = (0..workloads.len())
         .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
         .collect();
@@ -127,6 +148,9 @@ pub fn try_run_matrix(workloads: &[Workload], configs: &[RunConfig]) -> (Sweep, 
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(wi, ci)) = pairs.get(i) else { break };
                 let (w, cfg) = (&workloads[wi], &configs[ci]);
+                if let Some(p) = progress {
+                    p.cell_started();
+                }
                 let t0 = Instant::now();
                 let outcome = match w.try_simulate(cfg) {
                     Ok(r) if !r.validated => Err(SweepFailure {
@@ -138,6 +162,7 @@ pub fn try_run_matrix(workloads: &[Workload], configs: &[RunConfig]) -> (Sweep, 
                         TIMINGS.lock().unwrap().push(RunTiming {
                             kernel: r.kernel.clone(),
                             config: r.config.clone(),
+                            config_hash: config_hash(cfg),
                             host_secs: t0.elapsed().as_secs_f64(),
                             ticks: r.ticks,
                         });
@@ -150,18 +175,28 @@ pub fn try_run_matrix(workloads: &[Workload], configs: &[RunConfig]) -> (Sweep, 
                     }),
                 };
                 let d = done.fetch_add(1, Ordering::Relaxed) + 1;
-                eprint!(
-                    "  sim {:<14} {:<20} [{d}/{}]\r",
-                    w.name,
-                    cfg.label(),
-                    pairs.len()
-                );
-                std::io::stderr().flush().ok();
+                if let Some(p) = progress {
+                    let (ok, ticks) = match &outcome {
+                        Ok(r) => (true, r.ticks),
+                        Err(_) => (false, 0),
+                    };
+                    p.cell_done(&w.name, &cfg.label(), ok, t0.elapsed().as_secs_f64(), ticks);
+                } else {
+                    eprint!(
+                        "  sim {:<14} {:<20} [{d}/{}]\r",
+                        w.name,
+                        cfg.label(),
+                        pairs.len()
+                    );
+                    std::io::stderr().flush().ok();
+                }
                 *slots[i].lock().unwrap() = Some(outcome);
             });
         }
     });
-    eprintln!();
+    if progress.is_none() {
+        eprintln!();
+    }
     let mut sweep = Sweep::default();
     let mut failures = Vec::new();
     for slot in slots {
@@ -289,14 +324,54 @@ pub fn emit(name: &str, content: &str) {
     save_result(name, content);
 }
 
-/// Writes the simulator-throughput artifacts from the accumulated run
-/// timings: `results/reproduce.log` gets one wall-clock line per run
-/// (host seconds, simulated ticks, ticks/sec), and `BENCH_simspeed.json`
-/// records the aggregate sims/sec and simulated-ticks/sec so throughput
-/// regressions show up in reviewed artifacts.
-pub fn write_simspeed(total_wall_secs: f64) {
-    let mut rows = take_timings();
-    rows.sort_by(|a, b| (&a.kernel, &a.config).cmp(&(&b.kernel, &b.config)));
+/// Sorts timing rows into their canonical order: (kernel, config, ticks).
+/// The tick count participates so duplicate (kernel, config) labels (the
+/// working-set sweep reuses labels at different scales) still order
+/// deterministically regardless of which worker finished first.
+fn sort_rows(rows: &mut [RunTiming]) {
+    rows.sort_by(|a, b| {
+        (&a.kernel, &a.config, a.ticks)
+            .cmp(&(&b.kernel, &b.config, b.ticks))
+            .then_with(|| a.config_hash.cmp(&b.config_hash))
+    });
+}
+
+/// Renders the deterministic run log: one line per run with only
+/// simulation-determined fields (kernel, config, simulated ticks), sorted
+/// canonically. Byte-identical across thread counts and host speeds — the
+/// reproducibility artifact `results/reproduce.log` is built from this.
+pub fn render_run_log(rows: &[RunTiming]) -> String {
+    let mut rows: Vec<RunTiming> = rows.to_vec();
+    sort_rows(&mut rows);
+    let mut log = String::new();
+    use std::fmt::Write as _;
+    writeln!(
+        log,
+        "{:<14} {:<20} {:>16}",
+        "kernel", "config", "simulated_ticks"
+    )
+    .unwrap();
+    let mut total_ticks = 0u64;
+    for r in &rows {
+        writeln!(log, "{:<14} {:<20} {:>16}", r.kernel, r.config, r.ticks).unwrap();
+        total_ticks += r.ticks;
+    }
+    writeln!(
+        log,
+        "total: {} runs, {} simulated ticks",
+        rows.len(),
+        total_ticks
+    )
+    .unwrap();
+    log
+}
+
+/// Renders the wall-clock companion log (host seconds and ticks/sec per
+/// run, worker count, wall time). Inherently nondeterministic — kept out
+/// of `reproduce.log` so that file stays byte-stable.
+pub fn render_timing_log(rows: &[RunTiming], total_wall_secs: f64) -> String {
+    let mut rows: Vec<RunTiming> = rows.to_vec();
+    sort_rows(&mut rows);
     let mut log = String::new();
     use std::fmt::Write as _;
     writeln!(
@@ -306,7 +381,6 @@ pub fn write_simspeed(total_wall_secs: f64) {
     )
     .unwrap();
     let mut sim_secs = 0.0f64;
-    let mut total_ticks = 0u64;
     for r in &rows {
         let tps = if r.host_secs > 0.0 {
             r.ticks as f64 / r.host_secs
@@ -320,7 +394,6 @@ pub fn write_simspeed(total_wall_secs: f64) {
         )
         .unwrap();
         sim_secs += r.host_secs;
-        total_ticks += r.ticks;
     }
     writeln!(
         log,
@@ -331,21 +404,108 @@ pub fn write_simspeed(total_wall_secs: f64) {
         total_wall_secs
     )
     .unwrap();
-    save_result("reproduce.log", &log);
+    log
+}
 
-    let json = format!(
-        "{{\n  \"threads\": {},\n  \"runs\": {},\n  \"wall_secs\": {:.3},\n  \"sim_secs_sum\": {:.3},\n  \"sims_per_sec\": {:.4},\n  \"simulated_ticks\": {},\n  \"simulated_ticks_per_sec\": {:.1}\n}}\n",
+/// Renders the `BENCH_simspeed.json` document: the aggregate throughput
+/// numbers the regression gate diffs, plus a `meta` block recording what
+/// produced them (git revision, UTC date, thread count, `DISTDA_*`
+/// policies in force).
+pub fn render_simspeed_json(rows: &[RunTiming], total_wall_secs: f64) -> String {
+    let sim_secs: f64 = rows.iter().map(|r| r.host_secs).sum();
+    let total_ticks: u64 = rows.iter().map(|r| r.ticks).sum();
+    format!(
+        concat!(
+            "{{\n  \"threads\": {},\n  \"runs\": {},\n  \"wall_secs\": {:.3},\n",
+            "  \"sim_secs_sum\": {:.3},\n  \"sims_per_sec\": {:.4},\n",
+            "  \"simulated_ticks\": {},\n  \"simulated_ticks_per_sec\": {:.1},\n",
+            "  \"meta\": {{\n    \"git_rev\": \"{}\",\n    \"date_utc\": \"{}\",\n",
+            "    \"threads_env\": {},\n    \"skip\": {},\n    \"sanitize\": {},\n",
+            "    \"validate\": {}\n  }}\n}}\n"
+        ),
         sweep_threads(),
         rows.len(),
         total_wall_secs,
         sim_secs,
-        if total_wall_secs > 0.0 { rows.len() as f64 / total_wall_secs } else { 0.0 },
+        if total_wall_secs > 0.0 {
+            rows.len() as f64 / total_wall_secs
+        } else {
+            0.0
+        },
         total_ticks,
-        if total_wall_secs > 0.0 { total_ticks as f64 / total_wall_secs } else { 0.0 },
-    );
-    if std::fs::write("BENCH_simspeed.json", &json).is_ok() {
-        eprintln!("wrote BENCH_simspeed.json");
+        if total_wall_secs > 0.0 {
+            total_ticks as f64 / total_wall_secs
+        } else {
+            0.0
+        },
+        distda_obs::manifest::git_rev(),
+        distda_obs::manifest::utc_now_string(),
+        distda_sim::env::threads().unwrap_or(0),
+        distda_sim::env::skip(),
+        distda_sim::env::sanitize(),
+        distda_sim::env::validate(),
+    )
+}
+
+/// Appends one [`ManifestRecord`] per timing row to the default manifest
+/// stream (`results/manifests/runs.jsonl`). Rows only exist for runs that
+/// simulated *and validated*, so every record carries `validated: true`.
+fn append_manifests(rows: &[RunTiming]) {
+    for r in rows {
+        let rec = ManifestRecord::capture(
+            &r.kernel,
+            &r.config,
+            r.config_hash.clone(),
+            r.ticks,
+            r.host_secs,
+            true,
+        );
+        if rec.append().is_err() {
+            eprintln!("warning: could not append run manifest");
+            break;
+        }
     }
+}
+
+fn write_speed_artifacts(run_log: &str, timing_log: &str, json_path: &str, total_wall_secs: f64) {
+    let mut rows = take_timings();
+    sort_rows(&mut rows);
+    save_result(run_log, &render_run_log(&rows));
+    save_result(timing_log, &render_timing_log(&rows, total_wall_secs));
+    let json = render_simspeed_json(&rows, total_wall_secs);
+    if std::fs::write(json_path, &json).is_ok() {
+        eprintln!("wrote {json_path}");
+    }
+    append_manifests(&rows);
+}
+
+/// Writes the simulator-throughput artifacts from the accumulated run
+/// timings: `results/reproduce.log` gets the deterministic run log
+/// (byte-identical across thread counts), `results/reproduce_timing.log`
+/// the wall-clock companion, `BENCH_simspeed.json` the aggregate
+/// throughput + `meta` block the regression gate diffs, and one manifest
+/// record per run appends to `results/manifests/runs.jsonl`.
+pub fn write_simspeed(total_wall_secs: f64) {
+    write_speed_artifacts(
+        "reproduce.log",
+        "reproduce_timing.log",
+        "BENCH_simspeed.json",
+        total_wall_secs,
+    );
+}
+
+/// [`write_simspeed`] for the CI smoke sweep: same artifact family under
+/// smoke names (`results/reproduce_smoke.log`,
+/// `results/reproduce_smoke_timing.log`,
+/// `results/BENCH_simspeed_smoke.json`) so a quick gate run never
+/// clobbers the full reproduction's committed artifacts.
+pub fn write_simspeed_smoke(total_wall_secs: f64) {
+    write_speed_artifacts(
+        "reproduce_smoke.log",
+        "reproduce_smoke_timing.log",
+        "results/BENCH_simspeed_smoke.json",
+        total_wall_secs,
+    );
 }
 
 #[cfg(test)]

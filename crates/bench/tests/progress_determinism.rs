@@ -1,0 +1,96 @@
+//! Observability must never perturb simulation: a sweep run with a live
+//! progress reporter produces bit-identical results to one without, the
+//! deterministic run log is byte-stable regardless of completion order,
+//! and the JSONL progress stream parses.
+
+use distda_bench::{render_run_log, take_timings, try_run_matrix_with_progress, RunTiming};
+use distda_obs::{Progress, ProgressConfig};
+use distda_system::{ConfigKind, RunConfig};
+use distda_trace::json;
+use distda_workloads::{pathfinder, pointer_chase, Scale};
+use std::time::Duration;
+
+#[test]
+fn progress_reporter_does_not_perturb_sweep_results() {
+    let workloads = [pathfinder(&Scale::tiny()), pointer_chase(&Scale::tiny())];
+    let configs = vec![
+        RunConfig::named(ConfigKind::OoO),
+        RunConfig::named(ConfigKind::DistDAIO),
+    ];
+    let _ = take_timings();
+
+    let (plain, plain_fail) = try_run_matrix_with_progress(&workloads, &configs, None);
+    let _ = take_timings();
+
+    let dir = std::env::temp_dir().join("distda_bench_progress_test");
+    let _ = std::fs::create_dir_all(&dir);
+    let stream_path = dir.join("progress.jsonl");
+    let progress = Progress::start(
+        workloads.len() * configs.len(),
+        ProgressConfig {
+            stderr: false,
+            jsonl: Some(stream_path.clone()),
+            period: Duration::from_millis(50),
+        },
+    );
+    let (observed, observed_fail) =
+        try_run_matrix_with_progress(&workloads, &configs, Some(&progress));
+    progress.finish();
+    let _ = take_timings();
+
+    assert!(plain_fail.is_empty() && observed_fail.is_empty());
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{observed:?}"),
+        "sweep results must be bit-identical with progress attached"
+    );
+
+    // The stream holds one cell event per run plus the summary, all
+    // parseable, and the summary's tick total matches the sweep's.
+    let stream = std::fs::read_to_string(&stream_path).unwrap();
+    let lines: Vec<&str> = stream.lines().collect();
+    assert_eq!(lines.len(), workloads.len() * configs.len() + 1, "{stream}");
+    let total_ticks: u64 = observed.results.values().map(|r| r.ticks).sum();
+    let summary = json::parse(lines.last().unwrap()).unwrap();
+    assert_eq!(
+        summary.get("event").and_then(json::Value::as_str),
+        Some("summary")
+    );
+    assert_eq!(
+        summary.get("ticks").and_then(json::Value::as_num),
+        Some(total_ticks as f64)
+    );
+    let _ = std::fs::remove_file(&stream_path);
+}
+
+#[test]
+fn run_log_is_byte_stable_under_completion_order() {
+    let row = |kernel: &str, config: &str, ticks: u64| RunTiming {
+        kernel: kernel.to_string(),
+        config: config.to_string(),
+        config_hash: "fnv1a:0".to_string(),
+        host_secs: ticks as f64 * 0.001, // varies run to run; must not leak
+        ticks,
+    };
+    let a = vec![
+        row("pf", "OoO", 100),
+        row("pf", "Dist-DA-F@1GHz", 50),
+        row("nw", "OoO", 70),
+        // Duplicate (kernel, config) labels at different scales, as the
+        // working-set sweep produces.
+        row("pf", "OoO", 300),
+    ];
+    let mut b = a.clone();
+    b.reverse();
+    let mut c = a.clone();
+    c.swap(0, 2);
+    c.swap(1, 3);
+    for r in &mut c {
+        r.host_secs *= 7.0;
+    }
+    let log = render_run_log(&a);
+    assert_eq!(log, render_run_log(&b));
+    assert_eq!(log, render_run_log(&c));
+    assert!(log.contains("total: 4 runs, 520 simulated ticks"), "{log}");
+    assert!(!log.contains("host"), "wall-clock must stay out:\n{log}");
+}

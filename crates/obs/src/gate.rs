@@ -1,0 +1,264 @@
+//! The perf-regression gate: diff a current `BENCH_simspeed.json` (and
+//! its manifests) against a committed baseline, with per-metric
+//! thresholds, and fail loudly.
+//!
+//! Two classes of metric, two policies:
+//!
+//! - **Deterministic metrics** (`runs`, `simulated_ticks`) are identical
+//!   on every machine for a given source revision — the simulator is
+//!   bit-deterministic. They must match the baseline *exactly*; a drift
+//!   means the simulation itself changed, which is either an intentional
+//!   model change (update the baseline in the same PR) or a bug.
+//! - **Host-speed metrics** (`simulated_ticks_per_sec`) are noisy — CI
+//!   runners differ run to run — so they gate on a lenient ratio
+//!   threshold ([`Thresholds::max_tps_drop`], default 0.9: fail only when
+//!   current throughput falls below 90% of baseline... configure per
+//!   call; CI uses wider margins than a dedicated perf box would).
+//!
+//! Manifests add a third check: every run in the stream must have
+//! `validated == true`.
+
+use crate::manifest::{parse_manifests, ManifestRecord};
+use distda_trace::json;
+
+/// Gate thresholds. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Thresholds {
+    /// Fail when `current_tps < max_tps_drop * baseline_tps`.
+    pub max_tps_drop: f64,
+    /// Require the `runs` count to match the baseline exactly.
+    pub require_runs_match: bool,
+    /// Require `simulated_ticks` to match the baseline exactly.
+    pub require_ticks_match: bool,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Self {
+            max_tps_drop: 0.9,
+            require_runs_match: true,
+            require_ticks_match: true,
+        }
+    }
+}
+
+/// One gate check's outcome.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Metric name.
+    pub metric: String,
+    /// Human-readable comparison.
+    pub detail: String,
+    /// Whether the check passed.
+    pub ok: bool,
+}
+
+/// The gate's verdict: every check, pass or fail.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Individual checks in evaluation order.
+    pub checks: Vec<Check>,
+}
+
+impl GateReport {
+    fn push(&mut self, metric: &str, ok: bool, detail: String) {
+        self.checks.push(Check {
+            metric: metric.to_string(),
+            detail,
+            ok,
+        });
+    }
+
+    /// Whether any check failed.
+    pub fn regressed(&self) -> bool {
+        self.checks.iter().any(|c| !c.ok)
+    }
+
+    /// Renders the verdict as a table, one check per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in &self.checks {
+            writeln!(
+                out,
+                "{} {:<28} {}",
+                if c.ok { "PASS" } else { "FAIL" },
+                c.metric,
+                c.detail
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "gate: {}",
+            if self.regressed() {
+                "REGRESSED"
+            } else {
+                "clean"
+            }
+        )
+        .unwrap();
+        out
+    }
+}
+
+fn num(v: &json::Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(json::Value::as_num)
+        .ok_or_else(|| format!("simspeed JSON missing numeric field `{key}`"))
+}
+
+/// Gates a current `BENCH_simspeed.json` document against a baseline one.
+///
+/// # Errors
+///
+/// Returns a message when either document fails to parse or lacks a
+/// required field — a malformed input is an infrastructure failure, not a
+/// regression verdict.
+pub fn gate_simspeed(baseline: &str, current: &str, th: &Thresholds) -> Result<GateReport, String> {
+    let base = json::parse(baseline).map_err(|e| format!("baseline: {e:?}"))?;
+    let cur = json::parse(current).map_err(|e| format!("current: {e:?}"))?;
+    let mut rep = GateReport::default();
+
+    if th.require_runs_match {
+        let (b, c) = (num(&base, "runs")?, num(&cur, "runs")?);
+        rep.push(
+            "runs",
+            b == c,
+            format!("baseline {b}, current {c} (exact match required)"),
+        );
+    }
+    if th.require_ticks_match {
+        let (b, c) = (
+            num(&base, "simulated_ticks")?,
+            num(&cur, "simulated_ticks")?,
+        );
+        rep.push(
+            "simulated_ticks",
+            b == c,
+            format!("baseline {b}, current {c} (deterministic, exact match required)"),
+        );
+    }
+    let (b_tps, c_tps) = (
+        num(&base, "simulated_ticks_per_sec")?,
+        num(&cur, "simulated_ticks_per_sec")?,
+    );
+    let floor = th.max_tps_drop * b_tps;
+    rep.push(
+        "simulated_ticks_per_sec",
+        c_tps >= floor,
+        format!(
+            "baseline {b_tps:.0}, current {c_tps:.0}, floor {floor:.0} ({}% of baseline)",
+            (th.max_tps_drop * 100.0).round()
+        ),
+    );
+    Ok(rep)
+}
+
+/// Gates a manifest JSONL stream: every run must be validated.
+///
+/// # Errors
+///
+/// Returns a message when the stream fails to parse.
+pub fn check_manifests(stream: &str) -> Result<GateReport, String> {
+    let records: Vec<ManifestRecord> = parse_manifests(stream)?;
+    let mut rep = GateReport::default();
+    let bad: Vec<String> = records
+        .iter()
+        .filter(|r| !r.validated)
+        .map(|r| format!("{} under {}", r.kernel, r.config))
+        .collect();
+    rep.push(
+        "manifests_validated",
+        bad.is_empty(),
+        if bad.is_empty() {
+            format!("{} runs, all validated", records.len())
+        } else {
+            format!(
+                "{} of {} runs NOT validated: {}",
+                bad.len(),
+                records.len(),
+                bad.join(", ")
+            )
+        },
+    );
+    Ok(rep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simspeed(runs: u64, ticks: u64, tps: f64) -> String {
+        format!(
+            concat!(
+                "{{\"threads\": 8, \"runs\": {}, \"wall_secs\": 1.0,",
+                " \"sim_secs_sum\": 1.0, \"sims_per_sec\": 1.0,",
+                " \"simulated_ticks\": {}, \"simulated_ticks_per_sec\": {}}}"
+            ),
+            runs, ticks, tps
+        )
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let doc = simspeed(216, 2_013_124_321, 9_815_164.5);
+        let rep = gate_simspeed(&doc, &doc, &Thresholds::default()).unwrap();
+        assert!(!rep.regressed(), "{}", rep.render());
+    }
+
+    #[test]
+    fn twenty_percent_throughput_drop_fails_strict_threshold() {
+        let base = simspeed(216, 2_013_124_321, 10_000_000.0);
+        let cur = simspeed(216, 2_013_124_321, 8_000_000.0);
+        let rep = gate_simspeed(
+            &base,
+            &cur,
+            &Thresholds {
+                max_tps_drop: 0.9,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(rep.regressed(), "{}", rep.render());
+        // ... but survives a very lenient CI threshold.
+        let rep = gate_simspeed(
+            &base,
+            &cur,
+            &Thresholds {
+                max_tps_drop: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(!rep.regressed(), "{}", rep.render());
+    }
+
+    #[test]
+    fn tick_drift_fails_regardless_of_throughput() {
+        let base = simspeed(216, 100, 1.0);
+        let cur = simspeed(216, 101, 1.0);
+        let rep = gate_simspeed(&base, &cur, &Thresholds::default()).unwrap();
+        assert!(rep.regressed(), "{}", rep.render());
+        let fail = rep.checks.iter().find(|c| !c.ok).unwrap();
+        assert_eq!(fail.metric, "simulated_ticks");
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_verdict() {
+        assert!(gate_simspeed("{", "{}", &Thresholds::default()).is_err());
+        assert!(gate_simspeed("{}", "{}", &Thresholds::default()).is_err());
+    }
+
+    #[test]
+    fn manifests_gate_on_validation() {
+        let ok = ManifestRecord::capture("pf", "OoO", "fnv1a:0".into(), 10, 0.1, true);
+        let bad = ManifestRecord::capture("nw", "OoO", "fnv1a:0".into(), 10, 0.1, false);
+        let stream = format!("{}\n{}\n", ok.render_jsonl(), bad.render_jsonl());
+        let rep = check_manifests(&stream).unwrap();
+        assert!(rep.regressed());
+        assert!(rep.render().contains("nw under OoO"), "{}", rep.render());
+        let rep = check_manifests(&format!("{}\n", ok.render_jsonl())).unwrap();
+        assert!(!rep.regressed());
+    }
+}

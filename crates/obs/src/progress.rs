@@ -1,0 +1,349 @@
+//! Live sweep progress: a channel-fed reporter thread.
+//!
+//! A sweep is a fleet of independent simulations; while it runs, the only
+//! feedback the harness used to give was a `\r`-rewritten cell counter.
+//! [`Progress`] upgrades that to a real reporter: worker threads post
+//! cell-started / cell-finished events over an `mpsc` channel, and a
+//! single reporter thread aggregates them into
+//!
+//! - a periodic one-line stderr status (done / running / failed counts
+//!   plus average simulated-ticks-per-second throughput), and
+//! - a machine-readable JSONL event stream (one object per cell
+//!   completion plus a final summary), for dashboards and the CI log.
+//!
+//! The reporter is strictly an *observer*: workers never block on it
+//! (events are fire-and-forget sends), and it touches nothing the
+//! simulation reads, so results are identical with progress on or off —
+//! enforced by the observability determinism tests.
+//!
+//! Gated by `DISTDA_PROGRESS` via [`Progress::from_env`].
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use distda_trace::json;
+
+/// Default JSONL event-stream path for env-enabled progress.
+pub const DEFAULT_PROGRESS_PATH: &str = "results/sweep_progress.jsonl";
+
+/// Default stderr refresh period.
+pub const DEFAULT_PERIOD: Duration = Duration::from_millis(500);
+
+enum Event {
+    Started,
+    Done {
+        kernel: String,
+        config: String,
+        ok: bool,
+        host_secs: f64,
+        ticks: u64,
+    },
+}
+
+/// Where and how often the reporter speaks.
+#[derive(Debug, Clone)]
+pub struct ProgressConfig {
+    /// Render the one-line `\r` status to stderr.
+    pub stderr: bool,
+    /// Append JSONL events to this path (`None` = no stream).
+    pub jsonl: Option<PathBuf>,
+    /// Stderr refresh period.
+    pub period: Duration,
+}
+
+impl Default for ProgressConfig {
+    fn default() -> Self {
+        Self {
+            stderr: true,
+            jsonl: None,
+            period: DEFAULT_PERIOD,
+        }
+    }
+}
+
+/// A live sweep-progress reporter. See the [module docs](self).
+pub struct Progress {
+    tx: Sender<Event>,
+    handle: Option<JoinHandle<()>>,
+}
+
+struct Reporter {
+    total: usize,
+    cfg: ProgressConfig,
+    started: usize,
+    done: usize,
+    failed: usize,
+    ticks: u64,
+    sim_secs: f64,
+    t0: Instant,
+    out: Option<std::fs::File>,
+}
+
+impl Reporter {
+    fn jsonl(&mut self, line: &str) {
+        if let Some(f) = &mut self.out {
+            let _ = writeln!(f, "{line}");
+        }
+    }
+
+    fn status_line(&self) -> String {
+        let running = self.started.saturating_sub(self.done + self.failed);
+        let elapsed = self.t0.elapsed().as_secs_f64().max(1e-9);
+        let tps = self.ticks as f64 / elapsed;
+        format!(
+            "[sweep] {}/{} done, {} running, {} failed | {:.1}M ticks/s avg",
+            self.done + self.failed,
+            self.total,
+            running,
+            self.failed,
+            tps / 1e6,
+        )
+    }
+
+    fn render(&self) {
+        if self.cfg.stderr {
+            // Pad so a shorter line fully overwrites a longer one.
+            eprint!("\r{:<72}", self.status_line());
+        }
+    }
+
+    fn on_event(&mut self, ev: Event) {
+        match ev {
+            Event::Started => self.started += 1,
+            Event::Done {
+                kernel,
+                config,
+                ok,
+                host_secs,
+                ticks,
+            } => {
+                if ok {
+                    self.done += 1;
+                } else {
+                    self.failed += 1;
+                }
+                self.ticks += ticks;
+                self.sim_secs += host_secs;
+                let t_ms = self.t0.elapsed().as_millis();
+                let line = format!(
+                    concat!(
+                        "{{\"t_ms\":{},\"event\":\"cell\",\"kernel\":\"{}\",",
+                        "\"config\":\"{}\",\"ok\":{},\"host_secs\":{},\"ticks\":{}}}"
+                    ),
+                    t_ms,
+                    json::escape(&kernel),
+                    json::escape(&config),
+                    ok,
+                    host_secs,
+                    ticks,
+                );
+                self.jsonl(&line);
+            }
+        }
+    }
+
+    fn finish(&mut self) {
+        let elapsed = self.t0.elapsed().as_secs_f64();
+        let line = format!(
+            concat!(
+                "{{\"t_ms\":{},\"event\":\"summary\",\"done\":{},\"failed\":{},",
+                "\"ticks\":{},\"sim_secs_sum\":{},\"elapsed_secs\":{}}}"
+            ),
+            self.t0.elapsed().as_millis(),
+            self.done,
+            self.failed,
+            self.ticks,
+            self.sim_secs,
+            elapsed,
+        );
+        self.jsonl(&line);
+        if self.cfg.stderr {
+            self.render();
+            eprintln!();
+        }
+    }
+}
+
+impl Progress {
+    /// Starts a reporter for a sweep of `total` cells.
+    pub fn start(total: usize, cfg: ProgressConfig) -> Self {
+        let out = cfg.jsonl.as_ref().and_then(|p| {
+            if let Some(parent) = p.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            std::fs::File::create(p).ok()
+        });
+        let (tx, rx) = mpsc::channel::<Event>();
+        let mut rep = Reporter {
+            total,
+            cfg,
+            started: 0,
+            done: 0,
+            failed: 0,
+            ticks: 0,
+            sim_secs: 0.0,
+            t0: Instant::now(),
+            out,
+        };
+        let period = rep.cfg.period;
+        let handle = std::thread::spawn(move || {
+            let mut deadline = Instant::now() + period;
+            loop {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(wait) {
+                    Ok(ev) => rep.on_event(ev),
+                    Err(RecvTimeoutError::Timeout) => {
+                        rep.render();
+                        deadline = Instant::now() + period;
+                    }
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+            rep.finish();
+        });
+        Self {
+            tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// A reporter per the `DISTDA_PROGRESS` policy: `None` when progress
+    /// is off; otherwise stderr + the default JSONL stream at
+    /// [`DEFAULT_PROGRESS_PATH`].
+    pub fn from_env(total: usize) -> Option<Self> {
+        if !distda_sim::env::progress() {
+            return None;
+        }
+        Some(Self::start(
+            total,
+            ProgressConfig {
+                stderr: true,
+                jsonl: Some(PathBuf::from(DEFAULT_PROGRESS_PATH)),
+                period: DEFAULT_PERIOD,
+            },
+        ))
+    }
+
+    /// Posts "one cell started". Never blocks.
+    pub fn cell_started(&self) {
+        let _ = self.tx.send(Event::Started);
+    }
+
+    /// Posts "one cell finished". Never blocks.
+    pub fn cell_done(&self, kernel: &str, config: &str, ok: bool, host_secs: f64, ticks: u64) {
+        let _ = self.tx.send(Event::Done {
+            kernel: kernel.to_string(),
+            config: config.to_string(),
+            ok,
+            host_secs,
+            ticks,
+        });
+    }
+
+    /// Shuts the reporter down: drains pending events, writes the summary
+    /// JSONL line and the final stderr status, joins the thread.
+    pub fn finish(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        // Dropping the only sender disconnects the channel after the
+        // reporter drains it.
+        let (dead_tx, _) = mpsc::channel();
+        let tx = std::mem::replace(&mut self.tx, dead_tx);
+        drop(tx);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Progress {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.shutdown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_land_in_jsonl_stream() {
+        let dir = std::env::temp_dir().join("distda_obs_progress_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("stream.jsonl");
+        let p = Progress::start(
+            2,
+            ProgressConfig {
+                stderr: false,
+                jsonl: Some(path.clone()),
+                period: Duration::from_millis(10),
+            },
+        );
+        p.cell_started();
+        p.cell_done("pf", "OoO", true, 0.25, 1000);
+        p.cell_started();
+        p.cell_done("nw", "Dist-DA-F", false, 0.5, 0);
+        p.finish();
+        let stream = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = stream.lines().collect();
+        assert_eq!(lines.len(), 3, "{stream}");
+        let first = json::parse(lines[0]).unwrap();
+        assert_eq!(
+            first.get("event").and_then(json::Value::as_str),
+            Some("cell")
+        );
+        assert_eq!(
+            first.get("kernel").and_then(json::Value::as_str),
+            Some("pf")
+        );
+        let summary = json::parse(lines[2]).unwrap();
+        assert_eq!(
+            summary.get("event").and_then(json::Value::as_str),
+            Some("summary")
+        );
+        assert_eq!(summary.get("done").and_then(json::Value::as_num), Some(1.0));
+        assert_eq!(
+            summary.get("failed").and_then(json::Value::as_num),
+            Some(1.0)
+        );
+        assert_eq!(
+            summary.get("ticks").and_then(json::Value::as_num),
+            Some(1000.0)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn from_env_defaults_off() {
+        // DISTDA_PROGRESS is unset in the test environment.
+        if std::env::var("DISTDA_PROGRESS").is_err() {
+            assert!(Progress::from_env(10).is_none());
+        }
+    }
+
+    #[test]
+    fn status_line_reports_counts() {
+        let rep = Reporter {
+            total: 10,
+            cfg: ProgressConfig::default(),
+            started: 5,
+            done: 2,
+            failed: 1,
+            ticks: 3_000_000,
+            sim_secs: 0.0,
+            t0: Instant::now(),
+            out: None,
+        };
+        let line = rep.status_line();
+        assert!(line.contains("3/10 done"), "{line}");
+        assert!(line.contains("2 running"), "{line}");
+        assert!(line.contains("1 failed"), "{line}");
+    }
+}

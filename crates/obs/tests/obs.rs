@@ -1,0 +1,80 @@
+//! End-to-end observability tests: the self-profiler against a real
+//! simulated run, and the central invariant — observation never perturbs
+//! simulation.
+
+use distda_obs::Registry;
+use distda_sim::Profiler;
+use distda_system::{ConfigKind, RunConfig};
+use distda_workloads::{pathfinder, Scale};
+
+#[test]
+fn profiler_accounts_for_a_real_run() {
+    let w = pathfinder(&Scale::tiny());
+    let cfg = RunConfig::named(ConfigKind::DistDAF);
+    let prof = Profiler::enabled();
+    let r = w.try_simulate_profiled(&cfg, &prof).unwrap();
+    assert!(r.validated);
+    let snap = prof.snapshot_at(r.ticks).unwrap();
+
+    // Executed + skipped ticks partition the run exactly.
+    assert_eq!(
+        snap.ticks_executed + snap.ticks_skipped,
+        r.ticks,
+        "profiler tick accounting must partition the run"
+    );
+    assert!(snap.ticks_executed > 0);
+    assert!(!snap.comps.is_empty(), "machine registers components");
+
+    // Per-component active ticks are bounded by executed ticks, and their
+    // sum by executed ticks times the component count.
+    for c in &snap.comps {
+        assert!(
+            c.active_ticks <= snap.ticks_executed,
+            "{}: {} active > {} executed",
+            c.name,
+            c.active_ticks,
+            snap.ticks_executed
+        );
+    }
+    let sum: u64 = snap.comps.iter().map(|c| c.active_ticks).sum();
+    assert!(sum <= snap.ticks_executed * snap.comps.len() as u64);
+
+    // Host time was actually measured, and the table renders it.
+    assert!(snap.total_host_ns() > 0);
+    let table = distda_sim::profile::render_table(&snap);
+    assert!(table.contains("component"), "{table}");
+    assert!(table.contains("executed"), "{table}");
+}
+
+#[test]
+fn profiling_does_not_perturb_results() {
+    let w = pathfinder(&Scale::tiny());
+    let cfg = RunConfig::named(ConfigKind::DistDAIO);
+    let plain = w.try_simulate(&cfg).unwrap();
+    let prof = Profiler::enabled();
+    let profiled = w.try_simulate_profiled(&cfg, &prof).unwrap();
+    assert_eq!(
+        format!("{plain:?}"),
+        format!("{profiled:?}"),
+        "RunResult must be bit-identical with the profiler attached"
+    );
+}
+
+#[test]
+fn registry_ingests_a_run_and_profile() {
+    let w = pathfinder(&Scale::tiny());
+    let cfg = RunConfig::named(ConfigKind::DistDAF);
+    let prof = Profiler::enabled();
+    let r = w.try_simulate_profiled(&cfg, &prof).unwrap();
+    let snap = prof.snapshot_at(r.ticks).unwrap();
+
+    let mut reg = Registry::new();
+    reg.ingest_run(&r);
+    reg.ingest_profile(&[("kernel", &r.kernel), ("config", &r.config)], &snap);
+    reg.ingest_report("distda_stat", &[("kernel", &r.kernel)], &r.report);
+    let om = reg.openmetrics();
+    assert!(om.contains("distda_simulated_ticks_total"), "{om}");
+    assert!(om.contains("distda_prof_host_ns_total"), "{om}");
+    assert!(om.contains(&format!("kernel=\"{}\"", r.kernel)), "{om}");
+    assert!(om.ends_with("# EOF\n"));
+}

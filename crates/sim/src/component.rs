@@ -43,23 +43,30 @@
 //! - [`Component::audit_drained`] asserts conservation invariants of the
 //!   drained state against the [`Sanitizer`].
 
+use crate::profile::Profiler;
 use crate::time::{earliest, Tick};
 use distda_check::Sanitizer;
 use distda_trace::Tracer;
+use std::time::Instant;
 
-/// The instrumentation bundle handed to every component: the tracer and
-/// the invariant sanitizer. Both are cheap cloneable handles that are
-/// free when disabled, so components hold copies rather than references.
+/// The instrumentation bundle handed to every component: the tracer, the
+/// invariant sanitizer and the scheduler self-profiler. All three are
+/// cheap cloneable handles that are free when disabled, so components
+/// hold copies rather than references.
 #[derive(Debug, Clone, Default)]
 pub struct Instruments {
     /// Event/metrics tracing (disabled by default).
     pub tracer: Tracer,
     /// Invariant sanitizer (disabled by default).
     pub san: Sanitizer,
+    /// Scheduler self-profiler (disabled by default). Unlike the tracer
+    /// and sanitizer, components never emit into it themselves — the
+    /// scheduler times their `tick()` calls structurally.
+    pub prof: Profiler,
 }
 
 impl Instruments {
-    /// Disabled tracer and sanitizer: zero-cost instrumentation.
+    /// Disabled tracer, sanitizer and profiler: zero-cost instrumentation.
     pub fn disabled() -> Self {
         Self::default()
     }
@@ -156,6 +163,10 @@ pub struct Scheduler<W> {
     comps: Vec<Slot<W>>,
     /// Indices into `comps`, sorted by (stage, registration order).
     tick_order: Vec<usize>,
+    /// Per-component profiler slot, parallel to `comps`.
+    prof_slots: Vec<usize>,
+    /// Reused `(slot, host_ns)` buffer for profiled ticks.
+    prof_scratch: Vec<(usize, u64)>,
 }
 
 impl<W> std::fmt::Debug for Scheduler<W> {
@@ -187,6 +198,8 @@ impl<W> Scheduler<W> {
             instr: Instruments::disabled(),
             comps: Vec::new(),
             tick_order: Vec::new(),
+            prof_slots: Vec::new(),
+            prof_scratch: Vec::new(),
         }
     }
 
@@ -215,8 +228,11 @@ impl<W> Scheduler<W> {
     /// component, in registration order.
     pub fn set_instruments(&mut self, world: &mut W, instr: Instruments) {
         self.instr = instr;
+        self.prof_slots.clear();
         for slot in &mut self.comps {
             slot.comp.attach(world, &self.instr);
+            self.prof_slots
+                .push(self.instr.prof.register(slot.comp.name()));
         }
     }
 
@@ -227,6 +243,7 @@ impl<W> Scheduler<W> {
     pub fn register(&mut self, stage: u32, mut comp: Box<dyn Component<W>>, world: &mut W) {
         comp.attach(world, &self.instr);
         let idx = self.comps.len();
+        self.prof_slots.push(self.instr.prof.register(comp.name()));
         self.comps.push(Slot { stage, comp });
         let pos = self
             .tick_order
@@ -240,12 +257,26 @@ impl<W> Scheduler<W> {
     }
 
     /// One base tick: every component, in stage order, then advance the
-    /// clock.
+    /// clock. With the self-profiler on, each component's `tick()` is
+    /// timed against the host monotonic clock (one registry lock per
+    /// simulated tick); profiling never changes what components do.
     pub fn tick(&mut self, world: &mut W) {
         let now = self.now;
-        for k in 0..self.tick_order.len() {
-            let i = self.tick_order[k];
-            self.comps[i].comp.tick(now, world, &mut self.instr);
+        if self.instr.prof.on() {
+            self.prof_scratch.clear();
+            for k in 0..self.tick_order.len() {
+                let i = self.tick_order[k];
+                let t0 = Instant::now();
+                self.comps[i].comp.tick(now, world, &mut self.instr);
+                self.prof_scratch
+                    .push((self.prof_slots[i], t0.elapsed().as_nanos() as u64));
+            }
+            self.instr.prof.record_tick(&self.prof_scratch, now);
+        } else {
+            for k in 0..self.tick_order.len() {
+                let i = self.tick_order[k];
+                self.comps[i].comp.tick(now, world, &mut self.instr);
+            }
         }
         self.now += 1;
     }
@@ -259,8 +290,13 @@ impl<W> Scheduler<W> {
     /// minimum and the fold stops early — the probe is O(1) while the
     /// machine is busy, where skipping cannot pay for itself.
     pub fn next_wake(&self, world: &W) -> Option<Tick> {
+        let profiling = self.instr.prof.on();
+        let t0 = profiling.then(Instant::now);
         let now = self.now;
         let mut w = None;
+        // With the profiler on: the component whose event the fold settles
+        // on (the wake target, first wins on ties).
+        let mut argmin: Option<usize> = None;
         for k in &self.tick_order {
             let slot = &self.comps[*k];
             let cand = slot.comp.next_event(now, world);
@@ -273,10 +309,23 @@ impl<W> Scheduler<W> {
                         });
                 }
             }
+            if profiling {
+                if let Some(c) = cand {
+                    if w.is_none_or(|cur| c < cur) {
+                        argmin = Some(*k);
+                    }
+                }
+            }
             w = earliest(w, cand);
             if w == Some(now) {
-                return w;
+                break;
             }
+        }
+        if let Some(t0) = t0 {
+            self.instr.prof.record_probe(
+                t0.elapsed().as_nanos() as u64,
+                argmin.map(|i| self.prof_slots[i]),
+            );
         }
         w
     }
@@ -366,6 +415,9 @@ impl<W> Scheduler<W> {
                         // at the new time first: tick-by-tick execution
                         // would have evaluated them before reaching the
                         // tick at `w`.
+                        if self.instr.prof.on() {
+                            self.instr.prof.record_skip(w - self.now);
+                        }
                         self.now = w;
                         if done(self.now, world) {
                             return Ok(());
@@ -408,11 +460,18 @@ impl<W> Scheduler<W> {
             if self.skip {
                 match self.next_wake(world) {
                     None => {
+                        if self.instr.prof.on() {
+                            self.instr.prof.record_skip(target - self.now);
+                        }
                         self.now = target;
                         return;
                     }
                     Some(w) if w > self.now => {
-                        self.now = w.min(target);
+                        let to = w.min(target);
+                        if self.instr.prof.on() {
+                            self.instr.prof.record_skip(to - self.now);
+                        }
+                        self.now = to;
                         continue;
                     }
                     _ => {}
@@ -448,6 +507,9 @@ impl<W> Scheduler<W> {
                         })
                     }
                     Some(w) if w > self.now => {
+                        if self.instr.prof.on() {
+                            self.instr.prof.record_skip(w - self.now);
+                        }
                         self.now = w;
                         if self.quiescent(world) {
                             break;
@@ -664,6 +726,42 @@ mod tests {
         // Registration order is preserved for attach/audit purposes.
         let names: Vec<_> = sched.components().map(|c| c.name().to_string()).collect();
         assert_eq!(names, vec!["early", "early2", "late"]);
+    }
+
+    #[test]
+    fn profiler_accounts_every_tick_and_skip() {
+        let (mut sched, mut world) = make(1_000_000, true, 9);
+        let mut instr = Instruments::disabled();
+        instr.prof = crate::profile::Profiler::enabled();
+        sched.set_instruments(&mut world, instr);
+        sched.run_until(&mut world, |_, w| w.finished == 9).unwrap();
+        let snap = sched.instruments().prof.snapshot().unwrap();
+        assert_eq!(snap.comps.len(), 2);
+        // Every simulated tick was either executed or skipped.
+        assert_eq!(snap.ticks_executed + snap.ticks_skipped, sched.now());
+        // Per-component active ticks are bounded by executed ticks, and
+        // their sum by executed ticks x components.
+        for c in &snap.comps {
+            assert!(c.active_ticks <= snap.ticks_executed, "{c:?}");
+        }
+        let sum: u64 = snap.comps.iter().map(|c| c.active_ticks).sum();
+        assert!(sum <= snap.ticks_executed * snap.comps.len() as u64);
+        // The producer's clock edges are what wake the machine.
+        assert!(snap.comps.iter().any(|c| c.wakes > 0));
+        assert!(snap.probes > 0);
+    }
+
+    #[test]
+    fn profiler_does_not_perturb_results() {
+        let (mut plain, mut wp) = make(1_000_000, true, 9);
+        let (mut prof, mut wq) = make(1_000_000, true, 9);
+        let mut instr = Instruments::disabled();
+        instr.prof = crate::profile::Profiler::enabled();
+        prof.set_instruments(&mut wq, instr);
+        plain.run_until(&mut wp, |_, w| w.finished == 9).unwrap();
+        prof.run_until(&mut wq, |_, w| w.finished == 9).unwrap();
+        assert_eq!(plain.now(), prof.now());
+        assert_eq!(wp.finished, wq.finished);
     }
 
     #[test]

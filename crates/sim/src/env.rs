@@ -16,11 +16,14 @@
 //! | `DISTDA_THREADS` | positive integer | autodetect | Sweep worker count |
 //! | `DISTDA_TRACE` | `1`/`all`, prefix list, `0` | off | Tracing filter spec |
 //! | `DISTDA_TRACE_CAP` | positive integer | 65536 | Per-component event-ring capacity |
+//! | `DISTDA_OBS` | `0` off, else on | off | Scheduler self-profiling (per-component host-ns) |
+//! | `DISTDA_PROGRESS` | `0` off, else on | off | Live sweep progress (stderr + JSONL stream) |
 //!
 //! Each accessor is a thin wrapper over a pure `parse_*` function taking
 //! `Option<&str>`, so the parsing rules are unit-testable without touching
 //! the process-global environment.
 
+use crate::profile::Profiler;
 use distda_check::Sanitizer;
 use distda_trace::{Tracer, DEFAULT_EVENT_CAP};
 
@@ -74,6 +77,16 @@ pub fn parse_tracer(spec: Option<&str>, cap: Option<&str>) -> Tracer {
     }
 }
 
+/// `DISTDA_OBS` rule: on when set and not `"0"`.
+pub fn parse_obs(val: Option<&str>) -> bool {
+    val.is_some_and(|v| v != "0")
+}
+
+/// `DISTDA_PROGRESS` rule: on when set and not `"0"`.
+pub fn parse_progress(val: Option<&str>) -> bool {
+    val.is_some_and(|v| v != "0")
+}
+
 /// Whether the run loop may skip ahead over idle ticks (`DISTDA_SKIP`).
 pub fn skip() -> bool {
     parse_skip(var("DISTDA_SKIP").as_deref())
@@ -116,6 +129,25 @@ pub fn sanitizer() -> Sanitizer {
         Sanitizer::enabled()
     } else {
         Sanitizer::disabled()
+    }
+}
+
+/// Whether scheduler self-profiling is requested (`DISTDA_OBS`).
+pub fn obs() -> bool {
+    parse_obs(var("DISTDA_OBS").as_deref())
+}
+
+/// Whether sweeps should report live progress (`DISTDA_PROGRESS`).
+pub fn progress() -> bool {
+    parse_progress(var("DISTDA_PROGRESS").as_deref())
+}
+
+/// A [`Profiler`] per the `DISTDA_OBS` policy.
+pub fn profiler() -> Profiler {
+    if obs() {
+        Profiler::enabled()
+    } else {
+        Profiler::disabled()
     }
 }
 
@@ -180,6 +212,22 @@ mod tests {
         let t = parse_tracer(Some("mem,noc"), None);
         assert!(t.sink("mem.dram").on());
         assert!(!t.sink("machine").on());
+    }
+
+    #[test]
+    fn obs_and_progress_default_off() {
+        assert!(!parse_obs(None));
+        assert!(!parse_obs(Some("0")));
+        assert!(parse_obs(Some("1")));
+        assert!(parse_obs(Some("profile")));
+        assert!(!parse_progress(None));
+        assert!(!parse_progress(Some("0")));
+        assert!(parse_progress(Some("1")));
+    }
+
+    #[test]
+    fn profiler_constructor_matches_policy() {
+        assert_eq!(profiler().on(), obs());
     }
 
     #[test]

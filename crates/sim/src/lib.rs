@@ -23,6 +23,7 @@ pub mod component;
 pub mod conformance;
 pub mod env;
 pub mod fifo;
+pub mod profile;
 pub mod rng;
 pub mod time;
 
@@ -36,6 +37,7 @@ pub use distda_trace::stats;
 
 pub use component::{Component, Instruments, Scheduler, Stop};
 pub use fifo::Fifo;
+pub use profile::{ProfileSnapshot, Profiler};
 pub use rng::SplitMix64;
 pub use stats::{geomean, Report};
 pub use time::{ClockDomain, Tick};

@@ -619,8 +619,9 @@ impl Machine {
         // The machine's own track registers first so track IDs are stable.
         self.st.sink = tracer.sink("machine");
         let san = self.sched.instruments().san.clone();
+        let prof = self.sched.instruments().prof.clone();
         self.sched
-            .set_instruments(&mut self.st, Instruments { tracer, san });
+            .set_instruments(&mut self.st, Instruments { tracer, san, prof });
     }
 
     /// The attached tracer (disabled unless [`Machine::set_tracer`] ran).
@@ -634,8 +635,26 @@ impl Machine {
     /// state. A disabled sanitizer (the default) costs nothing.
     pub fn set_sanitizer(&mut self, san: Sanitizer) {
         let tracer = self.sched.instruments().tracer.clone();
+        let prof = self.sched.instruments().prof.clone();
         self.sched
-            .set_instruments(&mut self.st, Instruments { tracer, san });
+            .set_instruments(&mut self.st, Instruments { tracer, san, prof });
+    }
+
+    /// Attaches a scheduler self-profiler: every registered component's
+    /// `tick()` is timed against the host monotonic clock, wake targets and
+    /// skip spans are counted. A disabled profiler (the default) costs one
+    /// branch per tick. Profiling never perturbs simulated results.
+    pub fn set_profiler(&mut self, prof: distda_sim::Profiler) {
+        let tracer = self.sched.instruments().tracer.clone();
+        let san = self.sched.instruments().san.clone();
+        self.sched
+            .set_instruments(&mut self.st, Instruments { tracer, san, prof });
+    }
+
+    /// Snapshot of the attached self-profiler (`None` when disabled),
+    /// with the utilization window closed at the current tick.
+    pub fn profile(&self) -> Option<distda_sim::ProfileSnapshot> {
+        self.sched.instruments().prof.snapshot_at(self.sched.now())
     }
 
     fn san(&self) -> &Sanitizer {

@@ -362,16 +362,11 @@ pub fn simulate_traced_with_ref(
     .unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// The root of every entry point: the full pipeline with every knob —
-/// skip override, shared reference, tracer, [`CheckPolicy`].
-///
-/// With `policy.sanitize`, an enabled [`Sanitizer`] is attached to the
-/// machine: the run loops stop on the first conservation-law violation,
-/// and the drained machine is audited (MSHRs, responses, credits, flits,
-/// cache occupancy, tick attribution). With `policy.strict_validate`, a
-/// disagreement with the IR interpreter's golden execution becomes
-/// [`SimError::ValidationMismatch`] naming the first mismatching
-/// object/element.
+/// The standard checked pipeline ([`try_simulate_instrumented`] with the
+/// environment's `DISTDA_OBS` self-profiling policy): with `DISTDA_OBS`
+/// set, the scheduler structurally times every component and the
+/// "perf top"-style table is written to
+/// `results/profile_<kernel>_<config>.txt` after the run.
 ///
 /// # Errors
 ///
@@ -385,6 +380,92 @@ pub fn try_simulate_checked(
     reference: Option<&(Memory, Vec<Value>)>,
     tracer: &Tracer,
     policy: CheckPolicy,
+) -> Result<(RunResult, Memory, Vec<Value>), SimError> {
+    let profiler = distda_sim::env::profiler();
+    let out =
+        try_simulate_instrumented(prog, init, cfg, skip, reference, tracer, policy, &profiler)?;
+    if let Some(snap) = profiler.snapshot_at(out.0.ticks) {
+        auto_export_profile(&snap, &out.0);
+    }
+    Ok(out)
+}
+
+/// Runs a program with an explicit self-profiler: the
+/// entry point the `obs` bin and the observability tests use to measure
+/// where host time goes without touching the process environment.
+///
+/// # Errors
+///
+/// Returns [`SimError`] as [`try_simulate_checked`].
+pub fn try_simulate_profiled(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    reference: Option<&(Memory, Vec<Value>)>,
+    profiler: &distda_sim::Profiler,
+) -> Result<RunResult, SimError> {
+    try_simulate_instrumented(
+        prog,
+        init,
+        cfg,
+        None,
+        reference,
+        &Tracer::disabled(),
+        CheckPolicy::from_env(),
+        profiler,
+    )
+    .map(|out| out.0)
+}
+
+/// Writes the self-profile table of an env-enabled run to
+/// `results/profile_<kernel>_<config>.txt`.
+fn auto_export_profile(snap: &distda_sim::ProfileSnapshot, r: &RunResult) {
+    let slug = |s: &str| -> String {
+        s.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect()
+    };
+    let dir = std::path::Path::new("results");
+    let path = dir.join(format!(
+        "profile_{}_{}.txt",
+        slug(&r.kernel),
+        slug(&r.config)
+    ));
+    let table = distda_sim::profile::render_table(snap);
+    if std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&path, table))
+        .is_err()
+    {
+        eprintln!("warning: could not write profile to {}", path.display());
+    }
+}
+
+/// The root of every entry point: the full pipeline with every knob —
+/// skip override, shared reference, tracer, [`CheckPolicy`], self-profiler.
+///
+/// With `policy.sanitize`, an enabled [`Sanitizer`] is attached to the
+/// machine: the run loops stop on the first conservation-law violation,
+/// and the drained machine is audited (MSHRs, responses, credits, flits,
+/// cache occupancy, tick attribution). With `policy.strict_validate`, a
+/// disagreement with the IR interpreter's golden execution becomes
+/// [`SimError::ValidationMismatch`] naming the first mismatching
+/// object/element. With an enabled `profiler`, the scheduler times every
+/// component tick against the host clock (never perturbing results).
+///
+/// # Errors
+///
+/// Returns [`SimError`] on deadlock, budget exhaustion, invariant
+/// violation, invalid configuration, or strict-validation mismatch.
+#[allow(clippy::too_many_arguments)]
+pub fn try_simulate_instrumented(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    skip: Option<bool>,
+    reference: Option<&(Memory, Vec<Value>)>,
+    tracer: &Tracer,
+    policy: CheckPolicy,
+    profiler: &distda_sim::Profiler,
 ) -> Result<(RunResult, Memory, Vec<Value>), SimError> {
     cfg.validate()?;
     // Reference execution for validation (shared across a sweep's
@@ -437,6 +518,9 @@ pub fn try_simulate_checked(
     };
     if san.on() {
         machine.set_sanitizer(san.clone());
+    }
+    if profiler.on() {
+        machine.set_profiler(profiler.clone());
     }
 
     let mut walker = Walker {

@@ -203,6 +203,27 @@ impl Workload {
         .map(|out| out.0)
     }
 
+    /// [`Workload::try_simulate`] with a scheduler self-profiler attached:
+    /// the observability entry point measuring where host time goes inside
+    /// the run. Profiling never perturbs the returned [`RunResult`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on any simulation failure.
+    pub fn try_simulate_profiled(
+        &self,
+        cfg: &RunConfig,
+        profiler: &distda_sim::Profiler,
+    ) -> Result<RunResult, SimError> {
+        distda_system::try_simulate_profiled(
+            &self.program,
+            &*self.init,
+            cfg,
+            Some(self.reference_exec()),
+            profiler,
+        )
+    }
+
     /// The cached reference execution: final memory image + scalar values
     /// from the interpreter, computed on first use.
     pub fn reference_exec(&self) -> &(Memory, Vec<Value>) {

@@ -5,7 +5,7 @@
 //!
 //! See the crate-level docs of each member for details:
 //! [`sim`], [`noc`], [`mem`], [`ir`], [`compiler`], [`accel`], [`energy`],
-//! [`system`], [`workloads`], [`check`].
+//! [`system`], [`workloads`], [`check`], [`obs`].
 
 pub use distda_accel as accel;
 pub use distda_check as check;
@@ -14,6 +14,7 @@ pub use distda_energy as energy;
 pub use distda_ir as ir;
 pub use distda_mem as mem;
 pub use distda_noc as noc;
+pub use distda_obs as obs;
 pub use distda_sim as sim;
 pub use distda_system as system;
 pub use distda_workloads as workloads;
