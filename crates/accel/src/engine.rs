@@ -13,9 +13,10 @@ use crate::ctx::EngineCtx;
 use distda_compiler::affine::Sym;
 use distda_compiler::plan::{AccessPattern, PNode, PartitionDef};
 use distda_ir::value::Value;
+use distda_sim::arena::{Arena, Handle};
 use distda_sim::time::{ClockDomain, Tick};
 use distda_trace::{EventKind, StallCause, TraceSink};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Bytes per cache line (matches the memory hierarchy).
 const LINE_BYTES: u64 = 64;
@@ -146,7 +147,11 @@ pub struct PartitionEngine {
     busy_until: Tick,
     iter_start: Tick,
 
-    pending: HashMap<u64, Pending>,
+    /// In-flight request records, keyed by the generation-checked handle
+    /// that travels as the request id. Occupancy is bounded by the
+    /// outstanding-request windows, so the slab never grows past the
+    /// high-water mark and issue/complete stops touching the allocator.
+    pending: Arena<Pending>,
     pending_lines: HashSet<u64>,
     pf_ahead: u64,
     max_reads: u32,
@@ -213,7 +218,7 @@ impl PartitionEngine {
             wait: None,
             busy_until: 0,
             iter_start: 0,
-            pending: HashMap::new(),
+            pending: Arena::with_capacity((MAX_READS + MAX_WRITES) as usize),
             pending_lines: HashSet::new(),
             pf_ahead: PF_AHEAD_LINES,
             max_reads: MAX_READS,
@@ -408,14 +413,14 @@ impl PartitionEngine {
         if self.outstanding_reads >= self.max_reads || self.pending_lines.contains(&line_addr) {
             return self.pending_lines.contains(&line_addr);
         }
-        let id = self.next_req;
-        if ctx.mem_read(id, line_addr) {
+        let h = self.pending.alloc(Pending::Fill { line_addr });
+        if ctx.mem_read(h.to_bits(), line_addr) {
             self.next_req += 1;
             self.outstanding_reads += 1;
-            self.pending.insert(id, Pending::Fill { line_addr });
             self.pending_lines.insert(line_addr);
             true
         } else {
+            self.pending.take(h);
             self.attempted = true;
             false
         }
@@ -426,13 +431,13 @@ impl PartitionEngine {
             self.wb_retry.push(line_addr);
             return;
         }
-        let id = self.next_req;
-        if ctx.mem_write(id, line_addr) {
+        let h = self.pending.alloc(Pending::WriteAck);
+        if ctx.mem_write(h.to_bits(), line_addr) {
             self.next_req += 1;
             self.outstanding_writes += 1;
-            self.pending.insert(id, Pending::WriteAck);
             self.stats.da_bytes += LINE_BYTES;
         } else {
+            self.pending.take(h);
             self.attempted = true;
             self.wb_retry.push(line_addr);
         }
@@ -440,7 +445,7 @@ impl PartitionEngine {
 
     fn handle_completions(&mut self, ctx: &mut dyn EngineCtx) {
         while let Some(id) = ctx.poll_mem() {
-            match self.pending.remove(&id) {
+            match self.pending.take(Handle::from_bits(id)) {
                 Some(Pending::Fill { line_addr }) => {
                     self.outstanding_reads -= 1;
                     self.pending_lines.remove(&line_addr);
@@ -801,7 +806,7 @@ impl PartitionEngine {
             }
             _ => None,
         };
-        let node = self.def.nodes[pc].clone();
+        let node = self.def.nodes[pc];
         let v: Value = match node {
             PNode::Const(v) => v,
             PNode::IndVar => Value::I(self.inner),

@@ -6,7 +6,10 @@
 //! same rows/series the paper reports, normalized the same way.
 
 pub mod figures;
+pub mod kernel_bench;
 pub mod mt;
+
+pub use kernel_bench::{run_kernel_bench, KernelBench};
 
 use distda_obs::manifest::{config_hash, ManifestRecord};
 use distda_obs::Progress;
@@ -410,15 +413,26 @@ pub fn render_timing_log(rows: &[RunTiming], total_wall_secs: f64) -> String {
 /// Renders the `BENCH_simspeed.json` document: the aggregate throughput
 /// numbers the regression gate diffs, plus a `meta` block recording what
 /// produced them (git revision, UTC date, thread count, `DISTDA_*`
-/// policies in force).
-pub fn render_simspeed_json(rows: &[RunTiming], total_wall_secs: f64) -> String {
+/// policies in force). When scheduler micro-bench timings are supplied
+/// they are embedded as a `kernel_bench` object, keeping the busy-path
+/// and skip-ahead numbers distinct from the blended sweep figure.
+pub fn render_simspeed_json(
+    rows: &[RunTiming],
+    total_wall_secs: f64,
+    kernel: Option<&KernelBench>,
+) -> String {
     let sim_secs: f64 = rows.iter().map(|r| r.host_secs).sum();
     let total_ticks: u64 = rows.iter().map(|r| r.ticks).sum();
+    let kernel_block = match kernel {
+        Some(kb) => format!("  \"kernel_bench\": {},\n", kb.render_json_block()),
+        None => String::new(),
+    };
     format!(
         concat!(
             "{{\n  \"threads\": {},\n  \"runs\": {},\n  \"wall_secs\": {:.3},\n",
             "  \"sim_secs_sum\": {:.3},\n  \"sims_per_sec\": {:.4},\n",
             "  \"simulated_ticks\": {},\n  \"simulated_ticks_per_sec\": {:.1},\n",
+            "{}",
             "  \"meta\": {{\n    \"git_rev\": \"{}\",\n    \"date_utc\": \"{}\",\n",
             "    \"threads_env\": {},\n    \"skip\": {},\n    \"sanitize\": {},\n",
             "    \"validate\": {}\n  }}\n}}\n"
@@ -438,6 +452,7 @@ pub fn render_simspeed_json(rows: &[RunTiming], total_wall_secs: f64) -> String 
         } else {
             0.0
         },
+        kernel_block,
         distda_obs::manifest::git_rev(),
         distda_obs::manifest::utc_now_string(),
         distda_sim::env::threads().unwrap_or(0),
@@ -467,12 +482,18 @@ fn append_manifests(rows: &[RunTiming]) {
     }
 }
 
-fn write_speed_artifacts(run_log: &str, timing_log: &str, json_path: &str, total_wall_secs: f64) {
+fn write_speed_artifacts(
+    run_log: &str,
+    timing_log: &str,
+    json_path: &str,
+    total_wall_secs: f64,
+    kernel: Option<&KernelBench>,
+) {
     let mut rows = take_timings();
     sort_rows(&mut rows);
     save_result(run_log, &render_run_log(&rows));
     save_result(timing_log, &render_timing_log(&rows, total_wall_secs));
-    let json = render_simspeed_json(&rows, total_wall_secs);
+    let json = render_simspeed_json(&rows, total_wall_secs, kernel);
     if std::fs::write(json_path, &json).is_ok() {
         eprintln!("wrote {json_path}");
     }
@@ -485,12 +506,13 @@ fn write_speed_artifacts(run_log: &str, timing_log: &str, json_path: &str, total
 /// the wall-clock companion, `BENCH_simspeed.json` the aggregate
 /// throughput + `meta` block the regression gate diffs, and one manifest
 /// record per run appends to `results/manifests/runs.jsonl`.
-pub fn write_simspeed(total_wall_secs: f64) {
+pub fn write_simspeed(total_wall_secs: f64, kernel: Option<&KernelBench>) {
     write_speed_artifacts(
         "reproduce.log",
         "reproduce_timing.log",
         "BENCH_simspeed.json",
         total_wall_secs,
+        kernel,
     );
 }
 
@@ -505,6 +527,7 @@ pub fn write_simspeed_smoke(total_wall_secs: f64) {
         "reproduce_smoke_timing.log",
         "results/BENCH_simspeed_smoke.json",
         total_wall_secs,
+        None,
     );
 }
 

@@ -189,7 +189,7 @@ pub fn bfs_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult {
         .iter()
         .map(|v| v.as_i64())
         .collect();
-    let mut expect = dist_ref.clone();
+    let mut expect = dist_ref;
     expect[0] = 0;
     let validated = got
         .iter()

@@ -184,7 +184,7 @@ mod tests {
             let idx = b.array_i64("idx", 8);
             let out = b.array_f64("out", 64);
             b.for_(0, 8, 1, |b, i| {
-                b.store(out, Expr::load(idx, i.clone()), Expr::cf(1.0));
+                b.store(out, Expr::load(idx, i), Expr::cf(1.0));
             });
         });
         assert_eq!(c, DfgClass::Pipelinable);

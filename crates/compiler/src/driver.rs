@@ -155,11 +155,7 @@ mod tests {
         let y = b.array_f64("y", 8);
         let z = b.array_f64("z", 8);
         b.for_(0, 8, 1, |b, i| {
-            b.store(
-                z,
-                i.clone(),
-                Expr::load(x, i.clone()) + Expr::load(y, i.clone()),
-            );
+            b.store(z, i.clone(), Expr::load(x, i.clone()) + Expr::load(y, i));
         });
         let p = b.build();
         let dist = compile(&p, PartitionMode::Distributed);

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 
 /// One microcode operation of an accelerator definition. Operand fields are
 /// indices of earlier nodes in the same partition.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PNode {
     /// Literal.
     Const(Value),
@@ -767,7 +767,7 @@ mod tests {
             let data = b.array_f64("data", 64);
             let out = b.array_f64("out", 8);
             b.for_(0, 8, 1, |b, i| {
-                b.store(out, i.clone(), Expr::load(data, Expr::load(idx, i.clone())));
+                b.store(out, i.clone(), Expr::load(data, Expr::load(idx, i)));
             });
         });
         assert_eq!(plan.partitions.len(), 3);

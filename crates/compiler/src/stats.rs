@@ -165,7 +165,7 @@ mod tests {
         let data = b.array_f64("data", 64);
         let out = b.array_f64("out", 8);
         b.for_(0, 8, 1, |b, i| {
-            b.store(out, i.clone(), Expr::load(data, Expr::load(idx, i.clone())));
+            b.store(out, i.clone(), Expr::load(data, Expr::load(idx, i)));
         });
         compile(&b.build(), PartitionMode::Distributed).offloads
     }

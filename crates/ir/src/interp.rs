@@ -288,7 +288,7 @@ mod tests {
         let x = b.array_i64("x", 2);
         b.for_(0, 2, 1, |b, i| {
             b.if_(
-                i.clone().eq_(Expr::c(0)),
+                i.eq_(Expr::c(0)),
                 |b| b.store(x, Expr::c(0), Expr::c(7)),
                 |b| b.store(x, Expr::c(1), Expr::c(9)),
             );

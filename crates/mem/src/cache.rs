@@ -51,18 +51,19 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Way {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// Larger = more recently used.
-    lru: u64,
-    /// Filled by a prefetch and not yet demanded.
-    prefetched: bool,
-}
+/// Per-way flag bits in the packed `flags` array.
+const F_VALID: u8 = 1 << 0;
+const F_DIRTY: u8 = 1 << 1;
+/// Filled by a prefetch and not yet demanded.
+const F_PREFETCHED: u8 = 1 << 2;
 
 /// The tag array.
+///
+/// Way state is laid out struct-of-arrays: the tag-compare loop that every
+/// access runs scans a dense `u64` slice, with validity/dirtiness packed
+/// into a parallel byte array and LRU stamps in a third — so a lookup
+/// touches one cache line of tags instead of striding over padded
+/// per-way structs. Slots are addressed by flat index `set * assoc + way`.
 ///
 /// # Examples
 ///
@@ -79,7 +80,12 @@ struct Way {
 pub struct Cache {
     sets: usize,
     assoc: usize,
-    ways: Vec<Way>,
+    /// Line address per way (flat-indexed; meaningful only when valid).
+    tags: Vec<u64>,
+    /// Packed `F_*` flag bits per way, parallel to `tags`.
+    flags: Vec<u8>,
+    /// LRU stamp per way (larger = more recently used), parallel to `tags`.
+    lru: Vec<u64>,
     tick: u64,
     stats: CacheStats,
     /// Demand hits on prefetched lines (prefetch usefulness).
@@ -90,10 +96,13 @@ impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(params: CacheParams) -> Self {
         let sets = params.sets();
+        let slots = sets * params.assoc;
         Self {
             sets,
             assoc: params.assoc,
-            ways: vec![Way::default(); sets * params.assoc],
+            tags: vec![0; slots],
+            flags: vec![0; slots],
+            lru: vec![0; slots],
             tick: 0,
             stats: CacheStats::default(),
             useful_prefetches: 0,
@@ -104,32 +113,27 @@ impl Cache {
         (line % self.sets as u64) as usize
     }
 
-    fn slot(&mut self, set: usize, way: usize) -> &mut Way {
-        &mut self.ways[set * self.assoc + way]
-    }
-
+    /// Flat slot index of the way holding `line`, if resident.
     fn find(&self, line: u64) -> Option<usize> {
-        let set = self.set_of(line);
-        (0..self.assoc).find(|&w| {
-            let way = &self.ways[set * self.assoc + w];
-            way.valid && way.tag == line
-        })
+        let base = self.set_of(line) * self.assoc;
+        let tags = &self.tags[base..base + self.assoc];
+        let flags = &self.flags[base..base + self.assoc];
+        (0..self.assoc)
+            .find(|&w| flags[w] & F_VALID != 0 && tags[w] == line)
+            .map(|w| base + w)
     }
 
     /// Demand access. Updates LRU and dirtiness on hit.
     pub fn access(&mut self, line: u64, write: bool) -> Lookup {
         self.tick += 1;
         self.stats.accesses += 1;
-        let set = self.set_of(line);
-        if let Some(w) = self.find(line) {
+        if let Some(slot) = self.find(line) {
             self.stats.hits += 1;
-            let t = self.tick;
-            let way = self.slot(set, w);
-            way.lru = t;
-            let was_prefetched = way.prefetched;
-            way.prefetched = false;
+            self.lru[slot] = self.tick;
+            let was_prefetched = self.flags[slot] & F_PREFETCHED != 0;
+            self.flags[slot] &= !F_PREFETCHED;
             if write {
-                way.dirty = true;
+                self.flags[slot] |= F_DIRTY;
             }
             if was_prefetched {
                 self.useful_prefetches += 1;
@@ -160,47 +164,37 @@ impl Cache {
     fn fill_inner(&mut self, line: u64, dirty: bool, prefetched: bool) -> Option<Evicted> {
         self.tick += 1;
         self.stats.fills += 1;
-        let set = self.set_of(line);
-        if let Some(w) = self.find(line) {
+        if let Some(slot) = self.find(line) {
             // Already present (racing fill): just update.
-            let t = self.tick;
-            let way = self.slot(set, w);
-            way.lru = t;
-            way.dirty |= dirty;
+            self.lru[slot] = self.tick;
+            if dirty {
+                self.flags[slot] |= F_DIRTY;
+            }
             return None;
         }
-        // Choose an invalid way, else the LRU way.
+        // Choose an invalid way, else the LRU way (first wins on ties).
+        let base = self.set_of(line) * self.assoc;
         let victim = (0..self.assoc)
             .min_by_key(|&w| {
-                let way = &self.ways[set * self.assoc + w];
-                if way.valid {
-                    (1, way.lru)
+                if self.flags[base + w] & F_VALID != 0 {
+                    (1, self.lru[base + w])
                 } else {
                     (0, 0)
                 }
             })
             .expect("assoc > 0");
-        let t = self.tick;
-        let way = self.slot(set, victim);
-        let evicted = if way.valid {
-            Some(Evicted {
-                line: way.tag,
-                dirty: way.dirty,
-            })
-        } else {
-            None
-        };
-        *way = Way {
-            tag: line,
-            valid: true,
-            dirty,
-            lru: t,
-            prefetched,
-        };
-        let evicted = evicted.filter(|e| e.dirty);
-        if evicted.is_some() {
+        let slot = base + victim;
+        let evicted = (self.flags[slot] & (F_VALID | F_DIRTY) == (F_VALID | F_DIRTY)).then(|| {
             self.stats.writebacks += 1;
-        }
+            Evicted {
+                line: self.tags[slot],
+                dirty: true,
+            }
+        });
+        self.tags[slot] = line;
+        self.flags[slot] =
+            F_VALID | if dirty { F_DIRTY } else { 0 } | if prefetched { F_PREFETCHED } else { 0 };
+        self.lru[slot] = self.tick;
         evicted
     }
 
@@ -209,13 +203,12 @@ impl Cache {
     pub fn flush_range(&mut self, start: u64, end: u64) -> u64 {
         let (ls, le) = (start / LINE_BYTES, end.div_ceil(LINE_BYTES));
         let mut dirty = 0;
-        for way in &mut self.ways {
-            if way.valid && way.tag >= ls && way.tag < le {
-                if way.dirty {
+        for slot in 0..self.tags.len() {
+            if self.flags[slot] & F_VALID != 0 && self.tags[slot] >= ls && self.tags[slot] < le {
+                if self.flags[slot] & F_DIRTY != 0 {
                     dirty += 1;
                 }
-                way.valid = false;
-                way.dirty = false;
+                self.flags[slot] &= !(F_VALID | F_DIRTY);
                 self.stats.flushed += 1;
             }
         }
@@ -234,7 +227,7 @@ impl Cache {
 
     /// Number of valid lines (for tests).
     pub fn resident_lines(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.flags.iter().filter(|&&f| f & F_VALID != 0).count()
     }
 
     /// Geometric capacity in lines (sets x ways); resident lines can never

@@ -51,6 +51,10 @@ pub enum MshrAlloc {
 pub struct Mshr<W> {
     entries: Vec<Entry<W>>,
     capacity: usize,
+    /// Retired waiter vectors, recycled into new entries so the
+    /// allocate/complete cycle stops touching the global allocator once
+    /// the table has warmed up (occupancy is bounded by `capacity`).
+    pool: Vec<Vec<W>>,
     /// Stall events observed (register returned `Full`).
     pub stalls: u64,
     /// High-water mark of occupancy.
@@ -68,9 +72,15 @@ impl<W> Mshr<W> {
         Self {
             entries: Vec::with_capacity(capacity),
             capacity,
+            pool: Vec::with_capacity(capacity),
             stalls: 0,
             high_water: 0,
         }
+    }
+
+    /// A waiter vector for a fresh entry: recycled when possible.
+    fn waiters_vec(&mut self) -> Vec<W> {
+        self.pool.pop().unwrap_or_default()
     }
 
     /// Registers a demand miss for `line`; `write` marks store semantics.
@@ -84,9 +94,11 @@ impl<W> Mshr<W> {
             self.stalls += 1;
             return MshrAlloc::Full;
         }
+        let mut waiters = self.waiters_vec();
+        waiters.push(waiter);
         self.entries.push(Entry {
             line,
-            waiters: vec![waiter],
+            waiters,
             any_write: write,
         });
         self.high_water = self.high_water.max(self.entries.len());
@@ -102,9 +114,10 @@ impl<W> Mshr<W> {
         if self.entries.len() >= self.capacity {
             return MshrAlloc::Full;
         }
+        let waiters = self.waiters_vec();
         self.entries.push(Entry {
             line,
-            waiters: Vec::new(),
+            waiters,
             any_write: false,
         });
         self.high_water = self.high_water.max(self.entries.len());
@@ -113,10 +126,25 @@ impl<W> Mshr<W> {
 
     /// Completes the outstanding miss for `line`, returning its waiters and
     /// whether any demand was a write. `None` if the line is not pending.
+    ///
+    /// The returned vector leaves the pool for good; steady-state callers
+    /// use [`Mshr::complete_into`] instead.
     pub fn complete(&mut self, line: u64) -> Option<(Vec<W>, bool)> {
         let idx = self.entries.iter().position(|e| e.line == line)?;
         let e = self.entries.swap_remove(idx);
         Some((e.waiters, e.any_write))
+    }
+
+    /// Completes the outstanding miss for `line`, draining its waiters
+    /// into `out` (appended) and recycling the entry's storage. Returns
+    /// whether any merged demand was a write, `None` if the line is not
+    /// pending. The allocation-free form of [`Mshr::complete`].
+    pub fn complete_into(&mut self, line: u64, out: &mut Vec<W>) -> Option<bool> {
+        let idx = self.entries.iter().position(|e| e.line == line)?;
+        let mut e = self.entries.swap_remove(idx);
+        out.append(&mut e.waiters);
+        self.pool.push(e.waiters);
+        Some(e.any_write)
     }
 
     /// Whether `line` has an outstanding miss.
@@ -216,6 +244,21 @@ mod tests {
         m.complete(1);
         m.register(3, W, false);
         assert_eq!(m.high_water, 2);
+    }
+
+    #[test]
+    fn complete_into_drains_and_recycles() {
+        let mut m: Mshr<Waiter> = Mshr::new(2);
+        m.register(7, W, false);
+        m.register(7, Waiter { id: 1, ..W }, true);
+        let mut out = Vec::new();
+        assert_eq!(m.complete_into(7, &mut out), Some(true));
+        assert_eq!(out.len(), 2);
+        assert!(m.complete_into(7, &mut out).is_none());
+        // The retired entry's storage is reused by the next allocation.
+        assert_eq!(m.pool.len(), 1);
+        m.register(9, W, false);
+        assert!(m.pool.is_empty());
     }
 
     #[test]

@@ -145,6 +145,8 @@ pub struct MemSystem {
     dram: Dram,
     map: AddressMap,
     ports: Vec<PortKind>,
+    /// Host-core index per port (usize::MAX for non-host ports).
+    port_core: Vec<usize>,
     resp: Vec<Vec<MemResponse>>,
     resp_pending: usize,
     actions: BinaryHeap<Reverse<HeapItem>>,
@@ -153,6 +155,10 @@ pub struct MemSystem {
     stats: MemSysStats,
     sink: TraceSink,
     san: Sanitizer,
+    /// Reused waiter buffers for the fill paths (see `Mshr::complete_into`).
+    w_cluster: Vec<(ReturnPath, bool)>,
+    w_l1: Vec<Waiter>,
+    w_l2: Vec<()>,
 }
 
 impl MemSystem {
@@ -177,6 +183,7 @@ impl MemSystem {
             map: AddressMap::new(cfg.clusters),
             hosts: Vec::new(),
             ports: Vec::new(),
+            port_core: Vec::new(),
             resp: Vec::new(),
             resp_pending: 0,
             actions: BinaryHeap::new(),
@@ -185,6 +192,9 @@ impl MemSystem {
             stats: MemSysStats::default(),
             sink: TraceSink::default(),
             san: Sanitizer::disabled(),
+            w_cluster: Vec::new(),
+            w_l1: Vec::new(),
+            w_l2: Vec::new(),
             cfg,
             clock,
             host_node,
@@ -223,6 +233,9 @@ impl MemSystem {
                 l2_mshr: Mshr::new(self.cfg.l2.mshrs),
                 pf: StridePrefetcher::new(8, 2),
             });
+            self.port_core.push(self.hosts.len() - 1);
+        } else {
+            self.port_core.push(usize::MAX);
         }
         let id = PortId(self.ports.len() as u32);
         self.ports.push(kind);
@@ -250,12 +263,10 @@ impl MemSystem {
         &self.cfg
     }
 
+    /// Host-core index of a host port, precomputed at registration
+    /// (meaningless for ACP ports, which never reach the L1 path).
     fn core_of(&self, port: PortId) -> usize {
-        self.ports[..=port.0 as usize]
-            .iter()
-            .filter(|k| matches!(k, PortKind::Host))
-            .count()
-            - 1
+        self.port_core[port.0 as usize]
     }
 
     fn schedule(&mut self, at: Tick, action: Action) {
@@ -291,10 +302,23 @@ impl MemSystem {
     }
 
     /// Drains completed responses for a port.
+    ///
+    /// The returned vector's capacity is lost when the caller drops it;
+    /// steady-state callers use [`MemSystem::take_responses_into`].
     pub fn take_responses(&mut self, port: PortId) -> Vec<MemResponse> {
         let v = std::mem::take(&mut self.resp[port.0 as usize]);
         self.resp_pending -= v.len();
         v
+    }
+
+    /// Drains completed responses for a port into `out` (cleared first)
+    /// by buffer swap: the caller's previous buffer becomes the port's
+    /// accumulation buffer, so once both sides have warmed up response
+    /// delivery never touches the allocator.
+    pub fn take_responses_into(&mut self, port: PortId, out: &mut Vec<MemResponse>) {
+        out.clear();
+        std::mem::swap(&mut self.resp[port.0 as usize], out);
+        self.resp_pending -= out.len();
     }
 
     /// Whether any response is waiting on `port`.
@@ -883,7 +907,13 @@ impl MemSystem {
     }
 
     fn cluster_fill(&mut self, now: Tick, cluster: usize, line: u64) {
-        let Some((waiters, any_write)) = self.clusters[cluster].mshr.complete(line) else {
+        let mut waiters = std::mem::take(&mut self.w_cluster);
+        waiters.clear();
+        let Some(any_write) = self.clusters[cluster]
+            .mshr
+            .complete_into(line, &mut waiters)
+        else {
+            self.w_cluster = waiters;
             return; // spurious (e.g. duplicate fill): ignore
         };
         if let Some(ev) = self.clusters[cluster].cache.fill(line, any_write) {
@@ -897,7 +927,7 @@ impl MemSystem {
             );
         }
         let lat = self.cy(1);
-        for (ret, write) in waiters {
+        for &(ret, write) in &waiters {
             self.schedule(
                 now + lat,
                 Action::RespondLine {
@@ -908,6 +938,7 @@ impl MemSystem {
                 },
             );
         }
+        self.w_cluster = waiters;
     }
 
     fn respond_line(&mut self, now: Tick, cluster: usize, line: u64, ret: ReturnPath, write: bool) {
@@ -967,10 +998,15 @@ impl MemSystem {
     }
 
     fn host_fill(&mut self, now: Tick, core: usize, line: u64) {
-        let Some((waiters, _)) = self.hosts[core].l2_mshr.complete(line) else {
+        self.w_l2.clear();
+        if self.hosts[core]
+            .l2_mshr
+            .complete_into(line, &mut self.w_l2)
+            .is_none()
+        {
             return;
-        };
-        let demand = !waiters.is_empty();
+        }
+        let demand = !self.w_l2.is_empty();
         let evicted = if demand {
             self.hosts[core].l2.fill(line, false)
         } else {
@@ -990,7 +1026,10 @@ impl MemSystem {
     }
 
     fn l1_fill(&mut self, now: Tick, core: usize, line: u64) {
-        let Some((waiters, any_write)) = self.hosts[core].l1_mshr.complete(line) else {
+        let mut waiters = std::mem::take(&mut self.w_l1);
+        waiters.clear();
+        let Some(any_write) = self.hosts[core].l1_mshr.complete_into(line, &mut waiters) else {
+            self.w_l1 = waiters;
             return;
         };
         if let Some(ev) = self.hosts[core].l1.fill(line, any_write) {
@@ -1007,7 +1046,7 @@ impl MemSystem {
             }
         }
         let lat = self.cy(1);
-        for w in waiters {
+        for &w in &waiters {
             self.schedule(
                 now + lat,
                 Action::Respond(MemResponse {
@@ -1018,6 +1057,7 @@ impl MemSystem {
                 }),
             );
         }
+        self.w_l1 = waiters;
     }
 
     fn acp_access(&mut self, now: Tick, req: MemRequest) {

@@ -1,0 +1,262 @@
+//! A per-run message arena: a slab with generation-checked handles.
+//!
+//! Request/response bookkeeping in the modeled machine is
+//! allocate-on-issue, free-on-complete with bounded occupancy (MSHR
+//! counts, outstanding-request windows). A growable slab with an
+//! intrusive free list serves that pattern without touching the global
+//! allocator per event: slots are reused, and each reuse bumps a
+//! generation counter so a stale handle (a duplicated response, a
+//! response for a retired request) is *detected* instead of silently
+//! reading another message's slot.
+//!
+//! Handles pack `(index, generation)` into a single `u64`, so they travel
+//! for free in the `id` field of memory requests and NoC payloads.
+
+/// A generation-checked slot reference. Packs into/from a `u64` for
+/// transport in message id fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Handle {
+    index: u32,
+    generation: u32,
+}
+
+impl Handle {
+    /// The slot index (stable for the lifetime of the allocation).
+    pub fn index(self) -> u32 {
+        self.index
+    }
+
+    /// Packs the handle into a `u64` (`generation << 32 | index`).
+    pub fn to_bits(self) -> u64 {
+        (u64::from(self.generation) << 32) | u64::from(self.index)
+    }
+
+    /// Unpacks a handle from [`Handle::to_bits`] form.
+    pub fn from_bits(bits: u64) -> Self {
+        Self {
+            index: bits as u32,
+            generation: (bits >> 32) as u32,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    generation: u32,
+    /// `Some` while allocated; `None` while on the free list.
+    value: Option<T>,
+}
+
+/// The slab. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use distda_sim::arena::Arena;
+/// let mut a = Arena::new();
+/// let h = a.alloc("in flight");
+/// assert_eq!(a.get(h), Some(&"in flight"));
+/// assert_eq!(a.take(h), Some("in flight"));
+/// // The handle is dead: the slot will be reused under a new generation.
+/// assert_eq!(a.take(h), None);
+/// let h2 = a.alloc("reused");
+/// assert_eq!(h2.index(), h.index());
+/// assert_ne!(h2, h);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty arena with room for `n` messages before any slab growth.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(n),
+            free: Vec::with_capacity(n),
+            len: 0,
+        }
+    }
+
+    /// Live allocations.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no allocation is live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Stores `value`, reusing a freed slot when one exists.
+    pub fn alloc(&mut self, value: T) -> Handle {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            debug_assert!(slot.value.is_none(), "free-list slot still occupied");
+            slot.value = Some(value);
+            return Handle {
+                index,
+                generation: slot.generation,
+            };
+        }
+        let index = u32::try_from(self.slots.len()).expect("arena overflow");
+        self.slots.push(Slot {
+            generation: 0,
+            value: Some(value),
+        });
+        Handle {
+            index,
+            generation: 0,
+        }
+    }
+
+    /// The live value behind `h`, or `None` if the handle is stale (its
+    /// slot was freed, possibly reused under a newer generation).
+    pub fn get(&self, h: Handle) -> Option<&T> {
+        let slot = self.slots.get(h.index as usize)?;
+        (slot.generation == h.generation)
+            .then_some(slot.value.as_ref())
+            .flatten()
+    }
+
+    /// Mutable [`Arena::get`].
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut T> {
+        let slot = self.slots.get_mut(h.index as usize)?;
+        (slot.generation == h.generation)
+            .then_some(slot.value.as_mut())
+            .flatten()
+    }
+
+    /// Frees `h`, returning its value; `None` (and no effect) for a stale
+    /// handle. The slot's generation bumps so every outstanding copy of
+    /// `h` is dead from here on.
+    pub fn take(&mut self, h: Handle) -> Option<T> {
+        let slot = self.slots.get_mut(h.index as usize)?;
+        if slot.generation != h.generation {
+            return None;
+        }
+        let value = slot.value.take()?;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(h.index);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Iterates over live `(handle, value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, &T)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.value.as_ref().map(|v| {
+                (
+                    Handle {
+                        index: i as u32,
+                        generation: s.generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Frees every live allocation (generations bump, so all outstanding
+    /// handles die).
+    pub fn clear(&mut self) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.value.take().is_some() {
+                slot.generation = slot.generation.wrapping_add(1);
+                self.free.push(i as u32);
+            }
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_get_take_roundtrip() {
+        let mut a = Arena::new();
+        let h1 = a.alloc(10u64);
+        let h2 = a.alloc(20u64);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.get(h1), Some(&10));
+        assert_eq!(a.get_mut(h2).map(|v| std::mem::replace(v, 21)), Some(20));
+        assert_eq!(a.take(h2), Some(21));
+        assert_eq!(a.take(h1), Some(10));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn stale_handles_are_rejected_after_reuse() {
+        let mut a = Arena::new();
+        let h = a.alloc("first");
+        assert_eq!(a.take(h), Some("first"));
+        let h2 = a.alloc("second");
+        // Same slot, new generation: the old handle must not alias.
+        assert_eq!(h.index(), h2.index());
+        assert_eq!(a.get(h), None);
+        assert_eq!(a.take(h), None);
+        assert_eq!(a.get(h2), Some(&"second"));
+    }
+
+    #[test]
+    fn bits_roundtrip_and_survive_transport() {
+        let mut a = Arena::new();
+        let h = a.alloc(7i32);
+        let wire = h.to_bits();
+        let back = Handle::from_bits(wire);
+        assert_eq!(back, h);
+        assert_eq!(a.take(back), Some(7));
+        // A handle forged from the dead wire value is rejected too.
+        assert_eq!(a.take(Handle::from_bits(wire)), None);
+    }
+
+    #[test]
+    fn slots_are_reused_not_grown() {
+        let mut a = Arena::with_capacity(4);
+        let mut handles = Vec::new();
+        for round in 0..100 {
+            for i in 0..4 {
+                handles.push(a.alloc(round * 10 + i));
+            }
+            for h in handles.drain(..) {
+                assert!(a.take(h).is_some());
+            }
+        }
+        // A bounded-occupancy workload never needs more slots than its
+        // high-water mark.
+        assert_eq!(a.slots.len(), 4);
+    }
+
+    #[test]
+    fn iter_and_clear() {
+        let mut a = Arena::new();
+        let h1 = a.alloc(1);
+        let _h2 = a.alloc(2);
+        a.take(h1).unwrap();
+        let live: Vec<i32> = a.iter().map(|(_, &v)| v).collect();
+        assert_eq!(live, vec![2]);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.iter().count(), 0);
+    }
+}

@@ -43,6 +43,7 @@
 //! - [`Component::audit_drained`] asserts conservation invariants of the
 //!   drained state against the [`Sanitizer`].
 
+use crate::calendar::CalendarQueue;
 use crate::profile::Profiler;
 use crate::time::{earliest, Tick};
 use distda_check::Sanitizer;
@@ -92,6 +93,17 @@ pub trait Component<W> {
 
     /// Whether the component holds no in-flight work at all.
     fn is_quiescent(&self, now: Tick, world: &W) -> bool;
+
+    /// Whether this component's [`Component::tick`] is a no-op (a pure
+    /// audit/bookkeeping component that only participates in the wake
+    /// probe, the quiescence predicate and the drain audit). The
+    /// scheduler skips calling `tick()` on passive components, removing
+    /// their virtual dispatch from the hot loop; everything else about
+    /// the protocol still applies. Must be constant for the component's
+    /// lifetime.
+    fn passive(&self) -> bool {
+        false
+    }
 
     /// Audits the drained state against conservation invariants. Only
     /// called once the whole machine is quiescent, and only with the
@@ -163,10 +175,43 @@ pub struct Scheduler<W> {
     comps: Vec<Slot<W>>,
     /// Indices into `comps`, sorted by (stage, registration order).
     tick_order: Vec<usize>,
+    /// `tick_order` minus passive components: the indices whose `tick()`
+    /// is actually called each simulated tick.
+    active_order: Vec<usize>,
     /// Per-component profiler slot, parallel to `comps`.
     prof_slots: Vec<usize>,
     /// Reused `(slot, host_ns)` buffer for profiled ticks.
     prof_scratch: Vec<(usize, u64)>,
+    /// Calendar of each component's last *complete-probe* wake tick:
+    /// orders the next probe so the earliest-wake component is asked
+    /// first and the `== now` early exit triggers immediately on the
+    /// busy path. Purely an ordering heuristic — staleness can cost a
+    /// longer fold, never a wrong result (the fold minimum is
+    /// order-independent).
+    wake_calendar: CalendarQueue,
+    /// Components whose last complete probe reported `None` (probed
+    /// after the calendar's entries).
+    wake_none: Vec<u32>,
+    /// Whether `wake_calendar`/`wake_none` cover every component (false
+    /// after registration or instrument changes: fall back to the
+    /// stage-order scan until the next complete probe).
+    wake_known: bool,
+    /// The component the most recent fold settled on (argmin). While the
+    /// machine is busy the same component usually reports `now` again on
+    /// the next probe, and contractually every candidate is `>= now`, so
+    /// one confirming call proves the whole fold — the busy-path probe is
+    /// a single `next_event` when the hint hits. Purely a heuristic: a
+    /// miss falls through to the ordered scan.
+    wake_hint: Option<u32>,
+    /// The fold result of the most recent probe.
+    wake_cache: Option<Tick>,
+    /// Whether `wake_cache` is still provably current: no tick has
+    /// executed and no external world mutation is possible since the
+    /// probe that filled it (run-loop entries conservatively clear it).
+    /// See `next_wake` for the identity argument.
+    cache_valid: bool,
+    /// Reused `(component, candidate)` scratch for calendar rebuilds.
+    cand_scratch: Vec<(u32, Option<Tick>)>,
 }
 
 impl<W> std::fmt::Debug for Scheduler<W> {
@@ -198,8 +243,18 @@ impl<W> Scheduler<W> {
             instr: Instruments::disabled(),
             comps: Vec::new(),
             tick_order: Vec::new(),
+            active_order: Vec::new(),
             prof_slots: Vec::new(),
             prof_scratch: Vec::new(),
+            // 64-tick buckets x 64 buckets: one rotation covers ~683 ns
+            // of simulated time, past which wakes overflow-park.
+            wake_calendar: CalendarQueue::new(6, 64),
+            wake_none: Vec::new(),
+            wake_known: false,
+            wake_hint: None,
+            wake_cache: None,
+            cache_valid: false,
+            cand_scratch: Vec::new(),
         }
     }
 
@@ -234,6 +289,8 @@ impl<W> Scheduler<W> {
             self.prof_slots
                 .push(self.instr.prof.register(slot.comp.name()));
         }
+        // `attach` takes `&mut W`: treat the swap as a world mutation.
+        self.invalidate_wakes();
     }
 
     /// Registers a component at tick-phase `stage` and attaches the
@@ -249,6 +306,25 @@ impl<W> Scheduler<W> {
             .tick_order
             .partition_point(|&i| self.comps[i].stage <= stage);
         self.tick_order.insert(pos, idx);
+        self.active_order = self
+            .tick_order
+            .iter()
+            .copied()
+            .filter(|&i| !self.comps[i].comp.passive())
+            .collect();
+        // Structural change: the calendar no longer covers every
+        // component, so the next probe falls back to the stage-order scan.
+        self.invalidate_wakes();
+    }
+
+    /// Drops every cached wake: the next probe scans all components in
+    /// stage order and rebuilds the calendar.
+    fn invalidate_wakes(&mut self) {
+        self.wake_calendar.clear();
+        self.wake_none.clear();
+        self.wake_known = false;
+        self.wake_hint = None;
+        self.cache_valid = false;
     }
 
     /// Registered components in tick (stage) order.
@@ -256,16 +332,17 @@ impl<W> Scheduler<W> {
         self.tick_order.iter().map(|&i| &*self.comps[i].comp)
     }
 
-    /// One base tick: every component, in stage order, then advance the
-    /// clock. With the self-profiler on, each component's `tick()` is
-    /// timed against the host monotonic clock (one registry lock per
-    /// simulated tick); profiling never changes what components do.
+    /// One base tick: every non-passive component, in stage order, then
+    /// advance the clock. With the self-profiler on, each component's
+    /// `tick()` is timed against the host monotonic clock (one registry
+    /// lock per simulated tick); profiling never changes what components
+    /// do.
     pub fn tick(&mut self, world: &mut W) {
         let now = self.now;
         if self.instr.prof.on() {
             self.prof_scratch.clear();
-            for k in 0..self.tick_order.len() {
-                let i = self.tick_order[k];
+            for k in 0..self.active_order.len() {
+                let i = self.active_order[k];
                 let t0 = Instant::now();
                 self.comps[i].comp.tick(now, world, &mut self.instr);
                 self.prof_scratch
@@ -273,12 +350,14 @@ impl<W> Scheduler<W> {
             }
             self.instr.prof.record_tick(&self.prof_scratch, now);
         } else {
-            for k in 0..self.tick_order.len() {
-                let i = self.tick_order[k];
+            for k in 0..self.active_order.len() {
+                let i = self.active_order[k];
                 self.comps[i].comp.tick(now, world, &mut self.instr);
             }
         }
         self.now += 1;
+        // An executed tick mutates the world: every cached wake is stale.
+        self.cache_valid = false;
     }
 
     /// Earliest base tick `>= now` at which any component would do
@@ -289,7 +368,106 @@ impl<W> Scheduler<W> {
     /// violations), so a component reporting `now` is already the global
     /// minimum and the fold stops early — the probe is O(1) while the
     /// machine is busy, where skipping cannot pay for itself.
-    pub fn next_wake(&self, world: &W) -> Option<Tick> {
+    ///
+    /// With neither the sanitizer nor the profiler attached, the probe
+    /// runs through a [`CalendarQueue`] of each component's last reported
+    /// wake: components are asked in ascending cached-wake order (so the
+    /// early exit triggers on the first call while the machine is busy),
+    /// and consecutive probes with no executed tick in between reuse the
+    /// previous fold outright. Both are behaviour-identical by the
+    /// protocol contract: `next_event(now, world)` is the minimum `>=
+    /// now` of a fixed event set determined by the (unchanged) world and
+    /// component state, so the fold minimum is independent of probe
+    /// order, and for any `now' ∈ (now, w]` with the world untouched the
+    /// fold still yields `w`. With the sanitizer or profiler attached the
+    /// full stage-order scan runs instead, preserving exact wake-in-past
+    /// check coverage and probe accounting.
+    pub fn next_wake(&mut self, world: &W) -> Option<Tick> {
+        if self.instr.san.on() || self.instr.prof.on() {
+            return self.next_wake_scan(world);
+        }
+        self.next_wake_fast(world)
+    }
+
+    /// The calendar-ordered, cache-reusing probe (instrumentation off).
+    fn next_wake_fast(&mut self, world: &W) -> Option<Tick> {
+        if self.cache_valid {
+            return self.wake_cache;
+        }
+        let now = self.now;
+        // Busy-path shortcut: if the component the last fold settled on
+        // reports `now` again, it is already the global minimum (every
+        // candidate is contractually `>= now`) — no other component needs
+        // to be asked.
+        if let Some(id) = self.wake_hint {
+            if self.comps[id as usize].comp.next_event(now, world) == Some(now) {
+                self.wake_cache = Some(now);
+                self.cache_valid = true;
+                return Some(now);
+            }
+        }
+        let mut cands = std::mem::take(&mut self.cand_scratch);
+        cands.clear();
+        let mut w: Option<Tick> = None;
+        let mut argmin: Option<u32> = None;
+        let mut complete = true;
+        {
+            let comps = &self.comps;
+            // Probes one component; after the `now` early-exit fires the
+            // remaining visits degrade to a flag check.
+            let mut probe = |id: u32| {
+                if !complete {
+                    return;
+                }
+                let cand = comps[id as usize].comp.next_event(now, world);
+                cands.push((id, cand));
+                if let Some(c) = cand {
+                    if w.is_none_or(|cur| c < cur) {
+                        argmin = Some(id);
+                    }
+                }
+                w = earliest(w, cand);
+                if w == Some(now) {
+                    complete = false;
+                }
+            };
+            if self.wake_known {
+                self.wake_calendar.visit_ascending(|_, id| probe(id));
+                for &id in &self.wake_none {
+                    probe(id);
+                }
+            } else {
+                // Structural fallback: plain stage-order scan.
+                for &i in &self.tick_order {
+                    probe(i as u32);
+                }
+            }
+        }
+        self.wake_hint = argmin;
+        if complete {
+            // Every component was probed: rebuild the calendar from this
+            // probe so the next one asks in ascending-wake order. An
+            // early-exited probe leaves the previous order in place (the
+            // stale order is only a heuristic).
+            self.wake_calendar.clear_to(now);
+            self.wake_none.clear();
+            for &(id, cand) in &cands {
+                match cand {
+                    Some(t) => self.wake_calendar.insert(t, id),
+                    None => self.wake_none.push(id),
+                }
+            }
+            self.wake_known = true;
+        }
+        self.cand_scratch = cands;
+        self.wake_cache = w;
+        self.cache_valid = true;
+        w
+    }
+
+    /// The instrumented stage-order probe: sanitizer wake-in-past checks
+    /// on every candidate, profiler probe/argmin accounting.
+    fn next_wake_scan(&self, world: &W) -> Option<Tick> {
         let profiling = self.instr.prof.on();
         let t0 = profiling.then(Instant::now);
         let now = self.now;
@@ -392,6 +570,9 @@ impl<W> Scheduler<W> {
         world: &mut W,
         mut done: impl FnMut(Tick, &W) -> bool,
     ) -> Result<(), Stop> {
+        // The caller may have mutated the world since the last run loop
+        // (MMIO writes, queued launches): any cached wake is suspect.
+        self.cache_valid = false;
         loop {
             self.check_invariants()?;
             if done(self.now, world) {
@@ -455,6 +636,7 @@ impl<W> Scheduler<W> {
     /// does not poll the sanitizer or the budget: it is the primitive for
     /// charging fixed-latency work (e.g. MMIO transfers).
     pub fn advance_ticks(&mut self, world: &mut W, n: u64) {
+        self.cache_valid = false;
         let target = self.now + n;
         while self.now < target {
             if self.skip {
@@ -490,6 +672,7 @@ impl<W> Scheduler<W> {
     /// As [`Scheduler::run_until`]; additionally [`Stop::Invariant`] if
     /// the drain audit flags violations.
     pub fn drain(&mut self, world: &mut W) -> Result<(), Stop> {
+        self.cache_valid = false;
         loop {
             self.check_invariants()?;
             if self.quiescent(world) {
@@ -762,6 +945,107 @@ mod tests {
         prof.run_until(&mut wq, |_, w| w.finished == 9).unwrap();
         assert_eq!(plain.now(), prof.now());
         assert_eq!(wp.finished, wq.finished);
+    }
+
+    #[test]
+    fn passive_components_are_probed_and_audited_but_never_ticked() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        /// Pure bookkeeping component: ticking it would be a bug.
+        struct Auditor {
+            ticked: Rc<Cell<bool>>,
+            audited: Rc<Cell<bool>>,
+        }
+        impl Component<World> for Auditor {
+            fn name(&self) -> &str {
+                "auditor"
+            }
+            fn passive(&self) -> bool {
+                true
+            }
+            fn tick(&mut self, _: Tick, _: &mut World, _: &mut Instruments) {
+                self.ticked.set(true);
+            }
+            fn next_event(&self, _: Tick, _: &World) -> Option<Tick> {
+                None
+            }
+            fn is_quiescent(&self, _: Tick, _: &World) -> bool {
+                true
+            }
+            fn audit_drained(&self, _: Tick, _: &World, _: &Sanitizer) {
+                self.audited.set(true);
+            }
+        }
+
+        let ticked = Rc::new(Cell::new(false));
+        let audited = Rc::new(Cell::new(false));
+        let (mut sched, mut world) = make(10_000, true, 4);
+        sched.register(
+            5,
+            Box::new(Auditor {
+                ticked: ticked.clone(),
+                audited: audited.clone(),
+            }),
+            &mut world,
+        );
+        let mut instr = Instruments::disabled();
+        instr.san = Sanitizer::enabled();
+        sched.set_instruments(&mut world, instr);
+        sched.drain(&mut world).unwrap();
+        assert_eq!(world.finished, 4);
+        assert!(!ticked.get(), "passive component's tick() was called");
+        assert!(audited.get(), "passive component was left out of the audit");
+        // It still shows up in the component enumeration.
+        assert!(sched.components().any(|c| c.name() == "auditor"));
+    }
+
+    #[test]
+    fn fast_probe_matches_stage_order_fold() {
+        // Step a machine tick by tick and check, at every step, that the
+        // calendar-ordered/cached probe returns exactly the stage-order
+        // fold minimum the old scan would have.
+        let (mut sched, mut world) = make(10_000, true, 6);
+        for _ in 0..40 {
+            let now = sched.now();
+            let expect = sched
+                .components()
+                .fold(None, |acc, c| earliest(acc, c.next_event(now, &world)));
+            assert_eq!(sched.next_wake(&world), expect, "at tick {now}");
+            // A second probe with nothing executed in between must hit the
+            // cache and agree.
+            assert_eq!(sched.next_wake(&world), expect, "cached, at tick {now}");
+            sched.tick(&mut world);
+        }
+    }
+
+    #[test]
+    fn stale_wake_is_still_caught_with_sanitizer_on() {
+        // A component that promises a wake and then moves it: the
+        // sanitized run loop (which takes the stage-order scan path, not
+        // the calendar) must still flag the broken promise after a jump.
+        struct Flake;
+        impl Component<()> for Flake {
+            fn name(&self) -> &str {
+                "flake"
+            }
+            fn tick(&mut self, _: Tick, _: &mut (), _: &mut Instruments) {}
+            fn next_event(&self, now: Tick, _: &()) -> Option<Tick> {
+                Some(now + 3)
+            }
+            fn is_quiescent(&self, _: Tick, _: &()) -> bool {
+                false
+            }
+        }
+        let mut sched: Scheduler<()> = Scheduler::new(1_000, true);
+        let mut world = ();
+        sched.register(0, Box::new(Flake), &mut world);
+        let mut instr = Instruments::disabled();
+        instr.san = Sanitizer::enabled();
+        sched.set_instruments(&mut world, instr);
+        let r = sched.run_until(&mut world, |_, _| false);
+        assert!(matches!(r, Err(Stop::Invariant { .. })), "got {r:?}");
+        assert!(sched.instruments().san.render().contains("stale-wake"));
     }
 
     #[test]

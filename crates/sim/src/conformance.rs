@@ -238,6 +238,24 @@ mod tests {
         }
     }
 
+    /// Clock bug on purpose: reports its wake one tick in the past once
+    /// time has started moving — the classic off-by-one a calendar-queue
+    /// scheduler would silently mask by rotating past the bucket.
+    struct Tardy;
+
+    impl Component<()> for Tardy {
+        fn name(&self) -> &str {
+            "tardy"
+        }
+        fn tick(&mut self, _: Tick, _: &mut (), _: &mut Instruments) {}
+        fn next_event(&self, now: Tick, _: &()) -> Option<Tick> {
+            Some(now.saturating_sub(1))
+        }
+        fn is_quiescent(&self, _: Tick, _: &()) -> bool {
+            false
+        }
+    }
+
     /// Promise bug on purpose: schedules a wake it never acts on (the
     /// re-probe keeps pushing the promise one edge further out).
     struct Flake {
@@ -283,6 +301,28 @@ mod tests {
         assert!(v
             .iter()
             .any(|v| v.rule == "eventless-active" && v.comp == "stuck"));
+    }
+
+    #[test]
+    fn wake_in_past_is_flagged() {
+        let mut sched: Scheduler<()> = Scheduler::new(100_000, true);
+        sched.register(0, Box::new(Tardy), &mut ());
+        // A healthy neighbour keeps time moving so the tardy report is
+        // genuinely in the past, not just at tick zero.
+        sched.register(
+            1,
+            Box::new(Counter {
+                clock: ClockDomain::from_ghz(2.0),
+                remaining: 4,
+            }),
+            &mut (),
+        );
+        let v = run_for(&mut sched, &mut (), 16);
+        assert!(
+            v.iter()
+                .any(|v| v.rule == "wake-in-past" && v.comp == "tardy"),
+            "got {v:?}"
+        );
     }
 
     #[test]

@@ -38,7 +38,10 @@ impl<T> Fifo<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "fifo capacity must be nonzero");
         Self {
-            items: VecDeque::with_capacity(capacity.min(64)),
+            // Preallocate the full configured depth: a bounded queue never
+            // holds more than `capacity` elements, so sizing the ring from
+            // the real depth means no reallocation can ever happen mid-run.
+            items: VecDeque::with_capacity(capacity),
             capacity,
             total_pushed: 0,
             high_water: 0,
@@ -177,6 +180,16 @@ mod tests {
     #[should_panic(expected = "capacity must be nonzero")]
     fn zero_capacity_rejected() {
         let _ = Fifo::<u8>::new(0);
+    }
+
+    #[test]
+    fn preallocates_full_configured_depth() {
+        let f = Fifo::<u8>::new(500);
+        assert!(
+            f.items.capacity() >= 500,
+            "ring sized below configured depth: {}",
+            f.items.capacity()
+        );
     }
 
     #[test]

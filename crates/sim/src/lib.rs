@@ -19,6 +19,8 @@
 //! assert_eq!(GHZ_BASE, 6.0);
 //! ```
 
+pub mod arena;
+pub mod calendar;
 pub mod component;
 pub mod conformance;
 pub mod env;
@@ -35,6 +37,8 @@ pub mod time;
 /// is the historical path every consumer uses.
 pub use distda_trace::stats;
 
+pub use arena::{Arena, Handle};
+pub use calendar::CalendarQueue;
 pub use component::{Component, Instruments, Scheduler, Stop};
 pub use fifo::Fifo;
 pub use profile::{ProfileSnapshot, Profiler};

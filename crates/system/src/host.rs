@@ -10,7 +10,7 @@
 //! at O(1) amortized cost per instruction.
 
 use distda_ir::trace::{DynOp, OpKind, NO_DEP};
-use distda_mem::{MemRequest, MemSystem, PortId};
+use distda_mem::{MemRequest, MemResponse, MemSystem, PortId};
 use distda_sim::time::{ClockDomain, Tick};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -52,6 +52,9 @@ pub struct HostCore {
     /// Set when new work arrived (segment load or memory response) that the
     /// next clock edge must process; cleared after each processed edge.
     dirty: bool,
+    /// Scratch swapped with the port's response buffer each tick, so the
+    /// hand-over allocates nothing in steady state.
+    resp_scratch: Vec<MemResponse>,
     stats: HostStats,
 }
 
@@ -74,6 +77,7 @@ impl HostCore {
             inflight: 0,
             finish_time: 0,
             dirty: false,
+            resp_scratch: Vec::new(),
             stats: HostStats::default(),
         }
     }
@@ -162,13 +166,16 @@ impl HostCore {
     /// Advances one base tick, firing memory requests into `mem`.
     pub fn tick(&mut self, now: Tick, mem: &mut MemSystem) {
         // Memory completions arrive on any tick.
-        for resp in mem.take_responses(self.port) {
-            let idx = resp.id as usize;
-            if idx < self.done.len() && self.done[idx] == PENDING {
-                self.done[idx] = now;
-                self.finish_time = self.finish_time.max(now);
-                self.inflight -= 1;
-                self.dirty = true;
+        if mem.has_responses(self.port) {
+            mem.take_responses_into(self.port, &mut self.resp_scratch);
+            for resp in &self.resp_scratch {
+                let idx = resp.id as usize;
+                if idx < self.done.len() && self.done[idx] == PENDING {
+                    self.done[idx] = now;
+                    self.finish_time = self.finish_time.max(now);
+                    self.inflight -= 1;
+                    self.dirty = true;
+                }
             }
         }
         if !self.clock.fires_at(now) {

@@ -31,7 +31,7 @@ use distda_ir::expr::ArrayId;
 use distda_ir::interp::Memory;
 use distda_ir::trace::{DynOp, Layout};
 use distda_ir::value::Value;
-use distda_mem::{MemRequest, MemSystem, PortId, PortKind};
+use distda_mem::{MemRequest, MemResponse, MemSystem, PortId, PortKind};
 use distda_noc::{Mesh, NocConfig, Packet, TrafficClass};
 use distda_sim::component::{Component, Instruments, Scheduler, Stop};
 use distda_sim::time::{ClockDomain, Tick};
@@ -87,6 +87,9 @@ struct EngineSlot {
     cluster: usize,
     port: PortId,
     resp: Vec<u64>,
+    /// Scratch swapped with the port's response buffer each tick, so the
+    /// hand-over allocates nothing in steady state.
+    resp_scratch: Vec<MemResponse>,
     chan_base: usize,
     is_access_node: bool,
     is_cgra: bool,
@@ -163,61 +166,61 @@ impl Component<MachineState> for DeliveryComp {
 
     fn tick(&mut self, now: Tick, st: &mut MachineState, instr: &mut Instruments) {
         let san = &instr.san;
-        for node in 0..st.mesh.node_count() {
-            for pkt in st.mesh.drain_inbox(node) {
-                match pkt.payload {
-                    NetMsg::Mem(m) => {
-                        let wrapped = Packet::new(pkt.src, pkt.dst, pkt.bytes, pkt.class, m);
-                        st.mem.deliver(now, wrapped);
-                    }
-                    NetMsg::ChanData { chan, v } => {
-                        if st.chans[chan as usize].queue.try_push(v).is_err() {
-                            // Credits bound occupancy; an arrival beyond
-                            // capacity means a credit was double-issued.
-                            // With the sanitizer on this becomes a typed
-                            // error (the operand is dropped — the run is
-                            // already condemned); off, fail loudly as
-                            // before.
-                            if san.on() {
-                                san.flag(
-                                    "machine.chan",
-                                    "credit-overflow",
-                                    now,
-                                    format!(
-                                        "channel {chan} received an operand beyond its credited capacity"
-                                    ),
-                                );
-                            } else {
-                                panic!("channel {chan} overflowed its credited capacity");
-                            }
-                        }
-                    }
-                    NetMsg::ChanCredit { chan, n } => {
-                        st.chans[chan as usize].credits += n as usize;
-                        if san.on() {
-                            let ch = &st.chans[chan as usize];
-                            san.check(
-                                ch.credits + ch.credit_debt + ch.queue.len()
-                                    <= ch.queue.capacity(),
-                                "machine.chan",
-                                "credit-conservation",
-                                now,
-                                || {
-                                    format!(
-                                        "channel {chan}: credits {} + debt {} + queued {} > capacity {}",
-                                        ch.credits,
-                                        ch.credit_debt,
-                                        ch.queue.len(),
-                                        ch.queue.capacity()
-                                    )
-                                },
-                            );
-                        }
-                    }
-                    NetMsg::Mmio => {}
+        let MachineState {
+            mesh, mem, chans, ..
+        } = st;
+        mesh.for_each_delivered(|_node, pkt| {
+            match pkt.payload {
+                NetMsg::Mem(m) => {
+                    let wrapped = Packet::new(pkt.src, pkt.dst, pkt.bytes, pkt.class, m);
+                    mem.deliver(now, wrapped);
                 }
+                NetMsg::ChanData { chan, v } => {
+                    if chans[chan as usize].queue.try_push(v).is_err() {
+                        // Credits bound occupancy; an arrival beyond
+                        // capacity means a credit was double-issued.
+                        // With the sanitizer on this becomes a typed
+                        // error (the operand is dropped — the run is
+                        // already condemned); off, fail loudly as
+                        // before.
+                        if san.on() {
+                            san.flag(
+                                "machine.chan",
+                                "credit-overflow",
+                                now,
+                                format!(
+                                    "channel {chan} received an operand beyond its credited capacity"
+                                ),
+                            );
+                        } else {
+                            panic!("channel {chan} overflowed its credited capacity");
+                        }
+                    }
+                }
+                NetMsg::ChanCredit { chan, n } => {
+                    chans[chan as usize].credits += n as usize;
+                    if san.on() {
+                        let ch = &chans[chan as usize];
+                        san.check(
+                            ch.credits + ch.credit_debt + ch.queue.len() <= ch.queue.capacity(),
+                            "machine.chan",
+                            "credit-conservation",
+                            now,
+                            || {
+                                format!(
+                                    "channel {chan}: credits {} + debt {} + queued {} > capacity {}",
+                                    ch.credits,
+                                    ch.credit_debt,
+                                    ch.queue.len(),
+                                    ch.queue.capacity()
+                                )
+                            },
+                        );
+                    }
+                }
+                NetMsg::Mmio => {}
             }
-        }
+        });
     }
 
     fn next_event(&self, now: Tick, st: &MachineState) -> Option<Tick> {
@@ -277,6 +280,10 @@ impl Component<MachineState> for ChannelsComp {
     }
 
     fn tick(&mut self, _now: Tick, _st: &mut MachineState, _instr: &mut Instruments) {}
+
+    fn passive(&self) -> bool {
+        true
+    }
 
     fn next_event(&self, _now: Tick, _st: &MachineState) -> Option<Tick> {
         None
@@ -342,8 +349,17 @@ impl Component<MachineState> for EngineComp {
             ..
         } = st;
         let slot = &mut engines[self.index];
-        for r in mem.take_responses(slot.port) {
-            slot.resp.push(r.id);
+        if mem.has_responses(slot.port) {
+            mem.take_responses_into(slot.port, &mut slot.resp_scratch);
+            for r in &slot.resp_scratch {
+                slot.resp.push(r.id);
+            }
+        }
+        // Off the engine's clock edge `eng.tick` is a guaranteed no-op (it
+        // gates on `fires_at` before touching anything), so the context
+        // setup below would be built and thrown away — skip it.
+        if !slot.eng.clock().fires_at(now) {
+            return;
         }
         let mut ctx = Ctx {
             now,
@@ -454,6 +470,12 @@ impl Component<MachineState> for MemComp {
     }
 
     fn tick(&mut self, now: Tick, st: &mut MachineState, _instr: &mut Instruments) {
+        // With no queued action, DRAM burst or outgoing packet, both the
+        // hierarchy tick and the injection loop below are no-ops
+        // (undrained responses are the requester's job, not ours).
+        if !st.mem.is_active() {
+            return;
+        }
         st.mem.tick(now);
         while let Some(p) = st.mem.pop_outgoing() {
             let wrapped = Packet::new(p.src, p.dst, p.bytes, p.class, NetMsg::Mem(p.payload));
@@ -811,6 +833,7 @@ impl Machine {
                 cluster: placement[i],
                 port,
                 resp: Vec::new(),
+                resp_scratch: Vec::new(),
                 chan_base,
                 is_access_node: sub.is_access_node,
                 is_cgra: matches!(sub.model, IssueModel::Cgra { .. }),
@@ -1274,7 +1297,7 @@ mod tests {
             img.array_mut(x)[i] = Value::F(i as f64);
             img.array_mut(y)[i] = Value::F(1.0);
         }
-        let machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224);
+        let machine = Machine::new(mem, img, alloc.layout, 5, 224);
         (p, ck, machine, x, y)
     }
 
@@ -1373,7 +1396,7 @@ mod tests {
         for i in 0..32 {
             img.array_mut(x)[i] = Value::I(i as i64);
         }
-        let mut m = Machine::new(mem, img, alloc.layout.clone(), 5, 224);
+        let mut m = Machine::new(mem, img, alloc.layout, 5, 224);
         let plan = &ck.offloads[0];
         let placements: Vec<usize> = (0..plan.partitions.len()).collect();
         let subs = vec![io_substrate(false); plan.partitions.len()];

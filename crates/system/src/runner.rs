@@ -1020,7 +1020,7 @@ mod tests {
         b.for_(0, 128, 1, |b, i| {
             b.set(
                 acc,
-                Expr::Scalar(acc) + Expr::load(x, i.clone()) * Expr::load(y, i.clone()),
+                Expr::Scalar(acc) + Expr::load(x, i.clone()) * Expr::load(y, i),
             );
         });
         // Host consumes the reduction result afterwards.

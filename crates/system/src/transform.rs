@@ -162,7 +162,7 @@ pub fn decentralize(plan: &OffloadPlan) -> OffloadPlan {
                 remap.push(new_idx);
             }
             other => {
-                let mapped = match other.clone() {
+                let mapped = match *other {
                     PNode::Bin { op, a, b } => PNode::Bin {
                         op,
                         a: remap[a as usize],
@@ -321,7 +321,7 @@ mod tests {
             let data = b.array_f64("data", 64);
             let out = b.array_f64("out", 8);
             b.for_(0, 8, 1, |b, i| {
-                b.store(out, i.clone(), Expr::load(data, Expr::load(idx, i.clone())));
+                b.store(out, i.clone(), Expr::load(data, Expr::load(idx, i)));
             });
         });
         let da = decentralize(&plan);

@@ -53,8 +53,7 @@ pub fn bfs(s: &Scale) -> Workload {
             b.store(
                 visited,
                 v.clone(),
-                upd.clone()
-                    .select(Expr::c(1), Expr::load(visited, v.clone())),
+                upd.select(Expr::c(1), Expr::load(visited, v.clone())),
             );
             b.store(updating, v, Expr::c(0));
         });

@@ -45,7 +45,7 @@ pub fn disparity(s: &Scale) -> Workload {
             b.store(
                 disp,
                 p.clone(),
-                better.select(d.clone() * Expr::cf(1.0), Expr::load(disp, p.clone())),
+                better.select(d.clone() * Expr::cf(1.0), Expr::load(disp, p)),
             );
         });
     });
@@ -89,7 +89,7 @@ pub fn tracking(s: &Scale) -> Workload {
         b.store(
             ix,
             p.clone(),
-            (Expr::load(img, p.clone() + Expr::c(1)) - Expr::load(img, p.clone() - Expr::c(1)))
+            (Expr::load(img, p.clone() + Expr::c(1)) - Expr::load(img, p - Expr::c(1)))
                 * Expr::cf(0.5),
         );
     });
@@ -97,7 +97,7 @@ pub fn tracking(s: &Scale) -> Workload {
         b.store(
             iy,
             p.clone(),
-            (Expr::load(img, p.clone() + Expr::c(w)) - Expr::load(img, p.clone() - Expr::c(w)))
+            (Expr::load(img, p.clone() + Expr::c(w)) - Expr::load(img, p - Expr::c(w)))
                 * Expr::cf(0.5),
         );
     });

@@ -32,7 +32,7 @@ fn scaled_setup(n: usize) -> (Program, distda::compiler::CompiledKernel, Machine
     for i in 0..n {
         img.array_mut(x)[i] = Value::F(i as f64);
     }
-    let machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224);
+    let machine = Machine::new(mem, img, alloc.layout, 5, 224);
     (p, ck, machine, y)
 }
 

@@ -24,7 +24,7 @@ fn pipeline_setup() -> (Program, distda::compiler::CompiledKernel, Machine) {
     for i in 0..256 {
         img.array_mut(x)[i] = Value::F(i as f64);
     }
-    let machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224);
+    let machine = Machine::new(mem, img, alloc.layout, 5, 224);
     (p, ck, machine)
 }
 

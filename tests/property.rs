@@ -177,7 +177,7 @@ fn simulation_is_correct_and_deterministic() {
         let y = b.array_f64("y", n * 4);
         b.for_(0, n as i64, 1, |b, i| {
             let v = Expr::load(x, i.clone() * Expr::c(stride)) * Expr::cf(1.5) + Expr::cf(1.0);
-            b.store(y, i.clone() * Expr::c(stride), v);
+            b.store(y, i * Expr::c(stride), v);
         });
         let p = b.build();
         let init = move |mem: &mut Memory| {
