@@ -191,7 +191,7 @@ fn cmd_gate(args: &Args) -> Result<u32, String> {
     };
     let mut rep = gate::gate_simspeed(&read(baseline_path)?, &read(&args.current)?, &th)?;
     if let Some(manifests) = &args.manifests {
-        let man = gate::check_manifests(&read(manifests)?)?;
+        let man = gate::check_manifests_at(Some(manifests), &read(manifests)?)?;
         rep.checks.extend(man.checks);
     }
     print!("{}", rep.render());

@@ -18,7 +18,7 @@
 //! Manifests add a third check: every run in the stream must have
 //! `validated == true`.
 
-use crate::manifest::{parse_manifests, ManifestRecord};
+use crate::manifest::ManifestRecord;
 use distda_trace::json;
 
 /// Gate thresholds. See the [module docs](self).
@@ -161,12 +161,43 @@ pub fn gate_simspeed(baseline: &str, current: &str, th: &Thresholds) -> Result<G
 ///
 /// Returns a message when the stream fails to parse.
 pub fn check_manifests(stream: &str) -> Result<GateReport, String> {
-    let records: Vec<ManifestRecord> = parse_manifests(stream)?;
+    check_manifests_at(None, stream)
+}
+
+/// [`check_manifests`], citing the stream's file path (and the offending
+/// line number) in every failure detail, so a mismatch in a multi-file CI
+/// run points straight at the manifest to open — not just a config hash.
+///
+/// # Errors
+///
+/// Returns a message (prefixed with the path, when given) when the stream
+/// fails to parse.
+pub fn check_manifests_at(
+    source: Option<&std::path::Path>,
+    stream: &str,
+) -> Result<GateReport, String> {
+    let cite = |line: usize| match source {
+        Some(p) => format!(" [{}:{line}]", p.display()),
+        None => String::new(),
+    };
+    let records: Vec<(usize, ManifestRecord)> = stream
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, l)| {
+            ManifestRecord::parse_jsonl(l)
+                .map(|r| (i + 1, r))
+                .map_err(|e| match source {
+                    Some(p) => format!("{}:{}: {e}", p.display(), i + 1),
+                    None => format!("line {}: {e}", i + 1),
+                })
+        })
+        .collect::<Result<_, _>>()?;
     let mut rep = GateReport::default();
     let bad: Vec<String> = records
         .iter()
-        .filter(|r| !r.validated)
-        .map(|r| format!("{} under {}", r.kernel, r.config))
+        .filter(|(_, r)| !r.validated)
+        .map(|(line, r)| format!("{} under {}{}", r.kernel, r.config, cite(*line)))
         .collect();
     rep.push(
         "manifests_validated",
@@ -260,5 +291,24 @@ mod tests {
         assert!(rep.render().contains("nw under OoO"), "{}", rep.render());
         let rep = check_manifests(&format!("{}\n", ok.render_jsonl())).unwrap();
         assert!(!rep.regressed());
+    }
+
+    #[test]
+    fn manifest_failures_cite_the_offending_path_and_line() {
+        use std::path::Path;
+        let ok = ManifestRecord::capture("pf", "OoO", "fnv1a:0".into(), 10, 0.1, true);
+        let bad = ManifestRecord::capture("nw", "OoO", "fnv1a:0".into(), 10, 0.1, false);
+        let stream = format!("{}\n{}\n", ok.render_jsonl(), bad.render_jsonl());
+        let path = Path::new("results/manifests/runs.jsonl");
+        let rep = check_manifests_at(Some(path), &stream).unwrap();
+        assert!(rep.regressed());
+        let rendered = rep.render();
+        assert!(
+            rendered.contains("nw under OoO [results/manifests/runs.jsonl:2]"),
+            "{rendered}"
+        );
+        // Parse errors cite the path too.
+        let err = check_manifests_at(Some(path), "not json\n").unwrap_err();
+        assert!(err.starts_with("results/manifests/runs.jsonl:1:"), "{err}");
     }
 }

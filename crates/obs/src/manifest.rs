@@ -46,6 +46,21 @@ pub struct ManifestRecord {
     pub sanitize: bool,
     /// `DISTDA_VALIDATE` policy at run time.
     pub validate: bool,
+    /// Every `DISTDA_*` environment knob in force, verbatim and sorted by
+    /// name. Values are arbitrary strings — addresses, paths, `key=value`
+    /// lists — so they may contain `=` or whitespace; the JSON encoding
+    /// preserves them exactly. Manifests written before this field was
+    /// added parse with an empty list.
+    pub env: Vec<(String, String)>,
+}
+
+/// Snapshots every `DISTDA_*` environment variable, sorted by name.
+pub fn capture_env() -> Vec<(String, String)> {
+    let mut knobs: Vec<(String, String)> = std::env::vars()
+        .filter(|(k, _)| k.starts_with("DISTDA_"))
+        .collect();
+    knobs.sort();
+    knobs
 }
 
 /// FNV-1a hash of a [`RunConfig`]'s structural identity, rendered
@@ -152,17 +167,24 @@ impl ManifestRecord {
             skip: distda_sim::env::skip(),
             sanitize: distda_sim::env::sanitize(),
             validate: distda_sim::env::validate(),
+            env: capture_env(),
         }
     }
 
     /// Renders the record as one JSON line (no trailing newline).
     pub fn render_jsonl(&self) -> String {
+        let env = self
+            .env
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", json::escape(k), json::escape(v)))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\"kernel\":\"{}\",\"config\":\"{}\",\"config_hash\":\"{}\",",
                 "\"ticks\":{},\"host_secs\":{},\"validated\":{},",
                 "\"git_rev\":\"{}\",\"date_utc\":\"{}\",\"threads\":{},",
-                "\"skip\":{},\"sanitize\":{},\"validate\":{}}}"
+                "\"skip\":{},\"sanitize\":{},\"validate\":{},\"env\":{{{}}}}}"
             ),
             json::escape(&self.kernel),
             json::escape(&self.config),
@@ -176,6 +198,7 @@ impl ManifestRecord {
             self.skip,
             self.sanitize,
             self.validate,
+            env,
         )
     }
 
@@ -203,6 +226,19 @@ impl ManifestRecord {
                 _ => Err(format!("manifest line missing bool field `{key}`")),
             }
         };
+        // Absent in manifests written before the knob snapshot existed.
+        let env = match v.get("env") {
+            None => Vec::new(),
+            Some(json::Value::Obj(o)) => o
+                .iter()
+                .map(|(k, val)| {
+                    val.as_str()
+                        .map(|s| (k.clone(), s.to_string()))
+                        .ok_or_else(|| format!("manifest `env.{k}` must be a string"))
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            Some(_) => return Err("manifest `env` must be an object".to_string()),
+        };
         Ok(Self {
             kernel: s("kernel")?,
             config: s("config")?,
@@ -216,6 +252,7 @@ impl ManifestRecord {
             skip: b("skip")?,
             sanitize: b("sanitize")?,
             validate: b("validate")?,
+            env,
         })
     }
 
@@ -291,10 +328,51 @@ mod tests {
             skip: true,
             sanitize: false,
             validate: true,
+            env: Vec::new(),
         };
         let line = rec.render_jsonl();
         assert!(!line.contains('\n'));
         assert_eq!(ManifestRecord::parse_jsonl(&line).unwrap(), rec);
+    }
+
+    #[test]
+    fn env_knobs_with_equals_and_whitespace_round_trip() {
+        let mut rec = ManifestRecord::capture("pf", "OoO", "fnv1a:0".to_string(), 10, 0.5, true);
+        rec.env = vec![
+            (
+                "DISTDA_SERVE_ADDR".to_string(),
+                "127.0.0.1:7077".to_string(),
+            ),
+            (
+                "DISTDA_SERVE_CACHE_DIR".to_string(),
+                "/tmp/my cache dir/results".to_string(),
+            ),
+            (
+                "DISTDA_SWEEP_OVERRIDES".to_string(),
+                "buffer_lines=8 issue_width=2\talloc=first-touch".to_string(),
+            ),
+        ];
+        let line = rec.render_jsonl();
+        assert!(!line.contains('\n'));
+        let back = ManifestRecord::parse_jsonl(&line).unwrap();
+        assert_eq!(back, rec, "`=`/whitespace values must survive verbatim");
+    }
+
+    #[test]
+    fn manifests_without_env_field_still_parse() {
+        // The exact shape this module wrote before the knob snapshot.
+        let legacy = concat!(
+            "{\"kernel\":\"pf\",\"config\":\"OoO\",\"config_hash\":\"fnv1a:0\",",
+            "\"ticks\":10,\"host_secs\":0.5,\"validated\":true,",
+            "\"git_rev\":\"deadbeef\",\"date_utc\":\"2026-08-07T00:00:00Z\",",
+            "\"threads\":8,\"skip\":false,\"sanitize\":false,\"validate\":true}"
+        );
+        let rec = ManifestRecord::parse_jsonl(legacy).unwrap();
+        assert!(rec.env.is_empty());
+        assert_eq!(rec.kernel, "pf");
+        // A mistyped snapshot is an error, not a silent drop.
+        let bad = legacy.replace("\"validate\":true}", "\"validate\":true,\"env\":[1]}");
+        assert!(ManifestRecord::parse_jsonl(&bad).is_err());
     }
 
     #[test]

@@ -1,0 +1,107 @@
+//! `DISTDA_SERVE_*` environment knobs: typed accessors with pure,
+//! testable parsers, mirroring `distda_sim::env` for the simulator knobs.
+//!
+//! | knob | values | default | effect |
+//! |------|--------|---------|--------|
+//! | `DISTDA_SERVE_ADDR` | `host:port` | `127.0.0.1:7077` | listen address |
+//! | `DISTDA_SERVE_WORKERS` | integer ≥ 0 | `0` | worker threads (0 = host parallelism, capped at 8) |
+//! | `DISTDA_SERVE_QUEUE` | integer ≥ 1 | `256` | bounded queue capacity (cells) |
+//! | `DISTDA_SERVE_CACHE` | integer ≥ 0 | `512` | memory-LRU entries (0 = disk only) |
+//! | `DISTDA_SERVE_CACHE_DIR` | path, `none` | `results/cache` | persistent layer (`none` disables) |
+
+use crate::cache::DEFAULT_CACHE_DIR;
+use std::path::PathBuf;
+
+/// Default listen address.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7077";
+/// Default bounded-queue capacity, in cells.
+pub const DEFAULT_QUEUE: usize = 256;
+/// Default memory-LRU capacity, in entries.
+pub const DEFAULT_CACHE: usize = 512;
+
+fn raw(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.is_empty())
+}
+
+/// Parses a listen address: any non-empty value passes through.
+pub fn parse_addr(v: Option<&str>) -> String {
+    match v {
+        Some(s) if !s.trim().is_empty() => s.trim().to_string(),
+        _ => DEFAULT_ADDR.to_string(),
+    }
+}
+
+/// Parses a non-negative integer knob, falling back to `default` on
+/// anything unparseable.
+pub fn parse_count(v: Option<&str>, default: usize) -> usize {
+    v.and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
+/// Parses the cache directory: `none`/`off` disables persistence.
+pub fn parse_cache_dir(v: Option<&str>) -> Option<PathBuf> {
+    match v.map(str::trim) {
+        Some("none") | Some("off") => None,
+        Some(s) if !s.is_empty() => Some(PathBuf::from(s)),
+        _ => Some(PathBuf::from(DEFAULT_CACHE_DIR)),
+    }
+}
+
+/// `DISTDA_SERVE_ADDR`.
+pub fn addr() -> String {
+    parse_addr(raw("DISTDA_SERVE_ADDR").as_deref())
+}
+
+/// `DISTDA_SERVE_WORKERS` (0 = autodetect).
+pub fn workers() -> usize {
+    parse_count(raw("DISTDA_SERVE_WORKERS").as_deref(), 0)
+}
+
+/// `DISTDA_SERVE_QUEUE`.
+pub fn queue() -> usize {
+    parse_count(raw("DISTDA_SERVE_QUEUE").as_deref(), DEFAULT_QUEUE).max(1)
+}
+
+/// `DISTDA_SERVE_CACHE`.
+pub fn cache() -> usize {
+    parse_count(raw("DISTDA_SERVE_CACHE").as_deref(), DEFAULT_CACHE)
+}
+
+/// `DISTDA_SERVE_CACHE_DIR`.
+pub fn cache_dir() -> Option<PathBuf> {
+    parse_cache_dir(raw("DISTDA_SERVE_CACHE_DIR").as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_defaults_and_trims() {
+        assert_eq!(parse_addr(None), DEFAULT_ADDR);
+        assert_eq!(parse_addr(Some("  ")), DEFAULT_ADDR);
+        assert_eq!(parse_addr(Some(" 0.0.0.0:9 ")), "0.0.0.0:9");
+    }
+
+    #[test]
+    fn counts_fall_back_on_garbage() {
+        assert_eq!(parse_count(None, 7), 7);
+        assert_eq!(parse_count(Some("12"), 7), 12);
+        assert_eq!(parse_count(Some("-3"), 7), 7);
+        assert_eq!(parse_count(Some("lots"), 7), 7);
+    }
+
+    #[test]
+    fn cache_dir_none_disables() {
+        assert_eq!(parse_cache_dir(Some("none")), None);
+        assert_eq!(parse_cache_dir(Some("off")), None);
+        assert_eq!(
+            parse_cache_dir(Some("/tmp/c")),
+            Some(PathBuf::from("/tmp/c"))
+        );
+        assert_eq!(
+            parse_cache_dir(None),
+            Some(PathBuf::from(DEFAULT_CACHE_DIR))
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! `distda-serve` — run the simulator as a service.
+//!
+//! ```text
+//! distda-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!              [--cache N] [--cache-dir DIR|none]
+//! ```
+//!
+//! Flags override the corresponding `DISTDA_SERVE_*` environment knobs
+//! (see `distda_serve::env`). The process listens until killed.
+
+use distda_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: distda-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--cache N] [--cache-dir DIR|none]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ServeConfig::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr"),
+            "--workers" => {
+                cfg.workers = distda_serve::env::parse_count(Some(&value("--workers")), cfg.workers)
+            }
+            "--queue" => {
+                cfg.queue =
+                    distda_serve::env::parse_count(Some(&value("--queue")), cfg.queue).max(1)
+            }
+            "--cache" => {
+                cfg.cache_mem =
+                    distda_serve::env::parse_count(Some(&value("--cache")), cfg.cache_mem)
+            }
+            "--cache-dir" => {
+                cfg.cache_dir = distda_serve::env::parse_cache_dir(Some(&value("--cache-dir")))
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+    match Server::start(cfg.clone()) {
+        Ok(server) => {
+            println!(
+                "distda-serve listening on {} (workers auto={}, queue {}, cache {} entries, dir {})",
+                server.local_addr(),
+                cfg.workers == 0,
+                cfg.queue,
+                cfg.cache_mem,
+                cfg.cache_dir
+                    .as_ref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_else(|| "none".to_string()),
+            );
+            // The accept loop runs on its own thread; park forever.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("distda-serve: bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    }
+}

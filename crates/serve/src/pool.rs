@@ -1,0 +1,206 @@
+//! The fixed worker pool with a bounded queue.
+//!
+//! Cache-miss cells are sharded across a fixed set of worker threads over
+//! one shared channel. The queue is bounded by an explicit reservation
+//! counter rather than a bounded channel: a sweep request reserves slots
+//! for *all* of its misses atomically before submitting any, so a job is
+//! either admitted whole or rejected whole with a `retry_after` hint —
+//! there are no half-queued jobs to strand a client on.
+//!
+//! Each worker executes one cell at a time through the same
+//! [`distda_bench::try_run_matrix`] path the batch harness uses (a 1x1
+//! matrix), so served results are produced by exactly the code path the
+//! figures are, and drains the harness's global timing buffer afterwards
+//! so a long-running daemon does not accumulate it without bound.
+
+use distda_bench::{take_timings, try_run_matrix};
+use distda_system::RunConfig;
+use distda_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One cache-miss cell to simulate.
+pub struct CellTask {
+    /// Caller-chosen index, echoed back in the outcome.
+    pub index: usize,
+    /// The workload to run (cheap clone: programs and reference images
+    /// are behind `Arc`s).
+    pub workload: Workload,
+    /// The validated configuration.
+    pub cfg: RunConfig,
+    /// Where the worker sends the outcome.
+    pub reply: Sender<CellOutcome>,
+}
+
+/// One finished cell.
+pub struct CellOutcome {
+    /// The submitting caller's index.
+    pub index: usize,
+    /// The result, or a rendered failure (deadlock, invariant violation,
+    /// golden-model mismatch).
+    pub result: Result<distda_system::RunResult, String>,
+    /// Host seconds the cell took to simulate.
+    pub host_secs: f64,
+}
+
+/// The pool. See the [module docs](self).
+pub struct Pool {
+    tx: Option<Sender<CellTask>>,
+    depth: Arc<AtomicUsize>,
+    capacity: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<CellTask>>>, depth: Arc<AtomicUsize>) {
+    loop {
+        let task = match rx.lock().unwrap().recv() {
+            Ok(t) => t,
+            Err(_) => return, // pool dropped
+        };
+        let t0 = Instant::now();
+        let (sweep, failures) = try_run_matrix(
+            std::slice::from_ref(&task.workload),
+            std::slice::from_ref(&task.cfg),
+        );
+        // Keep the harness's global timing buffer from growing without
+        // bound in a long-running daemon.
+        drop(take_timings());
+        let result = match sweep.results.into_values().next() {
+            Some(r) => Ok(r),
+            None => Err(failures
+                .first()
+                .map(|f| f.error.clone())
+                .unwrap_or_else(|| "cell produced no result".to_string())),
+        };
+        depth.fetch_sub(1, Ordering::SeqCst);
+        let _ = task.reply.send(CellOutcome {
+            index: task.index,
+            result,
+            host_secs: t0.elapsed().as_secs_f64(),
+        });
+    }
+}
+
+impl Pool {
+    /// Starts `workers` threads behind a queue bounded at `capacity`
+    /// cells.
+    pub fn start(workers: usize, capacity: usize) -> Self {
+        let (tx, rx) = mpsc::channel::<CellTask>();
+        let rx = Arc::new(Mutex::new(rx));
+        let depth = Arc::new(AtomicUsize::new(0));
+        let handles = (0..workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let depth = depth.clone();
+                std::thread::spawn(move || worker_loop(rx, depth))
+            })
+            .collect();
+        Self {
+            tx: Some(tx),
+            depth,
+            capacity: capacity.max(1),
+            workers: handles,
+        }
+    }
+
+    /// Cells currently queued or executing.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    /// The configured queue bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Atomically reserves `n` queue slots. Returns `false` (reserving
+    /// nothing) when the queue cannot take all `n` — the caller rejects
+    /// the whole job with a `retry_after` hint.
+    pub fn try_reserve(&self, n: usize) -> bool {
+        let mut cur = self.depth.load(Ordering::SeqCst);
+        loop {
+            if cur + n > self.capacity {
+                return false;
+            }
+            match self
+                .depth
+                .compare_exchange(cur, cur + n, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Submits one cell against a reservation made by
+    /// [`Pool::try_reserve`].
+    pub fn submit(&self, task: CellTask) {
+        self.tx
+            .as_ref()
+            .expect("pool is running")
+            .send(task)
+            .expect("workers alive while pool exists");
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // Close the channel so idle workers observe a disconnect.
+        self.tx = None;
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use distda_system::{ConfigKind, RunConfig};
+    use distda_workloads::{nw, pointer_chase, Scale};
+
+    #[test]
+    fn reservation_bounds_the_queue() {
+        let pool = Pool::start(1, 4);
+        assert!(pool.try_reserve(3));
+        assert!(!pool.try_reserve(2), "3 + 2 > 4 must be rejected whole");
+        assert!(pool.try_reserve(1));
+        assert_eq!(pool.depth(), 4);
+        // Drain the phantom reservations so Drop joins cleanly.
+        pool.depth.store(0, Ordering::SeqCst);
+    }
+
+    #[test]
+    fn workers_simulate_and_reply() {
+        let pool = Pool::start(2, 8);
+        let scale = Scale::tiny();
+        let cells = [
+            (pointer_chase(&scale), RunConfig::named(ConfigKind::OoO)),
+            (nw(&scale), RunConfig::named(ConfigKind::DistDAF)),
+        ];
+        let (reply, outcomes) = mpsc::channel();
+        assert!(pool.try_reserve(cells.len()));
+        for (i, (w, cfg)) in cells.iter().enumerate() {
+            pool.submit(CellTask {
+                index: i,
+                workload: w.clone(),
+                cfg: cfg.clone(),
+                reply: reply.clone(),
+            });
+        }
+        drop(reply);
+        let mut got: Vec<CellOutcome> = outcomes.iter().collect();
+        assert_eq!(got.len(), 2);
+        got.sort_by_key(|o| o.index);
+        for (o, (w, _)) in got.iter().zip(&cells) {
+            let r = o.result.as_ref().expect("cell simulates");
+            assert_eq!(r.kernel, w.program.name);
+            assert!(r.validated);
+            assert!(r.ticks > 0);
+        }
+        assert_eq!(pool.depth(), 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One JSON object per `\n`-terminated line in both directions, parsed
+//! with the workspace's hand-rolled [`distda_trace::json`] (no serde; the
+//! repo carries no external dependencies). Grammar:
+//!
+//! ```text
+//! request  = ping | sweep | metrics
+//! ping     = {"req":"ping"}
+//! metrics  = {"req":"metrics"}
+//! sweep    = {"req":"sweep",
+//!             "kernels":[string...],   ; default: full 12-kernel suite
+//!             "configs":[string...],   ; default: the six paper configs
+//!             "scale":"tiny"|"eval",   ; default "tiny"
+//!             "dedupe":bool,           ; default true
+//!             "payload":bool}          ; default true
+//!
+//! response = pong | metrics | error | rejected
+//!          | accepted cell* result* summary done   ; one sweep stream
+//! ```
+//!
+//! `cell` events use the exact `DISTDA_PROGRESS` JSONL shape from the obs
+//! crate (`{"t_ms":..,"event":"cell","kernel":..,"config":..,"ok":..,
+//! "host_secs":..,"ticks":..}`), so existing progress consumers can tail
+//! a job stream unchanged; `ticks`/`host_secs` count *new* simulation
+//! only — a cache hit reports 0 ticks. `result` lines carry the canonical
+//! cache encoding of each cell (see [`crate::cache`]), emitted in
+//! deterministic kernel-major submission order regardless of worker
+//! completion order.
+//!
+//! Config labels accept either the bare kind (`"Dist-DA-F"`, matching
+//! case-insensitively) or a full display label (`"Dist-DA-F@1GHz"`,
+//! `"Dist-DA-IO+SW@2GHz"`); every resolved config passes
+//! [`RunConfig::validate`] before the job is accepted.
+
+use distda_system::{ConfigKind, RunConfig};
+use distda_trace::json;
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// OpenMetrics snapshot over the JSON protocol.
+    Metrics,
+    /// A sweep submission.
+    Sweep(SweepRequest),
+}
+
+/// The `sweep` request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    /// Kernel names (empty = full suite).
+    pub kernels: Vec<String>,
+    /// Config labels (empty = the six paper configs).
+    pub configs: Vec<String>,
+    /// Input scale: `"tiny"` or `"eval"`.
+    pub scale: String,
+    /// Whether to consult/populate the result cache.
+    pub dedupe: bool,
+    /// Whether `result` lines carry the canonical payload.
+    pub payload: bool,
+}
+
+fn strings(v: &json::Value, key: &str) -> Result<Vec<String>, String> {
+    match v.get(key) {
+        None => Ok(Vec::new()),
+        Some(json::Value::Arr(items)) => items
+            .iter()
+            .map(|it| {
+                it.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("`{key}` must be an array of strings"))
+            })
+            .collect(),
+        Some(_) => Err(format!("`{key}` must be an array of strings")),
+    }
+}
+
+fn boolean(v: &json::Value, key: &str, default: bool) -> Result<bool, String> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(json::Value::Bool(b)) => Ok(*b),
+        Some(_) => Err(format!("`{key}` must be a boolean")),
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a message suitable for an `error` response: malformed JSON, a
+/// missing/unknown `req`, or a mistyped field.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+    let req = v
+        .get("req")
+        .and_then(json::Value::as_str)
+        .ok_or_else(|| "request missing string field `req`".to_string())?;
+    match req {
+        "ping" => Ok(Request::Ping),
+        "metrics" => Ok(Request::Metrics),
+        "sweep" => {
+            let scale = match v.get("scale") {
+                None => "tiny".to_string(),
+                Some(s) => {
+                    let s = s
+                        .as_str()
+                        .ok_or_else(|| "`scale` must be a string".to_string())?;
+                    match s {
+                        "tiny" | "eval" => s.to_string(),
+                        other => return Err(format!("unknown scale `{other}` (tiny|eval)")),
+                    }
+                }
+            };
+            Ok(Request::Sweep(SweepRequest {
+                kernels: strings(&v, "kernels")?,
+                configs: strings(&v, "configs")?,
+                scale,
+                dedupe: boolean(&v, "dedupe", true)?,
+                payload: boolean(&v, "payload", true)?,
+            }))
+        }
+        other => Err(format!("unknown request `{other}`")),
+    }
+}
+
+/// Resolves a config label to a validated [`RunConfig`]: bare kind labels
+/// (`"OoO"`, `"dist-da-f"`), full display labels (`"Dist-DA-F@1GHz"`),
+/// and the two Figure 14 variants (`"Dist-DA-IO+SW"`, `"Dist-DA-F+A"`).
+///
+/// # Errors
+///
+/// Returns a message for an unknown label or a config rejected by
+/// [`RunConfig::validate`].
+pub fn config_by_label(label: &str) -> Result<RunConfig, String> {
+    let named = ConfigKind::ALL.into_iter().map(RunConfig::named);
+    let variants = [RunConfig::dist_da_io_sw(), RunConfig::dist_da_f_alloc()];
+    let cfg = named
+        .chain(variants)
+        .find(|c| {
+            c.label().eq_ignore_ascii_case(label)
+                || format!("{}{}", c.kind.label(), c.suffix).eq_ignore_ascii_case(label)
+        })
+        .ok_or_else(|| format!("unknown config `{label}`"))?;
+    cfg.validate()
+        .map_err(|e| format!("invalid config `{label}`: {e}"))?;
+    Ok(cfg)
+}
+
+/// `{"event":"pong"}`
+pub fn render_pong() -> String {
+    "{\"event\":\"pong\"}".to_string()
+}
+
+/// `{"event":"error","message":...}`
+pub fn render_error(message: &str) -> String {
+    format!(
+        "{{\"event\":\"error\",\"message\":\"{}\"}}",
+        json::escape(message)
+    )
+}
+
+/// `{"event":"rejected",...}` — the backpressure response.
+pub fn render_rejected(queued: usize, capacity: usize, retry_after_ms: u64) -> String {
+    format!(
+        "{{\"event\":\"rejected\",\"reason\":\"queue full\",\"queued\":{queued},\
+         \"capacity\":{capacity},\"retry_after_ms\":{retry_after_ms}}}"
+    )
+}
+
+/// `{"event":"accepted",...}` — job admission.
+pub fn render_accepted(job: u64, cells: usize, cached: usize, queued: usize) -> String {
+    format!(
+        "{{\"event\":\"accepted\",\"job\":{job},\"cells\":{cells},\
+         \"cached\":{cached},\"queued\":{queued}}}"
+    )
+}
+
+/// One `cell` progress event in the `DISTDA_PROGRESS` JSONL shape.
+pub fn render_cell(
+    t_ms: u128,
+    kernel: &str,
+    config: &str,
+    ok: bool,
+    host_secs: f64,
+    ticks: u64,
+) -> String {
+    format!(
+        "{{\"t_ms\":{t_ms},\"event\":\"cell\",\"kernel\":\"{}\",\"config\":\"{}\",\
+         \"ok\":{ok},\"host_secs\":{host_secs},\"ticks\":{ticks}}}",
+        json::escape(kernel),
+        json::escape(config),
+    )
+}
+
+/// One `result` line: the cell's identity, provenance and (optionally)
+/// its canonical payload.
+#[allow(clippy::too_many_arguments)]
+pub fn render_result(
+    kernel: &str,
+    config: &str,
+    config_hash: &str,
+    cached: bool,
+    ok: bool,
+    ticks: u64,
+    error: Option<&str>,
+    payload: Option<&str>,
+) -> String {
+    let mut out = format!(
+        "{{\"event\":\"result\",\"kernel\":\"{}\",\"config\":\"{}\",\
+         \"config_hash\":\"{}\",\"cached\":{cached},\"ok\":{ok},\"ticks\":{ticks}",
+        json::escape(kernel),
+        json::escape(config),
+        json::escape(config_hash),
+    );
+    if let Some(e) = error {
+        out.push_str(&format!(",\"error\":\"{}\"", json::escape(e)));
+    }
+    if let Some(p) = payload {
+        out.push_str(&format!(",\"payload\":\"{}\"", json::escape(p)));
+    }
+    out.push('}');
+    out
+}
+
+/// The `summary` event, mirroring the `DISTDA_PROGRESS` summary shape
+/// (`ticks`/`sim_secs_sum` count new simulation only).
+pub fn render_summary(
+    t_ms: u128,
+    done: usize,
+    failed: usize,
+    ticks: u64,
+    sim_secs_sum: f64,
+    elapsed_secs: f64,
+) -> String {
+    format!(
+        "{{\"t_ms\":{t_ms},\"event\":\"summary\",\"done\":{done},\"failed\":{failed},\
+         \"ticks\":{ticks},\"sim_secs_sum\":{sim_secs_sum},\"elapsed_secs\":{elapsed_secs}}}"
+    )
+}
+
+/// The final `done` event with the job's dedupe accounting.
+pub fn render_done(
+    job: u64,
+    cells: usize,
+    cache_hits: usize,
+    simulated: usize,
+    failed: usize,
+) -> String {
+    format!(
+        "{{\"event\":\"done\",\"job\":{job},\"cells\":{cells},\
+         \"cache_hits\":{cache_hits},\"simulated\":{simulated},\"failed\":{failed}}}"
+    )
+}
+
+/// `{"event":"metrics","text":...}` — the OpenMetrics snapshot inline.
+pub fn render_metrics(text: &str) -> String {
+    format!(
+        "{{\"event\":\"metrics\",\"text\":\"{}\"}}",
+        json::escape(text)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ping_and_metrics() {
+        assert_eq!(parse_request("{\"req\":\"ping\"}").unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request("{\"req\":\"metrics\"}").unwrap(),
+            Request::Metrics
+        );
+        assert!(parse_request("{\"req\":\"nope\"}").is_err());
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request("garbage").is_err());
+    }
+
+    #[test]
+    fn sweep_defaults_and_fields() {
+        let r = parse_request("{\"req\":\"sweep\"}").unwrap();
+        let Request::Sweep(s) = r else { panic!() };
+        assert!(s.kernels.is_empty() && s.configs.is_empty());
+        assert_eq!(s.scale, "tiny");
+        assert!(s.dedupe && s.payload);
+
+        let r = parse_request(
+            "{\"req\":\"sweep\",\"kernels\":[\"nw\"],\"configs\":[\"OoO\"],\
+             \"scale\":\"eval\",\"dedupe\":false,\"payload\":false}",
+        )
+        .unwrap();
+        let Request::Sweep(s) = r else { panic!() };
+        assert_eq!(s.kernels, vec!["nw"]);
+        assert_eq!(s.configs, vec!["OoO"]);
+        assert_eq!(s.scale, "eval");
+        assert!(!s.dedupe && !s.payload);
+
+        assert!(parse_request("{\"req\":\"sweep\",\"scale\":\"huge\"}").is_err());
+        assert!(parse_request("{\"req\":\"sweep\",\"kernels\":[1]}").is_err());
+        assert!(parse_request("{\"req\":\"sweep\",\"dedupe\":\"yes\"}").is_err());
+    }
+
+    #[test]
+    fn config_labels_resolve_and_validate() {
+        assert_eq!(config_by_label("OoO").unwrap().kind, ConfigKind::OoO);
+        assert_eq!(
+            config_by_label("dist-da-f").unwrap().kind,
+            ConfigKind::DistDAF
+        );
+        assert_eq!(
+            config_by_label("Dist-DA-F@1GHz").unwrap().kind,
+            ConfigKind::DistDAF
+        );
+        let sw = config_by_label("Dist-DA-IO+SW").unwrap();
+        assert_eq!(sw.issue_width, 4);
+        assert!(sw.sw_prefetch);
+        let a = config_by_label("Dist-DA-F+A@1GHz").unwrap();
+        assert_eq!(a.suffix, "+A");
+        assert!(config_by_label("Giga-DA").is_err());
+    }
+
+    #[test]
+    fn renders_are_parseable_json() {
+        use distda_trace::json;
+        for line in [
+            render_pong(),
+            render_error("boom \"quoted\""),
+            render_rejected(9, 8, 250),
+            render_accepted(1, 4, 2, 2),
+            render_cell(12, "nw", "OoO", true, 0.5, 100),
+            render_result("nw", "OoO", "fnv1a:00", true, true, 100, None, Some("p\nq")),
+            render_result(
+                "nw",
+                "OoO",
+                "fnv1a:00",
+                false,
+                false,
+                0,
+                Some("deadlock"),
+                None,
+            ),
+            render_summary(99, 3, 1, 1000, 0.7, 0.8),
+            render_done(1, 4, 2, 2, 0),
+            render_metrics("# TYPE x counter\nx_total 1\n# EOF\n"),
+        ] {
+            let v = json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert!(v.get("event").is_some(), "{line}");
+        }
+    }
+
+    #[test]
+    fn result_payload_round_trips_through_escaping() {
+        use distda_trace::json;
+        let payload = "kernel nw\nconfig OoO \"x\"\nticks 5\n";
+        let line = render_result("nw", "OoO", "fnv1a:00", false, true, 5, None, Some(payload));
+        let v = json::parse(&line).unwrap();
+        assert_eq!(
+            v.get("payload").and_then(json::Value::as_str),
+            Some(payload)
+        );
+    }
+}

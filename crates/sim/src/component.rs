@@ -210,6 +210,16 @@ pub struct Scheduler<W> {
     /// probe that filled it (run-loop entries conservatively clear it).
     /// See `next_wake` for the identity argument.
     cache_valid: bool,
+    /// Whether the most recent *fresh* probe found nothing due at `now`
+    /// (the machine is coasting between scheduled wakes). While set,
+    /// probes use the plain stage-order scan and skip calendar
+    /// maintenance entirely: on the idle path every probe is complete,
+    /// so rebuilding the calendar each time costs more than the ordering
+    /// heuristic can ever repay. Any fresh `== now` result (hint hit or
+    /// fold early-exit) clears it, restoring calendar-ordered visits for
+    /// busy phases. Cached probe hits never touch it — a scheduled wake
+    /// executing is not a busy phase.
+    idle_streak: bool,
     /// Reused `(component, candidate)` scratch for calendar rebuilds.
     cand_scratch: Vec<(u32, Option<Tick>)>,
 }
@@ -254,6 +264,7 @@ impl<W> Scheduler<W> {
             wake_hint: None,
             wake_cache: None,
             cache_valid: false,
+            idle_streak: false,
             cand_scratch: Vec::new(),
         }
     }
@@ -325,6 +336,7 @@ impl<W> Scheduler<W> {
         self.wake_known = false;
         self.wake_hint = None;
         self.cache_valid = false;
+        self.idle_streak = false;
     }
 
     /// Registered components in tick (stage) order.
@@ -403,6 +415,7 @@ impl<W> Scheduler<W> {
             if self.comps[id as usize].comp.next_event(now, world) == Some(now) {
                 self.wake_cache = Some(now);
                 self.cache_valid = true;
+                self.idle_streak = false;
                 return Some(now);
             }
         }
@@ -411,6 +424,10 @@ impl<W> Scheduler<W> {
         let mut w: Option<Tick> = None;
         let mut argmin: Option<u32> = None;
         let mut complete = true;
+        // While coasting through an idle streak every probe is complete
+        // anyway, so calendar-ordered visits buy nothing: scan in stage
+        // order and skip the rebuild below.
+        let coasting = self.idle_streak;
         {
             let comps = &self.comps;
             // Probes one component; after the `now` early-exit fires the
@@ -431,13 +448,14 @@ impl<W> Scheduler<W> {
                     complete = false;
                 }
             };
-            if self.wake_known {
+            if self.wake_known && !coasting {
                 self.wake_calendar.visit_ascending(|_, id| probe(id));
                 for &id in &self.wake_none {
                     probe(id);
                 }
             } else {
-                // Structural fallback: plain stage-order scan.
+                // Structural fallback and idle streak: plain stage-order
+                // scan.
                 for &i in &self.tick_order {
                     probe(i as u32);
                 }
@@ -445,19 +463,31 @@ impl<W> Scheduler<W> {
         }
         self.wake_hint = argmin;
         if complete {
-            // Every component was probed: rebuild the calendar from this
-            // probe so the next one asks in ascending-wake order. An
-            // early-exited probe leaves the previous order in place (the
-            // stale order is only a heuristic).
-            self.wake_calendar.clear_to(now);
-            self.wake_none.clear();
-            for &(id, cand) in &cands {
-                match cand {
-                    Some(t) => self.wake_calendar.insert(t, id),
-                    None => self.wake_none.push(id),
+            // Nothing is due at `now`: the machine is idle at a known
+            // horizon. Subsequent probes coast on the stage-order scan.
+            self.idle_streak = true;
+            if !coasting {
+                // First complete probe after a busy phase (or a structural
+                // change): rebuild the calendar from this probe so that
+                // once the machine goes busy again, probes ask in
+                // ascending-wake order. Consecutive complete probes skip
+                // this — on a long idle stretch the rebuild is pure
+                // overhead. An early-exited probe likewise leaves the
+                // previous order in place (the stale order is only a
+                // heuristic).
+                self.wake_calendar.clear_to(now);
+                self.wake_none.clear();
+                for &(id, cand) in &cands {
+                    match cand {
+                        Some(t) => self.wake_calendar.insert(t, id),
+                        None => self.wake_none.push(id),
+                    }
                 }
+                self.wake_known = true;
             }
-            self.wake_known = true;
+        } else {
+            // A fresh probe found work due at `now`: busy phase.
+            self.idle_streak = false;
         }
         self.cand_scratch = cands;
         self.wake_cache = w;

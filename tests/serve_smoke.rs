@@ -1,0 +1,101 @@
+//! The sim-as-a-service smoke test (also run as CI's `serve-smoke` job):
+//! an in-process daemon, one small sweep submitted twice, with the second
+//! submission served entirely from the content-addressed cache — zero new
+//! simulated ticks, byte-identical to both the first submission and a
+//! direct `try_run_matrix` of the same cells.
+
+use distda_bench::try_run_matrix;
+use distda_serve::{encode_result, fetch_metrics, Client, ServeConfig, Server, SweepReply};
+use distda_system::{ConfigKind, RunConfig};
+use distda_workloads::{nw, pointer_chase, Scale};
+
+#[test]
+fn served_sweep_dedupes_and_matches_direct_simulation() {
+    let dir = std::env::temp_dir().join(format!("distda-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue: 32,
+        cache_mem: 32,
+        cache_dir: Some(dir.clone()),
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.ping().expect("daemon answers ping");
+
+    let kernels = ["pch", "nw"];
+    let configs = ["OoO", "Dist-DA-F"];
+    let run = |client: &mut Client| match client
+        .sweep(&kernels, &configs, "tiny", true, true)
+        .expect("sweep")
+    {
+        SweepReply::Done(t) => t,
+        SweepReply::Rejected { .. } => panic!("tiny job must be admitted"),
+    };
+
+    let first = run(&mut client);
+    assert_eq!(first.cells, 4);
+    assert_eq!(first.queued, 4, "cold cache simulates everything");
+    assert!(first.results.iter().all(|r| r.ok && !r.cached));
+    assert!(first.summary_ticks > 0);
+
+    // Second identical submission: 100% cache hits, zero new ticks.
+    let second = run(&mut client);
+    assert_eq!(second.cached, 4, "second submission is 100% cache hits");
+    assert_eq!(second.queued, 0);
+    assert_eq!(second.summary_ticks, 0, "no new simulation");
+    assert!(second.results.iter().all(|r| r.ok && r.cached));
+    let served: Vec<&String> = second
+        .results
+        .iter()
+        .map(|r| r.payload.as_ref().expect("payload"))
+        .collect();
+    let first_payloads: Vec<&String> = first
+        .results
+        .iter()
+        .map(|r| r.payload.as_ref().expect("payload"))
+        .collect();
+    assert_eq!(first_payloads, served, "cache round-trip is byte-identical");
+
+    // Byte-identical to running the same matrix directly, bypassing the
+    // daemon entirely (the simulator is deterministic).
+    let scale = Scale::tiny();
+    let ws = [pointer_chase(&scale), nw(&scale)];
+    let cfgs = [
+        RunConfig::named(ConfigKind::OoO),
+        RunConfig::named(ConfigKind::DistDAF),
+    ];
+    let (sweep, failures) = try_run_matrix(&ws, &cfgs);
+    assert!(failures.is_empty());
+    let _ = distda_bench::take_timings();
+    for cell in &second.results {
+        let direct = sweep
+            .results
+            .get(&(cell.kernel.clone(), cell.config.clone()))
+            .expect("direct run has the cell");
+        assert_eq!(
+            cell.payload.as_deref(),
+            Some(encode_result(direct).as_str()),
+            "{} under {} served != direct",
+            cell.kernel,
+            cell.config
+        );
+    }
+
+    // The daemon accounting balances and the scrape works end to end.
+    let metrics = fetch_metrics(&addr).expect("GET /metrics");
+    assert!(metrics.ends_with("# EOF\n"));
+    assert!(metrics.contains("distda_serve_cells_submitted_total 8"));
+    assert!(metrics.contains("distda_serve_cells_completed_total 4"));
+    assert!(metrics.contains("distda_serve_cells_deduped_total 4"));
+    assert!(
+        metrics.contains("distda_serve_cache_hit_ratio 0.5"),
+        "4 hits / 8 lookups"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+}
