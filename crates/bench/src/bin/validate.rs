@@ -14,7 +14,10 @@
 //! - `--kernel NAME` (repeatable): restrict to suite kernels by name
 //!   (default: all twelve).
 //! - `--config LABEL` (repeatable): restrict to configurations by label
-//!   (default: all six).
+//!   (default: all six). Labels accept topology extensions in the
+//!   `Dist-DA-IO:4x4:fm150:t2` form — wider meshes, far-memory pools and
+//!   tenant counts sweep through the same strict-validation machinery as
+//!   the paper machine.
 //! - `--smoke SEED`: instead of the fixed suite, generate randomized
 //!   kernels (saxpy, dot reduction, indirect gather, 3-point stencil) with
 //!   sizes and constants drawn from `SEED`, and validate those across the
@@ -23,12 +26,11 @@
 //!
 //! Exit status is nonzero if any cell fails.
 
-use distda_ir::prelude::*;
-use distda_system::{CheckPolicy, ConfigKind, RunConfig};
-use distda_workloads::{gen, suite, Scale, Workload};
+use distda_system::{parse_label_extension, CheckPolicy, ConfigKind, RunConfig};
+use distda_workloads::{micro, suite, Scale, Workload};
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 
 struct Args {
     scale: String,
@@ -69,129 +71,21 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-/// Randomized saxpy: `y[i] = a*x[i] + y[i]`.
-fn smoke_saxpy(n: usize, a: f64, seed: u64) -> Workload {
-    let mut b = ProgramBuilder::new("smoke-saxpy");
-    let x = b.array_f64("x", n);
-    let y = b.array_f64("y", n);
-    b.for_(0, n as i64, 1, |b, i| {
-        let v = Expr::cf(a) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
-        b.store(y, i, v);
-    });
-    let prog = b.build();
-    Workload {
-        name: "smoke-saxpy".into(),
-        ref_cache: Default::default(),
-        program: prog,
-        init: Arc::new(move |mem: &mut Memory| {
-            for (k, v) in gen::unit_floats(n, seed).into_iter().enumerate() {
-                mem.array_mut(x)[k] = v;
-            }
-            for (k, v) in gen::unit_floats(n, seed + 1).into_iter().enumerate() {
-                mem.array_mut(y)[k] = v;
-            }
-        }),
-    }
-}
-
-/// Randomized dot-product reduction: `out[0] = sum(x[i]*y[i])`.
-fn smoke_dot(n: usize, seed: u64) -> Workload {
-    let mut b = ProgramBuilder::new("smoke-dot");
-    let x = b.array_f64("x", n);
-    let y = b.array_f64("y", n);
-    let out = b.array_f64("out", 1);
-    let acc = b.scalar("acc", 0.0f64);
-    b.for_(0, n as i64, 1, |b, i| {
-        b.set(
-            acc,
-            Expr::Scalar(acc) + Expr::load(x, i.clone()) * Expr::load(y, i),
-        );
-    });
-    b.store(out, Expr::c(0), Expr::Scalar(acc));
-    let prog = b.build();
-    Workload {
-        name: "smoke-dot".into(),
-        ref_cache: Default::default(),
-        program: prog,
-        init: Arc::new(move |mem: &mut Memory| {
-            for (k, v) in gen::unit_floats(n, seed).into_iter().enumerate() {
-                mem.array_mut(x)[k] = v;
-            }
-            for (k, v) in gen::unit_floats(n, seed + 1).into_iter().enumerate() {
-                mem.array_mut(y)[k] = v;
-            }
-        }),
-    }
-}
-
-/// Randomized indirect gather: `out[i] = data[idx[i]]` over a permutation.
-fn smoke_gather(n: usize, seed: u64) -> Workload {
-    let mut b = ProgramBuilder::new("smoke-gather");
-    let idx = b.array_i64("idx", n);
-    let data = b.array_f64("data", n);
-    let out = b.array_f64("out", n);
-    b.for_(0, n as i64, 1, |b, i| {
-        let j = Expr::load(idx, i.clone());
-        b.store(out, i, Expr::load(data, j));
-    });
-    let prog = b.build();
-    Workload {
-        name: "smoke-gather".into(),
-        ref_cache: Default::default(),
-        program: prog,
-        init: Arc::new(move |mem: &mut Memory| {
-            for (k, v) in gen::permutation_cycle(n, seed).into_iter().enumerate() {
-                mem.array_mut(idx)[k] = Value::I(v);
-            }
-            for (k, v) in gen::unit_floats(n, seed + 1).into_iter().enumerate() {
-                mem.array_mut(data)[k] = v;
-            }
-        }),
-    }
-}
-
-/// Randomized 3-point stencil: `out[i] = c0*a[i-1] + c1*a[i] + c2*a[i+1]`.
-fn smoke_stencil(n: usize, c: [f64; 3], seed: u64) -> Workload {
-    let mut b = ProgramBuilder::new("smoke-stencil3");
-    let a = b.array_f64("a", n);
-    let out = b.array_f64("out", n);
-    b.for_(1, n as i64 - 1, 1, |b, i| {
-        let v = Expr::cf(c[0]) * Expr::load(a, i.clone() - Expr::c(1))
-            + Expr::cf(c[1]) * Expr::load(a, i.clone())
-            + Expr::cf(c[2]) * Expr::load(a, i.clone() + Expr::c(1));
-        b.store(out, i, v);
-    });
-    let prog = b.build();
-    Workload {
-        name: "smoke-stencil3".into(),
-        ref_cache: Default::default(),
-        program: prog,
-        init: Arc::new(move |mem: &mut Memory| {
-            for (k, v) in gen::unit_floats(n, seed).into_iter().enumerate() {
-                mem.array_mut(a)[k] = v;
-            }
-        }),
-    }
-}
-
-/// The randomized smoke suite for one seed: sizes and constants drawn from
-/// a [`SplitMix64`](distda_sim::SplitMix64) stream, so the same seed always
-/// reproduces the same kernels.
-fn smoke_suite(seed: u64) -> Vec<Workload> {
-    let mut r = distda_sim::SplitMix64::new(seed);
-    let mut size = |lo: u64, hi: u64| (lo + r.below(hi - lo)) as usize;
-    let saxpy_n = size(64, 512);
-    let dot_n = size(64, 512);
-    let gather_n = size(64, 512);
-    let stencil_n = size(64, 512);
-    let a = 0.5 + r.next_f64() * 4.0;
-    let c = [r.next_f64(), r.next_f64(), r.next_f64()];
-    vec![
-        smoke_saxpy(saxpy_n, a, seed + 10),
-        smoke_dot(dot_n, seed + 20),
-        smoke_gather(gather_n, seed + 30),
-        smoke_stencil(stencil_n, c, seed + 40),
-    ]
+/// Resolves a `--config` label: the base name must match a [`ConfigKind`],
+/// and any `:`-separated topology segments (`4x4`, `b8`, `fm150x4`, `t2`)
+/// reshape the machine the configuration runs on.
+fn resolve_config(label: &str) -> Result<RunConfig, String> {
+    let (base, topo) = parse_label_extension(label)?;
+    let kind = ConfigKind::ALL
+        .into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(base))
+        .ok_or_else(|| {
+            format!(
+                "unknown config: {base} (expected one of {})",
+                ConfigKind::ALL.map(|k| k.label()).join(", ")
+            )
+        })?;
+    Ok(RunConfig::named(kind).with_topology(topo))
 }
 
 fn main() -> ExitCode {
@@ -219,26 +113,20 @@ fn main() -> ExitCode {
             .collect();
     } else {
         for label in &args.configs {
-            match ConfigKind::ALL
-                .into_iter()
-                .find(|k| k.label().eq_ignore_ascii_case(label))
-            {
-                Some(k) => configs.push(RunConfig::named(k)),
-                None => {
-                    eprintln!(
-                        "unknown config: {label} (expected one of {})",
-                        ConfigKind::ALL.map(|k| k.label()).join(", ")
-                    );
+            match resolve_config(label) {
+                Ok(cfg) => configs.push(cfg),
+                Err(e) => {
+                    eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
             }
         }
     }
 
-    let mut workloads = match args.smoke {
+    let mut workloads: Vec<Workload> = match args.smoke {
         Some(seed) => {
             println!("randomized smoke suite, seed {seed}");
-            smoke_suite(seed)
+            micro::suite(seed)
         }
         None => suite(&scale),
     };

@@ -399,20 +399,21 @@ pub fn table06(scale: &Scale) -> String {
 /// Section VI-E: accelerator area overheads.
 pub fn table_area() -> String {
     let a = AreaModel::nominal_32nm();
+    let clusters = distda_system::Topology::paper().clusters();
     let mut out = String::new();
     writeln!(out, "\n=== Section VI-E: area overheads (32 nm) ===").unwrap();
     writeln!(
         out,
-        "in-order core + access unit: {:.2}% of an L3 cluster, {:.2}% of the chip (8 clusters)",
+        "in-order core + access unit: {:.2}% of an L3 cluster, {:.2}% of the chip ({clusters} clusters)",
         a.io_overhead_per_cluster() * 100.0,
-        a.io_overhead_chip(8) * 100.0
+        a.io_overhead_chip(clusters) * 100.0
     )
     .unwrap();
     writeln!(
         out,
-        "5x5 CGRA + access unit:      {:.2}% of an L3 cluster, {:.2}% of the chip (8 clusters)",
+        "5x5 CGRA + access unit:      {:.2}% of an L3 cluster, {:.2}% of the chip ({clusters} clusters)",
         a.cgra_overhead_per_cluster() * 100.0,
-        a.cgra_overhead_chip(8) * 100.0
+        a.cgra_overhead_chip(clusters) * 100.0
     )
     .unwrap();
     writeln!(

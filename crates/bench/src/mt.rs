@@ -11,9 +11,9 @@
 use distda_compiler::{compile, PartitionMode};
 use distda_ir::interp::Memory;
 use distda_ir::value::Value;
-use distda_mem::{MemConfig, MemSystem};
+use distda_mem::MemSystem;
 use distda_sim::time::ClockDomain;
-use distda_system::runner::{place_partitions, substrates_for};
+use distda_system::runner::{mem_config_for, place_partitions, substrates_for};
 use distda_system::{allocate, ConfigKind, Machine, RunConfig};
 use distda_workloads::{gen, Scale};
 
@@ -77,10 +77,16 @@ pub fn bfs_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult {
     };
 
     // Machine setup (same parameters as the runner).
+    let topo = &cfg.topology;
     let uncore = ClockDomain::from_ghz(2.0);
-    let mut mem = MemSystem::new(MemConfig::scaled_for_reduced_inputs(), uncore, 0, 7);
+    let mut mem = MemSystem::new(
+        mem_config_for(topo),
+        uncore,
+        topo.host_node,
+        topo.memctrl_node,
+    );
     let plans = vec![plan.clone()];
-    let alloc = allocate(&prog, &plans, 8, cfg.alloc, &mut mem);
+    let alloc = allocate(&prog, &plans, topo.clusters(), cfg.alloc, &mut mem);
     let mut img = Memory::for_program(&prog);
     for (k, v) in row_ptr.iter().enumerate() {
         let _ = (k, v); // row_ptr is host-side only in this driver
@@ -92,10 +98,10 @@ pub fn bfs_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult {
     for v in img.array_mut(cost).iter_mut().skip(1) {
         *v = Value::I(-1);
     }
-    let mut machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224);
+    let mut machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224, topo);
 
     // One plan instance per thread.
-    let placement = place_partitions(&plan, &alloc, cfg.kind);
+    let placement = place_partitions(&plan, &alloc, cfg.kind, topo.host_node);
     let substrates = substrates_for(&plan, cfg);
     let handles: Vec<_> = (0..threads)
         .map(|_| machine.configure_plan(&plan, &placement, &substrates, &[]))
@@ -236,16 +242,22 @@ pub fn pathfinder_mt(scale: &Scale, threads: usize, cfg: &RunConfig) -> MtResult
     }
     let plan = ck.offloads.remove(0);
 
+    let topo = &cfg.topology;
     let uncore = ClockDomain::from_ghz(2.0);
-    let mut mem = MemSystem::new(MemConfig::scaled_for_reduced_inputs(), uncore, 0, 7);
+    let mut mem = MemSystem::new(
+        mem_config_for(topo),
+        uncore,
+        topo.host_node,
+        topo.memctrl_node,
+    );
     let plans = vec![plan.clone()];
-    let alloc = allocate(&prog, &plans, 8, cfg.alloc, &mut mem);
+    let alloc = allocate(&prog, &plans, topo.clusters(), cfg.alloc, &mut mem);
     let mut img = Memory::for_program(&prog);
     let wall_vals = gen::pixels(rows * cols, scale.seed + 60);
     img.array_mut(wall).copy_from_slice(&wall_vals);
-    let mut machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224);
+    let mut machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224, topo);
 
-    let placement = place_partitions(&plan, &alloc, cfg.kind);
+    let placement = place_partitions(&plan, &alloc, cfg.kind, topo.host_node);
     let substrates = substrates_for(&plan, cfg);
     let handles: Vec<_> = (0..threads)
         .map(|_| machine.configure_plan(&plan, &placement, &substrates, &[]))

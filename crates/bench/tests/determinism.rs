@@ -3,14 +3,20 @@
 //! and idle skip-ahead must be bit-identical to tick-by-tick execution.
 
 use distda_bench::run_matrix;
-use distda_system::{simulate_with_skip, ConfigKind, RunConfig};
-use distda_workloads::{suite, Scale};
+use distda_system::{simulate_with_skip, ConfigKind, RunConfig, Topology};
+use distda_workloads::{micro, suite, Scale};
+use std::sync::Mutex;
+
+/// Serializes the tests that mutate `DISTDA_THREADS` (process-global
+/// state) so they cannot race each other's set/remove.
+static THREADS_ENV: Mutex<()> = Mutex::new(());
 
 /// `run_matrix` with 1 worker and with 8 workers must produce identical
 /// `RunResult`s (every field: ticks, energy, NoC bytes, ...) and identical
 /// row/column ordering, for 3 workloads x 3 configurations.
 #[test]
 fn parallel_sweep_matches_sequential() {
+    let _guard = THREADS_ENV.lock().unwrap();
     let scale = Scale::tiny();
     let all = suite(&scale);
     let workloads = &all[..3];
@@ -29,6 +35,42 @@ fn parallel_sweep_matches_sequential() {
     assert_eq!(seq.results.len(), par.results.len());
     for (key, a) in &seq.results {
         let b = &par.results[key];
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "results diverged for {key:?}"
+        );
+    }
+}
+
+/// A scenario-family sweep — wider meshes, a far-memory pool, and
+/// multi-tenant cells — must also be byte-stable across `DISTDA_THREADS`:
+/// per-tenant attribution and fairness metrics ride in the `RunResult`
+/// report, so the same field-by-field comparison covers them.
+#[test]
+fn multi_tenant_sweep_is_byte_stable_across_threads() {
+    let _guard = THREADS_ENV.lock().unwrap();
+    let workloads = micro::suite(0xBEEF);
+    let mut two_tenants = Topology::mesh(4, 4);
+    two_tenants.tenants = 2;
+    let mut far = Topology::mesh(8, 4);
+    far.far_memory = Some(distda_system::FarMemory {
+        extra_latency: 150,
+        bytes_per_cycle: 2,
+    });
+    let configs = vec![
+        RunConfig::named(ConfigKind::DistDAIO).with_topology(two_tenants),
+        RunConfig::named(ConfigKind::DistDAF).with_topology(far),
+    ];
+    std::env::set_var("DISTDA_THREADS", "1");
+    let seq = run_matrix(&workloads, &configs);
+    std::env::set_var("DISTDA_THREADS", "8");
+    let par = run_matrix(&workloads, &configs);
+    std::env::remove_var("DISTDA_THREADS");
+    assert_eq!(seq.results.len(), par.results.len());
+    for (key, a) in &seq.results {
+        let b = &par.results[key];
+        assert!(a.validated, "{key:?} must strict-validate");
         assert_eq!(
             format!("{a:?}"),
             format!("{b:?}"),

@@ -159,6 +159,10 @@ pub struct MemSystem {
     w_cluster: Vec<(ReturnPath, bool)>,
     w_l1: Vec<Waiter>,
     w_l2: Vec<()>,
+    /// Disjoint `[start, end)` byte ranges owned by each tenant, for
+    /// attributing memory-protocol packets to the tenant whose data they
+    /// move. Empty (the default) attributes everything to tenant 0.
+    tenant_ranges: Vec<(u64, u64, u16)>,
 }
 
 impl MemSystem {
@@ -195,6 +199,7 @@ impl MemSystem {
             w_cluster: Vec::new(),
             w_l1: Vec::new(),
             w_l2: Vec::new(),
+            tenant_ranges: Vec::new(),
             cfg,
             clock,
             host_node,
@@ -261,6 +266,27 @@ impl MemSystem {
     /// The hierarchy configuration.
     pub fn config(&self) -> &MemConfig {
         &self.cfg
+    }
+
+    /// Declares the `[start, end)` byte range owned by `tenant`. Ranges
+    /// must be disjoint; memory-protocol packets touching a line inside a
+    /// declared range are attributed to its tenant in the NoC statistics
+    /// (undeclared addresses attribute to tenant 0).
+    pub fn declare_tenant_range(&mut self, start: u64, end: u64, tenant: u16) {
+        self.tenant_ranges.push((start, end, tenant));
+    }
+
+    /// The tenant owning cache line `line` (0 when unclaimed).
+    fn tenant_of_line(&self, line: u64) -> u16 {
+        if self.tenant_ranges.is_empty() {
+            return 0;
+        }
+        let addr = line * LINE_BYTES;
+        self.tenant_ranges
+            .iter()
+            .find(|&&(s, e, _)| addr >= s && addr < e)
+            .map(|&(_, _, t)| t)
+            .unwrap_or(0)
     }
 
     /// Host-core index of a host port, precomputed at registration
@@ -543,16 +569,19 @@ impl MemSystem {
                         },
                     );
                 } else {
-                    self.out.push_back(Packet::new(
-                        self.memctrl_node,
-                        done.from_cluster,
-                        LINE_BYTES as u32,
-                        TrafficClass::MemData,
-                        MemMsg::DramResp {
-                            line: done.line,
-                            to_cluster: done.from_cluster,
-                        },
-                    ));
+                    self.out.push_back(
+                        Packet::new(
+                            self.memctrl_node,
+                            done.from_cluster,
+                            LINE_BYTES as u32,
+                            TrafficClass::MemData,
+                            MemMsg::DramResp {
+                                line: done.line,
+                                to_cluster: done.from_cluster,
+                            },
+                        )
+                        .with_tenant(self.tenant_of_line(done.line)),
+                    );
                 }
             }
         }
@@ -761,18 +790,21 @@ impl MemSystem {
                 0,
             )
         };
-        self.out.push_back(Packet::new(
-            src_node,
-            home,
-            bytes,
-            class,
-            MemMsg::LineReq {
-                line,
-                write,
-                writeback,
-                ret,
-            },
-        ));
+        self.out.push_back(
+            Packet::new(
+                src_node,
+                home,
+                bytes,
+                class,
+                MemMsg::LineReq {
+                    line,
+                    write,
+                    writeback,
+                    ret,
+                },
+            )
+            .with_tenant(self.tenant_of_line(line)),
+        );
     }
 
     fn cluster_budget_ok(&mut self, cluster: usize, now: Tick) -> bool {
@@ -892,17 +924,20 @@ impl MemSystem {
             self.dram.enqueue(now, line, write, cluster);
         } else {
             let bytes = if write { LINE_BYTES as u32 } else { 0 };
-            self.out.push_back(Packet::new(
-                cluster,
-                self.memctrl_node,
-                bytes,
-                TrafficClass::MemData,
-                MemMsg::DramReq {
-                    line,
-                    write,
-                    from_cluster: cluster,
-                },
-            ));
+            self.out.push_back(
+                Packet::new(
+                    cluster,
+                    self.memctrl_node,
+                    bytes,
+                    TrafficClass::MemData,
+                    MemMsg::DramReq {
+                        line,
+                        write,
+                        from_cluster: cluster,
+                    },
+                )
+                .with_tenant(self.tenant_of_line(line)),
+            );
         }
     }
 
@@ -983,18 +1018,21 @@ impl MemSystem {
                 LINE_BYTES as u32,
             )
         };
-        self.out.push_back(Packet::new(
-            cluster,
-            ret.node,
-            bytes,
-            class,
-            MemMsg::LineResp {
-                line,
-                port: ret.port,
-                id: ret.id,
-                write,
-            },
-        ));
+        self.out.push_back(
+            Packet::new(
+                cluster,
+                ret.node,
+                bytes,
+                class,
+                MemMsg::LineResp {
+                    line,
+                    port: ret.port,
+                    id: ret.id,
+                    write,
+                },
+            )
+            .with_tenant(self.tenant_of_line(line)),
+        );
     }
 
     fn host_fill(&mut self, now: Tick, core: usize, line: u64) {
@@ -1088,18 +1126,21 @@ impl MemSystem {
             } else {
                 (TrafficClass::AccCtrl, 0)
             };
-            self.out.push_back(Packet::new(
-                cluster,
-                home,
-                bytes,
-                class,
-                MemMsg::LineReq {
-                    line,
-                    write: req.write,
-                    writeback: false,
-                    ret,
-                },
-            ));
+            self.out.push_back(
+                Packet::new(
+                    cluster,
+                    home,
+                    bytes,
+                    class,
+                    MemMsg::LineReq {
+                        line,
+                        write: req.write,
+                        writeback: false,
+                        ret,
+                    },
+                )
+                .with_tenant(self.tenant_of_line(line)),
+            );
         }
     }
 

@@ -53,6 +53,15 @@ pub struct NocStats {
     /// Bytes x links-traversed per class (energy-proportional work),
     /// including header bytes.
     pub hop_bytes: [u64; 5],
+    /// Hop-bytes per tenant (index = tenant id), grown on demand.
+    /// Sums to [`NocStats::total_hop_bytes`] by construction.
+    pub tenant_hop_bytes: Vec<u64>,
+    /// Hop-bytes actually accumulated link-by-link as packets traverse
+    /// the mesh. `hop_bytes` is charged up front at injection from the
+    /// Manhattan route length; this odometer counts real traversals, so
+    /// once drained the two must agree — any route table or hop formula
+    /// still assuming a fixed mesh shape breaks the equality.
+    pub hop_bytes_traversed: u64,
     /// Packets delivered.
     pub delivered: u64,
     /// Sum of delivery latencies in base ticks (for averages).
@@ -70,6 +79,14 @@ impl NocStats {
     /// Total hop-bytes across all classes.
     pub fn total_hop_bytes(&self) -> u64 {
         self.hop_bytes.iter().sum()
+    }
+
+    /// Hop-bytes attributed to `tenant` (0 for tenants that never sent).
+    pub fn tenant_hop_bytes(&self, tenant: u16) -> u64 {
+        self.tenant_hop_bytes
+            .get(tenant as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Average packet latency in base ticks.
@@ -303,6 +320,7 @@ impl<P> Mesh<P> {
         let hops = self.hops(pkt.src, pkt.dst);
         let bytes = pkt.bytes;
         let dst_node = pkt.dst;
+        let tenant = pkt.tenant;
         let flight = InFlight {
             pkt,
             ready_at: now + self.clock.ticks_for_cycles(self.cfg.hop_latency.min(1)),
@@ -319,6 +337,10 @@ impl<P> Mesh<P> {
         self.stats.packets[idx] += 1;
         self.stats.bytes[idx] += bytes as u64;
         self.stats.hop_bytes[idx] += (bytes + HEADER_BYTES) as u64 * hops;
+        if self.stats.tenant_hop_bytes.len() <= tenant as usize {
+            self.stats.tenant_hop_bytes.resize(tenant as usize + 1, 0);
+        }
+        self.stats.tenant_hop_bytes[tenant as usize] += (bytes + HEADER_BYTES) as u64 * hops;
         self.in_flight += 1;
         if self.sink.on() {
             self.sink.instant(
@@ -441,6 +463,7 @@ impl<P> Mesh<P> {
                     return true; // back-pressure stall
                 }
                 let mut f = self.pop_head(src);
+                self.stats.hop_bytes_traversed += (f.pkt.bytes + HEADER_BYTES) as u64;
                 let occupancy = self.cfg.hop_latency + self.serialization_cycles(f.pkt.bytes);
                 f.ready_at = now + self.clock.ticks_for_cycles(occupancy);
                 if self.link_q[link].is_empty() {
@@ -535,13 +558,35 @@ impl<P> Mesh<P> {
     }
 
     /// Audits the drained mesh: flit conservation
-    /// ([`Mesh::check_conservation`]) plus every inbox empty. Flags
-    /// violations on the attached sanitizer; a no-op when it is disabled.
+    /// ([`Mesh::check_conservation`]), every inbox empty, and hop
+    /// conservation — the hop-bytes charged up front at injection (from
+    /// the Manhattan route formula) must equal the hop-bytes actually
+    /// accumulated link-by-link by the router, and the per-tenant split
+    /// must sum to the per-class totals. A mismatch means some route
+    /// table or hop-count derivation disagrees with the real topology
+    /// (e.g. a leftover hard-coded mesh shape). Flags violations on the
+    /// attached sanitizer; a no-op when it is disabled.
     pub fn check_drained(&self, now: Tick) {
         if !self.san.on() {
             return;
         }
         self.check_conservation(now);
+        let charged = self.stats.total_hop_bytes();
+        self.san.check(
+            self.stats.hop_bytes_traversed == charged,
+            "noc",
+            "hop-conservation",
+            now,
+            || hop_conservation_msg(charged, self.stats.hop_bytes_traversed),
+        );
+        let tenant_sum: u64 = self.stats.tenant_hop_bytes.iter().sum();
+        self.san.check(
+            tenant_sum == charged,
+            "noc",
+            "tenant-hop-partition",
+            now,
+            || tenant_partition_msg(charged, tenant_sum),
+        );
         for node in 0..self.node_count() {
             self.san.check(
                 self.inbox[node].is_empty(),
@@ -616,6 +661,21 @@ fn conservation_msg(injected: u64, delivered: u64, queued: usize, inboxed: usize
 #[inline(never)]
 fn inbox_drain_msg(node: NodeId, held: usize) -> String {
     format!("node {node} inbox holds {held} undelivered packets")
+}
+
+#[cold]
+#[inline(never)]
+fn hop_conservation_msg(charged: u64, traversed: u64) -> String {
+    format!(
+        "hop-bytes charged at inject {charged} != hop-bytes traversed {traversed}: \
+         route/hop-count derivation disagrees with the actual topology"
+    )
+}
+
+#[cold]
+#[inline(never)]
+fn tenant_partition_msg(charged: u64, tenant_sum: u64) -> String {
+    format!("per-tenant hop-bytes sum {tenant_sum} != total hop-bytes {charged}")
 }
 
 #[cfg(test)]
@@ -771,6 +831,137 @@ mod tests {
         let r = m.stats().report();
         for c in TrafficClass::ALL {
             assert!(r.get(&format!("bytes.{}", c.name())).is_some());
+        }
+    }
+
+    #[test]
+    fn hop_conservation_catches_wrong_charge() {
+        // Simulate a stale hop-count derivation: charge hop-bytes for a
+        // route the router never takes. The drain audit must flag it.
+        let mut m = mesh();
+        m.set_sanitizer(Sanitizer::enabled());
+        m.try_inject(0, Packet::new(0, 7, 64, TrafficClass::AccData, 1))
+            .unwrap();
+        run_until_quiet(&mut m);
+        m.drain_inbox(7);
+        m.stats.hop_bytes[TrafficClass::AccData.index()] += 72; // phantom hop
+        m.check_drained(1_000);
+        let kinds: Vec<&'static str> = m.san.take().into_iter().map(|v| v.invariant).collect();
+        assert!(kinds.contains(&"hop-conservation"), "{kinds:?}");
+        assert!(kinds.contains(&"tenant-hop-partition"), "{kinds:?}");
+    }
+
+    /// Deterministic SplitMix64 for the property tests below.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    /// Walks the XY route from `src` to `dst`, asserting legality at
+    /// every step: each link leaves the current node, x is corrected
+    /// before y ever moves, and the walk terminates in exactly
+    /// `hops(src, dst)` steps.
+    fn assert_route_legal<P>(m: &Mesh<P>, src: NodeId, dst: NodeId) {
+        let mut at = src;
+        let mut steps = 0u64;
+        let mut moved_y = false;
+        while let Some(link) = m.next_link(at, dst) {
+            assert_eq!(link / 4, at, "link {link} does not originate at {at}");
+            let next = m.link_dst_node(link);
+            assert!(next < m.node_count(), "route left the mesh at {next}");
+            let dir = link % 4;
+            if dir >= 2 {
+                moved_y = true;
+                assert_eq!(
+                    at % m.cols(),
+                    dst % m.cols(),
+                    "y move before x was corrected"
+                );
+            } else {
+                assert!(!moved_y, "x move after y started (not XY order)");
+            }
+            assert_eq!(m.hops(next, dst) + 1, m.hops(at, dst), "hop not forward");
+            at = next;
+            steps += 1;
+            assert!(steps <= (m.cols() + m.rows()) as u64, "route cycles");
+        }
+        assert_eq!(at, dst);
+        assert_eq!(steps, m.hops(src, dst));
+    }
+
+    #[test]
+    fn property_random_meshes_route_xy_with_manhattan_hops() {
+        let mut rng = Rng(0x5eed_0001);
+        for _ in 0..64 {
+            let cols = rng.below(9) as usize + 1;
+            let rows = rng.below(9) as usize + 1;
+            let m: Mesh<u64> =
+                Mesh::new(cols, rows, NocConfig::default(), ClockDomain::from_ghz(2.0));
+            for _ in 0..32 {
+                let src = rng.below((cols * rows) as u64) as usize;
+                let dst = rng.below((cols * rows) as u64) as usize;
+                let (sx, sy) = (src % cols, src / cols);
+                let (dx, dy) = (dst % cols, dst / cols);
+                assert_eq!(m.hops(src, dst), (sx.abs_diff(dx) + sy.abs_diff(dy)) as u64);
+                assert_route_legal(&m, src, dst);
+            }
+        }
+    }
+
+    #[test]
+    fn property_random_meshes_conserve_flits_and_hop_bytes() {
+        let mut rng = Rng(0x5eed_0002);
+        for _ in 0..24 {
+            let cols = rng.below(8) as usize + 1;
+            let rows = rng.below(6) as usize + 1;
+            let nodes = cols * rows;
+            let mut m: Mesh<u64> =
+                Mesh::new(cols, rows, NocConfig::default(), ClockDomain::from_ghz(2.0));
+            m.set_sanitizer(Sanitizer::enabled());
+            let n_pkts = rng.below(40) + 1;
+            let mut injected = 0u64;
+            let mut t = 0;
+            for i in 0..n_pkts {
+                let src = rng.below(nodes as u64) as usize;
+                let dst = rng.below(nodes as u64) as usize;
+                let bytes = (rng.below(256) + 1) as u32;
+                let tenant = rng.below(4) as u16;
+                let class = TrafficClass::ALL[rng.below(5) as usize];
+                let pkt = Packet::new(src, dst, bytes, class, i).with_tenant(tenant);
+                if m.try_inject(t, pkt).is_ok() {
+                    injected += 1;
+                }
+                // Let some traffic drain so injection queues reopen.
+                if i % 4 == 3 {
+                    m.tick(t);
+                    t += 1;
+                }
+            }
+            while m.is_active() {
+                m.tick(t);
+                t += 1;
+                assert!(t < 1_000_000, "mesh did not drain");
+            }
+            let mut delivered = 0u64;
+            m.for_each_delivered(|_, _| delivered += 1);
+            assert_eq!(delivered, injected);
+            m.check_drained(t);
+            let violations = m.san.take();
+            assert!(violations.is_empty(), "{violations:?}");
+            assert_eq!(
+                m.stats().tenant_hop_bytes.iter().sum::<u64>(),
+                m.stats().total_hop_bytes()
+            );
+            assert_eq!(m.stats().hop_bytes_traversed, m.stats().total_hop_bytes());
         }
     }
 }

@@ -66,20 +66,30 @@ pub struct Packet<P> {
     pub bytes: u32,
     /// Traffic class for accounting.
     pub class: TrafficClass,
+    /// Originating tenant for per-tenant traffic attribution (0 for
+    /// single-tenant machines and unattributed traffic).
+    pub tenant: u16,
     /// Opaque payload delivered to the destination.
     pub payload: P,
 }
 
 impl<P> Packet<P> {
-    /// Creates a packet.
+    /// Creates a packet attributed to tenant 0.
     pub fn new(src: NodeId, dst: NodeId, bytes: u32, class: TrafficClass, payload: P) -> Self {
         Self {
             src,
             dst,
             bytes,
             class,
+            tenant: 0,
             payload,
         }
+    }
+
+    /// The same packet attributed to `tenant`.
+    pub fn with_tenant(mut self, tenant: u16) -> Self {
+        self.tenant = tenant;
+        self
     }
 }
 

@@ -166,6 +166,40 @@ impl Registry {
             labels,
             if r.validated { 1.0 } else { 0.0 },
         );
+        // Multi-tenant runs carry per-tenant attribution in the report
+        // (`tenant.N.<what>` keys); re-expose them as series labelled by
+        // tenant id so fleet dashboards can watch fairness per cell. The
+        // per-tenant series partition the whole-machine totals — see the
+        // `tenant_series_partition_machine_totals` invariant test.
+        let tenants = r.report.get("tenancy.tenants").unwrap_or(0.0) as usize;
+        if tenants > 1 {
+            self.gauge_set(
+                "distda_tenancy_fairness",
+                labels,
+                r.report.get("tenancy.fairness").unwrap_or(0.0),
+            );
+            self.gauge_set("distda_tenancy_tenants", labels, tenants as f64);
+            for t in 0..tenants {
+                let tid = t.to_string();
+                let mut tl: Vec<(&str, &str)> = labels.to_vec();
+                tl.push(("tenant", &tid));
+                for what in [
+                    "ticks",
+                    "iterations",
+                    "busy_cycles",
+                    "stall_mem",
+                    "stall_chan",
+                    "intra_bytes",
+                    "da_bytes",
+                    "aa_bytes",
+                    "hop_bytes",
+                ] {
+                    if let Some(v) = r.report.get(&format!("tenant.{t}.{what}")) {
+                        self.counter_add(&format!("distda_tenant_{what}"), &tl, v as u64);
+                    }
+                }
+            }
+        }
     }
 
     /// Ingests a statistics [`Report`] as gauges named

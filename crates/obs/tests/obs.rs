@@ -4,8 +4,8 @@
 
 use distda_obs::Registry;
 use distda_sim::Profiler;
-use distda_system::{ConfigKind, RunConfig};
-use distda_workloads::{pathfinder, Scale};
+use distda_system::{ConfigKind, RunConfig, Topology};
+use distda_workloads::{micro, pathfinder, Scale};
 
 #[test]
 fn profiler_accounts_for_a_real_run() {
@@ -77,4 +77,54 @@ fn registry_ingests_a_run_and_profile() {
     assert!(om.contains("distda_prof_host_ns_total"), "{om}");
     assert!(om.contains(&format!("kernel=\"{}\"", r.kernel)), "{om}");
     assert!(om.ends_with("# EOF\n"));
+}
+
+/// Sums every sample of one metric in an OpenMetrics export, optionally
+/// keeping only series carrying a given label pair.
+fn series_sum(om: &str, metric: &str, label: Option<(&str, &str)>) -> f64 {
+    om.lines()
+        .filter(|l| l.starts_with(&format!("{metric}{{")) || l.starts_with(&format!("{metric} ")))
+        .filter(|l| match label {
+            Some((k, v)) => l.contains(&format!("{k}=\"{v}\"")),
+            None => true,
+        })
+        .map(|l| l.rsplit(' ').next().unwrap().parse::<f64>().unwrap())
+        .sum()
+}
+
+/// The per-tenant series a multi-tenant run exports must partition the
+/// whole-machine totals: summing `distda_tenant_*` over tenants recovers
+/// the machine-level iteration count and NoC hop-byte total exactly.
+#[test]
+fn tenant_series_partition_machine_totals() {
+    let mut topo = Topology::mesh(4, 2);
+    topo.tenants = 2;
+    let w = micro::saxpy(256, 2.0, 9);
+    let cfg = RunConfig::named(ConfigKind::DistDAIO).with_topology(topo);
+    let r = w.try_simulate(&cfg).unwrap();
+    assert!(r.validated, "multi-tenant run must validate");
+
+    let mut reg = Registry::new();
+    reg.ingest_run(&r);
+    let om = reg.openmetrics();
+
+    // Both tenants appear as labelled series.
+    for t in ["0", "1"] {
+        assert!(om.contains(&format!("tenant=\"{t}\"")), "{om}");
+    }
+    assert!(om.contains("distda_tenancy_fairness"), "{om}");
+
+    // Per-tenant iterations sum to the machine's accelerator iterations.
+    let iters = series_sum(&om, "distda_tenant_iterations_total", None);
+    assert_eq!(iters, r.report.get("accel.iterations").unwrap(), "{om}");
+
+    // Per-tenant hop bytes partition the mesh's total hop bytes.
+    let hops = series_sum(&om, "distda_tenant_hop_bytes_total", None);
+    assert_eq!(hops, r.report.sum_prefix("noc.hop_bytes."), "{om}");
+
+    // Each tenant's share is itself nonzero — attribution, not lumping.
+    for t in ["0", "1"] {
+        let h = series_sum(&om, "distda_tenant_hop_bytes_total", Some(("tenant", t)));
+        assert!(h > 0.0, "tenant {t} moved no bytes: {om}");
+    }
 }

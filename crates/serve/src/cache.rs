@@ -286,6 +286,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Persisted entries rejected by the hash re-check (poison/truncation).
     pub corrupt: u64,
+    /// Persisted entries removed by disk byte-budget enforcement.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -306,6 +308,8 @@ impl CacheStats {
 pub struct ResultCache {
     dir: Option<PathBuf>,
     mem_cap: usize,
+    /// Persistent-layer byte budget; 0 = unbounded.
+    disk_budget: u64,
     mem: HashMap<String, String>,
     /// Keys in recency order, most recent at the back.
     lru: VecDeque<String>,
@@ -319,10 +323,19 @@ impl ResultCache {
         Self {
             dir,
             mem_cap,
+            disk_budget: 0,
             mem: HashMap::new(),
             lru: VecDeque::new(),
             stats: CacheStats::default(),
         }
+    }
+
+    /// Bounds the persistent layer at `bytes` (0 = unbounded). When a
+    /// write pushes the directory over the budget, the least recently
+    /// used entries are deleted until it fits again.
+    pub fn with_disk_budget(mut self, bytes: u64) -> Self {
+        self.disk_budget = bytes;
+        self
     }
 
     /// The cache key for one sweep cell: kernel, input scale and the
@@ -343,6 +356,62 @@ impl ResultCache {
     /// Traffic totals so far.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Bytes currently persisted under the cache directory (0 when the
+    /// persistent layer is disabled or unreadable).
+    pub fn disk_bytes(&self) -> u64 {
+        self.dir
+            .as_deref()
+            .map(|d| Self::scan_dir(d).iter().map(|(_, len, _)| len).sum())
+            .unwrap_or(0)
+    }
+
+    /// Every persisted entry as (path, byte length, modified time),
+    /// sorted oldest-first with the file name as a deterministic
+    /// tie-break on filesystems with coarse timestamps.
+    fn scan_dir(dir: &Path) -> Vec<(PathBuf, u64, std::time::SystemTime)> {
+        let Ok(rd) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let mut entries: Vec<(PathBuf, u64, std::time::SystemTime)> = rd
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "entry"))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((e.path(), meta.len(), mtime))
+            })
+            .collect();
+        entries.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        entries
+    }
+
+    /// Deletes least-recently-used persisted entries until the directory
+    /// fits the byte budget again, never evicting `keep` (the entry the
+    /// caller just wrote — a budget smaller than one entry must still
+    /// hold the latest result).
+    fn enforce_disk_budget(&mut self, keep: &Path) {
+        if self.disk_budget == 0 {
+            return;
+        }
+        let Some(dir) = self.dir.clone() else {
+            return;
+        };
+        let entries = Self::scan_dir(&dir);
+        let mut total: u64 = entries.iter().map(|(_, len, _)| len).sum();
+        for (path, len, _) in entries {
+            if total <= self.disk_budget {
+                break;
+            }
+            if path == keep {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.stats.evictions += 1;
+            }
+        }
     }
 
     fn touch(&mut self, key: &str) {
@@ -373,6 +442,11 @@ impl ResultCache {
                 match verify_entry(&contents).and_then(|p| decode_result(p).map(|r| (p, r))) {
                     Ok((payload, r)) => {
                         self.stats.hits_disk += 1;
+                        // Rewrite the entry to refresh its modified time:
+                        // disk eviction is LRU over *use*, not creation.
+                        if self.disk_budget > 0 {
+                            let _ = std::fs::write(&path, &contents);
+                        }
                         self.insert_mem(key, payload.to_string());
                         return Some(r);
                     }
@@ -404,9 +478,11 @@ impl ResultCache {
     /// never fails the run.
     pub fn put(&mut self, key: &str, r: &RunResult) {
         let payload = encode_result(r);
-        if let Some(dir) = &self.dir {
-            if std::fs::create_dir_all(dir).is_ok() {
-                let _ = std::fs::write(Self::path_for(dir, key), render_entry(&payload));
+        if let Some(dir) = self.dir.clone() {
+            if std::fs::create_dir_all(&dir).is_ok() {
+                let path = Self::path_for(&dir, key);
+                let _ = std::fs::write(&path, render_entry(&payload));
+                self.enforce_disk_budget(&path);
             }
         }
         self.insert_mem(key, payload);
@@ -505,6 +581,40 @@ mod tests {
         assert!(cache.get("b").is_none());
         assert!(cache.get("a").is_some());
         assert!(cache.get("c").is_some());
+    }
+
+    #[test]
+    fn disk_budget_bounds_directory_and_counts_evictions() {
+        let dir = tmpdir("budget");
+        let r = tiny_result();
+        let one_entry = render_entry(&encode_result(&r)).len() as u64;
+        // Budget fits two entries but not three.
+        let budget = 2 * one_entry + one_entry / 2;
+        let mut cache = ResultCache::new(0, Some(dir.clone())).with_disk_budget(budget);
+        cache.put("a", &r);
+        cache.put("b", &r);
+        assert_eq!(cache.stats().evictions, 0);
+        assert!(cache.disk_bytes() <= budget);
+        cache.put("c", &r);
+        assert!(cache.disk_bytes() <= budget, "budget must bound the dir");
+        assert_eq!(cache.stats().evictions, 1);
+        // The entry just written always survives, even under pressure.
+        assert!(cache.get("c").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tiny_budget_still_holds_latest_entry() {
+        let dir = tmpdir("tiny-budget");
+        let r = tiny_result();
+        // A budget smaller than a single entry: each put evicts all
+        // older entries but keeps the one just written.
+        let mut cache = ResultCache::new(0, Some(dir.clone())).with_disk_budget(1);
+        cache.put("a", &r);
+        cache.put("b", &r);
+        assert!(cache.get("b").is_some());
+        assert!(cache.get("a").is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! | `DISTDA_SERVE_QUEUE` | integer ≥ 1 | `256` | bounded queue capacity (cells) |
 //! | `DISTDA_SERVE_CACHE` | integer ≥ 0 | `512` | memory-LRU entries (0 = disk only) |
 //! | `DISTDA_SERVE_CACHE_DIR` | path, `none` | `results/cache` | persistent layer (`none` disables) |
+//! | `DISTDA_SERVE_CACHE_BYTES` | integer ≥ 0 | `67108864` | persistent-layer byte budget (0 = unbounded) |
 
 use crate::cache::DEFAULT_CACHE_DIR;
 use std::path::PathBuf;
@@ -18,6 +19,9 @@ pub const DEFAULT_ADDR: &str = "127.0.0.1:7077";
 pub const DEFAULT_QUEUE: usize = 256;
 /// Default memory-LRU capacity, in entries.
 pub const DEFAULT_CACHE: usize = 512;
+/// Default persistent-layer byte budget (64 MiB; entries are ~1-4 KiB, so
+/// this holds tens of thousands of cells while bounding runaway growth).
+pub const DEFAULT_CACHE_BYTES: u64 = 64 * 1024 * 1024;
 
 fn raw(name: &str) -> Option<String> {
     std::env::var(name).ok().filter(|v| !v.is_empty())
@@ -72,6 +76,20 @@ pub fn cache_dir() -> Option<PathBuf> {
     parse_cache_dir(raw("DISTDA_SERVE_CACHE_DIR").as_deref())
 }
 
+/// Parses a byte budget: non-negative integer, 0 = unbounded.
+pub fn parse_bytes(v: Option<&str>, default: u64) -> u64 {
+    v.and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(default)
+}
+
+/// `DISTDA_SERVE_CACHE_BYTES` (0 = unbounded).
+pub fn cache_bytes() -> u64 {
+    parse_bytes(
+        raw("DISTDA_SERVE_CACHE_BYTES").as_deref(),
+        DEFAULT_CACHE_BYTES,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +107,15 @@ mod tests {
         assert_eq!(parse_count(Some("12"), 7), 12);
         assert_eq!(parse_count(Some("-3"), 7), 7);
         assert_eq!(parse_count(Some("lots"), 7), 7);
+    }
+
+    #[test]
+    fn bytes_fall_back_on_garbage() {
+        assert_eq!(parse_bytes(None, DEFAULT_CACHE_BYTES), DEFAULT_CACHE_BYTES);
+        assert_eq!(parse_bytes(Some("1048576"), 7), 1_048_576);
+        assert_eq!(parse_bytes(Some("0"), 7), 0);
+        assert_eq!(parse_bytes(Some("-1"), 7), 7);
+        assert_eq!(parse_bytes(Some("many"), 7), 7);
     }
 
     #[test]

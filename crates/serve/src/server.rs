@@ -29,8 +29,14 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// The backpressure hint handed to rejected jobs.
+/// The backpressure fallback hint handed to rejected jobs before any cell
+/// has completed (no service-time history yet). Once cells have run, the
+/// hint scales with queue occupancy and the observed mean cell service
+/// time — see `State::retry_after_ms`.
 pub const RETRY_AFTER_MS: u64 = 250;
+
+/// Upper clamp on the adaptive retry hint (one minute).
+pub const RETRY_AFTER_CAP_MS: u64 = 60_000;
 
 /// Daemon configuration. [`ServeConfig::from_env`] reads the
 /// `DISTDA_SERVE_*` knobs; tests construct it directly (port 0 for an
@@ -47,6 +53,8 @@ pub struct ServeConfig {
     pub cache_mem: usize,
     /// Persistent cache directory (`None` = memory only).
     pub cache_dir: Option<PathBuf>,
+    /// Persistent-layer byte budget (0 = unbounded).
+    pub cache_bytes: u64,
 }
 
 impl ServeConfig {
@@ -58,6 +66,7 @@ impl ServeConfig {
             queue: crate::env::queue(),
             cache_mem: crate::env::cache(),
             cache_dir: crate::env::cache_dir(),
+            cache_bytes: crate::env::cache_bytes(),
         }
     }
 
@@ -80,6 +89,7 @@ impl Default for ServeConfig {
             queue: crate::env::DEFAULT_QUEUE,
             cache_mem: crate::env::DEFAULT_CACHE,
             cache_dir: Some(PathBuf::from(crate::cache::DEFAULT_CACHE_DIR)),
+            cache_bytes: crate::env::DEFAULT_CACHE_BYTES,
         }
     }
 }
@@ -98,6 +108,11 @@ struct State {
     cells_completed: AtomicU64,
     cells_failed: AtomicU64,
     jobs_rejected: AtomicU64,
+    /// Cumulative per-cell host simulation time, in microseconds — the
+    /// denominator history behind the adaptive retry hint.
+    service_us: AtomicU64,
+    /// Worker thread count, for occupancy-scaled backpressure.
+    workers: usize,
 }
 
 impl State {
@@ -170,14 +185,40 @@ impl State {
             &[],
             self.pool.capacity() as f64,
         );
-        let (stats, entries) = {
+        let (stats, entries, disk_bytes) = {
             let cache = self.cache.lock().unwrap();
-            (cache.stats(), cache.mem_entries())
+            (cache.stats(), cache.mem_entries(), cache.disk_bytes())
         };
         reg.gauge_set("distda_serve_cache_hit_ratio", &[], stats.hit_ratio());
         reg.gauge_set("distda_serve_cache_mem_entries", &[], entries as f64);
         reg.gauge_set("distda_serve_cache_corrupt", &[], stats.corrupt as f64);
+        reg.counter_add("distda_serve_cache_evictions", &[], stats.evictions);
+        reg.gauge_set("distda_serve_cache_disk_bytes", &[], disk_bytes as f64);
+        reg.gauge_set(
+            "distda_serve_retry_after_ms",
+            &[],
+            self.retry_after_ms() as f64,
+        );
         reg.openmetrics()
+    }
+
+    /// The backpressure hint: estimated milliseconds until the queue has
+    /// drained enough to admit more work — queued cells divided across
+    /// the workers, times the observed mean cell service time. Falls back
+    /// to [`RETRY_AFTER_MS`] until the first cell completes; clamped to
+    /// `[RETRY_AFTER_MS / 5, RETRY_AFTER_CAP_MS]` so a hiccup in either
+    /// direction cannot strand clients.
+    fn retry_after_ms(&self) -> u64 {
+        let done =
+            self.cells_completed.load(Ordering::SeqCst) + self.cells_failed.load(Ordering::SeqCst);
+        let us = self.service_us.load(Ordering::SeqCst);
+        if done == 0 {
+            return RETRY_AFTER_MS;
+        }
+        let mean_ms = (us as f64 / done as f64) / 1000.0;
+        let rounds = (self.pool.depth() as f64 / self.workers.max(1) as f64).max(1.0);
+        let est = (rounds * mean_ms).ceil() as u64;
+        est.clamp(RETRY_AFTER_MS / 5, RETRY_AFTER_CAP_MS)
     }
 }
 
@@ -199,10 +240,14 @@ impl Server {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let workers = cfg.resolved_workers();
         let state = Arc::new(State {
             registry: Mutex::new(Registry::new()),
-            cache: Mutex::new(ResultCache::new(cfg.cache_mem, cfg.cache_dir.clone())),
-            pool: Pool::start(cfg.resolved_workers(), cfg.queue),
+            cache: Mutex::new(
+                ResultCache::new(cfg.cache_mem, cfg.cache_dir.clone())
+                    .with_disk_budget(cfg.cache_bytes),
+            ),
+            pool: Pool::start(workers, cfg.queue),
             suites: Mutex::new(HashMap::new()),
             jobs: AtomicU64::new(0),
             cells_submitted: AtomicU64::new(0),
@@ -210,6 +255,8 @@ impl Server {
             cells_completed: AtomicU64::new(0),
             cells_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
+            service_us: AtomicU64::new(0),
+            workers,
         });
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
@@ -430,7 +477,11 @@ fn handle_sweep(writer: &mut TcpStream, state: &State, req: SweepRequest) -> std
         return writeln!(
             writer,
             "{}",
-            protocol::render_rejected(state.pool.depth(), state.pool.capacity(), RETRY_AFTER_MS)
+            protocol::render_rejected(
+                state.pool.depth(),
+                state.pool.capacity(),
+                state.retry_after_ms()
+            )
         );
     }
 
@@ -500,6 +551,9 @@ fn handle_sweep(writer: &mut TcpStream, state: &State, req: SweepRequest) -> std
         }
         new_ticks += ticks;
         sim_secs_sum += outcome.host_secs;
+        state
+            .service_us
+            .fetch_add((outcome.host_secs * 1e6) as u64, Ordering::SeqCst);
         writeln!(
             writer,
             "{}",

@@ -18,6 +18,7 @@ fn start(tag: &str, queue: usize) -> (Server, String, PathBuf) {
         queue,
         cache_mem: 64,
         cache_dir: Some(dir.clone()),
+        cache_bytes: 0,
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().to_string();
@@ -139,6 +140,7 @@ fn poisoned_cache_entries_are_transparently_resimulated() {
         queue: 64,
         cache_mem: 64,
         cache_dir: Some(dir.clone()),
+        cache_bytes: 0,
     })
     .expect("restart");
     let addr = server.local_addr().to_string();

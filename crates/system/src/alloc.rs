@@ -35,10 +35,14 @@ pub struct Allocation {
     pub home: Vec<Option<usize>>,
 }
 
-/// Base of the slab region.
+/// Base of the slab region (tenant 0; later tenants stack above it).
 const SLAB_BASE: u64 = 0x4000_0000;
 /// Bytes reserved per cluster.
 const SLAB_PER_CLUSTER: u64 = 0x0400_0000;
+/// Base of the interleaved (non-anchored) region for tenant 0.
+const INTERLEAVED_BASE: u64 = 0x1000_0000;
+/// Interleaved-region bytes reserved per tenant.
+const INTERLEAVED_PER_TENANT: u64 = 0x0200_0000;
 
 /// Allocates every array of `prog` and pins anchored regions in `mem`'s
 /// address map.
@@ -53,35 +57,74 @@ pub fn allocate(
     strategy: AllocStrategy,
     mem: &mut MemSystem,
 ) -> Allocation {
+    allocate_for_tenant(prog, plans, clusters, strategy, mem, 0)
+}
+
+/// [`allocate`] on behalf of `tenant`: the tenant gets its own disjoint
+/// address band (interleaved region and per-cluster slabs), its anchored
+/// objects rotate home clusters by the tenant index so co-scheduled
+/// tenants don't all pile onto the same NUCA banks, and the band is
+/// declared to `mem` for per-tenant traffic attribution. Tenant 0
+/// reproduces [`allocate`] exactly.
+///
+/// # Panics
+///
+/// Panics if an object exceeds the per-cluster slab or the interleaved
+/// region overflows its per-tenant band.
+pub fn allocate_for_tenant(
+    prog: &Program,
+    plans: &[OffloadPlan],
+    clusters: usize,
+    strategy: AllocStrategy,
+    mem: &mut MemSystem,
+    tenant: u16,
+) -> Allocation {
     let n = prog.arrays.len();
     let order: Vec<ArrayId> = match strategy {
         AllocStrategy::Interleaved => {
-            return Allocation {
-                layout: Layout::new(prog, 0x1000_0000),
-                home: vec![None; n],
+            let base = INTERLEAVED_BASE + tenant as u64 * INTERLEAVED_PER_TENANT;
+            let total: u64 = prog
+                .arrays
+                .iter()
+                .map(|a| (a.len as u64 * Program::ELEM_BYTES + 63) & !63)
+                .sum();
+            assert!(
+                total <= INTERLEAVED_PER_TENANT,
+                "program footprint overflows the per-tenant interleaved region"
+            );
+            if tenant > 0 {
+                mem.declare_tenant_range(base, base + INTERLEAVED_PER_TENANT, tenant);
             }
+            return Allocation {
+                layout: Layout::new(prog, base),
+                home: vec![None; n],
+            };
         }
         AllocStrategy::RoundRobin => (0..n).map(ArrayId).collect(),
         AllocStrategy::Affinity => affinity_order(n, plans),
     };
+    let slab0 = SLAB_BASE + tenant as u64 * clusters as u64 * SLAB_PER_CLUSTER;
     let mut home = vec![None; n];
     let mut cursor = vec![0u64; clusters];
     let mut bases = vec![0u64; n];
     for (k, a) in order.iter().enumerate() {
-        let c = k % clusters;
+        let c = (k + tenant as usize) % clusters;
         let bytes = (prog.arrays[a.0].len as u64 * Program::ELEM_BYTES + 63) & !63;
         assert!(
             cursor[c] + bytes <= SLAB_PER_CLUSTER,
             "object {} overflows cluster slab",
             prog.arrays[a.0].name
         );
-        let base = SLAB_BASE + c as u64 * SLAB_PER_CLUSTER + cursor[c];
+        let base = slab0 + c as u64 * SLAB_PER_CLUSTER + cursor[c];
         cursor[c] += bytes;
         bases[a.0] = base;
         home[a.0] = Some(c);
         if bytes > 0 {
             mem.addr_map_mut().pin_region(base, base + bytes, c);
         }
+    }
+    if tenant > 0 {
+        mem.declare_tenant_range(slab0, slab0 + clusters as u64 * SLAB_PER_CLUSTER, tenant);
     }
     Allocation {
         layout: Layout::from_bases(bases),

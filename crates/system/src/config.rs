@@ -70,6 +70,229 @@ impl ConfigKind {
     }
 }
 
+/// A disaggregated far-memory pool behind the memory-controller node:
+/// every DRAM access pays an extra network crossing to the remote pool,
+/// and the pool link's bandwidth replaces local DRAM bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FarMemory {
+    /// Extra uncore cycles per DRAM access (the remote hop, both ways).
+    pub extra_latency: u64,
+    /// Far-pool link bandwidth in bytes per uncore cycle.
+    pub bytes_per_cycle: u64,
+}
+
+/// The machine shape: mesh dimensions, NUCA banking, where the host and
+/// the memory controller sit, plus the scenario-family knobs (far-memory
+/// pool, tenant count). One L3 cluster per mesh node, so the cluster
+/// count is always `mesh_cols * mesh_rows`.
+///
+/// [`Topology::paper`] reproduces the Table III machine exactly (4x2
+/// mesh, 8 clusters x 4 banks, host at node 0, memory controller at node
+/// 7); every paper figure runs on it byte-identically to the
+/// pre-parametric code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Mesh width (columns).
+    pub mesh_cols: usize,
+    /// Mesh height (rows).
+    pub mesh_rows: usize,
+    /// NUCA banks per L3 cluster.
+    pub banks_per_cluster: usize,
+    /// Mesh node hosting the OoO core and its private hierarchy.
+    pub host_node: usize,
+    /// Mesh node fronting DRAM (or the far-memory pool).
+    pub memctrl_node: usize,
+    /// Disaggregated far-memory pool behind the controller, if any.
+    pub far_memory: Option<FarMemory>,
+    /// Independent co-scheduled copies of the workload sharing the fabric
+    /// (1 = the classic single-tenant machine).
+    pub tenants: usize,
+}
+
+impl Topology {
+    /// The Table III machine: 4x2 mesh, host at node 0, controller at 7.
+    pub fn paper() -> Self {
+        Self {
+            mesh_cols: 4,
+            mesh_rows: 2,
+            banks_per_cluster: 4,
+            host_node: 0,
+            memctrl_node: 7,
+            far_memory: None,
+            tenants: 1,
+        }
+    }
+
+    /// An arbitrary mesh, host at node 0 and the memory controller at the
+    /// opposite corner (the paper's convention generalized).
+    pub fn mesh(cols: usize, rows: usize) -> Self {
+        Self {
+            mesh_cols: cols,
+            mesh_rows: rows,
+            memctrl_node: (cols * rows).saturating_sub(1),
+            ..Self::paper()
+        }
+    }
+
+    /// Cluster count (one cluster per mesh node).
+    pub fn clusters(&self) -> usize {
+        self.mesh_cols * self.mesh_rows
+    }
+
+    /// Checks the topology for internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`](crate::error::SimError) naming
+    /// the violated rule.
+    pub fn validate(&self) -> Result<(), crate::error::SimError> {
+        let fail = |detail: String| Err(crate::error::SimError::InvalidConfig { detail });
+        if self.mesh_cols == 0 || self.mesh_rows == 0 {
+            return fail(format!(
+                "mesh must be at least 1x1, got {}x{}",
+                self.mesh_cols, self.mesh_rows
+            ));
+        }
+        if self.clusters() > 1024 {
+            return fail(format!(
+                "mesh {}x{} exceeds 1024 clusters",
+                self.mesh_cols, self.mesh_rows
+            ));
+        }
+        if self.banks_per_cluster == 0 || self.banks_per_cluster > 64 {
+            return fail(format!(
+                "banks_per_cluster must be in 1..=64, got {}",
+                self.banks_per_cluster
+            ));
+        }
+        if self.host_node >= self.clusters() || self.memctrl_node >= self.clusters() {
+            return fail(format!(
+                "host node {} / memctrl node {} out of range for {} clusters",
+                self.host_node,
+                self.memctrl_node,
+                self.clusters()
+            ));
+        }
+        if self.tenants == 0 || self.tenants > 16 {
+            return fail(format!("tenants must be in 1..=16, got {}", self.tenants));
+        }
+        if let Some(fm) = self.far_memory {
+            if fm.bytes_per_cycle == 0 {
+                return fail("far-memory bytes_per_cycle must be nonzero".to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// The label segments for the non-paper knobs (`:4x4:fm150:t2`
+    /// style), empty for the paper machine. Host/controller placement is
+    /// not rendered: labels cover the sweepable axes, and
+    /// [`Topology::apply_segment`] re-derives placement from the mesh.
+    pub fn label_suffix(&self) -> String {
+        let paper = Self::paper();
+        let mut out = String::new();
+        if (self.mesh_cols, self.mesh_rows) != (paper.mesh_cols, paper.mesh_rows) {
+            out.push_str(&format!(":{}x{}", self.mesh_cols, self.mesh_rows));
+        }
+        if self.banks_per_cluster != paper.banks_per_cluster {
+            out.push_str(&format!(":b{}", self.banks_per_cluster));
+        }
+        if let Some(fm) = self.far_memory {
+            out.push_str(&format!(":fm{}", fm.extra_latency));
+            if fm.bytes_per_cycle != FAR_MEMORY_BYTES_PER_CYCLE {
+                out.push_str(&format!("x{}", fm.bytes_per_cycle));
+            }
+        }
+        if self.tenants > 1 {
+            out.push_str(&format!(":t{}", self.tenants));
+        }
+        out
+    }
+
+    /// Applies one extended-label segment: `<C>x<R>` (mesh dimensions,
+    /// host/controller re-derived as in [`Topology::mesh`]), `b<N>`
+    /// (banks per cluster), `fm<LAT>[x<BW>]` (far-memory pool), or
+    /// `t<N>` (tenant count).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed segment.
+    pub fn apply_segment(&mut self, seg: &str) -> Result<(), String> {
+        let bad = |what: &str| Err(format!("bad topology segment `{seg}`: {what}"));
+        if let Some(rest) = seg.strip_prefix("fm") {
+            let (lat, bw) = match rest.split_once('x') {
+                Some((l, b)) => (l, Some(b)),
+                None => (rest, None),
+            };
+            let Ok(extra_latency) = lat.parse::<u64>() else {
+                return bad("expected fm<LATENCY>[x<BYTES_PER_CYCLE>]");
+            };
+            let bytes_per_cycle = match bw {
+                Some(b) => match b.parse::<u64>() {
+                    Ok(v) => v,
+                    Err(_) => return bad("expected fm<LATENCY>[x<BYTES_PER_CYCLE>]"),
+                },
+                None => FAR_MEMORY_BYTES_PER_CYCLE,
+            };
+            self.far_memory = Some(FarMemory {
+                extra_latency,
+                bytes_per_cycle,
+            });
+            return Ok(());
+        }
+        if let Some(rest) = seg.strip_prefix('t') {
+            if let Ok(n) = rest.parse::<usize>() {
+                self.tenants = n;
+                return Ok(());
+            }
+        }
+        if let Some(rest) = seg.strip_prefix('b') {
+            if let Ok(n) = rest.parse::<usize>() {
+                self.banks_per_cluster = n;
+                return Ok(());
+            }
+        }
+        if let Some((c, r)) = seg.split_once('x') {
+            if let (Ok(cols), Ok(rows)) = (c.parse::<usize>(), r.parse::<usize>()) {
+                let banks = self.banks_per_cluster;
+                let (fm, tenants) = (self.far_memory, self.tenants);
+                *self = Self::mesh(cols, rows);
+                self.banks_per_cluster = banks;
+                self.far_memory = fm;
+                self.tenants = tenants;
+                return Ok(());
+            }
+        }
+        bad("expected <C>x<R>, b<N>, fm<LAT>[x<BW>] or t<N>")
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Default far-pool link bandwidth (bytes per uncore cycle) when an
+/// extended label gives only a latency (`:fm150`).
+pub const FAR_MEMORY_BYTES_PER_CYCLE: u64 = 2;
+
+/// Splits an extended configuration label (`<base>[:<segment>]...`) into
+/// the base label and the topology built from its segments.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed segment.
+pub fn parse_label_extension(label: &str) -> Result<(&str, Topology), String> {
+    let mut parts = label.split(':');
+    let base = parts.next().unwrap_or(label);
+    let mut topo = Topology::paper();
+    for seg in parts {
+        topo.apply_segment(seg)?;
+    }
+    Ok((base, topo))
+}
+
 /// One simulated configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunConfig {
@@ -87,6 +310,8 @@ pub struct RunConfig {
     pub alloc: AllocStrategy,
     /// Optional label suffix for variants.
     pub suffix: &'static str,
+    /// Machine shape and scenario family ([`Topology::paper`] by default).
+    pub topology: Topology,
 }
 
 impl RunConfig {
@@ -114,7 +339,13 @@ impl RunConfig {
             sw_prefetch: false,
             alloc,
             suffix: "",
+            topology: Topology::paper(),
         }
+    }
+
+    /// A copy of this configuration on a different machine shape.
+    pub fn with_topology(self, topology: Topology) -> Self {
+        Self { topology, ..self }
     }
 
     /// The Figure 14 `Dist-DA-IO+SW` variant: 4-issue with software
@@ -160,24 +391,41 @@ impl RunConfig {
                 ),
             });
         }
+        self.topology.validate()?;
+        if self.topology.tenants > 1 && self.kind.partition_mode().is_none() {
+            return Err(crate::error::SimError::InvalidConfig {
+                detail: format!(
+                    "{} cannot run {} tenants: multi-tenant co-scheduling needs an \
+                     offload configuration (the single host core would serialize \
+                     everything)",
+                    self.label(),
+                    self.topology.tenants
+                ),
+            });
+        }
         Ok(())
     }
 
-    /// Display label (`Dist-DA-F@1GHz` style).
+    /// Display label (`Dist-DA-F@1GHz` style), with `:`-separated topology
+    /// segments appended for non-paper machine shapes
+    /// (`Dist-DA-F@1GHz:4x4:fm150:t2` style, see
+    /// [`Topology::label_suffix`]).
     pub fn label(&self) -> String {
-        if self.kind == ConfigKind::OoO {
-            return "OoO".to_string();
-        }
-        format!(
-            "{}{}@{}GHz",
-            self.kind.label(),
-            self.suffix,
-            if self.accel_ghz.fract() == 0.0 {
-                format!("{}", self.accel_ghz as u64)
-            } else {
-                format!("{}", self.accel_ghz)
-            }
-        )
+        let base = if self.kind == ConfigKind::OoO {
+            "OoO".to_string()
+        } else {
+            format!(
+                "{}{}@{}GHz",
+                self.kind.label(),
+                self.suffix,
+                if self.accel_ghz.fract() == 0.0 {
+                    format!("{}", self.accel_ghz as u64)
+                } else {
+                    format!("{}", self.accel_ghz)
+                }
+            )
+        };
+        format!("{base}{}", self.topology.label_suffix())
     }
 }
 
@@ -237,5 +485,119 @@ mod tests {
             // The paper defaults always validate.
             RunConfig::named(kind).validate().unwrap();
         }
+    }
+
+    #[test]
+    fn paper_topology_matches_table_iii_and_labels_stay_bare() {
+        let t = Topology::paper();
+        assert_eq!((t.mesh_cols, t.mesh_rows), (4, 2));
+        assert_eq!(t.clusters(), 8);
+        assert_eq!(t.banks_per_cluster, 4);
+        assert_eq!((t.host_node, t.memctrl_node), (0, 7));
+        assert_eq!(t.label_suffix(), "");
+        // The paper configs must keep their exact pre-parametric labels.
+        assert_eq!(
+            RunConfig::named(ConfigKind::DistDAF).label(),
+            "Dist-DA-F@1GHz"
+        );
+        assert_eq!(RunConfig::named(ConfigKind::OoO).label(), "OoO");
+    }
+
+    #[test]
+    fn topology_labels_round_trip_through_parse() {
+        let mut t = Topology::mesh(8, 4);
+        t.banks_per_cluster = 8;
+        t.far_memory = Some(FarMemory {
+            extra_latency: 150,
+            bytes_per_cycle: 2,
+        });
+        t.tenants = 3;
+        let cfg = RunConfig::named(ConfigKind::DistDAF).with_topology(t);
+        let label = cfg.label();
+        assert_eq!(label, "Dist-DA-F@1GHz:8x4:b8:fm150:t3");
+        let (base, parsed) = parse_label_extension(&label).unwrap();
+        assert_eq!(base, "Dist-DA-F@1GHz");
+        assert_eq!(parsed, t);
+        // Non-default far-memory bandwidth renders and parses too.
+        t.far_memory = Some(FarMemory {
+            extra_latency: 80,
+            bytes_per_cycle: 1,
+        });
+        let label = cfg.with_topology(t).label();
+        assert_eq!(label, "Dist-DA-F@1GHz:8x4:b8:fm80x1:t3");
+        assert_eq!(parse_label_extension(&label).unwrap().1, t);
+    }
+
+    #[test]
+    fn mesh_derives_corner_controller() {
+        let t = Topology::mesh(4, 4);
+        assert_eq!(t.clusters(), 16);
+        assert_eq!((t.host_node, t.memctrl_node), (0, 15));
+        t.validate().unwrap();
+        // 4x2 via the constructor is exactly the paper machine.
+        assert_eq!(Topology::mesh(4, 2), Topology::paper());
+    }
+
+    #[test]
+    fn invalid_topologies_are_typed_errors() {
+        use crate::error::SimError;
+        let reject = |t: Topology, needle: &str| match t.validate() {
+            Err(SimError::InvalidConfig { detail }) => {
+                assert!(detail.contains(needle), "{detail} should mention {needle}")
+            }
+            other => panic!("{t:?} should be rejected, got {other:?}"),
+        };
+        reject(Topology::mesh(0, 2), "1x1");
+        reject(Topology::mesh(64, 64), "1024");
+        reject(
+            Topology {
+                banks_per_cluster: 0,
+                ..Topology::paper()
+            },
+            "banks_per_cluster",
+        );
+        reject(
+            Topology {
+                memctrl_node: 8,
+                ..Topology::paper()
+            },
+            "out of range",
+        );
+        reject(
+            Topology {
+                tenants: 0,
+                ..Topology::paper()
+            },
+            "tenants",
+        );
+        reject(
+            Topology {
+                far_memory: Some(FarMemory {
+                    extra_latency: 10,
+                    bytes_per_cycle: 0,
+                }),
+                ..Topology::paper()
+            },
+            "bytes_per_cycle",
+        );
+        // Multi-tenant needs an offload configuration.
+        let mut cfg = RunConfig::named(ConfigKind::OoO);
+        cfg.topology.tenants = 2;
+        assert!(matches!(
+            cfg.validate(),
+            Err(SimError::InvalidConfig { .. })
+        ));
+        let mut cfg = RunConfig::named(ConfigKind::DistDAF);
+        cfg.topology.tenants = 2;
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn malformed_segments_are_rejected() {
+        let mut t = Topology::paper();
+        assert!(t.apply_segment("4xq").is_err());
+        assert!(t.apply_segment("fmx3").is_err());
+        assert!(t.apply_segment("zz").is_err());
+        assert!(parse_label_extension("Dist-DA-F@1GHz:what").is_err());
     }
 }

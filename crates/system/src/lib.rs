@@ -34,12 +34,14 @@ pub mod netmsg;
 pub mod runner;
 pub mod transform;
 
-pub use alloc::{allocate, AllocStrategy, Allocation};
-pub use config::{ConfigKind, RunConfig};
+pub use alloc::{allocate, allocate_for_tenant, AllocStrategy, Allocation};
+pub use config::{
+    parse_label_extension, ConfigKind, FarMemory, RunConfig, Topology, FAR_MEMORY_BYTES_PER_CYCLE,
+};
 pub use error::SimError;
 pub use machine::{Machine, MachineState, PlanHandle, Substrate, CHAN_CAPACITY};
 pub use runner::{
-    simulate, simulate_capture, simulate_capture_with_ref, simulate_traced,
+    mem_config_for, simulate, simulate_capture, simulate_capture_with_ref, simulate_traced,
     simulate_traced_with_ref, simulate_traced_with_skip, simulate_with_ref, simulate_with_skip,
     try_simulate, try_simulate_capture_with_ref, try_simulate_checked, try_simulate_instrumented,
     try_simulate_profiled, try_simulate_with_policy, CheckPolicy, RunResult,

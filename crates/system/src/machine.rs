@@ -20,6 +20,7 @@
 //! predicate and drain audit all follow from the component's own
 //! protocol implementation, so none of them can silently forget it.
 
+use crate::config::Topology;
 use crate::error::SimError;
 use crate::host::HostCore;
 use crate::netmsg::{ChanState, NetMsg};
@@ -93,6 +94,9 @@ struct EngineSlot {
     chan_base: usize,
     is_access_node: bool,
     is_cgra: bool,
+    /// Tenant this engine executes for (0 on single-tenant machines).
+    /// Selects the functional image/layout view and tags outbound traffic.
+    tenant: u16,
 }
 
 #[derive(Debug)]
@@ -103,6 +107,8 @@ struct PlanInst {
     /// Carry scalars per engine (for `cp_set_rf` initialization).
     carry_scalars: Vec<Vec<distda_ir::expr::ScalarId>>,
     params: Vec<distda_compiler::affine::Sym>,
+    /// Tenant the plan was configured for (0 on single-tenant machines).
+    tenant: u16,
 }
 
 /// The shared world state every machine component operates on: the
@@ -124,6 +130,9 @@ pub struct MachineState {
     net_out: std::collections::VecDeque<Packet<NetMsg>>,
     host_node: usize,
     mmio_words: u64,
+    /// Functional image + layout views for tenants 1.. (tenant 0 uses the
+    /// machine's primary `memimg`/`layout`). Index = tenant - 1.
+    tenant_views: Vec<(Memory, Layout)>,
     /// Machine track: kernel phases, MMIO transfers, offload dispatches.
     sink: TraceSink,
     /// Host track: segment loads.
@@ -172,7 +181,8 @@ impl Component<MachineState> for DeliveryComp {
         mesh.for_each_delivered(|_node, pkt| {
             match pkt.payload {
                 NetMsg::Mem(m) => {
-                    let wrapped = Packet::new(pkt.src, pkt.dst, pkt.bytes, pkt.class, m);
+                    let wrapped = Packet::new(pkt.src, pkt.dst, pkt.bytes, pkt.class, m)
+                        .with_tenant(pkt.tenant);
                     mem.deliver(now, wrapped);
                 }
                 NetMsg::ChanData { chan, v } => {
@@ -345,6 +355,7 @@ impl Component<MachineState> for EngineComp {
             net_out,
             memimg,
             layout,
+            tenant_views,
             chan_sink,
             ..
         } = st;
@@ -361,10 +372,19 @@ impl Component<MachineState> for EngineComp {
         if !slot.eng.clock().fires_at(now) {
             return;
         }
+        // The engine reads and writes its tenant's functional view.
+        let (memimg, layout) = match slot.tenant {
+            0 => (memimg, &*layout),
+            t => {
+                let (img, lay) = &mut tenant_views[t as usize - 1];
+                (img, &*lay)
+            }
+        };
         let mut ctx = Ctx {
             now,
             port: slot.port,
             chan_base: slot.chan_base,
+            tenant: slot.tenant,
             mem,
             chans,
             net_out,
@@ -478,14 +498,16 @@ impl Component<MachineState> for MemComp {
         }
         st.mem.tick(now);
         while let Some(p) = st.mem.pop_outgoing() {
-            let wrapped = Packet::new(p.src, p.dst, p.bytes, p.class, NetMsg::Mem(p.payload));
+            let wrapped = Packet::new(p.src, p.dst, p.bytes, p.class, NetMsg::Mem(p.payload))
+                .with_tenant(p.tenant);
             if let Err(back) = st.mesh.try_inject(now, wrapped) {
                 let NetMsg::Mem(m) = back.payload else {
                     unreachable!()
                 };
-                st.mem.push_front_outgoing(Packet::new(
-                    back.src, back.dst, back.bytes, back.class, m,
-                ));
+                st.mem.push_front_outgoing(
+                    Packet::new(back.src, back.dst, back.bytes, back.class, m)
+                        .with_tenant(back.tenant),
+                );
                 break;
             }
         }
@@ -587,22 +609,36 @@ pub struct Machine {
 }
 
 impl Machine {
-    /// Builds the Table III machine: 4x2 mesh, host at node 0, memory
-    /// controller at node 7. The caller supplies the (already allocated)
-    /// memory system, functional image and layout.
+    /// Builds the machine described by `topo`: a `mesh_cols x mesh_rows`
+    /// mesh with one NUCA cluster per node, the host at
+    /// `topo.host_node` and the memory controller at `topo.memctrl_node`
+    /// ([`Topology::paper`] reproduces Table III's 4x2 shape). The caller
+    /// supplies the (already allocated) memory system, functional image
+    /// and layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory system was built for a different cluster
+    /// count than `topo` describes.
     pub fn new(
         mem: MemSystem,
         memimg: Memory,
         layout: Layout,
         host_width: u32,
         host_rob: usize,
+        topo: &Topology,
     ) -> Self {
+        assert_eq!(
+            mem.config().clusters,
+            topo.clusters(),
+            "memory system built for a different cluster count than the topology"
+        );
         let uncore = mem.clock();
         let mut mem = mem;
         let host_port = mem.register_port(PortKind::Host);
         let host = HostCore::new(uncore, host_width, host_rob, host_port);
         let mut st = MachineState {
-            mesh: Mesh::new(4, 2, NocConfig::default(), uncore),
+            mesh: Mesh::new(topo.mesh_cols, topo.mesh_rows, NocConfig::default(), uncore),
             mem,
             host,
             memimg,
@@ -611,8 +647,9 @@ impl Machine {
             engines: Vec::new(),
             plans: Vec::new(),
             net_out: std::collections::VecDeque::new(),
-            host_node: 0,
+            host_node: topo.host_node,
             mmio_words: 0,
+            tenant_views: Vec::new(),
             sink: TraceSink::default(),
             host_sink: TraceSink::default(),
             chan_sink: TraceSink::default(),
@@ -797,6 +834,77 @@ impl Machine {
         substrates: &[Substrate],
         object_ranges: &[(u64, u64)],
     ) -> PlanHandle {
+        self.configure_plan_for_tenant(plan, placement, substrates, object_ranges, 0)
+    }
+
+    /// Registers an additional tenant with its own functional image and
+    /// address layout, returning its tenant id. The machine's primary
+    /// image/layout is tenant 0; tenants added here execute through their
+    /// own views while sharing the fabric, NUCA banks and DRAM with
+    /// everyone else.
+    pub fn add_tenant(&mut self, memimg: Memory, layout: Layout) -> u16 {
+        self.st.tenant_views.push((memimg, layout));
+        self.st.tenant_views.len() as u16
+    }
+
+    /// The functional memory image of `tenant` (0 = the primary image).
+    pub fn tenant_memimg(&self, tenant: u16) -> &Memory {
+        if tenant == 0 {
+            &self.st.memimg
+        } else {
+            &self.st.tenant_views[tenant as usize - 1].0
+        }
+    }
+
+    /// Mutable [`Machine::tenant_memimg`], for host-phase execution on a
+    /// tenant's functional view.
+    pub fn tenant_memimg_mut(&mut self, tenant: u16) -> &mut Memory {
+        if tenant == 0 {
+            &mut self.st.memimg
+        } else {
+            &mut self.st.tenant_views[tenant as usize - 1].0
+        }
+    }
+
+    /// Per-engine statistics summed over the engines owned by `tenant`.
+    pub fn tenant_engine_totals(&self, tenant: u16) -> distda_accel::EngineStats {
+        let mut t = distda_accel::EngineStats::default();
+        for s in self.st.engines.iter().filter(|s| s.tenant == tenant) {
+            let es = s.eng.stats();
+            t.iterations += es.iterations;
+            t.busy_cycles += es.busy_cycles;
+            t.stall_mem += es.stall_mem;
+            t.stall_chan += es.stall_chan;
+            t.alu_ops += es.alu_ops;
+            t.mem_ops += es.mem_ops;
+            t.intra_bytes += es.intra_bytes;
+            t.da_bytes += es.da_bytes;
+            t.aa_bytes += es.aa_bytes;
+            t.mmio_words += es.mmio_words;
+        }
+        t
+    }
+
+    /// [`Machine::configure_plan`] on behalf of `tenant`: the plan's
+    /// engines read and write the tenant's functional view, and all
+    /// traffic they cause is attributed to the tenant in the NoC stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if placements/substrates lengths mismatch the plan or the
+    /// tenant was never registered.
+    pub fn configure_plan_for_tenant(
+        &mut self,
+        plan: &OffloadPlan,
+        placement: &[usize],
+        substrates: &[Substrate],
+        object_ranges: &[(u64, u64)],
+        tenant: u16,
+    ) -> PlanHandle {
+        assert!(
+            tenant as usize <= self.st.tenant_views.len(),
+            "tenant {tenant} not registered"
+        );
         assert_eq!(placement.len(), plan.partitions.len());
         assert_eq!(substrates.len(), plan.partitions.len());
         let chan_base = self.st.chans.len();
@@ -837,6 +945,7 @@ impl Machine {
                 chan_base,
                 is_access_node: sub.is_access_node,
                 is_cgra: matches!(sub.model, IssueModel::Cgra { .. }),
+                tenant,
             });
             // Registration wires the engine into the tick loop, wake
             // probe, drain predicate and drain audit — and attaches the
@@ -852,7 +961,7 @@ impl Machine {
             // Configuration traffic: microcode + one word per access.
             let words = (part.microcode_bytes() / 8 + part.accesses.len() + 1) as u64;
             config_words += words;
-            self.push_mmio_packet(placement[i], (words * 8) as u32);
+            self.push_mmio_packet(placement[i], (words * 8) as u32, tenant);
         }
         // Offload-boundary flush of host-cached object lines.
         for &(s, e) in object_ranges {
@@ -869,6 +978,7 @@ impl Machine {
             liveouts,
             carry_scalars,
             params: plan.params.clone(),
+            tenant,
         });
         self.st.sink.instant(
             self.now(),
@@ -882,15 +992,18 @@ impl Machine {
         handle
     }
 
-    fn push_mmio_packet(&mut self, cluster: usize, bytes: u32) {
+    fn push_mmio_packet(&mut self, cluster: usize, bytes: u32, tenant: u16) {
         if cluster != self.st.host_node {
-            self.st.net_out.push_back(Packet::new(
-                self.st.host_node,
-                cluster,
-                bytes,
-                TrafficClass::HostCtrl,
-                NetMsg::Mmio,
-            ));
+            self.st.net_out.push_back(
+                Packet::new(
+                    self.st.host_node,
+                    cluster,
+                    bytes,
+                    TrafficClass::HostCtrl,
+                    NetMsg::Mmio,
+                )
+                .with_tenant(tenant),
+            );
         }
     }
 
@@ -944,6 +1057,7 @@ impl Machine {
             }
         }
         let engine_ids = self.st.plans[handle].engines.clone();
+        let tenant = self.st.plans[handle].tenant;
         let mut words = 0u64;
         for (k, &ei) in engine_ids.iter().enumerate() {
             let now = self.now();
@@ -955,6 +1069,7 @@ impl Machine {
             self.push_mmio_packet(
                 cluster,
                 ((params.len() + carry_init[k].len() + 2) * 8) as u32,
+                tenant,
             );
         }
         self.charge_mmio(words);
@@ -1153,6 +1268,7 @@ struct Ctx<'a> {
     now: Tick,
     port: PortId,
     chan_base: usize,
+    tenant: u16,
     mem: &'a mut MemSystem,
     chans: &'a mut Vec<ChanState>,
     net_out: &'a mut std::collections::VecDeque<Packet<NetMsg>>,
@@ -1177,13 +1293,16 @@ impl EngineCtx for Ctx<'_> {
                     .sample(self.now, &format!("chan{g}"), ch.queue.len() as f64);
             }
         } else {
-            self.net_out.push_back(Packet::new(
-                ch.producer_cluster,
-                ch.consumer_cluster,
-                8,
-                TrafficClass::AccData,
-                NetMsg::ChanData { chan: g as u16, v },
-            ));
+            self.net_out.push_back(
+                Packet::new(
+                    ch.producer_cluster,
+                    ch.consumer_cluster,
+                    8,
+                    TrafficClass::AccData,
+                    NetMsg::ChanData { chan: g as u16, v },
+                )
+                .with_tenant(self.tenant),
+            );
         }
         true
     }
@@ -1203,13 +1322,16 @@ impl EngineCtx for Ctx<'_> {
             if ch.credit_debt >= crate::netmsg::ChanState::CREDIT_BATCH {
                 let n = ch.credit_debt as u16;
                 ch.credit_debt = 0;
-                self.net_out.push_back(Packet::new(
-                    ch.consumer_cluster,
-                    ch.producer_cluster,
-                    0,
-                    TrafficClass::AccCtrl,
-                    NetMsg::ChanCredit { chan: g as u16, n },
-                ));
+                self.net_out.push_back(
+                    Packet::new(
+                        ch.consumer_cluster,
+                        ch.producer_cluster,
+                        0,
+                        TrafficClass::AccCtrl,
+                        NetMsg::ChanCredit { chan: g as u16, n },
+                    )
+                    .with_tenant(self.tenant),
+                );
             }
         }
         Some(v)
@@ -1297,7 +1419,7 @@ mod tests {
             img.array_mut(x)[i] = Value::F(i as f64);
             img.array_mut(y)[i] = Value::F(1.0);
         }
-        let machine = Machine::new(mem, img, alloc.layout, 5, 224);
+        let machine = Machine::new(mem, img, alloc.layout, 5, 224, &Topology::paper());
         (p, ck, machine, x, y)
     }
 
@@ -1396,7 +1518,7 @@ mod tests {
         for i in 0..32 {
             img.array_mut(x)[i] = Value::I(i as i64);
         }
-        let mut m = Machine::new(mem, img, alloc.layout, 5, 224);
+        let mut m = Machine::new(mem, img, alloc.layout, 5, 224, &Topology::paper());
         let plan = &ck.offloads[0];
         let placements: Vec<usize> = (0..plan.partitions.len()).collect();
         let subs = vec![io_substrate(false); plan.partitions.len()];

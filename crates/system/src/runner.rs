@@ -3,8 +3,8 @@
 //! invocations), validate against the reference interpreter, and collect
 //! every metric the paper's figures need.
 
-use crate::alloc::{allocate, Allocation};
-use crate::config::{ConfigKind, RunConfig};
+use crate::alloc::{allocate, allocate_for_tenant, Allocation};
+use crate::config::{ConfigKind, RunConfig, Topology};
 use crate::error::SimError;
 use crate::hosteval::HostEval;
 use crate::machine::{Machine, PlanHandle, Substrate};
@@ -497,60 +497,60 @@ pub fn try_simulate_instrumented(
         .map(|c| c.offloads.clone())
         .unwrap_or_default();
 
-    // Memory system + allocation.
-    let uncore = ClockDomain::from_ghz(2.0);
-    let mut mem = MemSystem::new(MemConfig::scaled_for_reduced_inputs(), uncore, 0, 7);
-    let alloc = allocate(prog, &plans, 8, cfg.alloc, &mut mem);
-
-    let mut img = Memory::for_program(prog);
-    init(&mut img);
-    let mut machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224);
-    if let Some(on) = skip {
-        machine.set_skip(on);
-    }
-    if tracer.is_enabled() {
-        machine.set_tracer(tracer.clone());
-    }
     let san = if policy.sanitize {
         Sanitizer::enabled()
     } else {
         Sanitizer::disabled()
     };
-    if san.on() {
-        machine.set_sanitizer(san.clone());
-    }
-    if profiler.on() {
-        machine.set_profiler(profiler.clone());
-    }
-
-    let mut walker = Walker {
-        prog,
-        cfg,
-        machine,
-        eval: HostEval::new(prog, alloc.layout.clone()),
-        compiled,
-        alloc,
-        handles: HashMap::new(),
+    let exec = if cfg.topology.tenants > 1 {
+        let ck = compiled.as_ref().ok_or_else(|| SimError::InvalidConfig {
+            detail: "multi-tenant runs require an offload-capable configuration".to_string(),
+        })?;
+        run_tenants(prog, init, cfg, &plans, ck, skip, tracer, &san, profiler)?
+    } else {
+        run_single(
+            prog, init, cfg, &plans, compiled, skip, tracer, &san, profiler,
+        )?
     };
-    let body = prog.body.clone();
-    walker.exec_block(&body)?;
-    walker.flush()?;
-    walker.machine.drain()?;
+    let Execution {
+        machine,
+        scalars,
+        extra,
+    } = exec;
+    let eval_scalars = scalars[0].clone();
 
-    let Walker { machine, eval, .. } = walker;
-    let eval_scalars = eval.scalars.clone();
-
-    // Validation: accelerated memory image and scalars match the reference.
-    let mem_ok = (0..prog.arrays.len()).all(|a| {
-        machine.memimg().array(distda_ir::ArrayId(a)) == ref_mem.array(distda_ir::ArrayId(a))
-    });
-    let scalars_ok = eval.scalars == ref_scalars;
-    let validated = mem_ok && scalars_ok;
+    // Validation: every tenant's memory image and live-out scalars match
+    // the shared reference (co-scheduled tenants run identical copies of
+    // the kernel, so one golden execution covers them all).
+    let mut validated = true;
+    let mut first_bad = None;
+    for t in 0..cfg.topology.tenants as u16 {
+        let img = machine.tenant_memimg(t);
+        let mem_ok = (0..prog.arrays.len())
+            .all(|a| img.array(distda_ir::ArrayId(a)) == ref_mem.array(distda_ir::ArrayId(a)));
+        let scalars_ok = scalars[t as usize] == ref_scalars;
+        if !(mem_ok && scalars_ok) {
+            validated = false;
+            first_bad.get_or_insert(t);
+        }
+    }
     if policy.strict_validate && !validated {
+        let t = first_bad.unwrap_or(0);
+        let base = mismatch_detail(
+            prog,
+            machine.tenant_memimg(t),
+            ref_mem,
+            &scalars[t as usize],
+            ref_scalars,
+        );
         return Err(SimError::ValidationMismatch {
             kernel: prog.name.clone(),
             config: cfg.label(),
-            detail: mismatch_detail(prog, machine.memimg(), ref_mem, &eval_scalars, ref_scalars),
+            detail: if cfg.topology.tenants > 1 {
+                format!("tenant {t}: {base}")
+            } else {
+                base
+            },
         });
     }
 
@@ -620,6 +620,9 @@ pub fn try_simulate_instrumented(
     report.add("accel.stall_mem", eng.stall_mem as f64);
     report.add("accel.stall_chan", eng.stall_chan as f64);
     report.add("validated", f64::from(u8::from(validated)));
+    // Per-tenant attribution (`tenant.N.*`, `tenancy.*`) from a
+    // multi-tenant execution; empty for single-tenant runs.
+    report.merge(&extra);
     if tracer.is_enabled() {
         report.merge_prefixed("trace", &tracer.metrics_report());
     }
@@ -683,6 +686,383 @@ fn mismatch_detail(
         }
     }
     "state differs but no element-level mismatch found".to_string()
+}
+
+/// The memory-hierarchy configuration implied by a topology: cluster and
+/// bank counts follow the mesh shape, and a configured far-memory pool
+/// moves DRAM an extra network hop away (added latency, pool bandwidth).
+/// External drivers building machines by hand (the `bench` case studies)
+/// use this to stay consistent with the runner.
+pub fn mem_config_for(topo: &Topology) -> MemConfig {
+    let mut mc = MemConfig::scaled_for_reduced_inputs();
+    mc.clusters = topo.clusters();
+    mc.banks_per_cluster = topo.banks_per_cluster;
+    if let Some(fm) = topo.far_memory {
+        mc.dram_latency += fm.extra_latency;
+        mc.dram_bytes_per_cycle = fm.bytes_per_cycle;
+    }
+    mc
+}
+
+/// Attaches the run's instrumentation (skip override, tracer, sanitizer,
+/// self-profiler) to a freshly built machine.
+fn instrument(
+    machine: &mut Machine,
+    skip: Option<bool>,
+    tracer: &Tracer,
+    san: &Sanitizer,
+    profiler: &distda_sim::Profiler,
+) {
+    if let Some(on) = skip {
+        machine.set_skip(on);
+    }
+    if tracer.is_enabled() {
+        machine.set_tracer(tracer.clone());
+    }
+    if san.on() {
+        machine.set_sanitizer(san.clone());
+    }
+    if profiler.on() {
+        machine.set_profiler(profiler.clone());
+    }
+}
+
+/// What an execution strategy hands back to the shared metrics/validation
+/// tail: the drained machine, per-tenant live-out scalars (tenant 0
+/// first), and any extra report keys (`tenant.N.*`, `tenancy.*`).
+struct Execution {
+    machine: Machine,
+    scalars: Vec<Vec<Value>>,
+    extra: Report,
+}
+
+/// The single-tenant execution strategy: the program walker interleaves
+/// host segments with offload invocations exactly as before topology
+/// parametrization.
+#[allow(clippy::too_many_arguments)]
+fn run_single(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    plans: &[OffloadPlan],
+    compiled: Option<CompiledKernel>,
+    skip: Option<bool>,
+    tracer: &Tracer,
+    san: &Sanitizer,
+    profiler: &distda_sim::Profiler,
+) -> Result<Execution, SimError> {
+    let topo = &cfg.topology;
+    let uncore = ClockDomain::from_ghz(2.0);
+    let mut mem = MemSystem::new(
+        mem_config_for(topo),
+        uncore,
+        topo.host_node,
+        topo.memctrl_node,
+    );
+    let alloc = allocate(prog, plans, topo.clusters(), cfg.alloc, &mut mem);
+
+    let mut img = Memory::for_program(prog);
+    init(&mut img);
+    let mut machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224, topo);
+    instrument(&mut machine, skip, tracer, san, profiler);
+
+    let mut walker = Walker {
+        prog,
+        cfg,
+        machine,
+        eval: HostEval::new(prog, alloc.layout.clone()),
+        compiled,
+        alloc,
+        handles: HashMap::new(),
+    };
+    let body = prog.body.clone();
+    walker.exec_block(&body)?;
+    walker.flush()?;
+    walker.machine.drain()?;
+    let Walker { machine, eval, .. } = walker;
+    Ok(Execution {
+        machine,
+        scalars: vec![eval.scalars],
+        extra: Report::new(),
+    })
+}
+
+/// Whether a statement (transitively) contains a loop.
+fn stmt_contains_loop(s: &Stmt) -> bool {
+    match s {
+        Stmt::Loop(_) => true,
+        Stmt::If(_, t, e) => t.iter().any(stmt_contains_loop) || e.iter().any(stmt_contains_loop),
+        _ => false,
+    }
+}
+
+/// Functionally executes one loop-free statement against a tenant's view.
+fn exec_scalar_stmt(s: &Stmt, eval: &mut HostEval, mem: &mut Memory) {
+    match s {
+        Stmt::Store(a, idx, val) => eval.store(*a, idx, val, mem),
+        Stmt::SetScalar(sid, e) => eval.set_scalar(*sid, e, mem),
+        Stmt::If(c, t, e) => {
+            let (v, _) = eval.eval(c, mem);
+            let arm = if v.truthy() { t } else { e };
+            for s in arm {
+                exec_scalar_stmt(s, eval, mem);
+            }
+        }
+        Stmt::Loop(_) => unreachable!("host phases are loop-free under tenancy"),
+    }
+}
+
+/// Runs a tenant's loop-free host phase (prologue or epilogue) and charges
+/// the accumulated segment to the shared host core.
+fn run_host_phase(
+    stmts: &[&Stmt],
+    eval: &mut HostEval,
+    machine: &mut Machine,
+    tenant: u16,
+) -> Result<(), SimError> {
+    {
+        let mem = machine.tenant_memimg_mut(tenant);
+        for s in stmts {
+            exec_scalar_stmt(s, eval, mem);
+        }
+    }
+    machine.run_host_segment(eval.take_segment())
+}
+
+/// Jain's fairness index over per-tenant progress rates: 1.0 when every
+/// tenant progresses equally, 1/n under maximal starvation.
+fn jain_index(xs: &[f64]) -> f64 {
+    let s: f64 = xs.iter().sum();
+    let s2: f64 = xs.iter().map(|x| x * x).sum();
+    if s2 <= 0.0 {
+        return 1.0;
+    }
+    s * s / (xs.len() as f64 * s2)
+}
+
+/// The multi-tenant execution strategy: `topology.tenants` identical
+/// copies of the kernel co-scheduled on one fabric. Each tenant gets its
+/// own functional view and a disjoint address band whose anchored objects
+/// rotate home clusters (see [`allocate_for_tenant`]); host phases share
+/// the single host core sequentially, while every tenant's offload runs
+/// concurrently and contends for NUCA banks, mesh links and DRAM. The
+/// kernel must be shaped as `prologue* offloadable-loop epilogue*` with no
+/// loops outside the offload — anything else is rejected rather than
+/// silently serialized.
+#[allow(clippy::too_many_arguments)]
+fn run_tenants(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    plans: &[OffloadPlan],
+    compiled: &CompiledKernel,
+    skip: Option<bool>,
+    tracer: &Tracer,
+    san: &Sanitizer,
+    profiler: &distda_sim::Profiler,
+) -> Result<Execution, SimError> {
+    let topo = &cfg.topology;
+    let n = topo.tenants;
+
+    // Shape gate: exactly one top-level loop, offloadable, with loop-free
+    // prologue/epilogue around it.
+    let mut pre: Vec<&Stmt> = Vec::new();
+    let mut post: Vec<&Stmt> = Vec::new();
+    let mut the_loop: Option<&distda_ir::Loop> = None;
+    for s in &prog.body {
+        match s {
+            Stmt::Loop(l) => {
+                if the_loop.is_some() {
+                    return Err(SimError::InvalidConfig {
+                        detail: format!(
+                            "kernel {} has multiple top-level loops; multi-tenant runs \
+                             require prologue* offloadable-loop epilogue*",
+                            prog.name
+                        ),
+                    });
+                }
+                the_loop = Some(l);
+            }
+            s if the_loop.is_none() => pre.push(s),
+            s => post.push(s),
+        }
+    }
+    let l = the_loop.ok_or_else(|| SimError::InvalidConfig {
+        detail: format!("kernel {} has no top-level loop to offload", prog.name),
+    })?;
+    if pre.iter().chain(post.iter()).any(|s| stmt_contains_loop(s)) {
+        return Err(SimError::InvalidConfig {
+            detail: format!(
+                "kernel {} has host-side loops outside the offload; multi-tenant \
+                 runs require loop-free prologue/epilogue",
+                prog.name
+            ),
+        });
+    }
+    let plan = compiled
+        .plan_for(l.id)
+        .cloned()
+        .ok_or_else(|| SimError::InvalidConfig {
+            detail: format!(
+                "kernel {}'s top-level loop is not offloadable under this configuration",
+                prog.name
+            ),
+        })?;
+
+    // One shared fabric; per-tenant views, layouts and address bands.
+    let uncore = ClockDomain::from_ghz(2.0);
+    let mut mem = MemSystem::new(
+        mem_config_for(topo),
+        uncore,
+        topo.host_node,
+        topo.memctrl_node,
+    );
+    let mut allocs: Vec<Allocation> = Vec::with_capacity(n);
+    let mut imgs: Vec<Memory> = Vec::with_capacity(n);
+    for t in 0..n {
+        allocs.push(allocate_for_tenant(
+            prog,
+            plans,
+            topo.clusters(),
+            cfg.alloc,
+            &mut mem,
+            t as u16,
+        ));
+        let mut img = Memory::for_program(prog);
+        init(&mut img);
+        imgs.push(img);
+    }
+    let mut imgs = imgs.into_iter();
+    let mut machine = Machine::new(
+        mem,
+        imgs.next().expect("tenants >= 1"),
+        allocs[0].layout.clone(),
+        5,
+        224,
+        topo,
+    );
+    for (i, img) in imgs.enumerate() {
+        machine.add_tenant(img, allocs[i + 1].layout.clone());
+    }
+    instrument(&mut machine, skip, tracer, san, profiler);
+    let mut evals: Vec<HostEval> = allocs
+        .iter()
+        .map(|a| HostEval::new(prog, a.layout.clone()))
+        .collect();
+
+    // Host prologues run sequentially: one host core serves all tenants.
+    for (t, eval) in evals.iter_mut().enumerate() {
+        run_host_phase(&pre, eval, &mut machine, t as u16)?;
+    }
+
+    // Configure and launch every tenant's offload. Configuration MMIO is
+    // charged sequentially (still one host core), so later tenants launch
+    // while earlier offloads are already in flight — a staggered start,
+    // exactly what co-scheduling looks like.
+    let mut handles: Vec<PlanHandle> = Vec::with_capacity(n);
+    for t in 0..n {
+        let eval = &mut evals[t];
+        let (sv, ev) = {
+            let mem = machine.tenant_memimg_mut(t as u16);
+            let (sv, _) = eval.eval(&l.start, mem);
+            let (ev, _) = eval.eval(&l.end, mem);
+            (sv, ev)
+        };
+        machine.run_host_segment(eval.take_segment())?;
+        let placement = place_partitions(&plan, &allocs[t], cfg.kind, topo.host_node);
+        let substrates = substrates_for(&plan, cfg);
+        let ranges: Vec<(u64, u64)> = {
+            let mut arrays: Vec<_> = plan
+                .partitions
+                .iter()
+                .flat_map(|p| p.accesses.iter().map(|a| a.array))
+                .collect();
+            arrays.sort();
+            arrays.dedup();
+            arrays
+                .into_iter()
+                .map(|a| allocs[t].layout.range(prog, a))
+                .collect()
+        };
+        let h =
+            machine.configure_plan_for_tenant(&plan, &placement, &substrates, &ranges, t as u16);
+        let params: Vec<Value> = plan
+            .params
+            .iter()
+            .map(|sym| match sym {
+                Sym::Var(lv) => Value::I(evals[t].loop_vars[lv.0]),
+                Sym::Scalar(s) => evals[t].scalars[s.0],
+            })
+            .collect();
+        let carries: Vec<Vec<Value>> = machine
+            .plan_carry_scalars(h)
+            .iter()
+            .map(|ss| ss.iter().map(|s| evals[t].scalars[s.0]).collect())
+            .collect();
+        machine.launch(h, &params, &carries, sv.as_i64(), ev.as_i64(), l.step);
+        handles.push(h);
+    }
+
+    // All offloads in flight: run to joint completion, recording the tick
+    // at which each tenant's plan finished.
+    let mut done_at: Vec<Option<Tick>> = vec![None; n];
+    {
+        let hs = handles.clone();
+        machine.run_until("offload", |now, st| {
+            let mut all = true;
+            for (t, &h) in hs.iter().enumerate() {
+                if st.plan_done(h) {
+                    if done_at[t].is_none() {
+                        done_at[t] = Some(now);
+                    }
+                } else {
+                    all = false;
+                }
+            }
+            all
+        })?;
+    }
+
+    // Live-outs back to each tenant's host state, then sequential
+    // epilogues.
+    for t in 0..n {
+        for (s, v) in machine.read_liveouts(handles[t]) {
+            evals[t].set_scalar_external(s, v);
+        }
+    }
+    for (t, eval) in evals.iter_mut().enumerate() {
+        run_host_phase(&post, eval, &mut machine, t as u16)?;
+    }
+    machine.drain()?;
+
+    // Per-tenant attribution and the fairness summary. Rates are inverse
+    // completion ticks; under a perfectly fair fabric all tenants finish
+    // together and the index is 1.0.
+    let end = machine.now();
+    let mut extra = Report::new();
+    let mut rates = Vec::with_capacity(n);
+    for (t, &done) in done_at.iter().enumerate() {
+        let ticks_t = done.unwrap_or(end);
+        let et = machine.tenant_engine_totals(t as u16);
+        let hop = machine.noc_stats().tenant_hop_bytes(t as u16);
+        extra.add(format!("tenant.{t}.ticks"), ticks_t as f64);
+        extra.add(format!("tenant.{t}.iterations"), et.iterations as f64);
+        extra.add(format!("tenant.{t}.busy_cycles"), et.busy_cycles as f64);
+        extra.add(format!("tenant.{t}.stall_mem"), et.stall_mem as f64);
+        extra.add(format!("tenant.{t}.stall_chan"), et.stall_chan as f64);
+        extra.add(format!("tenant.{t}.intra_bytes"), et.intra_bytes as f64);
+        extra.add(format!("tenant.{t}.da_bytes"), et.da_bytes as f64);
+        extra.add(format!("tenant.{t}.aa_bytes"), et.aa_bytes as f64);
+        extra.add(format!("tenant.{t}.hop_bytes"), hop as f64);
+        rates.push(1.0 / ticks_t.max(1) as f64);
+    }
+    extra.add("tenancy.tenants", n as f64);
+    extra.add("tenancy.fairness", jain_index(&rates));
+    Ok(Execution {
+        machine,
+        scalars: evals.into_iter().map(|e| e.scalars).collect(),
+        extra,
+    })
 }
 
 struct Walker<'a> {
@@ -796,7 +1176,12 @@ impl Walker<'_> {
     }
 
     fn configure(&mut self, plan: &OffloadPlan) -> PlanHandle {
-        let placement = place_partitions(plan, &self.alloc, self.cfg.kind);
+        let placement = place_partitions(
+            plan,
+            &self.alloc,
+            self.cfg.kind,
+            self.cfg.topology.host_node,
+        );
         let substrates = substrates_for(plan, self.cfg);
         let ranges: Vec<(u64, u64)> = {
             let mut arrays: Vec<_> = plan
@@ -819,11 +1204,17 @@ impl Walker<'_> {
 /// Horizontal placement (paper Section V-A step 4): anchored partitions go
 /// to their object's home cluster; compute-only partitions go to the
 /// majority cluster of their channel peers; Mono-CA centralizes at the
-/// host node.
-pub fn place_partitions(plan: &OffloadPlan, alloc: &Allocation, kind: ConfigKind) -> Vec<usize> {
+/// topology's host node (which is also the fallback for partitions with no
+/// placement votes).
+pub fn place_partitions(
+    plan: &OffloadPlan,
+    alloc: &Allocation,
+    kind: ConfigKind,
+    host_node: usize,
+) -> Vec<usize> {
     let n = plan.partitions.len();
     if kind == ConfigKind::MonoCA {
-        return vec![0; n];
+        return vec![host_node; n];
     }
     let mut placement: Vec<Option<usize>> = vec![None; n];
     // Pass 1: partitions with accesses follow their objects.
@@ -862,7 +1253,10 @@ pub fn place_partitions(plan: &OffloadPlan, alloc: &Allocation, kind: ConfigKind
             .max_by_key(|&(c, v)| (v, std::cmp::Reverse(c)))
             .map(|(c, _)| c);
     }
-    placement.into_iter().map(|p| p.unwrap_or(0)).collect()
+    placement
+        .into_iter()
+        .map(|p| p.unwrap_or(host_node))
+        .collect()
 }
 
 /// Whether a partition is a bare access node (stream FSM + channel port).
@@ -1008,6 +1402,88 @@ mod tests {
             let r = simulate(&p, &init, &RunConfig::named(kind));
             assert!(r.validated, "{:?} failed", kind);
         }
+    }
+
+    #[test]
+    fn larger_meshes_validate_across_configs() {
+        let (p, init) = axpy(256);
+        for (c, r_) in [(4usize, 4usize), (8, 4)] {
+            let cfg = RunConfig::named(ConfigKind::DistDAF).with_topology(Topology::mesh(c, r_));
+            let r = simulate(&p, &init, &cfg);
+            assert!(r.validated, "{} failed validation", r.config);
+            assert!(r.config.ends_with(&format!(":{c}x{r_}")));
+        }
+    }
+
+    #[test]
+    fn far_memory_pool_adds_latency() {
+        let (p, init) = axpy(512);
+        let near = simulate(&p, &init, &RunConfig::named(ConfigKind::OoO));
+        let mut topo = Topology::paper();
+        topo.far_memory = Some(crate::config::FarMemory {
+            extra_latency: 200,
+            bytes_per_cycle: 2,
+        });
+        let far = simulate(
+            &p,
+            &init,
+            &RunConfig::named(ConfigKind::OoO).with_topology(topo),
+        );
+        assert!(far.validated);
+        assert!(
+            far.ticks > near.ticks,
+            "pooled memory an extra hop away must cost time: {} vs {}",
+            far.ticks,
+            near.ticks
+        );
+    }
+
+    #[test]
+    fn multi_tenant_axpy_validates_with_fair_attribution() {
+        let (p, init) = axpy(256);
+        let mut topo = Topology::mesh(4, 2);
+        topo.tenants = 2;
+        let cfg = RunConfig::named(ConfigKind::DistDAIO).with_topology(topo);
+        let r = simulate(&p, &init, &cfg);
+        assert!(r.validated, "{} failed validation", r.config);
+        assert!(r.config.ends_with(":t2"));
+        assert_eq!(r.report.get("tenancy.tenants"), Some(2.0));
+        let fair = r.report.get("tenancy.fairness").unwrap();
+        assert!(
+            fair > 0.5 && fair <= 1.0 + 1e-12,
+            "homogeneous tenants should be near-fair, index {fair}"
+        );
+        // Both tenants did the same (full) amount of kernel work, and the
+        // per-tenant counts partition the whole-machine total.
+        let it0 = r.report.get("tenant.0.iterations").unwrap();
+        let it1 = r.report.get("tenant.1.iterations").unwrap();
+        assert!(it0 > 0.0);
+        assert_eq!(it0, it1);
+        assert_eq!(it0 + it1, r.report.get("accel.iterations").unwrap());
+        // Per-tenant hop bytes partition the whole-machine total (the
+        // registry invariant the obs layer re-checks on ingest).
+        let hop_sum: f64 = (0..2)
+            .map(|t| r.report.get(&format!("tenant.{t}.hop_bytes")).unwrap())
+            .sum();
+        assert_eq!(hop_sum, r.report.sum_prefix("noc.hop_bytes."));
+    }
+
+    #[test]
+    fn multi_tenant_rejects_host_side_loops() {
+        let mut b = ProgramBuilder::new("two-loops");
+        let x = b.array_f64("x", 32);
+        b.for_(0, 32, 1, |b, i| {
+            b.store(x, i.clone(), Expr::load(x, i) + Expr::cf(1.0));
+        });
+        b.for_(0, 32, 1, |b, i| {
+            b.store(x, i.clone(), Expr::load(x, i) * Expr::cf(2.0));
+        });
+        let p = b.build();
+        let mut topo = Topology::paper();
+        topo.tenants = 2;
+        let cfg = RunConfig::named(ConfigKind::DistDAIO).with_topology(topo);
+        let err = try_simulate(&p, &|_| {}, &cfg).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }), "{err}");
     }
 
     #[test]

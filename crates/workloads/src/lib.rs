@@ -23,6 +23,7 @@ pub mod dp;
 pub mod gen;
 pub mod graph;
 pub mod linalg;
+pub mod micro;
 pub mod spmv;
 pub mod stencils;
 pub mod vision;

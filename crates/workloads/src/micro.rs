@@ -1,0 +1,153 @@
+//! Micro workloads with a single top-level offloadable loop — the shape
+//! required for multi-tenant co-scheduling (one prologue, one offloaded
+//! loop, one epilogue per tenant). Sizes and constants are explicit
+//! parameters so harnesses (validation sweeps, service smoke tests,
+//! observability invariants) can draw them from their own seed streams.
+
+use crate::{gen, Workload};
+use distda_ir::prelude::*;
+use std::sync::Arc;
+
+/// Saxpy: `y[i] = a*x[i] + y[i]` with unit-interval inputs from `seed`.
+pub fn saxpy(n: usize, a: f64, seed: u64) -> Workload {
+    let mut b = ProgramBuilder::new("micro-saxpy");
+    let x = b.array_f64("x", n);
+    let y = b.array_f64("y", n);
+    b.for_(0, n as i64, 1, |b, i| {
+        let v = Expr::cf(a) * Expr::load(x, i.clone()) + Expr::load(y, i.clone());
+        b.store(y, i, v);
+    });
+    let prog = b.build();
+    Workload {
+        name: "micro-saxpy".into(),
+        ref_cache: Default::default(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            for (k, v) in gen::unit_floats(n, seed).into_iter().enumerate() {
+                mem.array_mut(x)[k] = v;
+            }
+            for (k, v) in gen::unit_floats(n, seed + 1).into_iter().enumerate() {
+                mem.array_mut(y)[k] = v;
+            }
+        }),
+    }
+}
+
+/// Dot-product reduction: `out[0] = sum(x[i]*y[i])`.
+pub fn dot(n: usize, seed: u64) -> Workload {
+    let mut b = ProgramBuilder::new("micro-dot");
+    let x = b.array_f64("x", n);
+    let y = b.array_f64("y", n);
+    let out = b.array_f64("out", 1);
+    let acc = b.scalar("acc", 0.0f64);
+    b.for_(0, n as i64, 1, |b, i| {
+        b.set(
+            acc,
+            Expr::Scalar(acc) + Expr::load(x, i.clone()) * Expr::load(y, i),
+        );
+    });
+    b.store(out, Expr::c(0), Expr::Scalar(acc));
+    let prog = b.build();
+    Workload {
+        name: "micro-dot".into(),
+        ref_cache: Default::default(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            for (k, v) in gen::unit_floats(n, seed).into_iter().enumerate() {
+                mem.array_mut(x)[k] = v;
+            }
+            for (k, v) in gen::unit_floats(n, seed + 1).into_iter().enumerate() {
+                mem.array_mut(y)[k] = v;
+            }
+        }),
+    }
+}
+
+/// Indirect gather over a permutation cycle: `out[i] = data[idx[i]]`.
+pub fn gather(n: usize, seed: u64) -> Workload {
+    let mut b = ProgramBuilder::new("micro-gather");
+    let idx = b.array_i64("idx", n);
+    let data = b.array_f64("data", n);
+    let out = b.array_f64("out", n);
+    b.for_(0, n as i64, 1, |b, i| {
+        let j = Expr::load(idx, i.clone());
+        b.store(out, i, Expr::load(data, j));
+    });
+    let prog = b.build();
+    Workload {
+        name: "micro-gather".into(),
+        ref_cache: Default::default(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            for (k, v) in gen::permutation_cycle(n, seed).into_iter().enumerate() {
+                mem.array_mut(idx)[k] = Value::I(v);
+            }
+            for (k, v) in gen::unit_floats(n, seed + 1).into_iter().enumerate() {
+                mem.array_mut(data)[k] = v;
+            }
+        }),
+    }
+}
+
+/// 3-point stencil: `out[i] = c0*a[i-1] + c1*a[i] + c2*a[i+1]`.
+pub fn stencil3(n: usize, c: [f64; 3], seed: u64) -> Workload {
+    let mut b = ProgramBuilder::new("micro-stencil3");
+    let a = b.array_f64("a", n);
+    let out = b.array_f64("out", n);
+    b.for_(1, n as i64 - 1, 1, |b, i| {
+        let v = Expr::cf(c[0]) * Expr::load(a, i.clone() - Expr::c(1))
+            + Expr::cf(c[1]) * Expr::load(a, i.clone())
+            + Expr::cf(c[2]) * Expr::load(a, i.clone() + Expr::c(1));
+        b.store(out, i, v);
+    });
+    let prog = b.build();
+    Workload {
+        name: "micro-stencil3".into(),
+        ref_cache: Default::default(),
+        program: prog,
+        init: Arc::new(move |mem: &mut Memory| {
+            for (k, v) in gen::unit_floats(n, seed).into_iter().enumerate() {
+                mem.array_mut(a)[k] = v;
+            }
+        }),
+    }
+}
+
+/// All four micro kernels with sizes and constants drawn from `seed` via
+/// the repo's own [`SplitMix64`](distda_sim::SplitMix64): the same seed
+/// always reproduces the same kernels.
+pub fn suite(seed: u64) -> Vec<Workload> {
+    let mut r = distda_sim::SplitMix64::new(seed);
+    let mut size = |lo: u64, hi: u64| (lo + r.below(hi - lo)) as usize;
+    let saxpy_n = size(64, 512);
+    let dot_n = size(64, 512);
+    let gather_n = size(64, 512);
+    let stencil_n = size(64, 512);
+    let a = 0.5 + r.next_f64() * 4.0;
+    let c = [r.next_f64(), r.next_f64(), r.next_f64()];
+    vec![
+        saxpy(saxpy_n, a, seed + 10),
+        dot(dot_n, seed + 20),
+        gather(gather_n, seed + 30),
+        stencil3(stencil_n, c, seed + 40),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_suite_is_seed_deterministic() {
+        let a = suite(7);
+        let b = suite(7);
+        assert_eq!(a.len(), 4);
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.name, wb.name);
+            assert_eq!(
+                format!("{:?}", wa.reference_exec().1),
+                format!("{:?}", wb.reference_exec().1)
+            );
+        }
+    }
+}

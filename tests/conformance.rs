@@ -15,7 +15,7 @@ use distda::noc::{Mesh, NocConfig, Packet, TrafficClass};
 use distda::sim::conformance::{run_for, run_to_quiescence};
 use distda::sim::time::ClockDomain;
 use distda::sim::{Scheduler, SplitMix64};
-use distda::system::{allocate, AllocStrategy, Machine, Substrate};
+use distda::system::{allocate, AllocStrategy, Machine, Substrate, Topology};
 
 fn scaled_setup(n: usize) -> (Program, distda::compiler::CompiledKernel, Machine, ArrayId) {
     let mut b = ProgramBuilder::new("pipe");
@@ -32,7 +32,7 @@ fn scaled_setup(n: usize) -> (Program, distda::compiler::CompiledKernel, Machine
     for i in 0..n {
         img.array_mut(x)[i] = Value::F(i as f64);
     }
-    let machine = Machine::new(mem, img, alloc.layout, 5, 224);
+    let machine = Machine::new(mem, img, alloc.layout, 5, 224, &Topology::paper());
     (p, ck, machine, y)
 }
 

@@ -7,7 +7,7 @@ use distda::compiler::{compile, PartitionMode};
 use distda::ir::prelude::*;
 use distda::mem::{MemConfig, MemSystem};
 use distda::sim::time::ClockDomain;
-use distda::system::{allocate, AllocStrategy, Machine, Substrate};
+use distda::system::{allocate, AllocStrategy, Machine, Substrate, Topology};
 
 fn pipeline_setup() -> (Program, distda::compiler::CompiledKernel, Machine) {
     let mut b = ProgramBuilder::new("pipe");
@@ -24,7 +24,7 @@ fn pipeline_setup() -> (Program, distda::compiler::CompiledKernel, Machine) {
     for i in 0..256 {
         img.array_mut(x)[i] = Value::F(i as f64);
     }
-    let machine = Machine::new(mem, img, alloc.layout, 5, 224);
+    let machine = Machine::new(mem, img, alloc.layout, 5, 224, &Topology::paper());
     (p, ck, machine)
 }
 

@@ -2,7 +2,10 @@
 //! an in-process daemon, one small sweep submitted twice, with the second
 //! submission served entirely from the content-addressed cache — zero new
 //! simulated ticks, byte-identical to both the first submission and a
-//! direct `try_run_matrix` of the same cells.
+//! direct `try_run_matrix` of the same cells. The config list mixes the
+//! paper machine with an extended-topology label (a 4x4 mesh over a
+//! 200-cycle far-memory pool), so the daemon's label-to-config path
+//! covers the scenario families, not just the six paper points.
 
 use distda_bench::try_run_matrix;
 use distda_serve::{encode_result, fetch_metrics, Client, ServeConfig, Server, SweepReply};
@@ -19,6 +22,7 @@ fn served_sweep_dedupes_and_matches_direct_simulation() {
         queue: 32,
         cache_mem: 32,
         cache_dir: Some(dir.clone()),
+        cache_bytes: 0,
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().to_string();
@@ -27,7 +31,7 @@ fn served_sweep_dedupes_and_matches_direct_simulation() {
     client.ping().expect("daemon answers ping");
 
     let kernels = ["pch", "nw"];
-    let configs = ["OoO", "Dist-DA-F"];
+    let configs = ["OoO", "Dist-DA-F", "Dist-DA-IO:4x4:fm200"];
     let run = |client: &mut Client| match client
         .sweep(&kernels, &configs, "tiny", true, true)
         .expect("sweep")
@@ -37,14 +41,14 @@ fn served_sweep_dedupes_and_matches_direct_simulation() {
     };
 
     let first = run(&mut client);
-    assert_eq!(first.cells, 4);
-    assert_eq!(first.queued, 4, "cold cache simulates everything");
+    assert_eq!(first.cells, 6);
+    assert_eq!(first.queued, 6, "cold cache simulates everything");
     assert!(first.results.iter().all(|r| r.ok && !r.cached));
     assert!(first.summary_ticks > 0);
 
     // Second identical submission: 100% cache hits, zero new ticks.
     let second = run(&mut client);
-    assert_eq!(second.cached, 4, "second submission is 100% cache hits");
+    assert_eq!(second.cached, 6, "second submission is 100% cache hits");
     assert_eq!(second.queued, 0);
     assert_eq!(second.summary_ticks, 0, "no new simulation");
     assert!(second.results.iter().all(|r| r.ok && r.cached));
@@ -64,9 +68,12 @@ fn served_sweep_dedupes_and_matches_direct_simulation() {
     // daemon entirely (the simulator is deterministic).
     let scale = Scale::tiny();
     let ws = [pointer_chase(&scale), nw(&scale)];
+    let (_, mixed_topo) =
+        distda_system::parse_label_extension("Dist-DA-IO:4x4:fm200").expect("valid label");
     let cfgs = [
         RunConfig::named(ConfigKind::OoO),
         RunConfig::named(ConfigKind::DistDAF),
+        RunConfig::named(ConfigKind::DistDAIO).with_topology(mixed_topo),
     ];
     let (sweep, failures) = try_run_matrix(&ws, &cfgs);
     assert!(failures.is_empty());
@@ -88,9 +95,11 @@ fn served_sweep_dedupes_and_matches_direct_simulation() {
     // The daemon accounting balances and the scrape works end to end.
     let metrics = fetch_metrics(&addr).expect("GET /metrics");
     assert!(metrics.ends_with("# EOF\n"));
-    assert!(metrics.contains("distda_serve_cells_submitted_total 8"));
-    assert!(metrics.contains("distda_serve_cells_completed_total 4"));
-    assert!(metrics.contains("distda_serve_cells_deduped_total 4"));
+    assert!(metrics.contains("distda_serve_cells_submitted_total 12"));
+    assert!(metrics.contains("distda_serve_cells_completed_total 6"));
+    assert!(metrics.contains("distda_serve_cells_deduped_total 6"));
+    assert!(metrics.contains("distda_serve_cache_disk_bytes"));
+    assert!(metrics.contains("distda_serve_retry_after_ms"));
     assert!(
         metrics.contains("distda_serve_cache_hit_ratio 0.5"),
         "4 hits / 8 lookups"
