@@ -36,6 +36,21 @@ pub trait EngineCtx {
 
     /// Byte address of `array[idx]` under the current allocation.
     fn addr_of(&self, array: ArrayId, idx: i64) -> u64;
+
+    /// Per-port stall attribution: the engine charges `n` stall cycles
+    /// against the port backing channel `chan` — called at exactly the
+    /// sites that charge the engine's own `stall_chan` counter, so
+    /// per-port series sum to engine totals. Default: no attribution.
+    fn note_chan_stall(&mut self, chan: u16, n: u64) {
+        let _ = (chan, n);
+    }
+
+    /// Per-port stall attribution for memory (ACP) waits — called at
+    /// exactly the sites that charge `stall_mem`. Default: no
+    /// attribution.
+    fn note_mem_stall(&mut self, n: u64) {
+        let _ = n;
+    }
 }
 
 /// A self-contained context for unit tests: channels are unbounded unless

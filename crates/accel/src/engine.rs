@@ -553,7 +553,7 @@ impl PartitionEngine {
     /// simulation would have re-tried the blocked node and charged exactly
     /// one stall cycle; everything else on those edges is provably a no-op,
     /// so bulk accounting keeps the statistics bit-identical.
-    fn account_skipped_edges(&mut self, now: Tick) {
+    fn account_skipped_edges(&mut self, now: Tick, ctx: &mut dyn EngineCtx) {
         let Some(last) = self.last_edge else { return };
         if !matches!(self.state, State::Running) {
             return;
@@ -569,8 +569,16 @@ impl PartitionEngine {
         }
         let missed = (now - period - first) / period + 1;
         match w {
-            Wait::Line { .. } | Wait::WriteCap { .. } => self.stats.stall_mem += missed,
-            Wait::Chan { .. } => self.stats.stall_chan += missed,
+            Wait::Line { .. } | Wait::WriteCap { .. } => {
+                self.stats.stall_mem += missed;
+                ctx.note_mem_stall(missed);
+            }
+            Wait::Chan { pc } => {
+                self.stats.stall_chan += missed;
+                if let Some((c, _)) = self.chan_of(pc) {
+                    ctx.note_chan_stall(c, missed);
+                }
+            }
         }
     }
 
@@ -619,7 +627,7 @@ impl PartitionEngine {
         if !self.clock.fires_at(now) {
             return;
         }
-        self.account_skipped_edges(now);
+        self.account_skipped_edges(now, ctx);
         let before = self.snapshot();
         self.attempted = false;
         self.handle_completions(ctx);
@@ -709,8 +717,16 @@ impl PartitionEngine {
                 }
                 Err(wait) => {
                     match wait {
-                        Wait::Line { .. } | Wait::WriteCap { .. } => self.stats.stall_mem += 1,
-                        Wait::Chan { .. } => self.stats.stall_chan += 1,
+                        Wait::Line { .. } | Wait::WriteCap { .. } => {
+                            self.stats.stall_mem += 1;
+                            ctx.note_mem_stall(1);
+                        }
+                        Wait::Chan { pc } => {
+                            self.stats.stall_chan += 1;
+                            if let Some((c, _)) = self.chan_of(pc) {
+                                ctx.note_chan_stall(c, 1);
+                            }
+                        }
                     }
                     self.wait = Some(wait);
                     if issued > 0 {

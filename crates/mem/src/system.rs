@@ -12,10 +12,10 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::VecDeque;
 
 use distda_check::Sanitizer;
 use distda_noc::{Packet, TrafficClass};
+use distda_sim::port::{Channel, PortSnapshot};
 use distda_sim::time::{ClockDomain, Tick};
 use distda_sim::Report;
 use distda_trace::{EventKind, TraceSink, Tracer};
@@ -147,11 +147,15 @@ pub struct MemSystem {
     ports: Vec<PortKind>,
     /// Host-core index per port (usize::MAX for non-host ports).
     port_core: Vec<usize>,
-    resp: Vec<Vec<MemResponse>>,
-    resp_pending: usize,
+    /// Per-requester response ports. Unbounded channels: occupancy is
+    /// already limited by each requester's outstanding-request window,
+    /// so back-pressure lives at the request side, not here.
+    resp: Vec<Channel<MemResponse>>,
     actions: BinaryHeap<Reverse<HeapItem>>,
     seq: u64,
-    out: VecDeque<Packet<MemMsg>>,
+    /// Mesh-bound protocol packets, drained by the owning machine
+    /// through the port handshake (peek, inject, accept).
+    out: Channel<Packet<MemMsg>>,
     stats: MemSysStats,
     sink: TraceSink,
     san: Sanitizer,
@@ -189,10 +193,9 @@ impl MemSystem {
             ports: Vec::new(),
             port_core: Vec::new(),
             resp: Vec::new(),
-            resp_pending: 0,
             actions: BinaryHeap::new(),
             seq: 0,
-            out: VecDeque::new(),
+            out: Channel::unbounded(),
             stats: MemSysStats::default(),
             sink: TraceSink::default(),
             san: Sanitizer::disabled(),
@@ -244,7 +247,7 @@ impl MemSystem {
         }
         let id = PortId(self.ports.len() as u32);
         self.ports.push(kind);
-        self.resp.push(Vec::new());
+        self.resp.push(Channel::unbounded());
         id
     }
 
@@ -327,24 +330,23 @@ impl MemSystem {
         Ok(())
     }
 
-    /// Drains completed responses for a port.
-    ///
-    /// The returned vector's capacity is lost when the caller drops it;
-    /// steady-state callers use [`MemSystem::take_responses_into`].
-    pub fn take_responses(&mut self, port: PortId) -> Vec<MemResponse> {
-        let v = std::mem::take(&mut self.resp[port.0 as usize]);
-        self.resp_pending -= v.len();
-        v
+    /// The response port of one requester: completed responses arrive
+    /// here and the requester accepts them through the port handshake.
+    pub fn responses(&mut self, port: PortId) -> &mut Channel<MemResponse> {
+        &mut self.resp[port.0 as usize]
     }
 
-    /// Drains completed responses for a port into `out` (cleared first)
-    /// by buffer swap: the caller's previous buffer becomes the port's
-    /// accumulation buffer, so once both sides have warmed up response
-    /// delivery never touches the allocator.
-    pub fn take_responses_into(&mut self, port: PortId, out: &mut Vec<MemResponse>) {
-        out.clear();
-        std::mem::swap(&mut self.resp[port.0 as usize], out);
-        self.resp_pending -= out.len();
+    /// Drains completed responses for a port into a fresh vector
+    /// (test-oriented; steady-state callers accept through
+    /// [`MemSystem::responses`] without touching the allocator).
+    pub fn take_responses(&mut self, port: PortId) -> Vec<MemResponse> {
+        let ch = &mut self.resp[port.0 as usize];
+        let mut v = Vec::with_capacity(ch.len());
+        let mut rx = ch.rx();
+        while let Some(r) = rx.accept() {
+            v.push(r);
+        }
+        v
     }
 
     /// Whether any response is waiting on `port`.
@@ -352,14 +354,36 @@ impl MemSystem {
         !self.resp[port.0 as usize].is_empty()
     }
 
-    /// Pops a packet that must be injected into the shared mesh.
-    pub fn pop_outgoing(&mut self) -> Option<Packet<MemMsg>> {
-        self.out.pop_front()
+    /// The mesh-bound packet port: the owning machine peeks the head,
+    /// attempts injection, and accepts only once the mesh took the
+    /// packet (so a refused injection leaves the head unchanged).
+    pub fn outgoing(&mut self) -> &mut Channel<Packet<MemMsg>> {
+        &mut self.out
     }
 
-    /// Returns a packet the mesh refused (injection queue full).
-    pub fn push_front_outgoing(&mut self, pkt: Packet<MemMsg>) {
-        self.out.push_front(pkt);
+    /// All registered ports, in registration order.
+    pub fn ports(&self) -> impl Iterator<Item = PortId> + '_ {
+        (0..self.ports.len()).map(|i| PortId(i as u32))
+    }
+
+    /// Port statistics of the mesh-bound packet port.
+    pub fn out_snapshot(&self) -> PortSnapshot {
+        self.out.snapshot("mem.out")
+    }
+
+    /// Port statistics of one requester's response port.
+    pub fn resp_snapshot(&self, port: PortId) -> PortSnapshot {
+        self.resp[port.0 as usize].snapshot(format!("mem.resp{}", port.0))
+    }
+
+    /// Enqueues a mesh-bound packet on the outgoing port (unbounded:
+    /// protocol progress must never deadlock on injection; the mesh's
+    /// real back-pressure is applied at injection time by the machine).
+    fn out_push(&mut self, pkt: Packet<MemMsg>) {
+        self.out
+            .tx()
+            .offer(pkt)
+            .expect("mem mesh port is unbounded");
     }
 
     /// Handles a packet delivered by the mesh to a memory component.
@@ -420,8 +444,11 @@ impl MemSystem {
 
     fn push_response(&mut self, r: MemResponse) {
         self.stats.responses += 1;
-        self.resp_pending += 1;
-        self.resp[r.port.0 as usize].push(r);
+        let p = r.port.0 as usize;
+        self.resp[p]
+            .tx()
+            .offer(r)
+            .expect("response ports are unbounded");
     }
 
     /// Whether work remains in flight inside the hierarchy.
@@ -436,7 +463,7 @@ impl MemSystem {
     /// collected every one — leaving them outstanding is the drain-leak
     /// bug this accessor exists to close.
     pub fn pending_responses(&self) -> usize {
-        self.resp_pending
+        self.resp.iter().map(|c| c.len()).sum()
     }
 
     /// Audits the hierarchy's drained-state invariants: every MSHR
@@ -500,10 +527,13 @@ impl MemSystem {
                 },
             );
         }
-        self.san
-            .check(self.resp_pending == 0, "mem", "response-drain", now, || {
-                format!("{} responses never collected", self.resp_pending)
-            });
+        self.san.check(
+            self.pending_responses() == 0,
+            "mem",
+            "response-drain",
+            now,
+            || format!("{} responses never collected", self.pending_responses()),
+        );
         self.san
             .check(!self.is_active(), "mem", "hierarchy-drain", now, || {
                 format!(
@@ -536,7 +566,7 @@ impl MemSystem {
     /// in lock-step execution.
     pub fn next_event(&self, now: Tick) -> Option<Tick> {
         use distda_sim::time::earliest;
-        if !self.out.is_empty() || self.resp_pending > 0 {
+        if !self.out.is_empty() || self.resp.iter().any(|c| !c.is_empty()) {
             return Some(now);
         }
         let actions = self.actions.peek().map(|Reverse(top)| top.at.max(now));
@@ -569,7 +599,7 @@ impl MemSystem {
                         },
                     );
                 } else {
-                    self.out.push_back(
+                    self.out_push(
                         Packet::new(
                             self.memctrl_node,
                             done.from_cluster,
@@ -790,7 +820,7 @@ impl MemSystem {
                 0,
             )
         };
-        self.out.push_back(
+        self.out_push(
             Packet::new(
                 src_node,
                 home,
@@ -924,7 +954,7 @@ impl MemSystem {
             self.dram.enqueue(now, line, write, cluster);
         } else {
             let bytes = if write { LINE_BYTES as u32 } else { 0 };
-            self.out.push_back(
+            self.out_push(
                 Packet::new(
                     cluster,
                     self.memctrl_node,
@@ -1018,7 +1048,7 @@ impl MemSystem {
                 LINE_BYTES as u32,
             )
         };
-        self.out.push_back(
+        self.out_push(
             Packet::new(
                 cluster,
                 ret.node,
@@ -1126,7 +1156,7 @@ impl MemSystem {
             } else {
                 (TrafficClass::AccCtrl, 0)
             };
-            self.out.push_back(
+            self.out_push(
                 Packet::new(
                     cluster,
                     home,
@@ -1294,11 +1324,11 @@ mod tests {
 
         fn step(&mut self) {
             self.ms.tick(self.now);
-            while let Some(pkt) = self.ms.pop_outgoing() {
-                if let Err(p) = self.mesh.try_inject(self.now, pkt) {
-                    self.ms.push_front_outgoing(p);
+            while let Some(&pkt) = self.ms.outgoing().front() {
+                if self.mesh.try_inject(self.now, pkt).is_err() {
                     break;
                 }
+                self.ms.outgoing().rx().accept();
             }
             self.mesh.tick(self.now);
             for node in 0..self.mesh.node_count() {

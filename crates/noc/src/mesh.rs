@@ -10,6 +10,7 @@
 
 use crate::packet::{NodeId, Packet, TrafficClass};
 use distda_check::Sanitizer;
+use distda_sim::port::{Channel, PortSnapshot};
 use distda_sim::time::{ClockDomain, Tick};
 use distda_sim::Fifo;
 use distda_trace::{EventKind, TraceSink};
@@ -158,7 +159,11 @@ pub struct Mesh<P> {
     inj_head: Vec<Tick>,
     /// One bit per node: set while its injection queue is non-empty.
     inj_occ: Vec<u64>,
-    inbox: Vec<Vec<Packet<P>>>,
+    /// Per-node delivery ports: ejected packets wait here until the
+    /// owner accepts them through the port handshake. Unbounded —
+    /// ejection must never deadlock the router; the owner drains every
+    /// inbox each delivery phase.
+    inbox: Vec<Channel<Packet<P>>>,
     /// Total packets across every inbox (O(1) pending check).
     inbox_count: usize,
     stats: NocStats,
@@ -188,7 +193,7 @@ impl<P> Mesh<P> {
             inj_q: (0..n).map(|_| Fifo::new(cfg.inject_queue)).collect(),
             inj_head: vec![Tick::MAX; n],
             inj_occ: vec![0; n.div_ceil(64)],
-            inbox: (0..n).map(|_| Vec::new()).collect(),
+            inbox: (0..n).map(|_| Channel::unbounded()).collect(),
             inbox_count: 0,
             stats: NocStats::default(),
             in_flight: 0,
@@ -454,7 +459,8 @@ impl<P> Mesh<P> {
                     self.sink.observe("latency_ticks", elapsed);
                     self.sink.sample(now, "in_flight", self.in_flight as f64);
                 }
-                self.inbox[f.pkt.dst].push(f.pkt);
+                let accepted = self.inbox[f.pkt.dst].tx().offer(f.pkt).is_ok();
+                debug_assert!(accepted, "inboxes are unbounded");
                 self.inbox_count += 1;
                 false
             }
@@ -526,8 +532,14 @@ impl<P> Mesh<P> {
 
     /// Removes and returns all packets delivered to `node`.
     pub fn drain_inbox(&mut self, node: NodeId) -> Vec<Packet<P>> {
-        self.inbox_count -= self.inbox[node].len();
-        std::mem::take(&mut self.inbox[node])
+        let ch = &mut self.inbox[node];
+        self.inbox_count -= ch.len();
+        let mut v = Vec::with_capacity(ch.len());
+        let mut rx = ch.rx();
+        while let Some(pkt) = rx.accept() {
+            v.push(pkt);
+        }
+        v
     }
 
     /// Batch-phase delivery: hands every inboxed packet to `f` in
@@ -541,7 +553,8 @@ impl<P> Mesh<P> {
         }
         self.inbox_count = 0;
         for node in 0..self.inbox.len() {
-            for pkt in self.inbox[node].drain(..) {
+            let mut rx = self.inbox[node].rx();
+            while let Some(pkt) = rx.accept() {
                 f(node, pkt);
             }
         }
@@ -550,6 +563,16 @@ impl<P> Mesh<P> {
     /// Number of packets waiting in `node`'s inbox.
     pub fn inbox_len(&self, node: NodeId) -> usize {
         self.inbox[node].len()
+    }
+
+    /// Port statistics of every node's delivery inbox, named
+    /// `noc.inbox<node>`.
+    pub fn inbox_snapshots(&self) -> Vec<PortSnapshot> {
+        self.inbox
+            .iter()
+            .enumerate()
+            .map(|(n, ch)| ch.snapshot(format!("noc.inbox{n}")))
+            .collect()
     }
 
     /// Traffic statistics so far.

@@ -56,7 +56,7 @@ impl TrafficClass {
 }
 
 /// A network packet carrying an opaque payload.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Packet<P> {
     /// Source node.
     pub src: NodeId,

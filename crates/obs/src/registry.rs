@@ -200,6 +200,28 @@ impl Registry {
                 }
             }
         }
+        // Per-port handshake series from the `port.<name>.<what>` report
+        // keys: pushed/stall counters plus a high-water gauge, labelled
+        // by port so dashboards can localize back-pressure to one
+        // boundary. Channel-port stall series sum to `accel.stall_chan`
+        // and ACP response-port stalls to `accel.stall_mem` — see the
+        // `port_series_sum_to_machine_stalls` invariant test.
+        for (key, v) in r.report.iter() {
+            let Some(rest) = key.strip_prefix("port.") else {
+                continue;
+            };
+            let Some((port, what)) = rest.rsplit_once('.') else {
+                continue;
+            };
+            let mut pl: Vec<(&str, &str)> = labels.to_vec();
+            pl.push(("port", port));
+            match what {
+                "pushed" => self.counter_add("distda_port_pushed", &pl, v as u64),
+                "stalls" => self.counter_add("distda_port_stall_cycles", &pl, v as u64),
+                "high_water" => self.gauge_set("distda_port_high_water", &pl, v),
+                _ => {}
+            }
+        }
     }
 
     /// Ingests a statistics [`Report`] as gauges named

@@ -128,3 +128,44 @@ fn tenant_series_partition_machine_totals() {
         assert!(h > 0.0, "tenant {t} moved no bytes: {om}");
     }
 }
+
+/// The per-port stall series exported from `port.*` report keys must sum
+/// back to the whole-machine stall totals: channel-port stalls recover
+/// `accel.stall_chan` exactly, and ACP response-port stalls recover
+/// `accel.stall_mem` exactly. This pins the engine's per-port stall
+/// attribution hooks to the two sites that charge its own counters.
+#[test]
+fn port_series_sum_to_machine_stalls() {
+    let w = pathfinder(&Scale::tiny());
+    let cfg = RunConfig::named(ConfigKind::DistDAIO);
+    let r = w.try_simulate(&cfg).unwrap();
+    assert!(r.validated);
+
+    let mut reg = Registry::new();
+    reg.ingest_run(&r);
+    let om = reg.openmetrics();
+
+    // Ports exported and carrying traffic.
+    assert!(om.contains("distda_port_pushed_total"), "{om}");
+    assert!(
+        series_sum(&om, "distda_port_pushed_total", None) > 0.0,
+        "{om}"
+    );
+
+    // Stall cycles on ports whose name starts with `prefix`.
+    let stalls_for = |prefix: &str| -> f64 {
+        om.lines()
+            .filter(|l| l.starts_with("distda_port_stall_cycles_total{"))
+            .filter(|l| l.contains(&format!("port=\"{prefix}")))
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<f64>().unwrap())
+            .sum()
+    };
+    let chan = r.report.get("accel.stall_chan").unwrap();
+    let mem = r.report.get("accel.stall_mem").unwrap();
+    assert_eq!(stalls_for("chan"), chan, "{om}");
+    assert_eq!(stalls_for("mem.resp"), mem, "{om}");
+    assert!(
+        chan + mem > 0.0,
+        "expected the run to exercise back-pressure: {om}"
+    );
+}

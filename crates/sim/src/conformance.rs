@@ -27,10 +27,13 @@
 //! protocol guarantees they agree.
 
 use crate::component::Scheduler;
+use crate::port::PortSnapshot;
 use crate::time::{earliest, Tick};
 
 #[cfg(doc)]
 use crate::component::Component;
+#[cfg(doc)]
+use crate::port::{Channel, RxPort, TxPort};
 
 /// One observed violation of the component protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,7 +42,9 @@ pub struct Violation {
     /// rules).
     pub comp: String,
     /// Which rule broke: `"wake-in-past"`, `"stale-wake"`,
-    /// `"eventless-active"` or `"no-quiescence"`.
+    /// `"eventless-active"`, `"no-quiescence"`, or one of the port
+    /// handshake rules from [`check_ports`] (`"port-no-loss"`,
+    /// `"port-capacity"`, `"port-drain"`).
     pub rule: &'static str,
     /// Tick at which the violation was observed.
     pub now: Tick,
@@ -192,6 +197,60 @@ pub fn run_to_quiescence<W>(
     }
 }
 
+/// The generic handshake-compliance audit over a machine's
+/// [`PortSnapshot`]s, taken at tick `now`:
+///
+/// - **port-no-loss** — every accepted offer is accounted for:
+///   `pushed == popped + len`. A mismatch means a value was dropped or
+///   conjured outside the [`TxPort`]/[`RxPort`] handshake.
+/// - **port-capacity** — occupancy and high-water never exceed the
+///   configured bound; exceeding it means a producer bypassed the
+///   ready check.
+/// - **port-drain** — with `drained` set (the machine claims global
+///   quiescence), every port must be empty; a queued element nobody
+///   will ever accept is a lost value.
+///
+/// The stable-data and no-pop-without-valid rules are structural in
+/// [`Channel`] itself (a refused offer returns the value; `accept` on
+/// empty returns `None`), so they need no posthoc audit here — the
+/// property tests cover them directly.
+pub fn check_ports(ports: &[PortSnapshot], now: Tick, drained: bool) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for p in ports {
+        if p.pushed != p.popped + p.len as u64 {
+            out.push(Violation {
+                comp: p.name.clone(),
+                rule: "port-no-loss",
+                now,
+                detail: format!(
+                    "pushed {} != popped {} + occupancy {}",
+                    p.pushed, p.popped, p.len
+                ),
+            });
+        }
+        if p.len > p.capacity || p.high_water > p.capacity {
+            out.push(Violation {
+                comp: p.name.clone(),
+                rule: "port-capacity",
+                now,
+                detail: format!(
+                    "occupancy {} / high-water {} exceed capacity {}",
+                    p.len, p.high_water, p.capacity
+                ),
+            });
+        }
+        if drained && p.len > 0 {
+            out.push(Violation {
+                comp: p.name.clone(),
+                rule: "port-drain",
+                now,
+                detail: format!("{} elements still queued after drain", p.len),
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +396,58 @@ mod tests {
         );
         let v = run_for(&mut sched, &mut (), 64);
         assert!(v.iter().any(|v| v.rule == "stale-wake"), "got {v:?}");
+    }
+
+    #[test]
+    fn port_audit_flags_loss_capacity_and_drain() {
+        use crate::port::PortSnapshot;
+        let healthy = PortSnapshot {
+            name: "ok".into(),
+            pushed: 10,
+            popped: 10,
+            len: 0,
+            capacity: 4,
+            high_water: 4,
+            stalls: 2,
+        };
+        let lossy = PortSnapshot {
+            name: "lossy".into(),
+            pushed: 10,
+            popped: 8,
+            len: 1,
+            capacity: 4,
+            high_water: 3,
+            stalls: 0,
+        };
+        let overfull = PortSnapshot {
+            name: "overfull".into(),
+            pushed: 6,
+            popped: 0,
+            len: 6,
+            capacity: 4,
+            high_water: 6,
+            stalls: 0,
+        };
+        let v = check_ports(&[healthy.clone(), lossy, overfull], 7, false);
+        assert_eq!(v.len(), 2, "got {v:?}");
+        assert!(v
+            .iter()
+            .any(|v| v.rule == "port-no-loss" && v.comp == "lossy"));
+        assert!(v
+            .iter()
+            .any(|v| v.rule == "port-capacity" && v.comp == "overfull" && v.now == 7));
+        let stuck = PortSnapshot {
+            name: "stuck".into(),
+            pushed: 3,
+            popped: 2,
+            len: 1,
+            capacity: 4,
+            high_water: 2,
+            stalls: 0,
+        };
+        let v = check_ports(&[healthy, stuck], 9, true);
+        assert_eq!(v.len(), 1, "got {v:?}");
+        assert_eq!(v[0].rule, "port-drain");
     }
 
     #[test]

@@ -117,16 +117,21 @@ impl<T> Fifo<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.items.iter()
     }
-}
 
-impl<T> Extend<T> for Fifo<T> {
-    /// Extends the FIFO, panicking on overflow.
+    /// Pushes elements from `iter` until the FIFO fills or the iterator
+    /// runs dry. On overflow the refused element comes back unchanged as
+    /// `Err(v)` — the stable-data rule — and the caller still owns the
+    /// iterator, so nothing is lost: re-offer `v` and resume the
+    /// iterator once credits free up.
     ///
-    /// Only use when the caller has checked `credits()`.
-    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+    /// This replaces the old panicking `Extend` implementation, which
+    /// required callers to pre-check [`credits`](Self::credits) and
+    /// turned a back-pressure event into an abort.
+    pub fn try_extend<I: Iterator<Item = T>>(&mut self, iter: &mut I) -> Result<(), T> {
         for v in iter {
-            assert!(self.try_push(v).is_ok(), "fifo overflow in extend");
+            self.try_push(v)?;
         }
+        Ok(())
     }
 }
 
@@ -198,5 +203,31 @@ mod tests {
         f.try_push(7).unwrap();
         assert_eq!(f.front(), Some(&7));
         assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn try_extend_fills_then_hands_back_the_refused_element() {
+        let mut f = Fifo::new(3);
+        let mut src = 0..5;
+        assert_eq!(f.try_extend(&mut src), Err(3));
+        assert_eq!(f.len(), 3);
+        // Nothing lost: the refused element came back, and the caller
+        // still holds the rest of the iterator.
+        assert_eq!(src.next(), Some(4));
+        f.pop();
+        f.try_push(3).unwrap();
+        assert_eq!(
+            (0..3).map(|_| f.pop().unwrap()).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn try_extend_accepts_everything_when_room() {
+        let mut f = Fifo::new(4);
+        let mut src = 10..13;
+        assert!(f.try_extend(&mut src).is_ok());
+        assert_eq!(f.len(), 3);
+        assert_eq!(src.next(), None);
     }
 }

@@ -25,6 +25,7 @@ pub mod component;
 pub mod conformance;
 pub mod env;
 pub mod fifo;
+pub mod port;
 pub mod profile;
 pub mod rng;
 pub mod time;
@@ -41,6 +42,7 @@ pub use arena::{Arena, Handle};
 pub use calendar::CalendarQueue;
 pub use component::{Component, Instruments, Scheduler, Stop};
 pub use fifo::Fifo;
+pub use port::{Channel, CreditLoop, PortSnapshot, RxPort, TxPort};
 pub use profile::{ProfileSnapshot, Profiler};
 pub use rng::SplitMix64;
 pub use stats::{geomean, Report};

@@ -10,7 +10,7 @@
 //! at O(1) amortized cost per instruction.
 
 use distda_ir::trace::{DynOp, OpKind, NO_DEP};
-use distda_mem::{MemRequest, MemResponse, MemSystem, PortId};
+use distda_mem::{MemRequest, MemSystem, PortId};
 use distda_sim::time::{ClockDomain, Tick};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -52,9 +52,6 @@ pub struct HostCore {
     /// Set when new work arrived (segment load or memory response) that the
     /// next clock edge must process; cleared after each processed edge.
     dirty: bool,
-    /// Scratch swapped with the port's response buffer each tick, so the
-    /// hand-over allocates nothing in steady state.
-    resp_scratch: Vec<MemResponse>,
     stats: HostStats,
 }
 
@@ -77,7 +74,6 @@ impl HostCore {
             inflight: 0,
             finish_time: 0,
             dirty: false,
-            resp_scratch: Vec::new(),
             stats: HostStats::default(),
         }
     }
@@ -166,9 +162,9 @@ impl HostCore {
     /// Advances one base tick, firing memory requests into `mem`.
     pub fn tick(&mut self, now: Tick, mem: &mut MemSystem) {
         // Memory completions arrive on any tick.
-        if mem.has_responses(self.port) {
-            mem.take_responses_into(self.port, &mut self.resp_scratch);
-            for resp in &self.resp_scratch {
+        {
+            let mut rx = mem.responses(self.port).rx();
+            while let Some(resp) = rx.accept() {
                 let idx = resp.id as usize;
                 if idx < self.done.len() && self.done[idx] == PENDING {
                     self.done[idx] = now;
@@ -300,10 +296,14 @@ mod tests {
         while !host.segment_drained(t) {
             host.tick(t, mem);
             mem.tick(t);
-            while let Some(p) = mem.pop_outgoing() {
-                if let Err(p) = mesh.try_inject(t, p) {
-                    mem.push_front_outgoing(p);
-                    break;
+            {
+                let out = mem.outgoing();
+                while let Some(&p) = out.front() {
+                    if mesh.try_inject(t, p).is_err() {
+                        out.note_stalls(1);
+                        break;
+                    }
+                    out.rx().accept();
                 }
             }
             mesh.tick(t);

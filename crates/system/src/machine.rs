@@ -32,9 +32,10 @@ use distda_ir::expr::ArrayId;
 use distda_ir::interp::Memory;
 use distda_ir::trace::{DynOp, Layout};
 use distda_ir::value::Value;
-use distda_mem::{MemRequest, MemResponse, MemSystem, PortId, PortKind};
+use distda_mem::{MemRequest, MemSystem, PortId, PortKind};
 use distda_noc::{Mesh, NocConfig, Packet, TrafficClass};
 use distda_sim::component::{Component, Instruments, Scheduler, Stop};
+use distda_sim::port::{Channel, PortSnapshot};
 use distda_sim::time::{ClockDomain, Tick};
 use distda_trace::{EventKind, TraceSink, Tracer};
 
@@ -88,15 +89,16 @@ struct EngineSlot {
     cluster: usize,
     port: PortId,
     resp: Vec<u64>,
-    /// Scratch swapped with the port's response buffer each tick, so the
-    /// hand-over allocates nothing in steady state.
-    resp_scratch: Vec<MemResponse>,
     chan_base: usize,
     is_access_node: bool,
     is_cgra: bool,
     /// Tenant this engine executes for (0 on single-tenant machines).
     /// Selects the functional image/layout view and tags outbound traffic.
     tenant: u16,
+    /// Engine cycles stalled waiting on this slot's ACP port (mirrors the
+    /// engine's `stall_mem` so per-port stall series sum to machine
+    /// totals).
+    mem_stalls: u64,
 }
 
 #[derive(Debug)]
@@ -127,7 +129,10 @@ pub struct MachineState {
     chans: Vec<ChanState>,
     engines: Vec<EngineSlot>,
     plans: Vec<PlanInst>,
-    net_out: std::collections::VecDeque<Packet<NetMsg>>,
+    /// Machine-level injection port into the mesh (channel operands,
+    /// credits, MMIO). Bounded: producers observe back-pressure through
+    /// the port handshake instead of an elastic queue.
+    net_out: Channel<Packet<NetMsg>>,
     host_node: usize,
     mmio_words: u64,
     /// Functional image + layout views for tenants 1.. (tenant 0 uses the
@@ -159,6 +164,30 @@ impl MachineState {
     pub fn host_segment_drained(&self, now: Tick) -> bool {
         self.host.segment_drained(now)
     }
+
+    /// Freezes the statistics of every handshaked port in the machine —
+    /// operand channels, the machine injection port, the memory system's
+    /// mesh port and per-requester response ports, and the mesh inboxes.
+    /// Engine-side ACP stall cycles are folded onto the matching
+    /// response port so per-port stall series sum to the machine's
+    /// `stall_mem`/`stall_chan` totals.
+    pub fn port_snapshots(&self) -> Vec<PortSnapshot> {
+        let mut out = Vec::new();
+        for (g, ch) in self.chans.iter().enumerate() {
+            out.push(ch.queue.snapshot(format!("chan{g}")));
+        }
+        out.push(self.net_out.snapshot("net_out"));
+        out.push(self.mem.out_snapshot());
+        for p in self.mem.ports() {
+            let mut s = self.mem.resp_snapshot(p);
+            if let Some(slot) = self.engines.iter().find(|s| s.port == p) {
+                s.stalls = slot.mem_stalls;
+            }
+            out.push(s);
+        }
+        out.extend(self.mesh.inbox_snapshots());
+        out
+    }
 }
 
 /// Stage [`stage::DELIVERY`]: hands last tick's mesh arrivals to their
@@ -186,7 +215,7 @@ impl Component<MachineState> for DeliveryComp {
                     mem.deliver(now, wrapped);
                 }
                 NetMsg::ChanData { chan, v } => {
-                    if chans[chan as usize].queue.try_push(v).is_err() {
+                    if chans[chan as usize].queue.tx().offer(v).is_err() {
                         // Credits bound occupancy; an arrival beyond
                         // capacity means a credit was double-issued.
                         // With the sanitizer on this becomes a typed
@@ -208,19 +237,19 @@ impl Component<MachineState> for DeliveryComp {
                     }
                 }
                 NetMsg::ChanCredit { chan, n } => {
-                    chans[chan as usize].credits += n as usize;
+                    chans[chan as usize].flow.grant(n as usize);
                     if san.on() {
                         let ch = &chans[chan as usize];
                         san.check(
-                            ch.credits + ch.credit_debt + ch.queue.len() <= ch.queue.capacity(),
+                            ch.flow.conserves(ch.queue.len()),
                             "machine.chan",
                             "credit-conservation",
                             now,
                             || {
                                 format!(
                                     "channel {chan}: credits {} + debt {} + queued {} > capacity {}",
-                                    ch.credits,
-                                    ch.credit_debt,
+                                    ch.flow.credits(),
+                                    ch.flow.debt(),
                                     ch.queue.len(),
                                     ch.queue.capacity()
                                 )
@@ -313,17 +342,24 @@ impl Component<MachineState> for ChannelsComp {
                 || format!("channel {g} still holds {} operands", ch.queue.len()),
             );
             san.check(
-                ch.credits + ch.credit_debt == CHAN_CAPACITY,
+                ch.flow.drained(),
                 "machine.chan",
                 "credit-conservation",
                 now,
                 || {
                     format!(
                         "channel {g}: credits {} + debt {} != capacity {CHAN_CAPACITY}",
-                        ch.credits, ch.credit_debt
+                        ch.flow.credits(),
+                        ch.flow.debt()
                     )
                 },
             );
+        }
+        // The generic handshake audit over every machine port: no value
+        // lost outside the TxPort/RxPort handshake, no occupancy beyond
+        // the configured bound, nothing stranded after a drain.
+        for v in distda_sim::conformance::check_ports(&st.port_snapshots(), now, true) {
+            san.flag(&v.comp, v.rule, v.now, v.detail);
         }
     }
 }
@@ -360,9 +396,9 @@ impl Component<MachineState> for EngineComp {
             ..
         } = st;
         let slot = &mut engines[self.index];
-        if mem.has_responses(slot.port) {
-            mem.take_responses_into(slot.port, &mut slot.resp_scratch);
-            for r in &slot.resp_scratch {
+        {
+            let mut rx = mem.responses(slot.port).rx();
+            while let Some(r) = rx.accept() {
                 slot.resp.push(r.id);
             }
         }
@@ -392,6 +428,7 @@ impl Component<MachineState> for EngineComp {
             layout,
             resp: &mut slot.resp,
             chan_sink,
+            mem_stalls: &mut slot.mem_stalls,
         };
         slot.eng.tick(now, &mut ctx);
     }
@@ -413,7 +450,7 @@ impl Component<MachineState> for EngineComp {
                     Some((c, is_send)) => {
                         let ch = &st.chans[slot.chan_base + c as usize];
                         if is_send {
-                            ch.credits > 0
+                            ch.flow.credits() > 0
                         } else {
                             !ch.queue.is_empty()
                         }
@@ -497,19 +534,17 @@ impl Component<MachineState> for MemComp {
             return;
         }
         st.mem.tick(now);
-        while let Some(p) = st.mem.pop_outgoing() {
+        // Peek-then-accept: the packet leaves the memory system's port
+        // only once the mesh accepts it, so a refused injection leaves
+        // the exact same packet at the head (stable data).
+        while let Some(&p) = st.mem.outgoing().front() {
             let wrapped = Packet::new(p.src, p.dst, p.bytes, p.class, NetMsg::Mem(p.payload))
                 .with_tenant(p.tenant);
-            if let Err(back) = st.mesh.try_inject(now, wrapped) {
-                let NetMsg::Mem(m) = back.payload else {
-                    unreachable!()
-                };
-                st.mem.push_front_outgoing(
-                    Packet::new(back.src, back.dst, back.bytes, back.class, m)
-                        .with_tenant(back.tenant),
-                );
+            if st.mesh.try_inject(now, wrapped).is_err() {
+                st.mem.outgoing().note_stalls(1);
                 break;
             }
+            st.mem.outgoing().rx().accept();
         }
     }
 
@@ -543,11 +578,15 @@ impl Component<MachineState> for NetOutComp {
     }
 
     fn tick(&mut self, now: Tick, st: &mut MachineState, _instr: &mut Instruments) {
-        while let Some(p) = st.net_out.pop_front() {
-            if let Err(back) = st.mesh.try_inject(now, p) {
-                st.net_out.push_front(back);
+        // Peek-then-accept, as in [`MemComp`]: a refused injection leaves
+        // the packet at the head unchanged and charges an injection-stall
+        // cycle to the port.
+        while let Some(&p) = st.net_out.front() {
+            if st.mesh.try_inject(now, p).is_err() {
+                st.net_out.note_stalls(1);
                 break;
             }
+            st.net_out.rx().accept();
         }
     }
 
@@ -646,7 +685,10 @@ impl Machine {
             chans: Vec::new(),
             engines: Vec::new(),
             plans: Vec::new(),
-            net_out: std::collections::VecDeque::new(),
+            // Base provisioning covers host MMIO bursts; configuring a
+            // plan grows the bound by each remote channel's worst-case
+            // in-flight traffic (see `configure_plan_for_tenant`).
+            net_out: Channel::bounded(64.max(2 * topo.clusters())),
             host_node: topo.host_node,
             mmio_words: 0,
             tenant_views: Vec::new(),
@@ -909,11 +951,22 @@ impl Machine {
         assert_eq!(substrates.len(), plan.partitions.len());
         let chan_base = self.st.chans.len();
         for ch in &plan.channels {
-            self.st.chans.push(ChanState::new(
+            let c = ChanState::new(
                 placement[ch.producer as usize],
                 placement[ch.consumer as usize],
                 CHAN_CAPACITY,
-            ));
+            );
+            if !c.is_local() {
+                // Size the injection port for this channel's worst-case
+                // in-flight traffic: every credited operand plus the
+                // credit-return packets they can provoke. The bound stays
+                // real (a hostile producer cannot queue beyond it) while
+                // provably never refusing well-behaved channel traffic.
+                self.st
+                    .net_out
+                    .grow(CHAN_CAPACITY + CHAN_CAPACITY / ChanState::CREDIT_BATCH);
+            }
+            self.st.chans.push(c);
         }
         let handle = self.st.plans.len();
         let mut engine_ids = Vec::new();
@@ -941,11 +994,11 @@ impl Machine {
                 cluster: placement[i],
                 port,
                 resp: Vec::new(),
-                resp_scratch: Vec::new(),
                 chan_base,
                 is_access_node: sub.is_access_node,
                 is_cgra: matches!(sub.model, IssueModel::Cgra { .. }),
                 tenant,
+                mem_stalls: 0,
             });
             // Registration wires the engine into the tick loop, wake
             // probe, drain predicate and drain audit — and attaches the
@@ -993,17 +1046,28 @@ impl Machine {
     }
 
     fn push_mmio_packet(&mut self, cluster: usize, bytes: u32, tenant: u16) {
-        if cluster != self.st.host_node {
-            self.st.net_out.push_back(
-                Packet::new(
-                    self.st.host_node,
-                    cluster,
-                    bytes,
-                    TrafficClass::HostCtrl,
-                    NetMsg::Mmio,
-                )
-                .with_tenant(tenant),
-            );
+        if cluster == self.st.host_node {
+            return;
+        }
+        let mut pkt = Packet::new(
+            self.st.host_node,
+            cluster,
+            bytes,
+            TrafficClass::HostCtrl,
+            NetMsg::Mmio,
+        )
+        .with_tenant(tenant);
+        // The host blocks on a full injection port — real back-pressure
+        // on the configuration path instead of an elastic queue. The
+        // re-offered packet is the refused one, unchanged (stable data).
+        loop {
+            match self.st.net_out.tx().offer(pkt) {
+                Ok(()) => return,
+                Err(back) => {
+                    pkt = back;
+                    self.advance_ticks(1);
+                }
+            }
         }
     }
 
@@ -1051,10 +1115,7 @@ impl Machine {
         // Between invocations all queues have drained; restore any credits
         // still batched on the consumer side.
         for ch in &mut self.st.chans {
-            if ch.credit_debt > 0 {
-                ch.credits += ch.credit_debt;
-                ch.credit_debt = 0;
-            }
+            ch.flow.restore();
         }
         let engine_ids = self.st.plans[handle].engines.clone();
         let tenant = self.st.plans[handle].tenant;
@@ -1244,6 +1305,30 @@ impl Machine {
         t
     }
 
+    /// Statistics of every handshaked port in the machine (see
+    /// [`MachineState::port_snapshots`]).
+    pub fn port_snapshots(&self) -> Vec<PortSnapshot> {
+        self.st.port_snapshots()
+    }
+
+    /// Per-port occupancy/stall statistics as a report (`<port>.pushed`,
+    /// `<port>.high_water`, `<port>.stalls`), merged under the `port.`
+    /// prefix into run reports and exported by the obs registry as
+    /// `distda_port_*` series. Ports that never moved a value are
+    /// omitted to keep reports proportional to the traffic that existed.
+    pub fn port_report(&self) -> distda_sim::Report {
+        let mut r = distda_sim::Report::new();
+        for s in self.port_snapshots() {
+            if s.pushed == 0 && s.stalls == 0 {
+                continue;
+            }
+            r.add(format!("{}.pushed", s.name), s.pushed as f64);
+            r.add(format!("{}.high_water", s.name), s.high_water as f64);
+            r.add(format!("{}.stalls", s.name), s.stalls as f64);
+        }
+        r
+    }
+
     /// Sums accelerator-side statistics.
     pub fn engine_totals(&self) -> distda_accel::EngineStats {
         let mut t = distda_accel::EngineStats::default();
@@ -1271,38 +1356,47 @@ struct Ctx<'a> {
     tenant: u16,
     mem: &'a mut MemSystem,
     chans: &'a mut Vec<ChanState>,
-    net_out: &'a mut std::collections::VecDeque<Packet<NetMsg>>,
+    net_out: &'a mut Channel<Packet<NetMsg>>,
     memimg: &'a mut Memory,
     layout: &'a Layout,
     resp: &'a mut Vec<u64>,
     chan_sink: &'a TraceSink,
+    mem_stalls: &'a mut u64,
 }
 
 impl EngineCtx for Ctx<'_> {
     fn try_send(&mut self, chan: u16, v: Value) -> bool {
         let g = self.chan_base + chan as usize;
         let ch = &mut self.chans[g];
-        if ch.credits == 0 {
+        if ch.flow.credits() == 0 {
             return false;
         }
-        ch.credits -= 1;
         if ch.is_local() {
-            ch.queue.try_push(v).expect("credits bound occupancy");
+            if !ch.flow.take() {
+                return false;
+            }
+            // Credits bound occupancy, so the offer cannot be refused.
+            assert!(ch.queue.tx().offer(v).is_ok(), "credits bound occupancy");
             if self.chan_sink.on() {
                 self.chan_sink
                     .sample(self.now, &format!("chan{g}"), ch.queue.len() as f64);
             }
         } else {
-            self.net_out.push_back(
-                Packet::new(
-                    ch.producer_cluster,
-                    ch.consumer_cluster,
-                    8,
-                    TrafficClass::AccData,
-                    NetMsg::ChanData { chan: g as u16, v },
-                )
-                .with_tenant(self.tenant),
-            );
+            // The operand packet must win a slot at the injection port
+            // *before* the credit is spent — a refused offer leaves the
+            // channel state untouched and the engine simply retries.
+            let pkt = Packet::new(
+                ch.producer_cluster,
+                ch.consumer_cluster,
+                8,
+                TrafficClass::AccData,
+                NetMsg::ChanData { chan: g as u16, v },
+            )
+            .with_tenant(self.tenant);
+            if self.net_out.tx().offer(pkt).is_err() {
+                return false;
+            }
+            assert!(ch.flow.take(), "credit checked above");
         }
         true
     }
@@ -1310,31 +1404,47 @@ impl EngineCtx for Ctx<'_> {
     fn try_recv(&mut self, chan: u16) -> Option<Value> {
         let g = self.chan_base + chan as usize;
         let ch = &mut self.chans[g];
-        let v = ch.queue.pop()?;
+        if !ch.is_local() && ch.flow.defer_would_flush() && !self.net_out.tx().ready() {
+            // Accepting this operand would flush a credit batch that the
+            // injection port cannot take; refuse the pop (the operand
+            // stays at the head — stable data) and retry next cycle.
+            return None;
+        }
+        let v = ch.queue.rx().accept()?;
         if self.chan_sink.on() {
             self.chan_sink
                 .sample(self.now, &format!("chan{g}"), ch.queue.len() as f64);
         }
         if ch.is_local() {
-            ch.credits += 1;
-        } else {
-            ch.credit_debt += 1;
-            if ch.credit_debt >= crate::netmsg::ChanState::CREDIT_BATCH {
-                let n = ch.credit_debt as u16;
-                ch.credit_debt = 0;
-                self.net_out.push_back(
-                    Packet::new(
-                        ch.consumer_cluster,
-                        ch.producer_cluster,
-                        0,
-                        TrafficClass::AccCtrl,
-                        NetMsg::ChanCredit { chan: g as u16, n },
-                    )
-                    .with_tenant(self.tenant),
-                );
-            }
+            ch.flow.put();
+        } else if let Some(n) = ch.flow.defer() {
+            let pkt = Packet::new(
+                ch.consumer_cluster,
+                ch.producer_cluster,
+                0,
+                TrafficClass::AccCtrl,
+                NetMsg::ChanCredit {
+                    chan: g as u16,
+                    n: n as u16,
+                },
+            )
+            .with_tenant(self.tenant);
+            // Ready-checked above before the pop committed.
+            assert!(
+                self.net_out.tx().offer(pkt).is_ok(),
+                "injection port readiness checked before accepting"
+            );
         }
         Some(v)
+    }
+
+    fn note_chan_stall(&mut self, chan: u16, n: u64) {
+        let g = self.chan_base + chan as usize;
+        self.chans[g].queue.note_stalls(n);
+    }
+
+    fn note_mem_stall(&mut self, n: u64) {
+        *self.mem_stalls += n;
     }
 
     fn mem_read(&mut self, req_id: u64, addr: u64) -> bool {

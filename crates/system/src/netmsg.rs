@@ -3,7 +3,7 @@
 
 use distda_ir::value::Value;
 use distda_mem::MemMsg;
-use distda_sim::Fifo;
+use distda_sim::{Channel, CreditLoop};
 
 /// Everything the shared NoC carries: memory-system messages, channel
 /// operands, channel credits, and configuration MMIOs.
@@ -32,7 +32,8 @@ pub enum NetMsg {
 }
 
 /// Runtime state of one decoupled producer-consumer channel (paper
-/// Figure 4): a consumer-side buffer plus producer-visible credits.
+/// Figure 4): a consumer-side handshaked buffer ([`Channel`]) plus the
+/// producer-visible credit ring ([`CreditLoop`]).
 #[derive(Debug, Clone)]
 pub struct ChanState {
     /// Cluster of the producing partition.
@@ -40,11 +41,10 @@ pub struct ChanState {
     /// Cluster of the consuming partition.
     pub consumer_cluster: usize,
     /// Consumer-side operand buffer.
-    pub queue: Fifo<Value>,
-    /// Credits the producer may still spend.
-    pub credits: usize,
-    /// Consumer-side credits not yet returned (batched).
-    pub credit_debt: usize,
+    pub queue: Channel<Value>,
+    /// Credit flow control: producer spends, consumer returns (batched
+    /// into credit packets for remote channels).
+    pub flow: CreditLoop,
 }
 
 impl ChanState {
@@ -53,9 +53,8 @@ impl ChanState {
         Self {
             producer_cluster,
             consumer_cluster,
-            queue: Fifo::new(capacity),
-            credits: capacity,
-            credit_debt: 0,
+            queue: Channel::bounded(capacity),
+            flow: CreditLoop::new(capacity, Self::CREDIT_BATCH),
         }
     }
 
@@ -75,7 +74,7 @@ mod tests {
     #[test]
     fn channel_credits_start_at_capacity() {
         let c = ChanState::new(1, 2, 8);
-        assert_eq!(c.credits, 8);
+        assert_eq!(c.flow.credits(), 8);
         assert!(!c.is_local());
         assert!(ChanState::new(3, 3, 4).is_local());
     }

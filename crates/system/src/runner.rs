@@ -613,6 +613,9 @@ pub fn try_simulate_instrumented(
     report.merge_prefixed("mem", &machine.mem().report());
     report.merge_prefixed("noc", &noc.report());
     report.merge_prefixed("energy", &energy.report());
+    // Per-port occupancy/stall series (`port.<name>.*`) from the
+    // handshaked channel layer; quiet ports are omitted.
+    report.merge_prefixed("port", &machine.port_report());
     report.add("ticks", ticks as f64);
     report.add("host.retired", host.retired as f64);
     report.add("host.mem_ops", host.mem_ops as f64);

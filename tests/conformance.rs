@@ -18,6 +18,13 @@ use distda::sim::{Scheduler, SplitMix64};
 use distda::system::{allocate, AllocStrategy, Machine, Substrate, Topology};
 
 fn scaled_setup(n: usize) -> (Program, distda::compiler::CompiledKernel, Machine, ArrayId) {
+    scaled_setup_on(n, &Topology::paper())
+}
+
+fn scaled_setup_on(
+    n: usize,
+    topo: &Topology,
+) -> (Program, distda::compiler::CompiledKernel, Machine, ArrayId) {
     let mut b = ProgramBuilder::new("pipe");
     let x = b.array_f64("x", n);
     let y = b.array_f64("y", n);
@@ -26,13 +33,29 @@ fn scaled_setup(n: usize) -> (Program, distda::compiler::CompiledKernel, Machine
     });
     let p = b.build();
     let ck = compile(&p, PartitionMode::Distributed);
-    let mut mem = MemSystem::new(MemConfig::default(), ClockDomain::from_ghz(2.0), 0, 7);
-    let alloc = allocate(&p, &ck.offloads, 8, AllocStrategy::RoundRobin, &mut mem);
+    let mc = MemConfig {
+        clusters: topo.clusters(),
+        banks_per_cluster: topo.banks_per_cluster,
+        ..MemConfig::default()
+    };
+    let mut mem = MemSystem::new(
+        mc,
+        ClockDomain::from_ghz(2.0),
+        topo.host_node,
+        topo.memctrl_node,
+    );
+    let alloc = allocate(
+        &p,
+        &ck.offloads,
+        topo.clusters(),
+        AllocStrategy::RoundRobin,
+        &mut mem,
+    );
     let mut img = Memory::for_program(&p);
     for i in 0..n {
         img.array_mut(x)[i] = Value::F(i as f64);
     }
-    let machine = Machine::new(mem, img, alloc.layout, 5, 224, &Topology::paper());
+    let machine = Machine::new(mem, img, alloc.layout, 5, 224, topo);
     (p, ck, machine, y)
 }
 
@@ -128,6 +151,58 @@ fn standalone_mesh_conforms_while_routing() {
         // require zero protocol violations while packets route.
         let v = run_for(&mut sched, &mut (), 400);
         assert!(v.is_empty(), "{v:?}");
+    }
+}
+
+/// Every port in the machine passes the generic handshake-compliance
+/// audit after a drained run, across randomized mesh shapes and
+/// placements: no-loss (`pushed == popped + len`), capacity never
+/// exceeded (occupancy and high-water), and drained ports empty — the
+/// same `check_ports` rules the sanitizer applies at drain time, here
+/// asserted directly on [`Machine::port_snapshots`].
+#[test]
+fn ports_conform_across_random_topologies() {
+    let mut rng = SplitMix64::new(0x9047);
+    for _case in 0..5 {
+        let cols = 2 + rng.below(3) as usize; // 2..=4 columns
+        let rows = 2 + rng.below(2) as usize; // 2..=3 rows
+        let topo = Topology::mesh(cols, rows);
+        let clusters = topo.clusters();
+        let n = 64 + 16 * rng.below(5) as usize;
+        let p0 = rng.below(clusters as u64) as usize;
+        let p1 = rng.below(clusters as u64) as usize;
+        let (_p, ck, mut m, y) = scaled_setup_on(n, &topo);
+        let plan = &ck.offloads[0];
+        let subs = vec![io_substrate(2.0); plan.partitions.len()];
+        let h = m.configure_plan(plan, &[p0, p1], &subs, &[]);
+        m.launch(h, &[], &[vec![], vec![]], 0, n as i64, 1);
+        let v = m.run_conformance(10_000_000);
+        assert!(
+            v.is_empty(),
+            "{cols}x{rows} placement=({p0},{p1}): {}",
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        let snaps = m.port_snapshots();
+        assert!(!snaps.is_empty(), "machine must expose its ports");
+        assert!(
+            snaps.iter().any(|s| s.pushed > 0),
+            "run must move traffic through the ports"
+        );
+        let pv = distda::sim::conformance::check_ports(&snaps, m.now(), true);
+        assert!(
+            pv.is_empty(),
+            "{cols}x{rows} placement=({p0},{p1}) port audit: {}",
+            pv.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        for i in 0..n {
+            assert_eq!(m.memimg().array(y)[i], Value::F(3.0 * i as f64));
+        }
     }
 }
 

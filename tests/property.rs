@@ -10,7 +10,7 @@ use distda::mem::cache::{Cache, Lookup};
 use distda::mem::params::CacheParams;
 use distda::noc::{Mesh, NocConfig, Packet, TrafficClass};
 use distda::sim::time::ClockDomain;
-use distda::sim::{Fifo, SplitMix64};
+use distda::sim::{Channel, CreditLoop, Fifo, SplitMix64};
 use distda::system::{ConfigKind, RunConfig};
 use std::collections::HashSet;
 
@@ -40,6 +40,109 @@ fn fifo_is_order_preserving() {
         while let Some(v) = f.pop() {
             assert_eq!(Some(v), model.pop_front());
         }
+    }
+}
+
+/// The handshaked channel behaves exactly like a FIFO model under random
+/// offer/accept interleavings: order-preserving, lossless, and
+/// stable-data — a refused offer hands the value back unchanged so the
+/// producer can re-offer it, exactly like holding a `valid` wire stable.
+/// The snapshot accounting conserves at every step
+/// (`pushed == popped + len`, `high_water <= capacity`).
+#[test]
+fn channel_handshake_matches_fifo_model() {
+    let mut rng = SplitMix64::new(0x0FFE2);
+    for _case in 0..64 {
+        let cap = 1 + rng.below(15) as usize;
+        let n_ops = 1 + rng.below(249) as usize;
+        let mut ch: Channel<u32> = Channel::bounded(cap);
+        let mut model = std::collections::VecDeque::new();
+        let mut next = 0u32;
+        for _ in 0..n_ops {
+            if rng.below(3) < 2 {
+                assert_eq!(ch.tx().ready(), model.len() < cap);
+                match ch.tx().offer(next) {
+                    Ok(()) => model.push_back(next),
+                    Err(back) => {
+                        assert_eq!(back, next, "stable-data: value must come back unchanged");
+                        assert_eq!(model.len(), cap, "offer refused while not full");
+                    }
+                }
+                next += 1;
+            } else {
+                assert_eq!(ch.rx().valid(), !model.is_empty());
+                assert_eq!(ch.rx().peek(), model.front());
+                assert_eq!(ch.rx().accept(), model.pop_front());
+            }
+            assert_eq!(ch.len(), model.len());
+            let s = ch.snapshot("t");
+            assert_eq!(s.pushed, s.popped + s.len as u64, "no-loss violated");
+            assert!(s.high_water <= cap);
+        }
+        let mut rx = ch.rx();
+        while let Some(v) = rx.accept() {
+            assert_eq!(Some(v), model.pop_front());
+        }
+        assert!(model.is_empty());
+    }
+}
+
+/// Credit loops conserve across random produce/consume/grant
+/// interleavings: credits held + deferred debt + in-flight credit
+/// messages + queue occupancy always account for the whole ring, the
+/// producer can never overfill a channel it holds a credit for, and once
+/// everything drains and grants land, `drained()` holds exactly.
+#[test]
+fn credit_loop_conserves_under_random_interleavings() {
+    let mut rng = SplitMix64::new(0xC2ED17);
+    for _case in 0..64 {
+        let cap = 2 + rng.below(14) as usize;
+        let batch = 1 + rng.below(7) as usize;
+        let mut ch: Channel<u32> = Channel::bounded(cap);
+        let mut flow = CreditLoop::new(cap, batch);
+        let mut in_flight = 0usize; // flushed batches awaiting their grant
+        let mut next = 0u32;
+        for _ in 0..300 {
+            match rng.below(3) {
+                0 => {
+                    // Produce: a held credit guarantees room.
+                    if flow.take() {
+                        assert!(ch.tx().offer(next).is_ok(), "credit must bound occupancy");
+                        next += 1;
+                    } else {
+                        assert_eq!(flow.credits(), 0);
+                    }
+                }
+                1 => {
+                    // Consume on the remote path: defer the credit return.
+                    if ch.rx().accept().is_some() {
+                        if let Some(n) = flow.defer() {
+                            in_flight += n;
+                        }
+                    }
+                }
+                _ => {
+                    // The credit message arrives.
+                    flow.grant(in_flight);
+                    in_flight = 0;
+                }
+            }
+            assert!(flow.conserves(ch.len()), "credit conservation violated");
+            assert_eq!(
+                flow.credits() + flow.debt() + in_flight + ch.len(),
+                cap,
+                "the ring must be fully accounted at every step"
+            );
+        }
+        // Drain: consume the rest, land every grant, and the ring closes.
+        while ch.rx().accept().is_some() {
+            if let Some(n) = flow.defer() {
+                in_flight += n;
+            }
+        }
+        flow.grant(in_flight);
+        assert!(ch.is_empty());
+        assert!(flow.drained(), "drained ring must hold every credit");
     }
 }
 
