@@ -1,0 +1,59 @@
+//! Explain determinism across sweep worker counts: the causal tree is
+//! computed from a single run's final observation, so `DISTDA_THREADS`
+//! must not leak into it — the `explain.*` report keys of every cell
+//! must be byte-identical between a sequential and a parallel sweep.
+//!
+//! This lives in its own test binary because it mutates the
+//! process-global `DISTDA_EXPLAIN`/`DISTDA_THREADS` environment.
+
+use distda_bench::run_matrix;
+use distda_system::{ConfigKind, RunConfig};
+use distda_workloads::{suite, Scale};
+
+#[test]
+fn explain_trees_are_byte_stable_across_threads() {
+    std::env::set_var("DISTDA_EXPLAIN", "1");
+    let scale = Scale::tiny();
+    let all = suite(&scale);
+    let workloads = &all[..2];
+    let configs = vec![
+        RunConfig::named(ConfigKind::DistDAIO),
+        RunConfig::named(ConfigKind::DistDAF),
+    ];
+    std::env::set_var("DISTDA_THREADS", "1");
+    let seq = run_matrix(workloads, &configs);
+    std::env::set_var("DISTDA_THREADS", "8");
+    let par = run_matrix(workloads, &configs);
+    std::env::remove_var("DISTDA_THREADS");
+    std::env::remove_var("DISTDA_EXPLAIN");
+
+    let explain_keys = |r: &distda_system::RunResult| -> Vec<(String, f64)> {
+        r.report
+            .iter()
+            .filter(|(k, _)| k.starts_with("explain."))
+            .map(|(k, v)| (k.to_string(), v))
+            .collect()
+    };
+    assert_eq!(seq.results.len(), par.results.len());
+    for (key, a) in &seq.results {
+        let b = &par.results[key];
+        let (ka, kb) = (explain_keys(a), explain_keys(b));
+        assert!(!ka.is_empty(), "{key:?} must carry explain keys");
+        assert_eq!(ka, kb, "explain verdicts diverged for {key:?}");
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "results diverged for {key:?}"
+        );
+    }
+
+    // Env-enabled explain auto-exports per-run trees; drop the test's.
+    if let Ok(entries) = std::fs::read_dir("results") {
+        for e in entries.flatten() {
+            if e.file_name().to_string_lossy().starts_with("explain_") {
+                let _ = std::fs::remove_file(e.path());
+            }
+        }
+        let _ = std::fs::remove_dir("results"); // only if now empty
+    }
+}

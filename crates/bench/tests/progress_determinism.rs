@@ -31,6 +31,7 @@ fn progress_reporter_does_not_perturb_sweep_results() {
             stderr: false,
             jsonl: Some(stream_path.clone()),
             period: Duration::from_millis(50),
+            job: 1,
         },
     );
     let (observed, observed_fail) =

@@ -1,0 +1,225 @@
+//! Rendering and export: the human-readable causal tree, a JSON form
+//! (parseable by `distda_trace::json`), the `explain.*` report keys,
+//! and the verdict helper consumers use to recover the top-of-tree
+//! bottleneck from a report.
+
+use crate::analyze::Explanation;
+use distda_sim::Report;
+use std::fmt::Write as _;
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 * 100.0 / den as f64
+    }
+}
+
+/// The ranked causal tree as indented text, e.g.
+///
+/// ```text
+/// explain: 1203456 ticks, 84210 engine stall ticks
+/// critical path:
+///   61.3% of stall ticks: engine.3 blocked on chan2 -> engine.1
+///     -> engine.1 blocked on mem.resp1 -> mem (18700 wait ticks)
+/// ```
+pub fn render_text(x: &Explanation) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "explain: {} ticks, {} engine stall ticks",
+        x.ticks, x.stall_ticks
+    );
+    if x.critical_path.is_empty() {
+        let _ = writeln!(s, "critical path: none (no engine stalled)");
+    } else {
+        let _ = writeln!(s, "critical path:");
+        for (i, step) in x.critical_path.iter().enumerate() {
+            let indent = "  ".repeat(i + 1);
+            if i == 0 {
+                let _ = writeln!(
+                    s,
+                    "{indent}{:.1}% of stall ticks: {} blocked on {} -> {}",
+                    step.share * 100.0,
+                    step.component,
+                    step.port,
+                    step.blamed
+                );
+            } else {
+                let _ = writeln!(
+                    s,
+                    "{indent}-> {} blocked on {} -> {} ({} wait ticks)",
+                    step.component, step.port, step.blamed, step.ticks
+                );
+            }
+        }
+    }
+    let _ = writeln!(s, "engines (blamed + busy + idle == ticks):");
+    for e in &x.engines {
+        let _ = writeln!(
+            s,
+            "  {}: blamed {:.1}%  busy {:.1}%  idle {:.1}%  ({} + {} + {} == {})",
+            e.name,
+            pct(e.blamed_ticks, x.ticks),
+            pct(e.busy_ticks, x.ticks),
+            pct(e.idle_ticks, x.ticks),
+            e.blamed_ticks,
+            e.busy_ticks,
+            e.idle_ticks,
+            x.ticks
+        );
+        for w in e.waits.iter().take(3) {
+            let _ = writeln!(
+                s,
+                "      wait {} ticks on {} -> {}",
+                w.ticks, w.port, w.blamed
+            );
+        }
+    }
+    if !x.phases.is_empty() {
+        let _ = writeln!(s, "phases:");
+        for p in &x.phases {
+            let _ = writeln!(
+                s,
+                "  [{}..{}) dominated by {} (+{} stalls)",
+                p.from, p.to, p.port, p.stalls
+            );
+        }
+    }
+    for v in &x.violations {
+        let _ = writeln!(s, "VIOLATION: {v}");
+    }
+    s
+}
+
+fn esc(s: &str) -> String {
+    distda_trace::json::escape(s)
+}
+
+/// The explanation as one JSON object (strict JSON, parseable by
+/// `distda_trace::json::parse`).
+pub fn render_json(x: &Explanation) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"ticks\":{},\"stall_ticks\":{},\"critical_path\":[",
+        x.ticks, x.stall_ticks
+    );
+    for (i, p) in x.critical_path.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"component\":\"{}\",\"port\":\"{}\",\"blamed\":\"{}\",\"ticks\":{},\"share\":{:.6}}}",
+            esc(&p.component),
+            esc(&p.port),
+            esc(&p.blamed),
+            p.ticks,
+            p.share
+        );
+    }
+    s.push_str("],\"engines\":[");
+    for (i, e) in x.engines.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"name\":\"{}\",\"blamed\":{},\"busy\":{},\"idle\":{},\"waits\":[",
+            esc(&e.name),
+            e.blamed_ticks,
+            e.busy_ticks,
+            e.idle_ticks
+        );
+        for (j, w) in e.waits.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"port\":\"{}\",\"blamed\":\"{}\",\"ticks\":{}}}",
+                esc(&w.port),
+                esc(&w.blamed),
+                w.ticks
+            );
+        }
+        s.push_str("]}");
+    }
+    s.push_str("],\"phases\":[");
+    for (i, p) in x.phases.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "{{\"from\":{},\"to\":{},\"port\":\"{}\",\"stalls\":{}}}",
+            p.from,
+            p.to,
+            esc(&p.port),
+            p.stalls
+        );
+    }
+    s.push_str("],\"violations\":[");
+    for (i, v) in x.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{}\"", esc(v));
+    }
+    s.push_str("]}");
+    s
+}
+
+/// The explanation as report keys, meant to be merged under the
+/// `explain.` prefix: per-node accounting (`node.<name>.blamed` /
+/// `.busy` / `.idle` / `.share`), the stall total, and the top-of-path
+/// summary. All values are numeric; the top component *name* is
+/// recovered by [`top_bottleneck`] as the argmax of the node keys.
+pub fn to_report(x: &Explanation) -> Report {
+    let mut r = Report::new();
+    r.add("ticks", x.ticks as f64);
+    r.add("stall_ticks", x.stall_ticks as f64);
+    r.add("path.len", x.critical_path.len() as f64);
+    if let Some(top) = x.critical_path.first() {
+        r.add("top.ticks", top.ticks as f64);
+        r.add("top.share", top.share);
+    }
+    for e in &x.engines {
+        r.add(format!("node.{}.blamed", e.name), e.blamed_ticks as f64);
+        r.add(format!("node.{}.busy", e.name), e.busy_ticks as f64);
+        r.add(format!("node.{}.idle", e.name), e.idle_ticks as f64);
+        if x.stall_ticks > 0 {
+            r.add(
+                format!("node.{}.share", e.name),
+                e.blamed_ticks as f64 / x.stall_ticks as f64,
+            );
+        }
+    }
+    r.add("violations", x.violations.len() as f64);
+    r
+}
+
+/// Recovers the bottleneck verdict from a run report carrying
+/// `explain.*` keys: the component with the most blamed ticks and its
+/// share of all stall ticks. `None` when the report has no explain
+/// keys or nothing stalled.
+pub fn top_bottleneck(report: &Report) -> Option<(String, f64)> {
+    let stall = report.get("explain.stall_ticks")?;
+    if stall <= 0.0 {
+        return None;
+    }
+    let mut best: Option<(String, f64)> = None;
+    for (k, v) in report.iter() {
+        let Some(rest) = k.strip_prefix("explain.node.") else {
+            continue;
+        };
+        let Some(name) = rest.strip_suffix(".blamed") else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(_, b)| v > *b) {
+            best = Some((name.to_string(), v));
+        }
+    }
+    best.map(|(name, blamed)| (name, blamed / stall))
+}

@@ -368,12 +368,12 @@ impl MemSystem {
 
     /// Port statistics of the mesh-bound packet port.
     pub fn out_snapshot(&self) -> PortSnapshot {
-        self.out.snapshot("mem.out")
+        self.out.snapshot(distda_sim::port_names::MEM_OUT)
     }
 
     /// Port statistics of one requester's response port.
     pub fn resp_snapshot(&self, port: PortId) -> PortSnapshot {
-        self.resp[port.0 as usize].snapshot(format!("mem.resp{}", port.0))
+        self.resp[port.0 as usize].snapshot(distda_sim::port_names::mem_resp(port.0 as usize))
     }
 
     /// Enqueues a mesh-bound packet on the outgoing port (unbounded:

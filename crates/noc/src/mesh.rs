@@ -571,7 +571,7 @@ impl<P> Mesh<P> {
         self.inbox
             .iter()
             .enumerate()
-            .map(|(n, ch)| ch.snapshot(format!("noc.inbox{n}")))
+            .map(|(n, ch)| ch.snapshot(distda_sim::port_names::noc_inbox(n)))
             .collect()
     }
 

@@ -167,7 +167,8 @@ fn cmd_profile(args: &Args) -> Result<u32, String> {
             r.ticks,
             host_secs,
             r.validated,
-        );
+        )
+        .with_bottleneck(&r.report);
         if let Err(e) = rec.append() {
             eprintln!("warning: cannot append manifest: {e}");
         }

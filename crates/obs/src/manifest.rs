@@ -52,6 +52,11 @@ pub struct ManifestRecord {
     /// preserves them exactly. Manifests written before this field was
     /// added parse with an empty list.
     pub env: Vec<(String, String)>,
+    /// The explain verdict when the run carried causal attribution: the
+    /// most-blamed component and its share of all engine stall ticks.
+    /// `None` on runs without `DISTDA_EXPLAIN`; manifests written before
+    /// this field existed parse as `None`.
+    pub bottleneck: Option<(String, f64)>,
 }
 
 /// Snapshots every `DISTDA_*` environment variable, sorted by name.
@@ -168,7 +173,16 @@ impl ManifestRecord {
             sanitize: distda_sim::env::sanitize(),
             validate: distda_sim::env::validate(),
             env: capture_env(),
+            bottleneck: None,
         }
+    }
+
+    /// Attaches the explain verdict from a run report's `explain.*` keys
+    /// (no-op when the run carried no attribution).
+    #[must_use]
+    pub fn with_bottleneck(mut self, report: &distda_sim::Report) -> Self {
+        self.bottleneck = distda_explain::top_bottleneck(report);
+        self
     }
 
     /// Renders the record as one JSON line (no trailing newline).
@@ -179,12 +193,19 @@ impl ManifestRecord {
             .map(|(k, v)| format!("\"{}\":\"{}\"", json::escape(k), json::escape(v)))
             .collect::<Vec<_>>()
             .join(",");
+        let verdict = match &self.bottleneck {
+            Some((who, share)) => format!(
+                ",\"bottleneck\":\"{}\",\"bottleneck_share\":{share}",
+                json::escape(who)
+            ),
+            None => String::new(),
+        };
         format!(
             concat!(
                 "{{\"kernel\":\"{}\",\"config\":\"{}\",\"config_hash\":\"{}\",",
                 "\"ticks\":{},\"host_secs\":{},\"validated\":{},",
                 "\"git_rev\":\"{}\",\"date_utc\":\"{}\",\"threads\":{},",
-                "\"skip\":{},\"sanitize\":{},\"validate\":{},\"env\":{{{}}}}}"
+                "\"skip\":{},\"sanitize\":{},\"validate\":{},\"env\":{{{}}}{}}}"
             ),
             json::escape(&self.kernel),
             json::escape(&self.config),
@@ -199,6 +220,7 @@ impl ManifestRecord {
             self.sanitize,
             self.validate,
             env,
+            verdict,
         )
     }
 
@@ -239,6 +261,20 @@ impl ManifestRecord {
                 .collect::<Result<Vec<_>, String>>()?,
             Some(_) => return Err("manifest `env` must be an object".to_string()),
         };
+        // Absent before explain verdicts existed, and on runs without one.
+        let bottleneck = match v.get("bottleneck") {
+            None => None,
+            Some(who) => {
+                let who = who
+                    .as_str()
+                    .ok_or("manifest `bottleneck` must be a string")?;
+                let share = v
+                    .get("bottleneck_share")
+                    .and_then(json::Value::as_num)
+                    .ok_or("manifest `bottleneck` requires numeric `bottleneck_share`")?;
+                Some((who.to_string(), share))
+            }
+        };
         Ok(Self {
             kernel: s("kernel")?,
             config: s("config")?,
@@ -253,6 +289,7 @@ impl ManifestRecord {
             sanitize: b("sanitize")?,
             validate: b("validate")?,
             env,
+            bottleneck,
         })
     }
 
@@ -329,10 +366,19 @@ mod tests {
             sanitize: false,
             validate: true,
             env: Vec::new(),
+            bottleneck: Some(("engine.3".to_string(), 0.625)),
         };
         let line = rec.render_jsonl();
         assert!(!line.contains('\n'));
         assert_eq!(ManifestRecord::parse_jsonl(&line).unwrap(), rec);
+        // Runs without attribution omit the verdict fields entirely.
+        let plain = ManifestRecord {
+            bottleneck: None,
+            ..rec
+        };
+        let line = plain.render_jsonl();
+        assert!(!line.contains("bottleneck"));
+        assert_eq!(ManifestRecord::parse_jsonl(&line).unwrap(), plain);
     }
 
     #[test]

@@ -11,6 +11,12 @@
 //! - a machine-readable JSONL event stream (one object per cell
 //!   completion plus a final summary), for dashboards and the CI log.
 //!
+//! Every JSONL line carries the sweep's `job` id and a monotonic `seq`
+//! (starting at 1), so streams from concurrent sweeps appended to one
+//! file remain attributable to their job and ordering is testable.
+//! [`Progress::from_env`] hands out process-unique job ids; tests and
+//! embedders can pin one via [`ProgressConfig::job`].
+//!
 //! The reporter is strictly an *observer*: workers never block on it
 //! (events are fire-and-forget sends), and it touches nothing the
 //! simulation reads, so results are identical with progress on or off —
@@ -20,6 +26,7 @@
 
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -52,6 +59,9 @@ pub struct ProgressConfig {
     pub jsonl: Option<PathBuf>,
     /// Stderr refresh period.
     pub period: Duration,
+    /// Job id stamped on every JSONL line. [`Progress::from_env`]
+    /// allocates a process-unique one; the default is 1.
+    pub job: u64,
 }
 
 impl Default for ProgressConfig {
@@ -60,9 +70,13 @@ impl Default for ProgressConfig {
             stderr: true,
             jsonl: None,
             period: DEFAULT_PERIOD,
+            job: 1,
         }
     }
 }
+
+/// Process-wide job-id well for [`Progress::from_env`].
+static NEXT_JOB: AtomicU64 = AtomicU64::new(1);
 
 /// A live sweep-progress reporter. See the [module docs](self).
 pub struct Progress {
@@ -78,6 +92,8 @@ struct Reporter {
     failed: usize,
     ticks: u64,
     sim_secs: f64,
+    /// Per-job monotonic JSONL sequence number; the next line is `seq+1`.
+    seq: u64,
     t0: Instant,
     out: Option<std::fs::File>,
 }
@@ -128,12 +144,16 @@ impl Reporter {
                 self.ticks += ticks;
                 self.sim_secs += host_secs;
                 let t_ms = self.t0.elapsed().as_millis();
+                self.seq += 1;
                 let line = format!(
                     concat!(
-                        "{{\"t_ms\":{},\"event\":\"cell\",\"kernel\":\"{}\",",
-                        "\"config\":\"{}\",\"ok\":{},\"host_secs\":{},\"ticks\":{}}}"
+                        "{{\"t_ms\":{},\"job\":{},\"seq\":{},\"event\":\"cell\",",
+                        "\"kernel\":\"{}\",\"config\":\"{}\",",
+                        "\"ok\":{},\"host_secs\":{},\"ticks\":{}}}"
                     ),
                     t_ms,
+                    self.cfg.job,
+                    self.seq,
                     json::escape(&kernel),
                     json::escape(&config),
                     ok,
@@ -147,12 +167,16 @@ impl Reporter {
 
     fn finish(&mut self) {
         let elapsed = self.t0.elapsed().as_secs_f64();
+        self.seq += 1;
         let line = format!(
             concat!(
-                "{{\"t_ms\":{},\"event\":\"summary\",\"done\":{},\"failed\":{},",
+                "{{\"t_ms\":{},\"job\":{},\"seq\":{},\"event\":\"summary\",",
+                "\"done\":{},\"failed\":{},",
                 "\"ticks\":{},\"sim_secs_sum\":{},\"elapsed_secs\":{}}}"
             ),
             self.t0.elapsed().as_millis(),
+            self.cfg.job,
+            self.seq,
             self.done,
             self.failed,
             self.ticks,
@@ -185,6 +209,7 @@ impl Progress {
             failed: 0,
             ticks: 0,
             sim_secs: 0.0,
+            seq: 0,
             t0: Instant::now(),
             out,
         };
@@ -223,6 +248,7 @@ impl Progress {
                 stderr: true,
                 jsonl: Some(PathBuf::from(DEFAULT_PROGRESS_PATH)),
                 period: DEFAULT_PERIOD,
+                job: NEXT_JOB.fetch_add(1, Ordering::SeqCst),
             },
         ))
     }
@@ -284,6 +310,7 @@ mod tests {
                 stderr: false,
                 jsonl: Some(path.clone()),
                 period: Duration::from_millis(10),
+                job: 42,
             },
         );
         p.cell_started();
@@ -303,6 +330,16 @@ mod tests {
             first.get("kernel").and_then(json::Value::as_str),
             Some("pf")
         );
+        // Every line carries the job id and a strictly increasing seq.
+        for (i, line) in lines.iter().enumerate() {
+            let v = json::parse(line).unwrap();
+            assert_eq!(v.get("job").and_then(json::Value::as_num), Some(42.0));
+            assert_eq!(
+                v.get("seq").and_then(json::Value::as_num),
+                Some((i + 1) as f64),
+                "{line}"
+            );
+        }
         let summary = json::parse(lines[2]).unwrap();
         assert_eq!(
             summary.get("event").and_then(json::Value::as_str),
@@ -338,6 +375,7 @@ mod tests {
             failed: 1,
             ticks: 3_000_000,
             sim_secs: 0.0,
+            seq: 0,
             t0: Instant::now(),
             out: None,
         };

@@ -222,6 +222,34 @@ impl Registry {
                 _ => {}
             }
         }
+        // Causal-attribution series from explain-enabled runs
+        // (`explain.*` report keys): the headline verdict as gauges plus
+        // per-node blamed/busy/idle tick counters labelled by component,
+        // so dashboards carry *why* a cell is slow, not just how slow.
+        if let Some(stall) = r.report.get("explain.stall_ticks") {
+            self.gauge_set("distda_explain_stall_ticks", labels, stall);
+            self.gauge_set(
+                "distda_explain_top_share",
+                labels,
+                r.report.get("explain.top.share").unwrap_or(0.0),
+            );
+            for (key, v) in r.report.iter() {
+                let Some(rest) = key.strip_prefix("explain.node.") else {
+                    continue;
+                };
+                let Some((node, what)) = rest.rsplit_once('.') else {
+                    continue;
+                };
+                let mut nl: Vec<(&str, &str)> = labels.to_vec();
+                nl.push(("component", node));
+                match what {
+                    "blamed" => self.counter_add("distda_explain_blamed_ticks", &nl, v as u64),
+                    "busy" => self.counter_add("distda_explain_busy_ticks", &nl, v as u64),
+                    "idle" => self.counter_add("distda_explain_idle_ticks", &nl, v as u64),
+                    _ => {}
+                }
+            }
+        }
     }
 
     /// Ingests a statistics [`Report`] as gauges named

@@ -29,6 +29,9 @@ pub struct CellResult {
     pub payload: Option<String>,
     /// The failure message, when `ok` is false.
     pub error: Option<String>,
+    /// The explain verdict `(component, share-of-stall-ticks)`, when the
+    /// daemon ran the cell with explain sampling on.
+    pub bottleneck: Option<(String, f64)>,
 }
 
 /// Everything a sweep streamed back, in arrival order.
@@ -56,6 +59,10 @@ pub struct Transcript {
     pub done_cache_hits: u64,
     /// `simulated` from the `done` event.
     pub done_simulated: u64,
+    /// Highest `seq` the stream carried; the client has verified every
+    /// streamed line arrived with a strictly increasing sequence number
+    /// and the job id from `accepted`, so this equals the line count.
+    pub last_seq: u64,
 }
 
 /// The terminal outcome of a sweep submission.
@@ -181,6 +188,23 @@ impl Client {
             json::escape(scale),
         ))?;
         let mut t = Transcript::default();
+        // Every line after `accepted` must carry the accepted job id and
+        // a strictly increasing seq; a violation means the stream is
+        // interleaved with another job's or the server dropped a line.
+        let check_order = |t: &mut Transcript, v: &json::Value| -> Result<(), String> {
+            let (job, seq) = (num(v, "job"), num(v, "seq"));
+            if job != t.job {
+                return Err(format!("line for job {job} inside job {}'s stream", t.job));
+            }
+            if seq <= t.last_seq {
+                return Err(format!(
+                    "seq {seq} after seq {} (not increasing)",
+                    t.last_seq
+                ));
+            }
+            t.last_seq = seq;
+            Ok(())
+        };
         loop {
             let (raw, v) = self.recv()?;
             match v.get("event").and_then(json::Value::as_str) {
@@ -196,29 +220,45 @@ impl Client {
                     t.cached = num(&v, "cached") as usize;
                     t.queued = num(&v, "queued") as usize;
                 }
-                Some("cell") => t.cell_events.push(raw),
-                Some("result") => t.results.push(CellResult {
-                    kernel: text(&v, "kernel"),
-                    config: text(&v, "config"),
-                    config_hash: text(&v, "config_hash"),
-                    cached: flag(&v, "cached"),
-                    ok: flag(&v, "ok"),
-                    ticks: num(&v, "ticks"),
-                    payload: v
-                        .get("payload")
-                        .and_then(json::Value::as_str)
-                        .map(str::to_string),
-                    error: v
-                        .get("error")
-                        .and_then(json::Value::as_str)
-                        .map(str::to_string),
-                }),
+                Some("cell") => {
+                    check_order(&mut t, &v)?;
+                    t.cell_events.push(raw);
+                }
+                Some("result") => {
+                    check_order(&mut t, &v)?;
+                    t.results.push(CellResult {
+                        kernel: text(&v, "kernel"),
+                        config: text(&v, "config"),
+                        config_hash: text(&v, "config_hash"),
+                        cached: flag(&v, "cached"),
+                        ok: flag(&v, "ok"),
+                        ticks: num(&v, "ticks"),
+                        payload: v
+                            .get("payload")
+                            .and_then(json::Value::as_str)
+                            .map(str::to_string),
+                        error: v
+                            .get("error")
+                            .and_then(json::Value::as_str)
+                            .map(str::to_string),
+                        bottleneck: v.get("bottleneck").and_then(json::Value::as_str).map(|n| {
+                            (
+                                n.to_string(),
+                                v.get("bottleneck_share")
+                                    .and_then(json::Value::as_num)
+                                    .unwrap_or(0.0),
+                            )
+                        }),
+                    });
+                }
                 Some("summary") => {
+                    check_order(&mut t, &v)?;
                     t.summary_ticks = num(&v, "ticks");
                     t.summary_done = num(&v, "done");
                     t.summary_failed = num(&v, "failed");
                 }
                 Some("done") => {
+                    check_order(&mut t, &v)?;
                     t.done_cache_hits = num(&v, "cache_hits");
                     t.done_simulated = num(&v, "simulated");
                     return Ok(SweepReply::Done(t));

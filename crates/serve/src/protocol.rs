@@ -20,13 +20,22 @@
 //! ```
 //!
 //! `cell` events use the exact `DISTDA_PROGRESS` JSONL shape from the obs
-//! crate (`{"t_ms":..,"event":"cell","kernel":..,"config":..,"ok":..,
-//! "host_secs":..,"ticks":..}`), so existing progress consumers can tail
-//! a job stream unchanged; `ticks`/`host_secs` count *new* simulation
-//! only — a cache hit reports 0 ticks. `result` lines carry the canonical
-//! cache encoding of each cell (see [`crate::cache`]), emitted in
-//! deterministic kernel-major submission order regardless of worker
-//! completion order.
+//! crate (`{"t_ms":..,"job":..,"seq":..,"event":"cell","kernel":..,
+//! "config":..,"ok":..,"host_secs":..,"ticks":..}`), so existing progress
+//! consumers can tail a job stream unchanged; `ticks`/`host_secs` count
+//! *new* simulation only — a cache hit reports 0 ticks. `result` lines
+//! carry the canonical cache encoding of each cell (see [`crate::cache`]),
+//! emitted in deterministic kernel-major submission order regardless of
+//! worker completion order.
+//!
+//! Every line streamed after `accepted` — `cell`, `result`, `summary`,
+//! `done` — carries the job id and a per-job monotonic `seq` starting at
+//! 1, so interleaved streams from concurrent jobs are attributable to
+//! their job and gaps or reordering are detectable ([`crate::client`]
+//! rejects a stream whose `seq` is not strictly increasing). When the
+//! daemon runs with `DISTDA_EXPLAIN` set, `result` lines additionally
+//! carry the per-cell bottleneck verdict (`"bottleneck"` component name
+//! and `"bottleneck_share"` of stall ticks) from the explain layer.
 //!
 //! Config labels accept either the bare kind (`"Dist-DA-F"`, matching
 //! case-insensitively) or a full display label (`"Dist-DA-F@1GHz"`,
@@ -182,8 +191,11 @@ pub fn render_accepted(job: u64, cells: usize, cached: usize, queued: usize) -> 
 }
 
 /// One `cell` progress event in the `DISTDA_PROGRESS` JSONL shape.
+#[allow(clippy::too_many_arguments)]
 pub fn render_cell(
     t_ms: u128,
+    job: u64,
+    seq: u64,
     kernel: &str,
     config: &str,
     ok: bool,
@@ -191,37 +203,67 @@ pub fn render_cell(
     ticks: u64,
 ) -> String {
     format!(
-        "{{\"t_ms\":{t_ms},\"event\":\"cell\",\"kernel\":\"{}\",\"config\":\"{}\",\
+        "{{\"t_ms\":{t_ms},\"job\":{job},\"seq\":{seq},\"event\":\"cell\",\
+         \"kernel\":\"{}\",\"config\":\"{}\",\
          \"ok\":{ok},\"host_secs\":{host_secs},\"ticks\":{ticks}}}",
         json::escape(kernel),
         json::escape(config),
     )
 }
 
-/// One `result` line: the cell's identity, provenance and (optionally)
-/// its canonical payload.
-#[allow(clippy::too_many_arguments)]
-pub fn render_result(
-    kernel: &str,
-    config: &str,
-    config_hash: &str,
-    cached: bool,
-    ok: bool,
-    ticks: u64,
-    error: Option<&str>,
-    payload: Option<&str>,
-) -> String {
+/// One `result` line, assembled field-by-field by [`render_result`].
+#[derive(Debug, Clone, Default)]
+pub struct ResultLine<'a> {
+    /// Job id from the `accepted` event.
+    pub job: u64,
+    /// Per-job monotonic sequence number.
+    pub seq: u64,
+    /// Kernel display name.
+    pub kernel: &'a str,
+    /// Config display label.
+    pub config: &'a str,
+    /// The manifest config hash the cache key was derived from.
+    pub config_hash: &'a str,
+    /// Whether the cell was served from the cache.
+    pub cached: bool,
+    /// Whether the cell simulated (or was cached) successfully.
+    pub ok: bool,
+    /// Total simulated ticks the cell's stored run reports.
+    pub ticks: u64,
+    /// The failure message, when `ok` is false.
+    pub error: Option<&'a str>,
+    /// The canonical cache encoding, when the client asked for payloads.
+    pub payload: Option<&'a str>,
+    /// The explain verdict `(component, share-of-stall-ticks)`, present
+    /// only when the cell ran with explain sampling on.
+    pub bottleneck: Option<(&'a str, f64)>,
+}
+
+/// One `result` line: the cell's identity, provenance, verdict and
+/// (optionally) its canonical payload.
+pub fn render_result(r: &ResultLine) -> String {
     let mut out = format!(
-        "{{\"event\":\"result\",\"kernel\":\"{}\",\"config\":\"{}\",\
-         \"config_hash\":\"{}\",\"cached\":{cached},\"ok\":{ok},\"ticks\":{ticks}",
-        json::escape(kernel),
-        json::escape(config),
-        json::escape(config_hash),
+        "{{\"event\":\"result\",\"job\":{},\"seq\":{},\"kernel\":\"{}\",\"config\":\"{}\",\
+         \"config_hash\":\"{}\",\"cached\":{},\"ok\":{},\"ticks\":{}",
+        r.job,
+        r.seq,
+        json::escape(r.kernel),
+        json::escape(r.config),
+        json::escape(r.config_hash),
+        r.cached,
+        r.ok,
+        r.ticks,
     );
-    if let Some(e) = error {
+    if let Some(e) = r.error {
         out.push_str(&format!(",\"error\":\"{}\"", json::escape(e)));
     }
-    if let Some(p) = payload {
+    if let Some((node, share)) = r.bottleneck {
+        out.push_str(&format!(
+            ",\"bottleneck\":\"{}\",\"bottleneck_share\":{share}",
+            json::escape(node)
+        ));
+    }
+    if let Some(p) = r.payload {
         out.push_str(&format!(",\"payload\":\"{}\"", json::escape(p)));
     }
     out.push('}');
@@ -230,8 +272,11 @@ pub fn render_result(
 
 /// The `summary` event, mirroring the `DISTDA_PROGRESS` summary shape
 /// (`ticks`/`sim_secs_sum` count new simulation only).
+#[allow(clippy::too_many_arguments)]
 pub fn render_summary(
     t_ms: u128,
+    job: u64,
+    seq: u64,
     done: usize,
     failed: usize,
     ticks: u64,
@@ -239,7 +284,8 @@ pub fn render_summary(
     elapsed_secs: f64,
 ) -> String {
     format!(
-        "{{\"t_ms\":{t_ms},\"event\":\"summary\",\"done\":{done},\"failed\":{failed},\
+        "{{\"t_ms\":{t_ms},\"job\":{job},\"seq\":{seq},\"event\":\"summary\",\
+         \"done\":{done},\"failed\":{failed},\
          \"ticks\":{ticks},\"sim_secs_sum\":{sim_secs_sum},\"elapsed_secs\":{elapsed_secs}}}"
     )
 }
@@ -247,13 +293,14 @@ pub fn render_summary(
 /// The final `done` event with the job's dedupe accounting.
 pub fn render_done(
     job: u64,
+    seq: u64,
     cells: usize,
     cache_hits: usize,
     simulated: usize,
     failed: usize,
 ) -> String {
     format!(
-        "{{\"event\":\"done\",\"job\":{job},\"cells\":{cells},\
+        "{{\"event\":\"done\",\"job\":{job},\"seq\":{seq},\"cells\":{cells},\
          \"cache_hits\":{cache_hits},\"simulated\":{simulated},\"failed\":{failed}}}"
     )
 }
@@ -346,20 +393,41 @@ mod tests {
             render_error("boom \"quoted\""),
             render_rejected(9, 8, 250),
             render_accepted(1, 4, 2, 2),
-            render_cell(12, "nw", "OoO", true, 0.5, 100),
-            render_result("nw", "OoO", "fnv1a:00", true, true, 100, None, Some("p\nq")),
-            render_result(
-                "nw",
-                "OoO",
-                "fnv1a:00",
-                false,
-                false,
-                0,
-                Some("deadlock"),
-                None,
-            ),
-            render_summary(99, 3, 1, 1000, 0.7, 0.8),
-            render_done(1, 4, 2, 2, 0),
+            render_cell(12, 1, 1, "nw", "OoO", true, 0.5, 100),
+            render_result(&ResultLine {
+                job: 1,
+                seq: 2,
+                kernel: "nw",
+                config: "OoO",
+                config_hash: "fnv1a:00",
+                cached: true,
+                ok: true,
+                ticks: 100,
+                payload: Some("p\nq"),
+                ..ResultLine::default()
+            }),
+            render_result(&ResultLine {
+                job: 1,
+                seq: 3,
+                kernel: "nw",
+                config: "OoO",
+                config_hash: "fnv1a:00",
+                error: Some("deadlock"),
+                ..ResultLine::default()
+            }),
+            render_result(&ResultLine {
+                job: 1,
+                seq: 4,
+                kernel: "nw",
+                config: "OoO",
+                config_hash: "fnv1a:00",
+                ok: true,
+                ticks: 7,
+                bottleneck: Some(("engine.3", 0.625)),
+                ..ResultLine::default()
+            }),
+            render_summary(99, 1, 5, 3, 1, 1000, 0.7, 0.8),
+            render_done(1, 6, 4, 2, 2, 0),
             render_metrics("# TYPE x counter\nx_total 1\n# EOF\n"),
         ] {
             let v = json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
@@ -368,14 +436,60 @@ mod tests {
     }
 
     #[test]
+    fn streamed_lines_carry_job_and_seq() {
+        use distda_trace::json;
+        let lines = [
+            render_cell(12, 7, 1, "nw", "OoO", true, 0.5, 100),
+            render_result(&ResultLine {
+                job: 7,
+                seq: 2,
+                kernel: "nw",
+                config: "OoO",
+                config_hash: "fnv1a:00",
+                ok: true,
+                ticks: 100,
+                ..ResultLine::default()
+            }),
+            render_summary(99, 7, 3, 1, 0, 100, 0.7, 0.8),
+            render_done(7, 4, 1, 0, 1, 0),
+        ];
+        for (i, line) in lines.iter().enumerate() {
+            let v = json::parse(line).unwrap();
+            assert_eq!(v.get("job").and_then(json::Value::as_num), Some(7.0));
+            assert_eq!(
+                v.get("seq").and_then(json::Value::as_num),
+                Some((i + 1) as f64),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
     fn result_payload_round_trips_through_escaping() {
         use distda_trace::json;
         let payload = "kernel nw\nconfig OoO \"x\"\nticks 5\n";
-        let line = render_result("nw", "OoO", "fnv1a:00", false, true, 5, None, Some(payload));
+        let line = render_result(&ResultLine {
+            kernel: "nw",
+            config: "OoO",
+            config_hash: "fnv1a:00",
+            ok: true,
+            ticks: 5,
+            payload: Some(payload),
+            bottleneck: Some(("mem", 0.5)),
+            ..ResultLine::default()
+        });
         let v = json::parse(&line).unwrap();
         assert_eq!(
             v.get("payload").and_then(json::Value::as_str),
             Some(payload)
+        );
+        assert_eq!(
+            v.get("bottleneck").and_then(json::Value::as_str),
+            Some("mem")
+        );
+        assert_eq!(
+            v.get("bottleneck_share").and_then(json::Value::as_num),
+            Some(0.5)
         );
     }
 }

@@ -18,6 +18,7 @@ use crate::protocol::{self, Request, SweepRequest};
 use distda_obs::manifest::config_hash;
 use distda_obs::Registry;
 use distda_system::{RunConfig, RunResult};
+use distda_trace::metrics::LogHist;
 use distda_workloads::{suite, Scale, Workload};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
@@ -31,7 +32,7 @@ use std::time::{Duration, Instant};
 
 /// The backpressure fallback hint handed to rejected jobs before any cell
 /// has completed (no service-time history yet). Once cells have run, the
-/// hint scales with queue occupancy and the observed mean cell service
+/// hint scales with queue occupancy and the observed median cell service
 /// time — see `State::retry_after_ms`.
 pub const RETRY_AFTER_MS: u64 = 250;
 
@@ -108,9 +109,12 @@ struct State {
     cells_completed: AtomicU64,
     cells_failed: AtomicU64,
     jobs_rejected: AtomicU64,
-    /// Cumulative per-cell host simulation time, in microseconds — the
-    /// denominator history behind the adaptive retry hint.
-    service_us: AtomicU64,
+    /// Log2 histogram of per-cell host simulation time, in nanoseconds —
+    /// rendered at `/metrics` as `distda_serve_cell_service_ns` and the
+    /// history behind the adaptive retry hint (which reads its median, so
+    /// one straggler cell cannot inflate every client's backoff the way
+    /// the old mean-only gauge could).
+    service_ns: Mutex<LogHist>,
     /// Worker thread count, for occupancy-scaled backpressure.
     workers: usize,
 }
@@ -194,6 +198,11 @@ impl State {
         reg.gauge_set("distda_serve_cache_corrupt", &[], stats.corrupt as f64);
         reg.counter_add("distda_serve_cache_evictions", &[], stats.evictions);
         reg.gauge_set("distda_serve_cache_disk_bytes", &[], disk_bytes as f64);
+        reg.hist_merge(
+            "distda_serve_cell_service_ns",
+            &[],
+            &self.service_ns.lock().unwrap(),
+        );
         reg.gauge_set(
             "distda_serve_retry_after_ms",
             &[],
@@ -204,20 +213,22 @@ impl State {
 
     /// The backpressure hint: estimated milliseconds until the queue has
     /// drained enough to admit more work — queued cells divided across
-    /// the workers, times the observed mean cell service time. Falls back
-    /// to [`RETRY_AFTER_MS`] until the first cell completes; clamped to
-    /// `[RETRY_AFTER_MS / 5, RETRY_AFTER_CAP_MS]` so a hiccup in either
-    /// direction cannot strand clients.
+    /// the workers, times the observed *median* cell service time (the
+    /// p50 bucket of the `distda_serve_cell_service_ns` histogram). Falls
+    /// back to [`RETRY_AFTER_MS`] until the first cell completes; clamped
+    /// to `[RETRY_AFTER_MS / 5, RETRY_AFTER_CAP_MS]` so a hiccup in
+    /// either direction cannot strand clients.
     fn retry_after_ms(&self) -> u64 {
-        let done =
-            self.cells_completed.load(Ordering::SeqCst) + self.cells_failed.load(Ordering::SeqCst);
-        let us = self.service_us.load(Ordering::SeqCst);
-        if done == 0 {
-            return RETRY_AFTER_MS;
-        }
-        let mean_ms = (us as f64 / done as f64) / 1000.0;
+        let p50_ns = {
+            let hist = self.service_ns.lock().unwrap();
+            if hist.count == 0 {
+                return RETRY_AFTER_MS;
+            }
+            hist.quantile(0.5)
+        };
+        let p50_ms = p50_ns as f64 / 1e6;
         let rounds = (self.pool.depth() as f64 / self.workers.max(1) as f64).max(1.0);
-        let est = (rounds * mean_ms).ceil() as u64;
+        let est = (rounds * p50_ms).ceil() as u64;
         est.clamp(RETRY_AFTER_MS / 5, RETRY_AFTER_CAP_MS)
     }
 }
@@ -255,7 +266,7 @@ impl Server {
             cells_completed: AtomicU64::new(0),
             cells_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
-            service_us: AtomicU64::new(0),
+            service_ns: Mutex::new(LogHist::default()),
             workers,
         });
         let stop = Arc::new(AtomicBool::new(false));
@@ -503,14 +514,21 @@ fn handle_sweep(writer: &mut TcpStream, state: &State, req: SweepRequest) -> std
     )?;
 
     let t0 = Instant::now();
+    // Every line after `accepted` carries the job id and a strictly
+    // increasing per-job sequence number, so concurrent job streams stay
+    // attributable and ordering is testable.
+    let mut seq: u64 = 0;
     // Cached cells: progress events immediately, with zero *new* ticks.
     for (i, st) in states.iter().enumerate() {
         if let CellState::Cached(_) = st {
+            seq += 1;
             writeln!(
                 writer,
                 "{}",
                 protocol::render_cell(
                     t0.elapsed().as_millis(),
+                    job,
+                    seq,
                     &cells[i].kernel,
                     &cells[i].config_label,
                     true,
@@ -552,13 +570,18 @@ fn handle_sweep(writer: &mut TcpStream, state: &State, req: SweepRequest) -> std
         new_ticks += ticks;
         sim_secs_sum += outcome.host_secs;
         state
-            .service_us
-            .fetch_add((outcome.host_secs * 1e6) as u64, Ordering::SeqCst);
+            .service_ns
+            .lock()
+            .unwrap()
+            .observe((outcome.host_secs * 1e9) as u64);
+        seq += 1;
         writeln!(
             writer,
             "{}",
             protocol::render_cell(
                 t0.elapsed().as_millis(),
+                job,
+                seq,
                 &cells[i].kernel,
                 &cells[i].config_label,
                 ok,
@@ -590,75 +613,69 @@ fn handle_sweep(writer: &mut TcpStream, state: &State, req: SweepRequest) -> std
         .fetch_add(failed as u64, Ordering::SeqCst);
 
     // Results in deterministic submission order. In-job duplicates of a
-    // just-simulated miss resolve from the cache here.
+    // just-simulated miss resolve from the cache here. A run that carried
+    // explain sampling (daemon started with `DISTDA_EXPLAIN`) surfaces
+    // its per-cell bottleneck verdict on the line.
+    let ok_line = |job, seq, cell: &Cell, cached, r: &RunResult| {
+        let bottleneck = distda_explain::top_bottleneck(&r.report);
+        protocol::render_result(&protocol::ResultLine {
+            job,
+            seq,
+            kernel: &cell.kernel,
+            config: &cell.config_label,
+            config_hash: &cell.cfg_hash,
+            cached,
+            ok: true,
+            ticks: r.ticks,
+            error: None,
+            payload: req.payload.then(|| encode_result(r)).as_deref(),
+            bottleneck: bottleneck.as_ref().map(|(n, s)| (n.as_str(), *s)),
+        })
+    };
     for (i, cell) in cells.iter().enumerate() {
+        seq += 1;
         let line = match &states[i] {
-            CellState::Cached(r) => protocol::render_result(
-                &cell.kernel,
-                &cell.config_label,
-                &cell.cfg_hash,
-                true,
-                true,
-                r.ticks,
-                None,
-                req.payload.then(|| encode_result(r)).as_deref(),
-            ),
-            CellState::Simulated(Ok(r)) => protocol::render_result(
-                &cell.kernel,
-                &cell.config_label,
-                &cell.cfg_hash,
-                false,
-                true,
-                r.ticks,
-                None,
-                req.payload.then(|| encode_result(r)).as_deref(),
-            ),
-            CellState::Simulated(Err(e)) => protocol::render_result(
-                &cell.kernel,
-                &cell.config_label,
-                &cell.cfg_hash,
-                false,
-                false,
-                0,
-                Some(e),
-                None,
-            ),
+            CellState::Cached(r) => ok_line(job, seq, cell, true, r),
+            CellState::Simulated(Ok(r)) => ok_line(job, seq, cell, false, r),
+            CellState::Simulated(Err(e)) => protocol::render_result(&protocol::ResultLine {
+                job,
+                seq,
+                kernel: &cell.kernel,
+                config: &cell.config_label,
+                config_hash: &cell.cfg_hash,
+                error: Some(e),
+                ..protocol::ResultLine::default()
+            }),
             CellState::Pending => {
                 // A deduped duplicate of a miss: serve it from the cache
                 // the first instance just populated.
                 let fetched = state.cache.lock().unwrap().get(&cell.key);
                 match fetched {
-                    Some(r) => protocol::render_result(
-                        &cell.kernel,
-                        &cell.config_label,
-                        &cell.cfg_hash,
-                        true,
-                        true,
-                        r.ticks,
-                        None,
-                        req.payload.then(|| encode_result(&r)).as_deref(),
-                    ),
-                    None => protocol::render_result(
-                        &cell.kernel,
-                        &cell.config_label,
-                        &cell.cfg_hash,
-                        true,
-                        false,
-                        0,
-                        Some("deduped against a cell that failed"),
-                        None,
-                    ),
+                    Some(r) => ok_line(job, seq, cell, true, &r),
+                    None => protocol::render_result(&protocol::ResultLine {
+                        job,
+                        seq,
+                        kernel: &cell.kernel,
+                        config: &cell.config_label,
+                        config_hash: &cell.cfg_hash,
+                        cached: true,
+                        error: Some("deduped against a cell that failed"),
+                        ..protocol::ResultLine::default()
+                    }),
                 }
             }
         };
         writeln!(writer, "{line}")?;
     }
 
+    seq += 1;
     writeln!(
         writer,
         "{}",
         protocol::render_summary(
             t0.elapsed().as_millis(),
+            job,
+            seq,
             done,
             failed,
             new_ticks,
@@ -666,11 +683,13 @@ fn handle_sweep(writer: &mut TcpStream, state: &State, req: SweepRequest) -> std
             t0.elapsed().as_secs_f64(),
         )
     )?;
+    seq += 1;
     writeln!(
         writer,
         "{}",
         protocol::render_done(
             job,
+            seq,
             cells.len(),
             cells.len() - to_simulate.len(),
             to_simulate.len(),

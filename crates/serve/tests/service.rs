@@ -77,6 +77,13 @@ fn second_identical_sweep_is_all_cache_hits() {
         assert!(s.ticks > 0);
     }
 
+    // The client verified every streamed line carried this job's id and
+    // a strictly increasing seq; both sweeps streamed 4 cell events +
+    // 4 results + summary + done = 10 lines.
+    assert_eq!(first.last_seq, 10);
+    assert_eq!(second.last_seq, 10);
+    assert!(second.job > first.job, "job ids are monotonic");
+
     // The HTTP endpoint exposes the daemon counters; the job accounting
     // must balance: completed + deduped == submitted.
     let metrics = fetch_metrics(&addr).expect("scrape /metrics");
@@ -85,6 +92,11 @@ fn second_identical_sweep_is_all_cache_hits() {
     assert!(metrics.contains("distda_serve_cells_completed_total 4"));
     assert!(metrics.contains("distda_serve_cells_deduped_total 4"));
     assert!(metrics.contains("distda_serve_cache_hit_ratio"));
+    // Per-cell service time is a log2 histogram now, one observation per
+    // simulated cell, and the retry hint derives from its median.
+    assert!(metrics.contains("# TYPE distda_serve_cell_service_ns histogram"));
+    assert!(metrics.contains("distda_serve_cell_service_ns_count 4"));
+    assert!(metrics.contains("distda_serve_retry_after_ms"));
 
     server.shutdown();
     let _ = std::fs::remove_dir_all(dir);

@@ -18,12 +18,14 @@
 //! | `DISTDA_TRACE_CAP` | positive integer | 65536 | Per-component event-ring capacity |
 //! | `DISTDA_OBS` | `0` off, else on | off | Scheduler self-profiling (per-component host-ns) |
 //! | `DISTDA_PROGRESS` | `0` off, else on | off | Live sweep progress (stderr + JSONL stream) |
+//! | `DISTDA_EXPLAIN` | `0` off, `1` on, `n>1` window ticks | off | Causal bottleneck attribution + windowed port sampling |
 //!
 //! Each accessor is a thin wrapper over a pure `parse_*` function taking
 //! `Option<&str>`, so the parsing rules are unit-testable without touching
 //! the process-global environment.
 
 use crate::profile::Profiler;
+use crate::sample::{Sampler, DEFAULT_WINDOW_CAP, DEFAULT_WINDOW_TICKS};
 use distda_check::Sanitizer;
 use distda_trace::{Tracer, DEFAULT_EVENT_CAP};
 
@@ -87,6 +89,20 @@ pub fn parse_progress(val: Option<&str>) -> bool {
     val.is_some_and(|v| v != "0")
 }
 
+/// `DISTDA_EXPLAIN` rule: unset or `"0"` means off (`None`); any other
+/// value turns explain on, with an integer `> 1` selecting the sampling
+/// window size in base ticks and everything else (`"1"`, `"on"`, ...)
+/// the default window.
+pub fn parse_explain(val: Option<&str>) -> Option<u64> {
+    match val {
+        None | Some("0") => None,
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) if n > 1 => Some(n),
+            _ => Some(DEFAULT_WINDOW_TICKS),
+        },
+    }
+}
+
 /// Whether the run loop may skip ahead over idle ticks (`DISTDA_SKIP`).
 pub fn skip() -> bool {
     parse_skip(var("DISTDA_SKIP").as_deref())
@@ -148,6 +164,22 @@ pub fn profiler() -> Profiler {
         Profiler::enabled()
     } else {
         Profiler::disabled()
+    }
+}
+
+/// Sampling window size in base ticks when causal explanation is
+/// requested (`DISTDA_EXPLAIN`), `None` when off.
+pub fn explain() -> Option<u64> {
+    parse_explain(var("DISTDA_EXPLAIN").as_deref())
+}
+
+/// A [`Sampler`] per the `DISTDA_EXPLAIN` policy: enabled with the
+/// requested window size (bounded by the default ring capacity), or
+/// disabled.
+pub fn sampler() -> Sampler {
+    match explain() {
+        Some(w) => Sampler::enabled(w, DEFAULT_WINDOW_CAP),
+        None => Sampler::disabled(),
     }
 }
 
@@ -228,6 +260,20 @@ mod tests {
     #[test]
     fn profiler_constructor_matches_policy() {
         assert_eq!(profiler().on(), obs());
+    }
+
+    #[test]
+    fn explain_defaults_off_and_reads_window_size() {
+        assert_eq!(parse_explain(None), None);
+        assert_eq!(parse_explain(Some("0")), None);
+        assert_eq!(parse_explain(Some("1")), Some(DEFAULT_WINDOW_TICKS));
+        assert_eq!(parse_explain(Some("on")), Some(DEFAULT_WINDOW_TICKS));
+        assert_eq!(parse_explain(Some("8192")), Some(8192));
+    }
+
+    #[test]
+    fn sampler_constructor_matches_policy() {
+        assert_eq!(sampler().on(), explain().is_some());
     }
 
     #[test]

@@ -26,8 +26,10 @@ pub mod conformance;
 pub mod env;
 pub mod fifo;
 pub mod port;
+pub mod port_names;
 pub mod profile;
 pub mod rng;
+pub mod sample;
 pub mod time;
 
 /// Statistics reporting ([`Report`], [`geomean`]).
@@ -45,5 +47,6 @@ pub use fifo::Fifo;
 pub use port::{Channel, CreditLoop, PortSnapshot, RxPort, TxPort};
 pub use profile::{ProfileSnapshot, Profiler};
 pub use rng::SplitMix64;
+pub use sample::{SampleDump, Sampler};
 pub use stats::{geomean, Report};
 pub use time::{ClockDomain, Tick};

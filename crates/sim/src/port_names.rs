@@ -1,0 +1,109 @@
+//! Canonical names for every handshaked port and blame-graph component
+//! in the machine.
+//!
+//! Port names used to be assembled ad hoc at each export site — the
+//! machine formatted `chan{g}` in three places, the memory system owned
+//! `mem.out`/`mem.resp{N}`, the mesh owned `noc.inbox{N}` — so a rename
+//! in one site would silently desynchronize runner report keys
+//! (`port.<name>.stalls`), obs series labels (`distda_port_*`) and the
+//! explain blame nodes that join on those names. This module is now the
+//! *single* source of every name; export sites call the constructors
+//! below and an invariant test in `distda-system` asserts that every
+//! snapshot the machine produces is recognized by [`is_canonical`].
+//!
+//! Component names (the nodes of the explain blame graph) live here too,
+//! because a blame edge is a (port, waiter component, blamed component)
+//! triple and all three columns must agree across crates.
+
+/// The machine-level injection port into the mesh (channel operands,
+/// credits, MMIO).
+pub const NET_OUT: &str = "net_out";
+
+/// The memory system's outgoing mesh-injection port.
+pub const MEM_OUT: &str = "mem.out";
+
+/// Cross-partition operand channel `g` (global channel index).
+pub fn chan(g: usize) -> String {
+    format!("chan{g}")
+}
+
+/// The memory system's response port for requester port id `p`.
+pub fn mem_resp(p: usize) -> String {
+    format!("mem.resp{p}")
+}
+
+/// Mesh delivery inbox of node `n`.
+pub fn noc_inbox(n: usize) -> String {
+    format!("noc.inbox{n}")
+}
+
+/// Component name of accelerator engine slot `i` (matches the name the
+/// engine registers with the scheduler).
+pub fn engine(i: usize) -> String {
+    format!("engine.{i}")
+}
+
+/// Component name of the host core.
+pub const HOST: &str = "host";
+/// Component name of the memory hierarchy.
+pub const MEM: &str = "mem";
+/// Component name of the mesh router.
+pub const NOC: &str = "noc";
+/// Component name of the inbox-delivery phase.
+pub const DELIVERY: &str = "delivery";
+
+/// Whether `name` is a port name this module can produce. The
+/// numbered families require a pure decimal suffix (no sign, no empty
+/// suffix), so a drifted call site like `chan_3` or `mem.resp` fails.
+pub fn is_canonical(name: &str) -> bool {
+    fn numbered(name: &str, prefix: &str) -> bool {
+        name.strip_prefix(prefix)
+            .is_some_and(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+    }
+    name == NET_OUT
+        || name == MEM_OUT
+        || numbered(name, "chan")
+        || numbered(name, "mem.resp")
+        || numbered(name, "noc.inbox")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_canonical_names() {
+        for n in [
+            chan(0),
+            chan(17),
+            mem_resp(3),
+            noc_inbox(12),
+            NET_OUT.to_string(),
+            MEM_OUT.to_string(),
+        ] {
+            assert!(is_canonical(&n), "{n} should be canonical");
+        }
+    }
+
+    #[test]
+    fn drifted_names_are_rejected() {
+        for n in [
+            "chan",
+            "chan_3",
+            "chan3x",
+            "mem.resp",
+            "mem.resp-1",
+            "noc.inbox",
+            "netout",
+            "mem_out",
+            "engine.0",
+        ] {
+            assert!(!is_canonical(n), "{n} should not be canonical");
+        }
+    }
+
+    #[test]
+    fn engine_matches_scheduler_registration_format() {
+        assert_eq!(engine(4), "engine.4");
+    }
+}

@@ -43,7 +43,8 @@ pub use machine::{Machine, MachineState, PlanHandle, Substrate, CHAN_CAPACITY};
 pub use runner::{
     mem_config_for, simulate, simulate_capture, simulate_capture_with_ref, simulate_traced,
     simulate_traced_with_ref, simulate_traced_with_skip, simulate_with_ref, simulate_with_skip,
-    try_simulate, try_simulate_capture_with_ref, try_simulate_checked, try_simulate_instrumented,
-    try_simulate_profiled, try_simulate_with_policy, CheckPolicy, RunResult,
+    try_simulate, try_simulate_capture_with_ref, try_simulate_checked, try_simulate_explained,
+    try_simulate_instrumented, try_simulate_profiled, try_simulate_with_policy, CheckPolicy,
+    RunResult,
 };
 pub use transform::decentralize;

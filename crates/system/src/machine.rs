@@ -36,8 +36,11 @@ use distda_mem::{MemRequest, MemSystem, PortId, PortKind};
 use distda_noc::{Mesh, NocConfig, Packet, TrafficClass};
 use distda_sim::component::{Component, Instruments, Scheduler, Stop};
 use distda_sim::port::{Channel, PortSnapshot};
+use distda_sim::port_names;
 use distda_sim::time::{ClockDomain, Tick};
+use distda_sim::Sampler;
 use distda_trace::{EventKind, TraceSink, Tracer};
+use std::collections::BTreeMap;
 
 /// Operand slots per channel buffer.
 pub const CHAN_CAPACITY: usize = 64;
@@ -61,6 +64,9 @@ mod stage {
     pub const NET_OUT: u32 = 40;
     /// Mesh routes.
     pub const MESH: u32 = 50;
+    /// Windowed port/counter sampling freezes the tick's final state
+    /// (registered lazily, only when explain sampling is on).
+    pub const SAMPLE: u32 = 60;
 }
 
 /// Handle to a configured offload plan.
@@ -99,6 +105,11 @@ struct EngineSlot {
     /// engine's `stall_mem` so per-port stall series sum to machine
     /// totals).
     mem_stalls: u64,
+    /// Engine cycles stalled per global operand channel, charged at the
+    /// same retry sites as the engine's `stall_chan` counter — the
+    /// per-waiter attribution the explain blame edges carry (a channel
+    /// port's raw counter mixes producer, consumer and delivery stalls).
+    chan_stalls: BTreeMap<usize, u64>,
 }
 
 #[derive(Debug)]
@@ -138,6 +149,10 @@ pub struct MachineState {
     /// Functional image + layout views for tenants 1.. (tenant 0 uses the
     /// machine's primary `memimg`/`layout`). Index = tenant - 1.
     tenant_views: Vec<(Memory, Layout)>,
+    /// Producer/consumer engine slot per global operand channel
+    /// (parallel to `chans`) — the blame topology of the `chan{g}`
+    /// ports, recorded at plan-configuration time.
+    chan_engines: Vec<(usize, usize)>,
     /// Machine track: kernel phases, MMIO transfers, offload dispatches.
     sink: TraceSink,
     /// Host track: segment loads.
@@ -174,9 +189,9 @@ impl MachineState {
     pub fn port_snapshots(&self) -> Vec<PortSnapshot> {
         let mut out = Vec::new();
         for (g, ch) in self.chans.iter().enumerate() {
-            out.push(ch.queue.snapshot(format!("chan{g}")));
+            out.push(ch.queue.snapshot(port_names::chan(g)));
         }
-        out.push(self.net_out.snapshot("net_out"));
+        out.push(self.net_out.snapshot(port_names::NET_OUT));
         out.push(self.mem.out_snapshot());
         for p in self.mem.ports() {
             let mut s = self.mem.resp_snapshot(p);
@@ -429,6 +444,7 @@ impl Component<MachineState> for EngineComp {
             resp: &mut slot.resp,
             chan_sink,
             mem_stalls: &mut slot.mem_stalls,
+            chan_stalls: &mut slot.chan_stalls,
         };
         slot.eng.tick(now, &mut ctx);
     }
@@ -638,6 +654,58 @@ impl Component<MachineState> for MeshComp {
     }
 }
 
+/// Stage `stage::SAMPLE`: freezes the cumulative state of every port
+/// plus per-engine busy/stall totals into the windowed sampler ring at
+/// each window boundary. Registered lazily by [`Machine::set_sampler`],
+/// so a machine without explain sampling carries no trace of it in the
+/// hot loop. Ticking last in stage order makes the record the tick's
+/// *final* state, identical whether the scheduler stepped or skipped to
+/// the boundary (skipped ticks are provably no-ops).
+///
+/// The component's wake (`next_event`) is the next window boundary —
+/// always finite, so with sampling on a genuine deadlock degrades to a
+/// tick-budget error instead of an immediate deadlock diagnosis. That
+/// trade-off only exists on explain runs.
+struct SamplerComp {
+    sampler: Sampler,
+    /// Cached copy of the sampler's next boundary, refreshed after each
+    /// record so the per-tick gate is a field compare, not a lock.
+    boundary: Tick,
+}
+
+impl Component<MachineState> for SamplerComp {
+    fn name(&self) -> &str {
+        "sampler"
+    }
+
+    fn tick(&mut self, now: Tick, st: &mut MachineState, _instr: &mut Instruments) {
+        if now < self.boundary {
+            return;
+        }
+        let ports = st.port_snapshots();
+        let mut counters = Vec::with_capacity(st.engines.len() * 3);
+        for (i, s) in st.engines.iter().enumerate() {
+            let es = s.eng.stats();
+            let period = s.eng.clock().period_ticks();
+            let name = port_names::engine(i);
+            counters.push((format!("{name}.busy_ticks"), es.busy_cycles * period));
+            counters.push((format!("{name}.stall_mem_ticks"), es.stall_mem * period));
+            counters.push((format!("{name}.stall_chan_ticks"), es.stall_chan * period));
+        }
+        let refs: Vec<(&str, u64)> = counters.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        self.sampler.record_at(now, &ports, &refs);
+        self.boundary = self.sampler.next_boundary();
+    }
+
+    fn next_event(&self, _now: Tick, _st: &MachineState) -> Option<Tick> {
+        Some(self.boundary)
+    }
+
+    fn is_quiescent(&self, _now: Tick, _st: &MachineState) -> bool {
+        true
+    }
+}
+
 /// The machine: a [`Scheduler`] composed over [`MachineState`]. Construct
 /// with [`Machine::new`], configure plans, then alternate host segments
 /// and offload invocations.
@@ -645,6 +713,9 @@ impl Component<MachineState> for MeshComp {
 pub struct Machine {
     sched: Scheduler<MachineState>,
     st: MachineState,
+    /// The attached windowed sampler (disabled unless
+    /// [`Machine::set_sampler`] ran with an enabled one).
+    sampler: Sampler,
 }
 
 impl Machine {
@@ -692,6 +763,7 @@ impl Machine {
             host_node: topo.host_node,
             mmio_words: 0,
             tenant_views: Vec::new(),
+            chan_engines: Vec::new(),
             sink: TraceSink::default(),
             host_sink: TraceSink::default(),
             chan_sink: TraceSink::default(),
@@ -705,7 +777,11 @@ impl Machine {
         sched.register(stage::MEM, Box::new(MemComp), &mut st);
         sched.register(stage::NET_OUT, Box::new(NetOutComp), &mut st);
         sched.register(stage::MESH, Box::new(MeshComp), &mut st);
-        Self { sched, st }
+        Self {
+            sched,
+            st,
+            sampler: Sampler::disabled(),
+        }
     }
 
     /// Current base tick.
@@ -756,6 +832,146 @@ impl Machine {
     /// with the utilization window closed at the current tick.
     pub fn profile(&self) -> Option<distda_sim::ProfileSnapshot> {
         self.sched.instruments().prof.snapshot_at(self.sched.now())
+    }
+
+    /// Attaches a windowed port/counter sampler. An enabled sampler
+    /// registers a `stage::SAMPLE` component that freezes cumulative
+    /// port and engine statistics at every window boundary; a disabled
+    /// one (the default) registers nothing, so the tick loop is exactly
+    /// the un-sampled one and results stay byte-identical. Call at most
+    /// once per machine, before running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an enabled sampler was already attached.
+    pub fn set_sampler(&mut self, sampler: Sampler) {
+        if !sampler.on() {
+            return;
+        }
+        assert!(!self.sampler.on(), "sampler already attached");
+        self.sampler = sampler.clone();
+        let boundary = sampler.next_boundary();
+        self.sched.register(
+            stage::SAMPLE,
+            Box::new(SamplerComp { sampler, boundary }),
+            &mut self.st,
+        );
+    }
+
+    /// The attached sampler (disabled unless [`Machine::set_sampler`]
+    /// ran with an enabled one).
+    pub fn sampler(&self) -> &Sampler {
+        &self.sampler
+    }
+
+    /// The blame topology of every handshaked port: which component
+    /// accumulated stall cycles there, how many (per-waiter attribution,
+    /// in the waiter's clock cycles), and which component those cycles
+    /// indict. Operand channels get one edge per side from the
+    /// configured plans — a send-blocked producer blames the consumer
+    /// (back-pressure), a recv-starved consumer blames the producer —
+    /// each carrying that engine's own attributed stalls. The structural
+    /// ports are fixed: injection back-pressure indicts the mesh,
+    /// response starvation indicts the memory system, inbox pressure
+    /// indicts delivery; their stalls are the raw port counters (base
+    /// ticks).
+    pub fn port_topology(&self) -> Vec<distda_explain::Edge> {
+        use distda_explain::Edge;
+        let attributed = |ei: usize, g: usize| -> u64 {
+            self.st.engines[ei]
+                .chan_stalls
+                .get(&g)
+                .copied()
+                .unwrap_or(0)
+        };
+        let mut edges = Vec::new();
+        for (g, &(p, c)) in self.st.chan_engines.iter().enumerate() {
+            edges.push(Edge::new(
+                port_names::chan(g),
+                port_names::engine(p),
+                port_names::engine(c),
+                attributed(p, g),
+            ));
+            if c != p {
+                edges.push(Edge::new(
+                    port_names::chan(g),
+                    port_names::engine(c),
+                    port_names::engine(p),
+                    attributed(c, g),
+                ));
+            }
+        }
+        edges.push(Edge::new(
+            port_names::NET_OUT,
+            port_names::HOST,
+            port_names::NOC,
+            self.st.net_out.snapshot(port_names::NET_OUT).stalls,
+        ));
+        edges.push(Edge::new(
+            port_names::MEM_OUT,
+            port_names::MEM,
+            port_names::NOC,
+            self.st.mem.out_snapshot().stalls,
+        ));
+        for p in self.st.mem.ports() {
+            let (waiter, stalls) = match self.st.engines.iter().position(|s| s.port == p) {
+                Some(i) => (port_names::engine(i), self.st.engines[i].mem_stalls),
+                None => (
+                    port_names::HOST.to_string(),
+                    self.st.mem.resp_snapshot(p).stalls,
+                ),
+            };
+            edges.push(Edge::new(
+                port_names::mem_resp(p.0 as usize),
+                waiter,
+                port_names::MEM,
+                stalls,
+            ));
+        }
+        for s in self.st.mesh.inbox_snapshots() {
+            let stalls = s.stalls;
+            edges.push(Edge::new(
+                s.name,
+                port_names::NOC,
+                port_names::DELIVERY,
+                stalls,
+            ));
+        }
+        edges
+    }
+
+    /// Per-engine totals converted to base ticks, the engine half of an
+    /// explain [`Observation`](distda_explain::Observation).
+    pub fn engine_observations(&self) -> Vec<distda_explain::EngineObs> {
+        self.st
+            .engines
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let es = s.eng.stats();
+                let period = s.eng.clock().period_ticks();
+                distda_explain::EngineObs {
+                    name: port_names::engine(i),
+                    busy_ticks: es.busy_cycles * period,
+                    stall_mem_ticks: es.stall_mem * period,
+                    stall_chan_ticks: es.stall_chan * period,
+                    period_ticks: period,
+                }
+            })
+            .collect()
+    }
+
+    /// The full explain observation of this machine's run so far:
+    /// ports, blame topology, engine accounting and (when a sampler was
+    /// attached) the windowed time series.
+    pub fn observation(&self) -> distda_explain::Observation {
+        distda_explain::Observation {
+            ticks: self.now(),
+            ports: self.port_snapshots(),
+            edges: self.port_topology(),
+            engines: self.engine_observations(),
+            samples: self.sampler.dump(),
+        }
     }
 
     fn san(&self) -> &Sanitizer {
@@ -999,6 +1215,7 @@ impl Machine {
                 is_cgra: matches!(sub.model, IssueModel::Cgra { .. }),
                 tenant,
                 mem_stalls: 0,
+                chan_stalls: BTreeMap::new(),
             });
             // Registration wires the engine into the tick loop, wake
             // probe, drain predicate and drain audit — and attaches the
@@ -1019,6 +1236,15 @@ impl Machine {
         // Offload-boundary flush of host-cached object lines.
         for &(s, e) in object_ranges {
             self.st.mem.flush_host_range(s, e);
+        }
+        // Blame topology of the just-created channels: the producer
+        // engine accumulates stall cycles, the consumer engine is
+        // indicted (it failed to drain the ring).
+        for ch in &plan.channels {
+            self.st.chan_engines.push((
+                engine_ids[ch.producer as usize],
+                engine_ids[ch.consumer as usize],
+            ));
         }
         let liveouts = plan
             .liveouts
@@ -1362,6 +1588,7 @@ struct Ctx<'a> {
     resp: &'a mut Vec<u64>,
     chan_sink: &'a TraceSink,
     mem_stalls: &'a mut u64,
+    chan_stalls: &'a mut BTreeMap<usize, u64>,
 }
 
 impl EngineCtx for Ctx<'_> {
@@ -1379,7 +1606,7 @@ impl EngineCtx for Ctx<'_> {
             assert!(ch.queue.tx().offer(v).is_ok(), "credits bound occupancy");
             if self.chan_sink.on() {
                 self.chan_sink
-                    .sample(self.now, &format!("chan{g}"), ch.queue.len() as f64);
+                    .sample(self.now, &port_names::chan(g), ch.queue.len() as f64);
             }
         } else {
             // The operand packet must win a slot at the injection port
@@ -1413,7 +1640,7 @@ impl EngineCtx for Ctx<'_> {
         let v = ch.queue.rx().accept()?;
         if self.chan_sink.on() {
             self.chan_sink
-                .sample(self.now, &format!("chan{g}"), ch.queue.len() as f64);
+                .sample(self.now, &port_names::chan(g), ch.queue.len() as f64);
         }
         if ch.is_local() {
             ch.flow.put();
@@ -1441,6 +1668,7 @@ impl EngineCtx for Ctx<'_> {
     fn note_chan_stall(&mut self, chan: u16, n: u64) {
         let g = self.chan_base + chan as usize;
         self.chans[g].queue.note_stalls(n);
+        *self.chan_stalls.entry(g).or_insert(0) += n;
     }
 
     fn note_mem_stall(&mut self, n: u64) {

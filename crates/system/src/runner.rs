@@ -382,8 +382,10 @@ pub fn try_simulate_checked(
     policy: CheckPolicy,
 ) -> Result<(RunResult, Memory, Vec<Value>), SimError> {
     let profiler = distda_sim::env::profiler();
-    let out =
-        try_simulate_instrumented(prog, init, cfg, skip, reference, tracer, policy, &profiler)?;
+    let sampler = distda_sim::env::sampler();
+    let out = try_simulate_instrumented(
+        prog, init, cfg, skip, reference, tracer, policy, &profiler, &sampler,
+    )?;
     if let Some(snap) = profiler.snapshot_at(out.0.ticks) {
         auto_export_profile(&snap, &out.0);
     }
@@ -413,8 +415,44 @@ pub fn try_simulate_profiled(
         &Tracer::disabled(),
         CheckPolicy::from_env(),
         profiler,
+        &distda_sim::Sampler::disabled(),
     )
     .map(|out| out.0)
+}
+
+/// Runs a program with an explicit explain [`Sampler`](distda_sim::Sampler):
+/// the entry point the `explain` bin and the explain determinism tests use
+/// to attribute bottlenecks without touching the process environment. The
+/// resulting report carries the `explain.*` keys and the returned
+/// explanation holds the full causal tree.
+///
+/// # Errors
+///
+/// Returns [`SimError`] as [`try_simulate_checked`]; accounting violations
+/// found by the analyzer surface as [`SimError::InvariantViolation`] with
+/// phase `explain-accounting` when the policy sanitizes.
+pub fn try_simulate_explained(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    skip: Option<bool>,
+    reference: Option<&(Memory, Vec<Value>)>,
+    sampler: &distda_sim::Sampler,
+) -> Result<(RunResult, Option<distda_explain::Explanation>), SimError> {
+    let mut explanation = None;
+    let out = try_simulate_core(
+        prog,
+        init,
+        cfg,
+        skip,
+        reference,
+        &Tracer::disabled(),
+        CheckPolicy::from_env(),
+        &distda_sim::Profiler::disabled(),
+        sampler,
+        &mut explanation,
+    )?;
+    Ok((out.0, explanation))
 }
 
 /// Writes the self-profile table of an env-enabled run to
@@ -466,6 +504,39 @@ pub fn try_simulate_instrumented(
     tracer: &Tracer,
     policy: CheckPolicy,
     profiler: &distda_sim::Profiler,
+    sampler: &distda_sim::Sampler,
+) -> Result<(RunResult, Memory, Vec<Value>), SimError> {
+    let mut explanation = None;
+    try_simulate_core(
+        prog,
+        init,
+        cfg,
+        skip,
+        reference,
+        tracer,
+        policy,
+        profiler,
+        sampler,
+        &mut explanation,
+    )
+}
+
+/// The shared pipeline body behind [`try_simulate_instrumented`] and
+/// [`try_simulate_explained`]: `explain_out` receives the full causal
+/// tree when a sampler is attached (the instrumented entry point drops
+/// it; the explained one returns it).
+#[allow(clippy::too_many_arguments)]
+fn try_simulate_core(
+    prog: &Program,
+    init: &dyn Fn(&mut Memory),
+    cfg: &RunConfig,
+    skip: Option<bool>,
+    reference: Option<&(Memory, Vec<Value>)>,
+    tracer: &Tracer,
+    policy: CheckPolicy,
+    profiler: &distda_sim::Profiler,
+    sampler: &distda_sim::Sampler,
+    explain_out: &mut Option<distda_explain::Explanation>,
 ) -> Result<(RunResult, Memory, Vec<Value>), SimError> {
     cfg.validate()?;
     // Reference execution for validation (shared across a sweep's
@@ -506,10 +577,12 @@ pub fn try_simulate_instrumented(
         let ck = compiled.as_ref().ok_or_else(|| SimError::InvalidConfig {
             detail: "multi-tenant runs require an offload-capable configuration".to_string(),
         })?;
-        run_tenants(prog, init, cfg, &plans, ck, skip, tracer, &san, profiler)?
+        run_tenants(
+            prog, init, cfg, &plans, ck, skip, tracer, &san, profiler, sampler,
+        )?
     } else {
         run_single(
-            prog, init, cfg, &plans, compiled, skip, tracer, &san, profiler,
+            prog, init, cfg, &plans, compiled, skip, tracer, &san, profiler, sampler,
         )?
     };
     let Execution {
@@ -629,6 +702,50 @@ pub fn try_simulate_instrumented(
     if tracer.is_enabled() {
         report.merge_prefixed("trace", &tracer.metrics_report());
     }
+    // Causal attribution (`explain.*`): with an attached sampler the
+    // drained machine's port topology, engine counters and windowed
+    // samples become a ranked causal tree. Accounting violations
+    // (blamed + busy exceeding the run, or port stalls disagreeing with
+    // the engines' own counters) escalate through the sanitizer like
+    // every other conservation law.
+    let explanation = if machine.sampler().on() {
+        let obs = machine.observation();
+        let x = distda_explain::analyze(&obs);
+        if san.on() {
+            for v in &x.violations {
+                san.check(false, "explain", "tick-accounting", ticks, || v.clone());
+            }
+            if san.count() > 0 {
+                return Err(SimError::InvariantViolation {
+                    phase: "explain-accounting",
+                    now: ticks,
+                    count: san.count(),
+                    report: san.render(),
+                });
+            }
+        }
+        report.merge_prefixed("explain", &distda_explain::to_report(&x));
+        // Counter tracks: the sampled windows become `explain` series in
+        // the trace registry, rendered as Perfetto counter tracks by the
+        // Chrome exporter next to the run's slices.
+        if tracer.is_enabled() {
+            if let Some(d) = &obs.samples {
+                let sink = tracer.sink("explain");
+                for w in &d.windows {
+                    for (p, pt) in d.port_names.iter().zip(&w.ports) {
+                        sink.sample(w.at, &format!("{p}.stalls"), pt.stalls as f64);
+                        sink.sample(w.at, &format!("{p}.len"), pt.len as f64);
+                    }
+                    for (c, v) in d.counter_names.iter().zip(&w.counters) {
+                        sink.sample(w.at, c, *v as f64);
+                    }
+                }
+            }
+        }
+        Some(x)
+    } else {
+        None
+    };
 
     let result = RunResult {
         kernel: prog.name.clone(),
@@ -649,8 +766,40 @@ pub fn try_simulate_instrumented(
         validated,
         report,
     };
+    if distda_sim::env::explain().is_some() {
+        if let Some(x) = &explanation {
+            auto_export_explain(x, &result);
+        }
+    }
+    *explain_out = explanation;
     let final_mem = machine.into_memimg();
     Ok((result, final_mem, eval_scalars))
+}
+
+/// Writes the causal tree of an env-enabled (`DISTDA_EXPLAIN`) run to
+/// `results/explain_<kernel>_<config>.txt`.
+fn auto_export_explain(x: &distda_explain::Explanation, r: &RunResult) {
+    let slug = |s: &str| -> String {
+        s.chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .collect()
+    };
+    let dir = std::path::Path::new("results");
+    let path = dir.join(format!(
+        "explain_{}_{}.txt",
+        slug(&r.kernel),
+        slug(&r.config)
+    ));
+    let tree = distda_explain::render_text(x);
+    if std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&path, tree))
+        .is_err()
+    {
+        eprintln!(
+            "warning: could not write explain tree to {}",
+            path.display()
+        );
+    }
 }
 
 /// Describes the first disagreement between the simulated machine's final
@@ -708,13 +857,14 @@ pub fn mem_config_for(topo: &Topology) -> MemConfig {
 }
 
 /// Attaches the run's instrumentation (skip override, tracer, sanitizer,
-/// self-profiler) to a freshly built machine.
+/// self-profiler, explain sampler) to a freshly built machine.
 fn instrument(
     machine: &mut Machine,
     skip: Option<bool>,
     tracer: &Tracer,
     san: &Sanitizer,
     profiler: &distda_sim::Profiler,
+    sampler: &distda_sim::Sampler,
 ) {
     if let Some(on) = skip {
         machine.set_skip(on);
@@ -728,6 +878,7 @@ fn instrument(
     if profiler.on() {
         machine.set_profiler(profiler.clone());
     }
+    machine.set_sampler(sampler.clone());
 }
 
 /// What an execution strategy hands back to the shared metrics/validation
@@ -753,6 +904,7 @@ fn run_single(
     tracer: &Tracer,
     san: &Sanitizer,
     profiler: &distda_sim::Profiler,
+    sampler: &distda_sim::Sampler,
 ) -> Result<Execution, SimError> {
     let topo = &cfg.topology;
     let uncore = ClockDomain::from_ghz(2.0);
@@ -767,7 +919,7 @@ fn run_single(
     let mut img = Memory::for_program(prog);
     init(&mut img);
     let mut machine = Machine::new(mem, img, alloc.layout.clone(), 5, 224, topo);
-    instrument(&mut machine, skip, tracer, san, profiler);
+    instrument(&mut machine, skip, tracer, san, profiler, sampler);
 
     let mut walker = Walker {
         prog,
@@ -863,6 +1015,7 @@ fn run_tenants(
     tracer: &Tracer,
     san: &Sanitizer,
     profiler: &distda_sim::Profiler,
+    sampler: &distda_sim::Sampler,
 ) -> Result<Execution, SimError> {
     let topo = &cfg.topology;
     let n = topo.tenants;
@@ -947,7 +1100,7 @@ fn run_tenants(
     for (i, img) in imgs.enumerate() {
         machine.add_tenant(img, allocs[i + 1].layout.clone());
     }
-    instrument(&mut machine, skip, tracer, san, profiler);
+    instrument(&mut machine, skip, tracer, san, profiler, sampler);
     let mut evals: Vec<HostEval> = allocs
         .iter()
         .map(|a| HostEval::new(prog, a.layout.clone()))

@@ -225,6 +225,33 @@ impl Workload {
         )
     }
 
+    /// [`Workload::try_simulate`] with an explicit explain
+    /// [`Sampler`](distda_sim::Sampler) attached: the causal-attribution
+    /// entry point. The returned report carries the `explain.*` keys
+    /// (ranked causal tree, exact tick accounting) and the `skip`
+    /// override lets determinism tests demand byte-identical trees with
+    /// skip-ahead on and off.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on any simulation failure, including
+    /// explain accounting violations under a sanitizing policy.
+    pub fn try_simulate_explained(
+        &self,
+        cfg: &RunConfig,
+        skip: Option<bool>,
+        sampler: &distda_sim::Sampler,
+    ) -> Result<(RunResult, Option<distda_explain::Explanation>), SimError> {
+        distda_system::try_simulate_explained(
+            &self.program,
+            &*self.init,
+            cfg,
+            skip,
+            Some(self.reference_exec()),
+            sampler,
+        )
+    }
+
     /// The cached reference execution: final memory image + scalar values
     /// from the interpreter, computed on first use.
     pub fn reference_exec(&self) -> &(Memory, Vec<Value>) {

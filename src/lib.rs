@@ -11,10 +11,12 @@ pub use distda_accel as accel;
 pub use distda_check as check;
 pub use distda_compiler as compiler;
 pub use distda_energy as energy;
+pub use distda_explain as explain;
 pub use distda_ir as ir;
 pub use distda_mem as mem;
 pub use distda_noc as noc;
 pub use distda_obs as obs;
 pub use distda_sim as sim;
 pub use distda_system as system;
+pub use distda_trace as trace;
 pub use distda_workloads as workloads;
